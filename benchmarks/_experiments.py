@@ -1,0 +1,33 @@
+"""Benchmark-side shim: experiment drivers plus report registration.
+
+The drivers live in :mod:`repro.bench.experiments` (shared with the CLI);
+this module adds the REPORTS registry that benchmarks/conftest.py prints
+in the terminal summary.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import (  # noqa: F401  (re-exported for benches)
+    CMU_HOSTS,
+    TABLE3_SCENARIOS,
+    TRAFFIC_M6_M8,
+    ExperimentResult,
+    make_program,
+    run_adaptive,
+    run_fixed,
+    run_selected,
+)
+
+#: Paper-style tables produced by report tests; the benchmarks/conftest.py
+#: terminal-summary hook prints these after pytest's capture ends, and also
+#: persists them under benchmarks/results/.
+REPORTS: list[str] = []
+
+
+def emit(text: str) -> None:
+    """Register a report table for end-of-run printing (and print now for
+    anyone running with ``-s``)."""
+    REPORTS.append(text)
+    print(text, file=sys.__stdout__, flush=True)

@@ -1,0 +1,100 @@
+"""Ablation E — broadcast strategy (§2 "Optimization of communication").
+
+"If an application relies heavily on broadcasts, some subnets (with a
+specific network architecture) may be better platforms than others" — and
+Remos information can drive the choice of broadcast implementation (§2's
+"customizing the implementation of group communication operations for a
+particular network").
+
+We compare the flat unicast broadcast against the multicast-tree
+broadcast (the §4.5 extension) on the CMU testbed, for growing group
+sizes, and check that Remos flow queries predict the flat broadcast's
+root-uplink bottleneck.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table, format_seconds
+from repro.core import Flow, Remos, Timeframe
+from repro.fx import CommWorld, NodeMapping
+
+from benchmarks._experiments import emit
+
+PAYLOAD = 4e6  # 4MB broadcast
+GROUPS = {
+    2: ["m-4", "m-5"],
+    4: ["m-4", "m-5", "m-6", "m-7"],
+    8: ["m-4", "m-5", "m-6", "m-7", "m-8", "m-1", "m-2", "m-3"],
+}
+
+_results: dict = {}
+
+
+def run_group(hosts):
+    from repro.testbed import build_cmu_testbed
+
+    world = build_cmu_testbed(poll_interval=1.0)
+    remos = world.start_monitoring(warmup=3.0)
+    env, net = world.env, world.net
+
+    # Ask Remos first, on the quiet network: P-1 simultaneous flows out of
+    # the root predict the flat broadcast's per-receiver rate.
+    root = hosts[0]
+    answer = remos.flow_info(
+        variable_flows=[Flow(root, dst) for dst in hosts[1:]],
+        timeframe=Timeframe.current(),
+    )
+    predicted = min(a.bandwidth.median for a in answer.variable)
+
+    flat = CommWorld(net, NodeMapping(hosts))
+    start = env.now
+    env.run(until=env.process(flat.broadcast(0, PAYLOAD)))
+    flat_time = env.now - start
+
+    multicast = CommWorld(net, NodeMapping(hosts))
+    start = env.now
+    env.run(until=env.process(multicast.multicast_broadcast(0, PAYLOAD)))
+    multicast_time = env.now - start
+    return flat_time, multicast_time, predicted
+
+
+@pytest.mark.parametrize("size", sorted(GROUPS), ids=lambda s: f"P{s}")
+def test_broadcast_strategies(benchmark, size):
+    hosts = GROUPS[size]
+    flat_time, multicast_time, predicted = benchmark.pedantic(
+        lambda: run_group(hosts), rounds=1, iterations=1
+    )
+    _results[size] = (flat_time, multicast_time, predicted)
+    if size > 2:
+        assert multicast_time < flat_time
+    # Remos's predicted per-flow rate implies the flat broadcast time.
+    implied = PAYLOAD * 8.0 / predicted
+    assert flat_time == pytest.approx(implied, rel=0.05)
+
+
+def test_multicast_advantage_grows_with_group(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_results) < 3:
+        pytest.skip("group sizes did not all run")
+    advantage = {s: _results[s][0] / _results[s][1] for s in _results}
+    assert advantage[8] > advantage[4] > advantage[2] * 0.99
+
+
+def test_broadcast_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation E - 4MB broadcast: flat unicast vs multicast tree",
+        ["Group size", "flat", "multicast", "speedup", "Remos-predicted flat"],
+    )
+    for size in sorted(_results):
+        flat_time, multicast_time, predicted = _results[size]
+        table.add_row(
+            size,
+            format_seconds(flat_time),
+            format_seconds(multicast_time),
+            f"{flat_time / multicast_time:.2f}x",
+            format_seconds(PAYLOAD * 8.0 / predicted),
+        )
+    emit("\n" + table.render())

@@ -1,0 +1,89 @@
+"""Ablation B — the greedy clustering heuristic vs exhaustive optimum.
+
+§7.2: optimal node selection "is equivalent to a k-clique problem which is
+known to be NP-hard"; the paper uses a greedy heuristic and claims it
+"leads to good results even though it is based on a simple heuristic".
+We quantify that: solution quality (greedy cost / optimal cost) and wall
+time on random distance matrices of growing size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.adapt import cluster_cost, greedy_cluster, optimal_cluster
+from repro.bench import Table
+
+from benchmarks._experiments import emit
+
+_results: dict = {}
+
+
+def random_problem(rng, n):
+    names = [f"h{i}" for i in range(n)]
+    raw = rng.uniform(1e-9, 1e-7, (n, n))
+    matrix = (raw + raw.T) / 2
+    np.fill_diagonal(matrix, 0.0)
+    return names, matrix
+
+
+def quality_sweep(n: int, k: int, trials: int = 30) -> dict:
+    rng = np.random.default_rng(42)
+    ratios = []
+    greedy_time = optimal_time = 0.0
+    for _ in range(trials):
+        names, matrix = random_problem(rng, n)
+        start = names[int(rng.integers(0, n))]
+        t0 = time.perf_counter()
+        greedy = greedy_cluster(names, matrix, start, k)
+        greedy_time += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        optimal = optimal_cluster(names, matrix, k, start=start)
+        optimal_time += time.perf_counter() - t0
+        g = cluster_cost(names, matrix, greedy)
+        o = cluster_cost(names, matrix, optimal)
+        ratios.append(g / o)
+    return {
+        "mean_ratio": float(np.mean(ratios)),
+        "worst_ratio": float(np.max(ratios)),
+        "optimal_found": float(np.mean(np.isclose(ratios, 1.0, rtol=1e-9))),
+        "greedy_ms": greedy_time / trials * 1e3,
+        "optimal_ms": optimal_time / trials * 1e3,
+    }
+
+
+CASES = [(8, 4), (12, 5), (16, 6)]
+
+
+@pytest.mark.parametrize("n,k", CASES, ids=[f"n{n}-k{k}" for n, k in CASES])
+def test_greedy_quality(benchmark, n, k):
+    result = benchmark.pedantic(lambda: quality_sweep(n, k), rounds=1, iterations=1)
+    _results[(n, k)] = result
+    # "Good results": within 20% of optimal on average, never worse than 2x.
+    assert result["mean_ratio"] < 1.2
+    assert result["worst_ratio"] < 2.0
+    # ... while being much cheaper than exhaustive search.
+    assert result["greedy_ms"] < result["optimal_ms"]
+
+
+def test_clustering_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation B - greedy clustering vs exhaustive optimum "
+        "(30 random instances per row)",
+        ["Pool n", "Cluster k", "mean cost ratio", "worst ratio",
+         "optimal found", "greedy ms", "exhaustive ms"],
+    )
+    for (n, k), result in sorted(_results.items()):
+        table.add_row(
+            n, k,
+            f"{result['mean_ratio']:.3f}",
+            f"{result['worst_ratio']:.3f}",
+            f"{result['optimal_found'] * 100:.0f}%",
+            f"{result['greedy_ms']:.2f}",
+            f"{result['optimal_ms']:.2f}",
+        )
+    emit("\n" + table.render())

@@ -1,0 +1,73 @@
+"""Ablation F — compute-aware clustering (§7.2's flagged future work).
+
+"We have focused on communication resources, but in general, tradeoffs
+between computation and communication resources would have to be
+considered for clustering."  This ablation implements and evaluates that:
+two timberline hosts carry heavy CPU load from other users; plain
+(communication-only) selection cannot see it, compute-aware selection
+dodges it, and execution times show the difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapt import select_nodes, select_nodes_compute_aware
+from repro.apps import SyntheticApp
+from repro.bench import Table, format_seconds, percent_increase
+from repro.core import Timeframe
+from repro.netsim.hostload import ComputeLoad
+
+from benchmarks._experiments import CMU_HOSTS, emit
+
+_results: dict = {}
+
+
+def run_variant(compute_aware: bool, cpu_share: float):
+    from repro.testbed import build_cmu_testbed
+
+    world = build_cmu_testbed(poll_interval=1.0, monitor_hosts=True)
+    ComputeLoad(world.net.host_activity, "m-5", share=cpu_share)
+    ComputeLoad(world.net.host_activity, "m-6", share=cpu_share)
+    remos = world.start_monitoring(warmup=20.0)
+    selector = select_nodes_compute_aware if compute_aware else select_nodes
+    selection = selector(
+        remos, CMU_HOSTS, k=3, start="m-4", timeframe=Timeframe.history(15.0)
+    )
+    app = SyntheticApp(flops_per_rank=1e9, comm_bytes=2e6, iterations=3)
+    report = world.env.run(until=world.runtime().launch(app, selection.hosts))
+    return selection.hosts, report.elapsed
+
+
+@pytest.mark.parametrize("cpu_share", [0.5, 0.9], ids=["load50", "load90"])
+def test_compute_aware_variants(benchmark, cpu_share):
+    def experiment():
+        plain = run_variant(False, cpu_share)
+        aware = run_variant(True, cpu_share)
+        return plain, aware
+
+    plain, aware = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _results[cpu_share] = (plain, aware)
+    (plain_hosts, plain_time), (aware_hosts, aware_time) = plain, aware
+    # Plain selection lands on the loaded hosts (idle network: they tie).
+    assert {"m-5", "m-6"} & set(plain_hosts)
+    # Compute-aware selection avoids them and runs faster.
+    assert not {"m-5", "m-6"} & set(aware_hosts)
+    assert aware_time < plain_time
+
+
+def test_compute_aware_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation F - compute-aware clustering (m-5/m-6 CPU-loaded, idle network)",
+        ["CPU load", "plain set", "t", "aware set", "t", "aware gain"],
+    )
+    for cpu_share, (plain, aware) in sorted(_results.items()):
+        (plain_hosts, plain_time), (aware_hosts, aware_time) = plain, aware
+        table.add_row(
+            f"{cpu_share * 100:.0f}%",
+            ",".join(plain_hosts), format_seconds(plain_time),
+            ",".join(aware_hosts), format_seconds(aware_time),
+            f"{percent_increase(aware_time, plain_time):+.0f}%",
+        )
+    emit("\n" + table.render())

@@ -1,0 +1,134 @@
+"""Ablation A — query overhead is low and proportional to use.
+
+Two claims from the paper:
+
+* §1: "the cost that an application pays in terms of runtime overhead is
+  low and directly related to the depth and frequency of its requests";
+* §7.3: computing pairwise bandwidth "could have been obtained with flow
+  queries also, but O(nodes^2) queries would have been needed, implying a
+  much higher overhead" than one topology query.
+
+We measure (a) collector network cost as a function of polling frequency,
+(b) one ``get_graph`` against n^2 ``flow_info`` calls for the same
+distance information — both in wall-clock per query and in work done.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import Table
+from repro.core import Flow, Timeframe
+
+from benchmarks._experiments import CMU_HOSTS, emit
+
+_results: dict = {}
+
+
+def collector_cost(poll_interval: float) -> dict:
+    from repro.testbed import build_cmu_testbed
+
+    world = build_cmu_testbed(poll_interval=poll_interval)
+    world.start_monitoring()
+    start_requests = world.collector.client.requests_sent
+    start_time = world.collector.client.time_spent
+    world.settle(60.0)
+    return {
+        "requests_per_s": (world.collector.client.requests_sent - start_requests) / 60.0,
+        "busy_fraction": (world.collector.client.time_spent - start_time) / 60.0,
+    }
+
+
+@pytest.mark.parametrize("poll_interval", [0.5, 2.0, 8.0])
+def test_polling_frequency_cost(benchmark, poll_interval):
+    result = benchmark.pedantic(
+        lambda: collector_cost(poll_interval), rounds=1, iterations=1
+    )
+    _results[("poll", poll_interval)] = result
+    # Cost scales with frequency; even at 2 polls/s the management load is
+    # a tiny fraction of a second per second.
+    assert result["busy_fraction"] < 0.2
+
+
+def test_frequency_proportionality(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    needed = [("poll", 0.5), ("poll", 2.0), ("poll", 8.0)]
+    if not all(key in _results for key in needed):
+        pytest.skip("frequency cells did not run")
+    fast = _results[("poll", 0.5)]["requests_per_s"]
+    slow = _results[("poll", 8.0)]["requests_per_s"]
+    assert fast == pytest.approx(16 * slow, rel=0.2)
+
+
+def _monitored_remos():
+    from repro.testbed import build_cmu_testbed
+
+    world = build_cmu_testbed(poll_interval=1.0)
+    remos = world.start_monitoring(warmup=5.0)
+    return world, remos
+
+
+def test_graph_vs_flow_queries(benchmark):
+    """One topology query replaces O(n^2) flow queries (§7.3)."""
+    world, remos = _monitored_remos()
+    hosts = CMU_HOSTS
+
+    def one_graph_query():
+        graph = remos.get_graph(hosts, Timeframe.current())
+        return graph.distance_matrix(hosts)
+
+    def n_squared_flow_queries():
+        matrix = {}
+        for src in hosts:
+            for dst in hosts:
+                if src != dst:
+                    answer = remos.flow_info(
+                        variable_flows=[Flow(src, dst)], timeframe=Timeframe.current()
+                    )
+                    matrix[(src, dst)] = answer.variable[0].bandwidth.median
+        return matrix
+
+    t0 = time.perf_counter()
+    names, graph_matrix = one_graph_query()
+    graph_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    flow_matrix = n_squared_flow_queries()
+    flows_wall = time.perf_counter() - t0
+    _results["graph_wall"] = graph_wall
+    _results["flows_wall"] = flows_wall
+    _results["flow_query_count"] = len(flow_matrix)
+
+    # Same information (idle network: all pairs see full capacity).
+    for (src, dst), value in flow_matrix.items():
+        i, j = names.index(src), names.index(dst)
+        assert 1.0 / graph_matrix[i, j] == pytest.approx(value, rel=0.05)
+    # ... at a fraction of the cost.
+    assert flows_wall > 3 * graph_wall
+    benchmark.pedantic(one_graph_query, rounds=3, iterations=1)
+
+
+def test_query_cost_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation A - monitoring and query overhead",
+        ["Measurement", "Value"],
+    )
+    for key, result in sorted(_results.items(), key=str):
+        if isinstance(key, tuple) and key[0] == "poll":
+            table.add_row(
+                f"collector @ poll every {key[1]}s",
+                f"{result['requests_per_s']:.1f} SNMP req/s, "
+                f"{result['busy_fraction'] * 100:.2f}% of time on queries",
+            )
+    if "graph_wall" in _results:
+        table.add_row(
+            "1x get_graph + distance matrix (8 hosts)",
+            f"{_results['graph_wall'] * 1e3:.1f} ms wall",
+        )
+        table.add_row(
+            f"{_results['flow_query_count']}x flow_info (O(n^2) alternative)",
+            f"{_results['flows_wall'] * 1e3:.1f} ms wall",
+        )
+    emit("\n" + table.render())

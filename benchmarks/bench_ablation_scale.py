@@ -1,0 +1,163 @@
+"""Ablation H — scaling behaviour (§5: "dealing with very large networks").
+
+"We are also looking into the problem of dealing with very large
+networks, where multiple collectors will have to collaborate."  We sweep
+the network size (balanced router trees with 8..64 hosts) and measure:
+
+* SNMP discovery cost (requests to map the topology),
+* per-sweep polling cost (requests per counter sweep),
+* wall time of one ``get_graph`` over all hosts + distance matrix,
+
+then show the multi-collector answer: two collectors each covering half
+of a 32-host network discover in parallel and merge, reducing
+time-to-ready versus one collector walking everything.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import Table
+from repro.collector import CollectorMaster, SNMPCollector
+from repro.core import Remos, Timeframe
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.snmp import SNMPAgent
+
+from benchmarks._experiments import emit
+
+_results: dict = {}
+
+
+def build_tree(n_hosts: int, hosts_per_router: int = 4):
+    """Balanced two-level tree: core router, leaf routers, hosts."""
+    builder = TopologyBuilder(f"tree{n_hosts}").router("core")
+    n_leaves = (n_hosts + hosts_per_router - 1) // hosts_per_router
+    hosts = []
+    for leaf in range(n_leaves):
+        router = f"leaf{leaf}"
+        builder.router(router)
+        builder.link(router, "core", "1Gbps", "0.5ms")
+        for slot in range(hosts_per_router):
+            index = leaf * hosts_per_router + slot
+            if index >= n_hosts:
+                break
+            host = f"h{index}"
+            hosts.append(host)
+            builder.host(host)
+            builder.link(host, router, "100Mbps", "0.1ms")
+    return builder.build(), hosts
+
+
+def scale_point(n_hosts: int) -> dict:
+    topology, hosts = build_tree(n_hosts)
+    env = Engine()
+    net = FluidNetwork(env, topology)
+    routers = [n.name for n in topology.network_nodes]
+    agents = {name: SNMPAgent(name, net) for name in routers}
+    collector = SNMPCollector(net, agents, poll_interval=2.0)
+    env.run(until=collector.start())
+    discovery_requests = collector.client.requests_sent
+    before_requests = collector.client.requests_sent
+    before_polls = collector.polls_completed
+    # Run until exactly one more full sweep has completed.
+    while collector.polls_completed == before_polls:
+        env.run(until=env.now + 0.5)
+    sweep_requests = collector.client.requests_sent - before_requests
+
+    remos = Remos(collector)
+    t0 = time.perf_counter()
+    graph = remos.get_graph(hosts, Timeframe.current())
+    graph.distance_matrix(hosts)
+    graph_wall = time.perf_counter() - t0
+    return {
+        "hosts": n_hosts,
+        "discovery_requests": discovery_requests,
+        "sweep_requests": sweep_requests,
+        "graph_wall_ms": graph_wall * 1e3,
+        "logical_nodes": len(graph.nodes),
+    }
+
+
+@pytest.mark.parametrize("n_hosts", [8, 16, 32, 64], ids=lambda n: f"hosts{n}")
+def test_scale_point(benchmark, n_hosts):
+    result = benchmark.pedantic(lambda: scale_point(n_hosts), rounds=1, iterations=1)
+    _results[n_hosts] = result
+    # Collection cost grows linearly-ish with interfaces, not explosively.
+    assert result["sweep_requests"] < 10 * n_hosts
+
+
+def test_costs_scale_linearly(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_results) < 4:
+        pytest.skip("scale points did not run")
+    small, large = _results[8], _results[64]
+    ratio = large["sweep_requests"] / small["sweep_requests"]
+    assert ratio < 12  # 8x hosts => ~8x sweeps, no quadratic blowup
+
+
+def test_two_collectors_split_the_work(benchmark):
+    """The §5 multi-collector idea, measured."""
+
+    def experiment():
+        topology, hosts = build_tree(32)
+        routers = [n.name for n in topology.network_nodes]
+        half = len(routers) // 2
+
+        # One collector walking everything.
+        env1 = Engine()
+        net1 = FluidNetwork(env1, topology)
+        agents1 = {name: SNMPAgent(name, net1) for name in routers}
+        solo = SNMPCollector(net1, agents1, poll_interval=2.0)
+        env1.run(until=solo.start())
+        solo_ready = env1.now
+
+        # Two collaborating collectors, each seeded into its half.  Agents
+        # outside a collector's domain are absent from its agent map, so
+        # discovery stops at the domain boundary.
+        env2 = Engine()
+        net2 = FluidNetwork(env2, topology)
+        domain_a = {name: SNMPAgent(name, net2) for name in routers[:half] + ["core"]}
+        domain_b = {name: SNMPAgent(name, net2) for name in routers[half:]}
+        collector_a = SNMPCollector(net2, domain_a, poll_interval=2.0)
+        collector_b = SNMPCollector(net2, domain_b, poll_interval=2.0)
+        master = CollectorMaster(env2, [collector_a, collector_b])
+        env2.run(until=master.start())
+        master_ready = env2.now
+        merged = master.view()
+        return solo_ready, master_ready, len(merged.topology.nodes)
+
+    solo_ready, master_ready, merged_nodes = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    _results["collab"] = (solo_ready, master_ready, merged_nodes)
+    # Parallel domains come up faster and the merge covers the whole net.
+    assert master_ready < solo_ready
+    assert merged_nodes >= 32
+
+
+def test_scale_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation H - scaling with network size (two-level router tree)",
+        ["Hosts", "discovery reqs", "reqs/sweep", "get_graph+matrix (ms)", "logical nodes"],
+    )
+    for n_hosts in (8, 16, 32, 64):
+        if n_hosts in _results:
+            r = _results[n_hosts]
+            table.add_row(
+                n_hosts, r["discovery_requests"], r["sweep_requests"],
+                f"{r['graph_wall_ms']:.1f}", r["logical_nodes"],
+            )
+    text = table.render()
+    if "collab" in _results:
+        solo_ready, master_ready, merged_nodes = _results["collab"]
+        text += (
+            f"\n32-host net, time-to-ready: one collector {solo_ready:.1f}s vs "
+            f"two collaborating collectors {master_ready:.1f}s "
+            f"(merged view: {merged_nodes} nodes)"
+        )
+    emit("\n" + text)

@@ -1,0 +1,113 @@
+"""Ablation D — internal-parameter adaptation: pipelined SOR depth (§6).
+
+"The adaptation parameter may be internal to the application.  For
+example, in [21] an adaptation module selects the optimal pipeline depth
+for a pipelined SOR application based on network and CPU performance."
+
+We sweep the pipeline depth on a low-latency LAN and a high-latency
+(WAN-ish) network, then let the DepthAdapter pick from Remos measurements
+— the adapted run must sit within a few percent of the best swept depth
+on both networks, with *different* chosen depths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapt import DepthAdapter
+from repro.apps import PipelinedSOR
+from repro.bench import Table, format_seconds
+from repro.collector import SNMPCollector
+from repro.core import Remos
+from repro.fx import FxRuntime
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.snmp import SNMPAgent
+from repro.util.units import parse_time
+
+from benchmarks._experiments import emit
+
+DEPTHS = [1, 2, 4, 8, 16, 32, 64]
+NETWORKS = {"LAN (0.1ms hops)": "0.1ms", "long-haul (20ms hops)": "20ms"}
+
+_results: dict = {}
+
+
+def build(latency: str):
+    env = Engine()
+    topo = (
+        TopologyBuilder()
+        .router("sw")
+        .hosts(["a", "b", "c", "d"], compute_speed=1e8)
+        .star("sw", ["a", "b", "c", "d"], "100Mbps", latency)
+        .build()
+    )
+    net = FluidNetwork(env, topo)
+    agents = {"sw": SNMPAgent("sw", net)}
+    collector = SNMPCollector(
+        net, agents, poll_interval=1.0, per_hop_latency=parse_time(latency)
+    )
+    env.run(until=collector.start())
+    return env, net, Remos(collector)
+
+
+def run_depth(latency: str, depth: int) -> float:
+    env, net, _ = build(latency)
+    runtime = FxRuntime(net)
+    program = PipelinedSOR(n=2048, sweeps=3, depth=depth)
+    report = env.run(until=runtime.launch(program, ["a", "b", "c", "d"]))
+    return report.elapsed
+
+
+def run_adapted(latency: str):
+    env, net, remos = build(latency)
+    adapter = DepthAdapter(remos=remos, check_seconds=0.0)
+    runtime = FxRuntime(net)
+    program = PipelinedSOR(n=2048, sweeps=3, depth=1)
+    report = env.run(
+        until=runtime.launch(program, ["a", "b", "c", "d"], adapt_hook=adapter.hook)
+    )
+    return report.elapsed, program.depth
+
+
+@pytest.mark.parametrize("label", list(NETWORKS), ids=["lan", "longhaul"])
+def test_depth_sweep_and_adaptation(benchmark, label):
+    latency = NETWORKS[label]
+
+    def experiment():
+        sweep = {depth: run_depth(latency, depth) for depth in DEPTHS}
+        adapted_time, chosen_depth = run_adapted(latency)
+        return sweep, adapted_time, chosen_depth
+
+    sweep, adapted_time, chosen_depth = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    _results[label] = (sweep, adapted_time, chosen_depth)
+    best_time = min(sweep.values())
+    # Remos-driven depth within 10% of the best swept depth.
+    assert adapted_time <= best_time * 1.10
+
+
+def test_depths_differ_across_networks(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_results) < 2:
+        pytest.skip("sweeps did not run")
+    lan_depth = _results["LAN (0.1ms hops)"][2]
+    wan_depth = _results["long-haul (20ms hops)"][2]
+    assert lan_depth > wan_depth  # latency pushes the optimum shallow
+
+
+def test_sor_depth_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation D - pipelined SOR: depth sweep vs Remos-adapted depth",
+        ["Network", *[f"d={d}" for d in DEPTHS], "adapted (depth)"],
+    )
+    for label, (sweep, adapted_time, chosen_depth) in _results.items():
+        table.add_row(
+            label,
+            *[format_seconds(sweep[d]) for d in DEPTHS],
+            f"{format_seconds(adapted_time)} (d={chosen_depth})",
+        )
+    emit("\n" + table.render())

@@ -1,0 +1,89 @@
+"""Figure 1 — the example network graph and its two interpretations.
+
+The paper reads the same 8-host, 2-router graph two ways: with fast
+routers the 10 Mbps access links bottleneck every host independently; with
+10 Mbps router crossbars each router caps its side's *aggregate* at
+10 Mbps (equivalent to two shared Ethernet segments).  This bench checks
+that Remos's simultaneous flow queries predict exactly what the simulator
+then delivers, in both interpretations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table
+from repro.collector import SNMPCollector
+from repro.core import Flow, Remos
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.snmp import SNMPAgent
+from repro.testbed import build_figure1_network
+
+from benchmarks._experiments import emit
+
+_results: dict = {}
+
+FLOWS = [(f"n{i}", f"n{i + 4}") for i in range(1, 5)]
+
+
+def run_interpretation(crossbar):
+    """Query Remos and then measure the simulator, for one reading."""
+    topo = build_figure1_network(crossbar)
+    env = Engine()
+    net = FluidNetwork(env, topo)
+    agents = {name: SNMPAgent(name, net) for name in ("A", "B")}
+    collector = SNMPCollector(net, agents, poll_interval=1.0)
+    env.run(until=collector.start())
+    remos = Remos(collector)
+
+    answer = remos.flow_info(variable_flows=[Flow(a, b) for a, b in FLOWS])
+    predicted = [ans.bandwidth.median for ans in answer.variable]
+
+    flows = [net.open_flow(a, b) for a, b in FLOWS]
+    env.run(until=env.now + 1.0)
+    delivered = [net.flow_rate(f) for f in flows]
+    return predicted, delivered
+
+
+@pytest.mark.parametrize(
+    "label,crossbar,per_flow_expected",
+    [
+        ("fast routers (>=100Mbps crossbar)", float("inf"), 10e6),
+        ("slow routers (10Mbps crossbar)", "10Mbps", 2.5e6),
+    ],
+    ids=["fast-routers", "slow-routers"],
+)
+def test_fig1_interpretation(benchmark, label, crossbar, per_flow_expected):
+    predicted, delivered = benchmark.pedantic(
+        lambda: run_interpretation(crossbar), rounds=1, iterations=1
+    )
+    _results[label] = (predicted, delivered)
+    for p, d in zip(predicted, delivered):
+        assert p == pytest.approx(per_flow_expected, rel=1e-6)
+        assert d == pytest.approx(per_flow_expected, rel=1e-6)
+    # Remos prediction equals simulator behaviour: same max-min model.
+    assert predicted == pytest.approx(delivered)
+
+
+def test_fig1_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Figure 1 - node internal bandwidth moves the bottleneck "
+        "(4 simultaneous flows n_i -> n_{i+4})",
+        ["Interpretation", "Remos per-flow (Mbps)", "Simulated per-flow (Mbps)",
+         "Aggregate (Mbps)", "Paper expectation"],
+    )
+    expectations = {
+        "fast routers (>=100Mbps crossbar)": "each host sends at its 10Mbps access rate",
+        "slow routers (10Mbps crossbar)": "aggregate per router capped at 10Mbps",
+    }
+    for label, (predicted, delivered) in _results.items():
+        table.add_row(
+            label,
+            f"{predicted[0] / 1e6:.2f}",
+            f"{delivered[0] / 1e6:.2f}",
+            f"{sum(delivered) / 1e6:.1f}",
+            expectations[label],
+        )
+    emit("\n" + table.render())

@@ -1,0 +1,79 @@
+"""Figure 4 — node selection on the testbed with busy communication links.
+
+The figure's exact scenario: synthetic traffic m-6 -> timberline ->
+whiteface -> m-8, start node m-4, and the clustering routine selects
+{m-1, m-2, m-4, m-5} — "one of the sets for which the application traffic
+does not interfere with the external traffic".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapt import select_nodes
+from repro.bench import Table
+from repro.core import Timeframe
+from repro.net import RoutingTable
+
+from benchmarks._experiments import CMU_HOSTS, TRAFFIC_M6_M8, emit
+
+_results: dict = {}
+
+
+def run_selection():
+    from repro.testbed import build_cmu_testbed
+
+    world = build_cmu_testbed(poll_interval=1.0)
+    scenario = TRAFFIC_M6_M8()
+    scenario.start(world.net)
+    remos = world.start_monitoring(warmup=10.0)
+    dynamic = select_nodes(remos, CMU_HOSTS, k=4, start="m-4")
+    static = select_nodes(
+        remos, CMU_HOSTS, k=4, start="m-4", timeframe=Timeframe.static()
+    )
+    route = RoutingTable(world.topology).route("m-6", "m-8")
+    return dynamic, static, route
+
+
+def test_fig4_selection(benchmark):
+    dynamic, static, route = benchmark.pedantic(run_selection, rounds=1, iterations=1)
+    _results.update(dynamic=dynamic, static=static, route=route)
+    # The traffic route is exactly the figure's.
+    assert route.node_sequence == ("m-6", "timberline", "whiteface", "m-8")
+    # The selected set is exactly the figure's.
+    assert set(dynamic.hosts) == {"m-1", "m-2", "m-4", "m-5"}
+    # No selected host shares a link with the external traffic.
+    loaded_links = {link.name for link in route.links}
+    from repro.testbed.cmu import build_cmu_topology
+
+    table = RoutingTable(build_cmu_topology())
+    for a in dynamic.hosts:
+        for b in dynamic.hosts:
+            if a != b:
+                app_route = table.route(a, b)
+                assert not loaded_links & {l.name for l in app_route.links}
+
+
+def test_fig4_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Figure 4 - selection of nodes with busy communication links",
+        ["Item", "Value", "Paper"],
+    )
+    if _results:
+        table.add_row(
+            "Traffic route", " -> ".join(_results["route"].node_sequence),
+            "m-6 -> timberline -> whiteface -> m-8",
+        )
+        table.add_row("Start node", "m-4", "m-4")
+        table.add_row(
+            "Selected (dynamic measurements)",
+            ", ".join(sorted(_results["dynamic"].hosts)),
+            "m-1, m-2, m-4, m-5",
+        )
+        table.add_row(
+            "Selected (static capacities only)",
+            ", ".join(sorted(_results["static"].hosts)),
+            "(would not avoid the busy links)",
+        )
+    emit("\n" + table.render())

@@ -1,0 +1,82 @@
+"""Table 1 — node selection in a static (idle) environment.
+
+Paper: "Performance of programs on nodes selected using Remos on our IP
+based testbed" — for each program, the Remos-selected node set against two
+representative alternatives, with percent increases.  The expected shape:
+the Remos set is generally (not always) fastest, and all differences are
+small, because on an idle testbed with uniform fast links node selection
+matters little.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table, format_seconds, percent_increase
+
+from benchmarks._experiments import emit, run_fixed, run_selected
+
+# (program, nodes k, paper Remos set+time, alternates with paper times)
+ROWS = [
+    ("FFT (512)", 2, ("m-4,5", 0.462), [("m-1,m-4", 0.468), ("m-4,m-8", 0.481)]),
+    ("FFT (512)", 4, ("m-4,5,6,7", 0.266), [("m-1,m-2,m-4,m-5", 0.287), ("m-1,m-4,m-6,m-7", 0.268)]),
+    ("FFT (1K)", 2, ("m-4,5", 2.63), [("m-1,m-4", 2.66), ("m-4,m-8", 2.68)]),
+    ("FFT (1K)", 4, ("m-4,5,6,7", 1.51), [("m-1,m-2,m-4,m-5", 1.62), ("m-1,m-4,m-6,m-7", 1.61)]),
+    ("Airshed", 3, ("m-4,5,6", 908.0), [("m-4,m-6,m-8", 907.0), ("m-1,m-4,m-7", 917.0)]),
+    ("Airshed", 5, ("m-4,5,6,7,8", 650.0), [("m-1,m-2,m-3,m-4,m-5", 647.0), ("m-1,m-2,m-4,m-5,m-7", 657.0)]),
+]
+
+_results: dict = {}
+
+
+def _row_id(program: str, k: int) -> str:
+    return f"{program}/{k}"
+
+
+@pytest.mark.parametrize("program,k,remos_paper,others", ROWS, ids=[_row_id(p, k) for p, k, _, _ in ROWS])
+def test_table1_row(benchmark, program, k, remos_paper, others):
+    """Measure the Remos-selected set and the paper's alternates."""
+
+    def experiment():
+        selected = run_selected(program, k=k, start="m-4")
+        alternates = [
+            run_fixed(program, alt_set.split(","))
+            for alt_set, _ in others
+        ]
+        return selected, alternates
+
+    selected, alternates = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _results[_row_id(program, k)] = (selected, alternates)
+    # The headline claim: differences on an idle network are small.
+    for alternate in alternates:
+        assert alternate.elapsed > 0
+        assert abs(percent_increase(selected.elapsed, alternate.elapsed)) < 25.0
+
+
+def test_table1_report(benchmark):
+    """Print the reproduced Table 1 next to the paper's numbers."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Table 1 - node selection, idle network (sim vs paper)",
+        [
+            "Program", "Nodes",
+            "Remos set (sim)", "t sim", "t paper",
+            "Alt set", "alt t sim", "alt %inc sim", "alt %inc paper",
+        ],
+    )
+    for program, k, (paper_set, paper_time), others in ROWS:
+        key = _row_id(program, k)
+        if key not in _results:
+            continue
+        selected, alternates = _results[key]
+        for (alt_set, alt_paper_time), alternate in zip(others, alternates):
+            paper_increase = percent_increase(paper_time, alt_paper_time)
+            sim_increase = percent_increase(selected.elapsed, alternate.elapsed)
+            table.add_row(
+                program, k,
+                ",".join(selected.hosts), format_seconds(selected.elapsed),
+                format_seconds(paper_time),
+                alt_set, format_seconds(alternate.elapsed),
+                f"{sim_increase:+.1f}%", f"{paper_increase:+.1f}%",
+            )
+    emit("\n" + table.render())

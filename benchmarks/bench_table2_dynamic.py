@@ -1,0 +1,88 @@
+"""Table 2 — node selection under external traffic.
+
+Paper: with a synthetic program loading m-6 -> m-8, programs placed by
+Remos's *dynamic* measurements avoid the busy links, while placement from
+*static* capacities alone lands on them and runs 79-194 % slower.  The
+no-traffic execution time is the baseline column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table, format_seconds, percent_increase
+from repro.core import Timeframe
+
+from benchmarks._experiments import TRAFFIC_M6_M8, emit, run_fixed, run_selected
+
+# (program, k, paper dynamic set+time, paper static set+time, paper no-traffic time)
+ROWS = [
+    ("FFT (512)", 2, ("m-4,5", 0.475), ("m-4,m-6", 1.40), 0.462),
+    ("FFT (512)", 4, ("m-1,2,4,5", 0.322), ("m-4,m-5,m-6,m-7", 0.893), 0.266),
+    ("FFT (1K)", 2, ("m-4,5", 2.68), ("m-4,m-6", 7.38), 2.63),
+    ("FFT (1K)", 4, ("m-1,2,4,5", 2.07), ("m-4,m-5,m-6,m-7", 3.71), 1.51),
+    ("Airshed", 3, ("m-1,4,5", 905.0), ("m-4,m-5,m-6", 2113.0), 908.0),
+    ("Airshed", 5, ("m-1,2,3,4,5", 674.0), ("m-4,m-5,m-6,m-7,m-8", 1726.0), 650.0),
+]
+
+_results: dict = {}
+
+
+def _row_id(program: str, k: int) -> str:
+    return f"{program}/{k}"
+
+
+@pytest.mark.parametrize(
+    "program,k,dynamic_paper,static_paper,paper_baseline",
+    ROWS,
+    ids=[_row_id(p, k) for p, k, _, _, _ in ROWS],
+)
+def test_table2_row(benchmark, program, k, dynamic_paper, static_paper, paper_baseline):
+    """Dynamic-measurement selection vs static placement, under traffic."""
+    static_hosts = static_paper[0].split(",")
+
+    def experiment():
+        dynamic = run_selected(program, k=k, start="m-4", scenario=TRAFFIC_M6_M8())
+        static = run_fixed(program, static_hosts, scenario=TRAFFIC_M6_M8())
+        baseline = run_fixed(program, dynamic.hosts)  # no traffic
+        return dynamic, static, baseline
+
+    dynamic, static, baseline = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _results[_row_id(program, k)] = (dynamic, static, baseline)
+
+    # The paper's headline shape: static placement is dramatically slower
+    # (79-194 % there; we require >50 %), dynamic placement degrades only
+    # marginally against the no-traffic baseline.
+    assert percent_increase(dynamic.elapsed, static.elapsed) > 50.0
+    assert dynamic.elapsed < baseline.elapsed * 1.35
+    # Selection avoided every host touching the loaded links.
+    assert not {"m-6", "m-7", "m-8"} & set(dynamic.hosts)
+
+
+def test_table2_report(benchmark):
+    """Print the reproduced Table 2 next to the paper's numbers."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Table 2 - node selection with external traffic m-6 -> m-8 (sim vs paper)",
+        [
+            "Program", "Nodes",
+            "Remos set (sim)", "t sim", "t paper",
+            "Static set", "t sim", "t paper",
+            "%inc sim", "%inc paper",
+            "no-traffic sim", "no-traffic paper",
+        ],
+    )
+    for program, k, (dyn_set, dyn_paper_t), (stat_set, stat_paper_t), paper_base in ROWS:
+        key = _row_id(program, k)
+        if key not in _results:
+            continue
+        dynamic, static, baseline = _results[key]
+        table.add_row(
+            program, k,
+            ",".join(dynamic.hosts), format_seconds(dynamic.elapsed), format_seconds(dyn_paper_t),
+            stat_set, format_seconds(static.elapsed), format_seconds(stat_paper_t),
+            f"{percent_increase(dynamic.elapsed, static.elapsed):+.0f}%",
+            f"{percent_increase(dyn_paper_t, stat_paper_t):+.0f}%",
+            format_seconds(baseline.elapsed), format_seconds(paper_base),
+        )
+    emit("\n" + table.render())

@@ -1,0 +1,98 @@
+"""Table 3 — runtime adaptation of Airshed.
+
+Paper: the adaptive Airshed (compiled for 8 nodes, executing on 5, able to
+migrate at every iteration boundary) against the fixed version, under four
+traffic patterns.  Expected shape: adaptation costs a moderate overhead
+when traffic is absent or non-interfering, and avoids the dramatic
+slowdowns the fixed version suffers under interfering traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table, format_seconds
+
+from benchmarks._experiments import TABLE3_SCENARIOS, emit, run_adaptive
+
+START_HOSTS = ["m-4", "m-5", "m-6", "m-7", "m-8"]
+
+# Paper Table 3 (seconds).
+PAPER = {
+    ("Fixed", "No Traffic"): 862.0,
+    ("Fixed", "Non-interfering"): 866.0,
+    ("Fixed", "Interfering-1"): 1680.0,
+    ("Fixed", "Interfering-2"): 1826.0,
+    ("Adaptive", "No Traffic"): 941.0,
+    ("Adaptive", "Non-interfering"): 974.0,
+    ("Adaptive", "Interfering-1"): 1045.0,
+    ("Adaptive", "Interfering-2"): 955.0,
+}
+
+_results: dict = {}
+
+
+@pytest.mark.parametrize("mode", ["Fixed", "Adaptive"])
+@pytest.mark.parametrize("pattern", list(TABLE3_SCENARIOS))
+def test_table3_cell(benchmark, mode, pattern):
+    """One cell of Table 3."""
+    make_scenario = TABLE3_SCENARIOS[pattern]
+
+    def experiment():
+        return run_adaptive(
+            scenario=make_scenario(),
+            start_hosts=START_HOSTS,
+            adaptive=(mode == "Adaptive"),
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _results[(mode, pattern)] = result
+    assert result.elapsed > 0
+
+
+def test_table3_shape(benchmark):
+    """The paper's conclusions hold across the grid."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_results) < 8:
+        pytest.skip("cell benchmarks did not all run")
+    fixed = {p: _results[("Fixed", p)].elapsed for p in TABLE3_SCENARIOS}
+    adaptive = {p: _results[("Adaptive", p)].elapsed for p in TABLE3_SCENARIOS}
+
+    # Adaptation overhead without interference is moderate (<25%).
+    assert adaptive["No Traffic"] < fixed["No Traffic"] * 1.25
+    # Non-interfering traffic leaves both versions essentially unharmed.
+    assert fixed["Non-interfering"] < fixed["No Traffic"] * 1.1
+    # Interfering traffic devastates the fixed version...
+    assert fixed["Interfering-1"] > fixed["No Traffic"] * 1.5
+    assert fixed["Interfering-2"] > fixed["No Traffic"] * 1.5
+    # ...but the adaptive version escapes (paper: 1045/955 vs 1680/1826).
+    assert adaptive["Interfering-1"] < fixed["Interfering-1"] * 0.75
+    assert adaptive["Interfering-2"] < fixed["Interfering-2"] * 0.75
+    # And the adaptive runs actually migrated under interference.
+    for pattern in ("Interfering-1", "Interfering-2"):
+        adaptation = _results[("Adaptive", pattern)].adaptation
+        assert adaptation is not None and adaptation.migrations >= 1
+
+
+def test_table3_report(benchmark):
+    """Print the reproduced Table 3 next to the paper's numbers."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Table 3 - adaptive vs fixed Airshed (compiled for 8, run on 5) (sim vs paper)",
+        ["Node set", "Pattern", "t sim", "t paper", "migrations"],
+    )
+    for mode in ("Fixed", "Adaptive"):
+        for pattern in TABLE3_SCENARIOS:
+            key = (mode, pattern)
+            if key not in _results:
+                continue
+            result = _results[key]
+            migrations = (
+                result.adaptation.migrations if result.adaptation is not None else 0
+            )
+            table.add_row(
+                mode, pattern,
+                format_seconds(result.elapsed), format_seconds(PAPER[key]),
+                migrations,
+            )
+    emit("\n" + table.render())

@@ -1,0 +1,30 @@
+"""Benchmark-suite plumbing: surface the paper-style result tables.
+
+pytest captures stdout at the file-descriptor level, so the experiment
+tables the report tests build would be invisible in a plain
+``pytest benchmarks/ --benchmark-only`` run.  This hook prints every
+registered table after capture ends and archives them under
+``benchmarks/results/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from benchmarks._experiments import REPORTS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REPORTS:
+        return
+    terminalreporter.section("reproduced paper tables/figures")
+    for text in REPORTS:
+        terminalreporter.write_line(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    path = RESULTS_DIR / f"report-{stamp}.txt"
+    path.write_text("\n\n".join(REPORTS) + "\n")
+    terminalreporter.write_line(f"\n[saved to {path}]")

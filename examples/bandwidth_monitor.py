@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Use Remos as a bandwidth monitor (the Collector/Modeler as a tool).
+
+A bursty on/off source loads one link.  We sample it through Remos with
+three timeframes — CURRENT, HISTORY and FUTURE — and print the quartile
+summaries, showing why the paper reports quartiles instead of mean and
+variance: on/off traffic is bimodal, and the quartile spread captures it.
+
+Run:  python examples/bandwidth_monitor.py
+"""
+
+from repro.core import Timeframe
+from repro.testbed import build_cmu_testbed
+from repro.traffic import OnOffSource
+from repro.util import format_bandwidth
+
+
+def main() -> None:
+    world = build_cmu_testbed(poll_interval=1.0)
+    # Bursty traffic m-1 -> m-4: 80 Mbps bursts, ~3s on, ~3s off.
+    OnOffSource(world.net, "m-1", "m-4", "80Mbps", mean_on=3.0, mean_off=3.0, rng=7)
+    remos = world.start_monitoring(warmup=120.0)  # two minutes of history
+
+    graph = remos.get_graph(["m-1", "m-4"], Timeframe.history(100.0))
+    edge = next(e for e in graph.edges if "m-1" in (e.a, e.b))
+
+    print("m-1's access link, direction m-1 -> aspen, under on/off traffic\n")
+    for label, timeframe in [
+        ("current (latest sample)", Timeframe.current()),
+        ("history (100s window)", Timeframe.history(100.0)),
+        ("future (EWMA prediction)", Timeframe.future(horizon=10.0, window=100.0)),
+        ("future (last-value)", Timeframe.future(horizon=10.0, predictor="last", window=100.0)),
+    ]:
+        g = remos.get_graph(["m-1", "m-4"], timeframe)
+        e = next(x for x in g.edges if "m-1" in (x.a, x.b))
+        available = e.available_from("m-1")
+        print(f"  {label:26s} available {available}")
+
+    history = remos.get_graph(["m-1", "m-4"], Timeframe.history(100.0))
+    available = next(x for x in history.edges if "m-1" in (x.a, x.b)).available_from("m-1")
+    print(
+        f"\nThe bimodal on/off pattern shows up as a wide interquartile range: "
+        f"IQR = {format_bandwidth(available.iqr)} "
+        f"(min {format_bandwidth(available.minimum)}, "
+        f"max {format_bandwidth(available.maximum)})."
+    )
+    print(
+        "A mean +/- variance summary would hide that the link alternates "
+        "between ~20 and ~100 Mbps of availability."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Function vs data shipping, decided by Remos queries (paper §2).
+
+"In some scenarios, a tradeoff is possible between performing a
+computation locally and performing the computation remotely, and such
+tradeoffs depend on the availability of network and compute capacity."
+
+A client (m-1) holds a 40 MB dataset and needs a 2 Gflop analysis.  A
+compute server (m-7) of equal nominal speed sits across the network.  The
+right choice depends on live conditions; the decision procedure asks
+Remos for:
+
+* the achievable bandwidth m-1 -> m-7 (flow query), and
+* both hosts' CPU load (node_info query),
+
+then compares   T_local = work / local_effective_speed   against
+T_remote = data / bandwidth + work / remote_effective_speed.
+
+Run:  python examples/function_shipping.py
+"""
+
+from repro.core import Flow, Timeframe
+from repro.netsim.hostload import ComputeLoad
+from repro.testbed import build_cmu_testbed
+from repro.traffic import TrafficScenario, TrafficSpec
+from repro.util import format_bandwidth, format_time
+
+DATA_BYTES = 40e6
+WORK_FLOPS = 2e9
+CLIENT, SERVER = "m-1", "m-7"
+
+
+def decide(remos, timeframe):
+    """The §2 cost model, fed entirely by Remos answers."""
+    flow = remos.flow_info(
+        variable_flows=[Flow(CLIENT, SERVER, name="ship")], timeframe=timeframe
+    ).answer("ship")
+    client = remos.node_info(CLIENT, timeframe)
+    server = remos.node_info(SERVER, timeframe)
+
+    t_local = WORK_FLOPS / client.effective_speed
+    bandwidth = max(flow.bandwidth.median, 1.0)
+    t_remote = DATA_BYTES * 8.0 / bandwidth + WORK_FLOPS / server.effective_speed
+
+    choice = "remote" if t_remote < t_local else "local"
+    print(f"  bandwidth {CLIENT}->{SERVER}: {format_bandwidth(bandwidth)}")
+    print(f"  client CPU available: {client.cpu_available.median * 100:.0f}%   "
+          f"server CPU available: {server.cpu_available.median * 100:.0f}%")
+    print(f"  T(local) = {format_time(t_local)}   T(remote) = {format_time(t_remote)}"
+          f"   -> run {choice.upper()}")
+    return choice
+
+
+def main() -> None:
+    world = build_cmu_testbed(poll_interval=1.0, monitor_hosts=True)
+    remos = world.start_monitoring(warmup=10.0)
+    timeframe = Timeframe.history(8.0)
+
+    print("scenario 1: idle network, idle hosts (remote pays only shipping)")
+    decide(remos, timeframe)
+
+    print("\nscenario 2: client CPU 90% busy with another job")
+    hog = ComputeLoad(world.net.host_activity, CLIENT, share=0.9)
+    world.settle(15.0)
+    decide(remos, timeframe)
+    hog.stop()
+
+    print("\nscenario 3: client busy AND the network path congested")
+    scenario = TrafficScenario(
+        "congestion",
+        [TrafficSpec("m-4", "m-7", kind="cbr", rate="95Mbps", weight=1000.0)],
+    )
+    hog2 = ComputeLoad(world.net.host_activity, CLIENT, share=0.9)
+    scenario.start(world.net)
+    world.settle(15.0)
+    decide(remos, timeframe)
+    scenario.stop()
+    hog2.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so legacy editable installs work in offline environments
+where the ``wheel`` package is unavailable (pip falls back to
+``setup.py develop`` with --no-use-pep517)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of Remos (HPDC 1998).
+
+Remos is a uniform, query-based API that lets network-aware applications
+obtain information about their network: flow-based bandwidth/latency
+queries with max-min fair sharing semantics, and logical-topology queries.
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` — discrete-event simulation kernel;
+* :mod:`repro.net` / :mod:`repro.traffic` / :mod:`repro.fairshare` /
+  :mod:`repro.netsim` — fluid-flow network simulator (the testbed substitute);
+* :mod:`repro.snmp` / :mod:`repro.collector` / :mod:`repro.stats` — the
+  Remos Collector side;
+* :mod:`repro.core` — the Remos Modeler and public query API
+  (the paper's contribution);
+* :mod:`repro.fx` / :mod:`repro.apps` / :mod:`repro.adapt` — the Fx-like
+  parallel runtime, applications, and the clustering/adaptation layer used
+  in the paper's evaluation;
+* :mod:`repro.testbed` — the CMU testbed and the paper's figure networks.
+
+Quickstart::
+
+    from repro.testbed import build_cmu_testbed
+    from repro.core import Remos, Flow, Timeframe
+
+    world = build_cmu_testbed()
+    remos = world.make_remos()
+    graph = remos.get_graph(["m-1", "m-4"], Timeframe.current())
+    answer = remos.flow_info(variable_flows=[Flow("m-1", "m-4")])
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,48 @@
+"""Network-aware adaptation: clustering, node selection, runtime migration.
+
+The paper's usage framework (§7) is a tool-chain of Remos + the Fx runtime
++ "a clustering module".  This package provides:
+
+* :func:`greedy_cluster` — the paper's heuristic: start from a given node,
+  repeatedly add the node with the shortest distance to the cluster;
+* :func:`optimal_cluster` — exhaustive search (the problem is NP-hard in
+  general; exact answers for small pools calibrate the heuristic);
+* :func:`select_nodes` — the full §7.3 pipeline: ``remos_get_graph`` →
+  distance matrix → clustering;
+* :class:`AdaptationModule` — the runtime adaptation hook: re-select nodes
+  at migration points, migrate when the predicted improvement beats a
+  threshold, optionally correcting for the application's *own* traffic
+  (§8.3's "inherent fallacy" of migrating away from yourself).
+"""
+
+from repro.adapt.clustering import (
+    cluster_cost,
+    greedy_cluster,
+    greedy_cluster_best_start,
+    optimal_cluster,
+)
+from repro.adapt.distance import communication_distances
+from repro.adapt.selection import (
+    minimum_nodes,
+    select_nodes,
+    select_nodes_compute_aware,
+    select_nodes_for_program,
+)
+from repro.adapt.policies import MigrationPolicy
+from repro.adapt.adaptation import AdaptationModule
+from repro.adapt.depth import DepthAdapter
+
+__all__ = [
+    "greedy_cluster",
+    "greedy_cluster_best_start",
+    "optimal_cluster",
+    "cluster_cost",
+    "communication_distances",
+    "select_nodes",
+    "select_nodes_for_program",
+    "minimum_nodes",
+    "select_nodes_compute_aware",
+    "MigrationPolicy",
+    "AdaptationModule",
+    "DepthAdapter",
+]

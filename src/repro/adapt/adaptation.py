@@ -1,0 +1,95 @@
+"""The runtime adaptation module.
+
+"When the adaptation module is invoked, it checks if Remos is active ...
+calls a Remos routine to obtain the logical topology of the relevant graph
+... The communication distance matrix, the number of nodes required ...
+are the inputs to the clustering routine ... if the potential improvement
+is above a specified threshold, the application is migrated" (§7.3).
+
+An :class:`AdaptationModule` packages that loop as an Fx adaptation hook.
+Costs are explicit: every check charges ``check_seconds`` (the Remos query
++ clustering time — the first overhead the paper identifies in §8.3), and
+every actual migration charges ``migration_seconds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adapt.clustering import cluster_cost, greedy_cluster_best_start
+from repro.adapt.distance import communication_distances, own_traffic_loads
+from repro.adapt.policies import MigrationPolicy
+from repro.core import Remos, Timeframe
+from repro.fx.program import FxProgram
+from repro.fx.runtime import FxRuntime
+
+
+@dataclass
+class AdaptationModule:
+    """Re-selects nodes at migration points and migrates when worthwhile."""
+
+    remos: Remos
+    pool: list[str]
+    policy: MigrationPolicy = field(default_factory=MigrationPolicy)
+    timeframe: Timeframe | None = None
+    check_seconds: float = 3.0
+    migration_seconds: float = 0.5
+    checks: int = 0
+    migrations: int = 0
+
+    def hook(self, runtime: FxRuntime, program: FxProgram, index: int):
+        """The adaptation hook to pass to :meth:`FxRuntime.launch`."""
+        if index == 0 or index % self.policy.check_every != 0:
+            return  # first mapping comes from start-up selection
+            yield  # pragma: no cover - generator marker
+        self.checks += 1
+        yield from runtime.charge_adaptation(self.check_seconds)
+        decision = self._decide(runtime, program)
+        if decision is not None:
+            runtime.remap(decision, iteration=index)
+            self.migrations += 1
+            yield from runtime.charge_adaptation(self.migration_seconds)
+
+    def _decide(self, runtime: FxRuntime, program: FxProgram) -> list[str] | None:
+        timeframe = self.timeframe or Timeframe.current()
+        graph = self.remos.get_graph(list(self.pool), timeframe)
+        current = list(runtime.mapping.hosts)
+
+        own_loads = None
+        if self.policy.correct_own_traffic:
+            own_loads = own_traffic_loads(
+                graph, current, pair_rate=self._own_pair_rate(runtime, program)
+            )
+
+        names, matrix = communication_distances(
+            graph, list(self.pool), own_loads=own_loads
+        )
+        candidate = greedy_cluster_best_start(names, matrix, runtime.mapping.size)
+        current_cost = cluster_cost(names, matrix, current)
+        candidate_cost = cluster_cost(names, matrix, candidate)
+        if set(candidate) == set(current):
+            return None
+        if self.policy.should_migrate(current_cost, candidate_cost):
+            return candidate
+        return None
+
+    @staticmethod
+    def _own_pair_rate(runtime: FxRuntime, program: FxProgram) -> float:
+        """Estimate the app's own per-ordered-pair traffic rate (bits/s).
+
+        Derived from the program's declared communication pattern and the
+        last measured iteration time — exactly the information the paper
+        says the application has about itself.
+        """
+        report = runtime.report
+        if not report.iteration_times:
+            return 0.0
+        iteration_time = report.iteration_times[-1]
+        if iteration_time <= 0:
+            return 0.0
+        total_bytes = sum(
+            p.bytes_per_iteration for p in program.communication_pattern()
+        )
+        size = runtime.mapping.size
+        ordered_pairs = max(1, size * (size - 1))
+        return total_bytes * 8.0 / iteration_time / ordered_pairs

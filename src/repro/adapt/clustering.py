@@ -1,0 +1,115 @@
+"""Clustering over a communication-distance matrix.
+
+"The application provides an initial start node ... Next, the node with
+the shortest distance to the existing nodes in the cluster is determined
+and added to the cluster ... until the cluster contains the number of
+nodes needed for execution" (§7.2).  Distances come from
+:func:`repro.adapt.distance.communication_distances`.
+
+Exact optimal clustering "is equivalent to a k-clique problem which is
+known to be NP-hard" (§7.2 fn.); :func:`optimal_cluster` does the
+exhaustive search anyway for the small pools of the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def _index_of(names: list[str], name: str) -> int:
+    try:
+        return names.index(name)
+    except ValueError:
+        raise ConfigurationError(f"node {name!r} not in candidate pool {names}") from None
+
+
+def cluster_cost(names: list[str], matrix: np.ndarray, cluster: list[str]) -> float:
+    """Total pairwise distance within *cluster* — lower is better.
+
+    The sum over unordered pairs matches all-to-all-style communication,
+    which dominates both evaluation applications.
+    """
+    indices = [_index_of(names, name) for name in cluster]
+    total = 0.0
+    for a, b in itertools.combinations(indices, 2):
+        total += matrix[a, b]
+    return float(total)
+
+
+def greedy_cluster(
+    names: list[str], matrix: np.ndarray, start: str, k: int
+) -> list[str]:
+    """The paper's greedy heuristic (§7.2).
+
+    Deterministic: ties are broken by pool order, which is how the paper's
+    fixed node numbering behaves.
+    """
+    if not 1 <= k <= len(names):
+        raise ConfigurationError(f"cluster size {k} out of range 1..{len(names)}")
+    if matrix.shape != (len(names), len(names)):
+        raise ConfigurationError("distance matrix shape does not match names")
+    cluster = [start]
+    chosen = {_index_of(names, start)}
+    while len(cluster) < k:
+        best_index = None
+        best_distance = float("inf")
+        for candidate in range(len(names)):
+            if candidate in chosen:
+                continue
+            distance = sum(matrix[candidate, member] for member in chosen)
+            if distance < best_distance - 1e-15:
+                best_distance = distance
+                best_index = candidate
+        assert best_index is not None
+        chosen.add(best_index)
+        cluster.append(names[best_index])
+    return cluster
+
+
+def greedy_cluster_best_start(
+    names: list[str], matrix: np.ndarray, k: int
+) -> list[str]:
+    """Greedy clustering tried from every start node; best cluster wins.
+
+    Used by runtime adaptation, where no start node is pinned and the
+    program should land "on the part of the network with the least amount
+    of traffic" (§8.3).
+    """
+    best: list[str] | None = None
+    best_cost = float("inf")
+    for start in names:
+        cluster = greedy_cluster(names, matrix, start, k)
+        cost = cluster_cost(names, matrix, cluster)
+        if cost < best_cost - 1e-15:
+            best_cost = cost
+            best = cluster
+    assert best is not None
+    return best
+
+
+def optimal_cluster(
+    names: list[str], matrix: np.ndarray, k: int, start: str | None = None
+) -> list[str]:
+    """Exhaustive minimum-total-distance cluster (exponential; small pools).
+
+    With *start* given, only clusters containing it are considered.
+    """
+    if not 1 <= k <= len(names):
+        raise ConfigurationError(f"cluster size {k} out of range 1..{len(names)}")
+    candidates = list(names)
+    best: tuple[str, ...] | None = None
+    best_cost = float("inf")
+    for combo in itertools.combinations(candidates, k):
+        if start is not None and start not in combo:
+            continue
+        cost = cluster_cost(names, matrix, list(combo))
+        if cost < best_cost - 1e-15:
+            best_cost = cost
+            best = combo
+    if best is None:
+        raise ConfigurationError(f"no cluster of size {k} contains {start!r}")
+    return list(best)

@@ -1,0 +1,63 @@
+"""Adapting an application-internal parameter from Remos measurements.
+
+§6: adaptation parameters "may be internal to the application.  For
+example, in [21] an adaptation module selects the optimal pipeline depth
+for a pipelined SOR application based on network and CPU performance."
+
+The :class:`DepthAdapter` is that module: at each migration point it asks
+Remos for the bandwidth and latency between the mapped nodes, plugs them
+into the SOR cost model, and resets the program's depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.sor import PipelinedSOR, optimal_depth
+from repro.core import Remos, Timeframe
+from repro.fx.runtime import FxRuntime
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class DepthAdapter:
+    """Tunes a :class:`PipelinedSOR`'s pipeline depth from live Remos data."""
+
+    remos: Remos
+    timeframe: Timeframe | None = None
+    check_seconds: float = 0.2
+    adjustments: int = 0
+
+    def hook(self, runtime: FxRuntime, program, index: int):
+        """Adaptation hook for :meth:`FxRuntime.launch`."""
+        if not isinstance(program, PipelinedSOR):
+            raise ConfigurationError("DepthAdapter only adapts PipelinedSOR programs")
+        yield from runtime.charge_adaptation(self.check_seconds)
+        depth = self.recommend(runtime, program)
+        if depth != program.depth:
+            program.depth = depth
+            self.adjustments += 1
+
+    def recommend(self, runtime: FxRuntime, program: PipelinedSOR) -> int:
+        """The depth the current network conditions call for."""
+        hosts = list(runtime.mapping.hosts)
+        if len(hosts) < 2:
+            return 1
+        timeframe = self.timeframe or Timeframe.current()
+        graph = self.remos.get_graph(hosts, timeframe)
+        # The pipeline's neighbour links: take the worst (bandwidth) and
+        # the typical (latency) over successive pairs.
+        bandwidth = float("inf")
+        latency = 0.0
+        for a, b in zip(hosts, hosts[1:]):
+            bandwidth = min(bandwidth, graph.path_available(a, b).median)
+            latency = max(latency, graph.path_latency(a, b))
+        topology = runtime.net.topology
+        compute_speed = min(topology.node(h).compute_speed for h in hosts)
+        return optimal_depth(
+            n=program.n,
+            size=len(hosts),
+            compute_speed=compute_speed,
+            bandwidth=max(bandwidth, 1.0),
+            latency=latency,
+        )

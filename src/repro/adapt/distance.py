@@ -1,0 +1,108 @@
+"""Communication distances between candidate hosts.
+
+Following §7.3: "The logical topology graph is used to compute a matrix
+representing distance between all pairs of nodes.  For our testbed, the
+distance is based only on bandwidth since latency between any pair of
+nodes is virtually the same."  Distance is the reciprocal of the bottleneck
+available bandwidth on the logical route (symmetrised by taking the worse
+direction, since collective patterns use both).
+
+The *own-traffic correction* (§8.3): Remos "does not distinguish between
+different types or sources of traffic", so a running application sees its
+own flows as congestion and would "migrate to avoid its own traffic, which
+is clearly a decision based on an inherent fallacy".  The fix the paper
+prescribes — "the application knows how much communication traffic it
+generates and factors that into making migration decisions" — is
+implemented by adding the application's estimated per-direction load back
+onto the logical links its current mapping uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import RemosGraph
+from repro.util.errors import ConfigurationError
+
+
+def own_traffic_loads(
+    graph: RemosGraph,
+    active_hosts: list[str],
+    pair_rate: float,
+) -> dict[tuple[str, str], float]:
+    """Estimated per-(edge, direction) load from the app's own flows.
+
+    Assumes the all-to-all-dominated patterns of the evaluation apps: each
+    ordered pair of active hosts carries *pair_rate* bits/s.  Returns
+    {(edge name, from node): bits/s}.
+    """
+    loads: dict[tuple[str, str], float] = {}
+    for src in active_hosts:
+        for dst in active_hosts:
+            if src == dst or not (graph.has_node(src) and graph.has_node(dst)):
+                continue
+            for edge, from_node in graph.path_edges(src, dst):
+                key = (edge.name, from_node)
+                loads[key] = loads.get(key, 0.0) + pair_rate
+    return loads
+
+
+# Weight converting path latency (seconds) into distance units (1/bits/s).
+# Chosen so bandwidth dominates — a 10x bandwidth drop on a 100 Mbps link
+# changes distance by 9e-8 while an extra 2 x 0.5 ms router hop adds only
+# 1e-9 — yet hop count still breaks bandwidth ties, which is how the paper's
+# selection prefers m-5 (same router as m-4) over equally-idle aspen hosts.
+LATENCY_WEIGHT = 1e-6
+
+
+def communication_distances(
+    graph: RemosGraph,
+    hosts: list[str],
+    quantile: str = "median",
+    own_loads: dict[tuple[str, str], float] | None = None,
+    latency_weight: float = LATENCY_WEIGHT,
+) -> tuple[list[str], np.ndarray]:
+    """All-pairs symmetric distance matrix over *hosts*.
+
+    Distance = 1 / bottleneck-available-bandwidth + latency_weight x path
+    latency; the latency term is a secondary criterion (set it to 0 for the
+    paper's pure-bandwidth testbed variant).  ``own_loads`` (from
+    :func:`own_traffic_loads`) is credited back to the availability of the
+    edges it covers, so an application does not flee its own traffic.
+    """
+    for host in hosts:
+        if not graph.has_node(host):
+            raise ConfigurationError(f"host {host!r} not in the logical graph")
+    own_loads = own_loads or {}
+    size = len(hosts)
+    matrix = np.zeros((size, size))
+    for i, src in enumerate(hosts):
+        for j, dst in enumerate(hosts):
+            if j <= i:
+                continue
+            worst = float("inf")
+            for a, b in ((src, dst), (dst, src)):
+                available = _path_available_corrected(graph, a, b, quantile, own_loads)
+                worst = min(worst, available)
+            distance = 1.0 / max(worst, 1.0)
+            distance += latency_weight * graph.path_latency(src, dst)
+            matrix[i, j] = distance
+            matrix[j, i] = distance
+    return list(hosts), matrix
+
+
+def _path_available_corrected(
+    graph: RemosGraph,
+    src: str,
+    dst: str,
+    quantile: str,
+    own_loads: dict[tuple[str, str], float],
+) -> float:
+    bottleneck = float("inf")
+    for edge, from_node in graph.path_edges(src, dst):
+        available = getattr(edge.available_from(from_node), quantile)
+        credit = own_loads.get((edge.name, from_node), 0.0)
+        # Adding the credit cannot exceed the physical capacity.
+        corrected = min(edge.capacity, available + credit)
+        bottleneck = min(bottleneck, corrected)
+    return bottleneck

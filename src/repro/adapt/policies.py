@@ -1,0 +1,42 @@
+"""Migration decision policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """When should a running program move?
+
+    Attributes
+    ----------
+    threshold:
+        Minimum *relative* improvement in expected communication cost
+        before migrating (0.0 reproduces the paper's "migration was done
+        whenever the potential improvement was positive", with its
+        oscillation problems; the ablation sweeps this).
+    correct_own_traffic:
+        Apply the §8.3 self-traffic correction before comparing clusters.
+    check_every:
+        Consider adaptation at every n-th migration point.
+    """
+
+    threshold: float = 0.0
+    correct_own_traffic: bool = True
+    check_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ConfigurationError("threshold must be non-negative")
+        if self.check_every < 1:
+            raise ConfigurationError("check_every must be >= 1")
+
+    def should_migrate(self, current_cost: float, candidate_cost: float) -> bool:
+        """True when the candidate beats the incumbent by the threshold."""
+        if current_cost <= 0:
+            return False
+        improvement = (current_cost - candidate_cost) / current_cost
+        return improvement > self.threshold

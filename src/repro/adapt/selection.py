@@ -1,0 +1,120 @@
+"""Start-up node selection: the §7.3 pipeline in one call.
+
+1. ``remos_get_graph`` over the candidate pool;
+2. distance matrix from the logical topology;
+3. greedy clustering from the application's start node.
+
+:func:`minimum_nodes` and :func:`select_nodes_for_program` add the §2
+node-count constraint: enough hosts that the program's data fits in their
+physical memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adapt.clustering import cluster_cost, greedy_cluster
+from repro.adapt.distance import communication_distances
+from repro.core import Remos, Timeframe
+from repro.net import Topology
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """A selected cluster plus its expected-communication score."""
+
+    hosts: list[str]
+    cost: float
+    """Total pairwise distance (lower = better connectivity)."""
+
+
+def select_nodes(
+    remos: Remos,
+    pool: list[str],
+    k: int,
+    start: str,
+    timeframe: Timeframe | None = None,
+    quantile: str = "median",
+) -> SelectionResult:
+    """Pick *k* well-connected hosts from *pool*, starting at *start*.
+
+    With ``timeframe=Timeframe.static()`` this is the naive selection of
+    Table 2's comparison column (physical capacities only); the default
+    CURRENT timeframe uses live measurements.
+    """
+    timeframe = timeframe or Timeframe.current()
+    graph = remos.get_graph(list(pool), timeframe)
+    names, matrix = communication_distances(graph, list(pool), quantile=quantile)
+    cluster = greedy_cluster(names, matrix, start, k)
+    return SelectionResult(hosts=cluster, cost=cluster_cost(names, matrix, cluster))
+
+
+def select_nodes_compute_aware(
+    remos: Remos,
+    pool: list[str],
+    k: int,
+    start: str,
+    timeframe: Timeframe | None = None,
+    compute_penalty: float = 1e-7,
+) -> SelectionResult:
+    """Node selection considering CPU load as well as connectivity.
+
+    §7.2 flags this as future work ("tradeoffs between computation and
+    communication resources would have to be considered for clustering");
+    this variant implements the natural heuristic: each candidate's
+    distances are inflated by ``compute_penalty x median CPU load``, so a
+    50 %-loaded host is as unattractive as a host behind a ~20 Mbps link
+    at the default weight.  Requires host monitoring (CPU series); hosts
+    without measurements count as idle.
+    """
+    timeframe = timeframe or Timeframe.current()
+    graph = remos.get_graph(list(pool), timeframe)
+    names, matrix = communication_distances(graph, list(pool), quantile="median")
+    modeler = remos._modeler()
+    for index, host in enumerate(names):
+        load = modeler.cpu_load(host, timeframe).median
+        penalty = compute_penalty * load
+        matrix[index, :] += penalty
+        matrix[:, index] += penalty
+        matrix[index, index] = 0.0
+    cluster = greedy_cluster(names, matrix, start, k)
+    return SelectionResult(hosts=cluster, cost=cluster_cost(names, matrix, cluster))
+
+
+def minimum_nodes(program, topology: Topology, pool: list[str]) -> int:
+    """Fewest hosts on which *program*'s data fits in physical memory (§2).
+
+    Conservative: sized against the smallest memory in the pool, and never
+    below the program's own ``required_nodes``.
+    """
+    if not pool:
+        raise ConfigurationError("empty candidate pool")
+    smallest_memory = min(topology.node(host).memory_bytes for host in pool)
+    floor = max(1, program.required_nodes())
+    for size in range(floor, len(pool) + 1):
+        if program.memory_bytes_per_rank(size) <= smallest_memory:
+            return size
+    raise ConfigurationError(
+        f"{program.name}: data does not fit even on all {len(pool)} pool hosts"
+    )
+
+
+def select_nodes_for_program(
+    remos: Remos,
+    pool: list[str],
+    program,
+    start: str,
+    extra_nodes: int = 0,
+    timeframe: Timeframe | None = None,
+) -> SelectionResult:
+    """§2's full placement question: how many nodes, and which ones.
+
+    The node count is the memory-driven minimum plus *extra_nodes* (for
+    callers who want compute headroom beyond feasibility); the node
+    identities come from :func:`select_nodes`.
+    """
+    topology = remos._modeler().view.topology
+    k = minimum_nodes(program, topology, pool) + extra_nodes
+    k = min(k, len(pool))
+    return select_nodes(remos, pool, k=k, start=start, timeframe=timeframe)

@@ -1,0 +1,28 @@
+"""The paper's evaluation applications, as Fx program models.
+
+* :class:`FFT2D` — the two-dimensional FFT: independent row FFTs, a
+  transpose (all-to-all), independent column FFTs (§8);
+* :class:`Airshed` — the pollution model's computation/communication
+  shape: per simulated hour, transport with boundary exchanges, two grid
+  redistributions, heavy chemistry, and a gather to the root (§8, [23]);
+* :class:`SyntheticApp` — a parameterised compute/communicate loop for
+  ablations and tests.
+
+The *numerics* are not simulated — the evaluation depends on the
+compute/communication ratio and the communication pattern, which these
+models preserve (see ``repro.bench.calibration`` for the constants).
+"""
+
+from repro.apps.fft2d import FFT2D
+from repro.apps.airshed import Airshed
+from repro.apps.synthetic import SyntheticApp
+from repro.apps.sor import PipelinedSOR, optimal_depth, sweep_time_estimate
+
+__all__ = [
+    "FFT2D",
+    "Airshed",
+    "SyntheticApp",
+    "PipelinedSOR",
+    "optimal_depth",
+    "sweep_time_estimate",
+]

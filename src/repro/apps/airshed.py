@@ -1,0 +1,84 @@
+"""The Airshed pollution model's computation/communication shape.
+
+"Airshed contains a rich set of computation and communication operations,
+as it simulates diverse chemical and physical phenomena" (§8; Subhlok et
+al. [23]).  Each outer iteration (a simulated hour) runs:
+
+1. **transport** — parallel compute plus a boundary ring exchange
+   (stencil-style advection);
+2. **redistribute** — all-to-all: the grid moves from the horizontal
+   decomposition used by transport to the column decomposition used by
+   chemistry;
+3. **chemistry** — the dominant, embarrassingly parallel computation;
+4. **redistribute back** — second all-to-all;
+5. **collect** — concentrations gathered to rank 0, plus serial I/O and
+   coordination work there.
+
+Constants live in :class:`~repro.bench.calibration.Calibration`; they are
+solved from the paper's anchor measurements (see that module's docstring).
+"""
+
+from __future__ import annotations
+
+from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.fx.program import CommPattern, FxProgram, ProgramContext
+from repro.util.errors import ConfigurationError
+
+
+class Airshed(FxProgram):
+    """Airshed pollution modelling (cost model)."""
+
+    def __init__(
+        self,
+        hours: int | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        compiled_for: int | None = None,
+    ):
+        self.calibration = calibration
+        self.iterations = hours if hours is not None else calibration.airshed_iterations
+        if self.iterations < 1:
+            raise ConfigurationError("Airshed needs at least one iteration")
+        self.name = "Airshed"
+        self.compiled_for = compiled_for
+        # Split the parallel work: transport is ~1/4, chemistry ~3/4 of the
+        # per-iteration parallel flops (chemistry dominates in Airshed).
+        per_iteration = calibration.airshed_parallel_flops / self.iterations
+        self._transport_flops = 0.25 * per_iteration
+        self._chemistry_flops = 0.75 * per_iteration
+        self._serial_flops = calibration.airshed_serial_flops / self.iterations
+
+    def _redistribution_bytes_per_pair(self, size: int) -> float:
+        return self.calibration.airshed_grid_bytes / (size * size)
+
+    def iteration(self, ctx: ProgramContext, index: int):
+        """One simulated hour."""
+        cal = self.calibration
+        # 1. transport + boundary exchange
+        yield from ctx.compute(self._transport_flops / ctx.size)
+        yield from ctx.comm.ring_exchange(cal.airshed_boundary_bytes / ctx.size)
+        # 2. redistribute to chemistry decomposition
+        yield from ctx.comm.all_to_all(self._redistribution_bytes_per_pair(ctx.size))
+        # 3. chemistry
+        yield from ctx.compute(self._chemistry_flops / ctx.size)
+        # 4. redistribute back
+        yield from ctx.comm.all_to_all(self._redistribution_bytes_per_pair(ctx.size))
+        # 5. collect + serial work at the root
+        yield from ctx.comm.gather(0, cal.airshed_gather_bytes / ctx.size)
+        yield from ctx.serial_compute(self._serial_flops)
+
+    def communication_pattern(self) -> list[CommPattern]:
+        """Two grid redistributions dominate; boundary + gather are minor."""
+        cal = self.calibration
+        return [
+            CommPattern(kind="all_to_all", bytes_per_iteration=2 * cal.airshed_grid_bytes),
+            CommPattern(kind="ring_exchange", bytes_per_iteration=cal.airshed_boundary_bytes),
+            CommPattern(kind="gather", bytes_per_iteration=cal.airshed_gather_bytes),
+        ]
+
+    def required_nodes(self) -> int:
+        """Grid slices of ~90MB must fit in 256MB hosts: >= 2 nodes."""
+        return 2
+
+    def memory_bytes_per_rank(self, size: int) -> float:
+        """Two decompositions of the grid live simultaneously per rank."""
+        return 2.0 * self.calibration.airshed_grid_bytes / size

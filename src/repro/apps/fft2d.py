@@ -1,0 +1,71 @@
+"""Two-dimensional FFT, the paper's first benchmark program.
+
+"The FFT program performs a two dimensional FFT, which is parallelized
+such that it consists of a set of independent 1 dimensional row FFTs,
+followed by a transpose, and a set of independent 1 dimensional column
+FFTs" (§8).
+
+Cost model for an N x N complex-double grid on P ranks:
+
+* row phase — each rank transforms N/P rows: ``5 N log2 N`` flops per row;
+* transpose — every rank exchanges the off-diagonal blocks: N^2/P^2
+  elements (16 bytes each) per rank pair, all pairs simultaneously;
+* column phase — same as the row phase.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.fx.program import CommPattern, FxProgram, ProgramContext
+from repro.util.errors import ConfigurationError
+
+
+class FFT2D(FxProgram):
+    """A 2-D FFT of size n x n, optionally repeated (frames)."""
+
+    def __init__(
+        self,
+        n: int = 512,
+        frames: int = 1,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        compiled_for: int | None = None,
+    ):
+        if n < 2 or (n & (n - 1)) != 0:
+            raise ConfigurationError(f"FFT size must be a power of two >= 2, got {n}")
+        if frames < 1:
+            raise ConfigurationError("frames must be >= 1")
+        self.n = n
+        self.calibration = calibration
+        self.name = f"FFT({n})"
+        self.iterations = frames
+        self.compiled_for = compiled_for
+
+    # -- cost helpers -----------------------------------------------------------
+
+    def _phase_flops_per_rank(self, size: int) -> float:
+        rows_per_rank = self.n / size
+        per_row = self.calibration.fft_flops_per_point * self.n * math.log2(self.n)
+        return rows_per_rank * per_row
+
+    def _transpose_bytes_per_pair(self, size: int) -> float:
+        return self.n * self.n * self.calibration.fft_element_bytes / (size * size)
+
+    def iteration(self, ctx: ProgramContext, index: int):
+        """Row FFTs, transpose, column FFTs."""
+        yield from ctx.compute(self._phase_flops_per_rank(ctx.size))
+        yield from ctx.comm.all_to_all(self._transpose_bytes_per_pair(ctx.size))
+        yield from ctx.compute(self._phase_flops_per_rank(ctx.size))
+
+    def communication_pattern(self) -> list[CommPattern]:
+        """One all-to-all of the full grid per iteration."""
+        total = self.n * self.n * self.calibration.fft_element_bytes
+        return [CommPattern(kind="all_to_all", bytes_per_iteration=total)]
+
+    def required_nodes(self) -> int:
+        return 1
+
+    def memory_bytes_per_rank(self, size: int) -> float:
+        """Working set per rank — input slab plus transpose buffer."""
+        return 2 * self.n * self.n * self.calibration.fft_element_bytes / size

@@ -1,0 +1,47 @@
+"""A parameterised compute/communicate loop for ablations and tests."""
+
+from __future__ import annotations
+
+from repro.fx.program import CommPattern, FxProgram, ProgramContext
+from repro.util.errors import ConfigurationError
+
+
+class SyntheticApp(FxProgram):
+    """Alternates a compute phase and one collective, *iterations* times.
+
+    Useful for sweeping the compute/communication ratio in ablation
+    benchmarks without the application-specific constants of FFT/Airshed.
+    """
+
+    def __init__(
+        self,
+        flops_per_rank: float = 1e8,
+        comm_bytes: float = 1e6,
+        pattern: str = "all_to_all",
+        iterations: int = 10,
+        compiled_for: int | None = None,
+    ):
+        if pattern not in ("all_to_all", "ring_exchange", "allreduce", "broadcast"):
+            raise ConfigurationError(f"unknown pattern {pattern!r}")
+        if iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        self.flops_per_rank = flops_per_rank
+        self.comm_bytes = comm_bytes
+        self.pattern = pattern
+        self.iterations = iterations
+        self.compiled_for = compiled_for
+        self.name = f"synthetic({pattern})"
+
+    def iteration(self, ctx: ProgramContext, index: int):
+        yield from ctx.compute(self.flops_per_rank)
+        if self.pattern == "all_to_all":
+            yield from ctx.comm.all_to_all(self.comm_bytes / max(1, ctx.size**2))
+        elif self.pattern == "ring_exchange":
+            yield from ctx.comm.ring_exchange(self.comm_bytes / max(1, ctx.size))
+        elif self.pattern == "allreduce":
+            yield from ctx.comm.allreduce(self.comm_bytes / max(1, ctx.size))
+        else:
+            yield from ctx.comm.broadcast(0, self.comm_bytes / max(1, ctx.size))
+
+    def communication_pattern(self) -> list[CommPattern]:
+        return [CommPattern(kind=self.pattern, bytes_per_iteration=self.comm_bytes)]

@@ -1,0 +1,12 @@
+"""Benchmark support: calibration constants, harness, and table rendering."""
+
+from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.bench.reporting import Table, format_seconds, percent_increase
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "Table",
+    "format_seconds",
+    "percent_increase",
+]

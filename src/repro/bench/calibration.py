@@ -1,0 +1,76 @@
+"""Calibration constants tying model work units to 1998 testbed seconds.
+
+The paper's absolute numbers come from DEC Alpha workstations on 100 Mbps
+point-to-point Ethernet.  We do not chase absolute equality — the substrate
+here is a simulator — but the constants below put execution times in the
+same ballpark so slowdown factors and crossovers are comparable.
+
+Derivations
+-----------
+* ``alpha_flops`` — sustained flop rate of a ~1997 DEC Alpha on FFT-like
+  kernels: a few tens of Mflop/s.  4e7 makes FFT(512) on 2 nodes land near
+  the paper's 0.46 s (compute 2 x 5 N^2 log2 N / P flops ~ 0.30 s, plus a
+  ~0.08 s transpose and latency).
+* ``link_latency`` — one-way latency of a lightly loaded 100 Mbps Ethernet
+  hop through a PC router, ~0.5 ms.
+* Airshed constants — solved from the paper's Table 1/2/3 anchors:
+  non-adaptive runtimes 908 s (3 nodes) and 650 s (5 nodes), and the
+  interfering-traffic runtime 2113 s (3 nodes, naive placement).  With the
+  redistribution traffic ~10x slower under the 90 Mbps competing stream,
+  that fixes communication at ~134 s of the 3-node run, giving
+  ``airshed_parallel_flops`` ~ 6.6e10, ``airshed_serial_flops`` ~ 8.9e9 and
+  ``airshed_grid_bytes`` ~ 1.57e8 per redistribution (24 iterations).
+* ``traffic_rate`` — the synthetic competing load.  90 Mbps of CBR on a
+  100 Mbps link leaves ~10 % for application flows: the x10 communication
+  slowdown behind Table 2's 79-194 % application slowdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All tunable constants in one immutable bundle."""
+
+    # Hosts.
+    alpha_flops: float = 4e7
+    host_memory_bytes: float = 256e6
+
+    # Network.
+    link_capacity: float = 100e6
+    link_latency: float = 0.5e-3
+
+    # FFT model.
+    fft_element_bytes: float = 16.0  # complex double
+    fft_flops_per_point: float = 5.0  # classic 5 N log2 N butterfly count
+
+    # Airshed model (24 hourly iterations).
+    airshed_iterations: int = 24
+    airshed_parallel_flops: float = 6.6e10
+    airshed_serial_flops: float = 8.9e9
+    airshed_grid_bytes: float = 1.57e8
+    airshed_boundary_bytes: float = 2e6
+    airshed_gather_bytes: float = 4e6
+
+    # Competing traffic and adaptation.
+    traffic_rate: float = 90e6
+    traffic_weight: float = 1000.0
+    """Aggressiveness of the synthetic traffic under weighted max-min: the
+    paper's generator is a non-backing-off blaster that holds its 90 Mbps
+    no matter how many adaptive application flows contend (adaptive flows
+    would otherwise win back equal shares), leaving them ~10 Mbps in total.
+    An effectively-infinite weight reproduces that strict priority; with it
+    the naively-placed Airshed lands within 1 % of the paper's 2113 s."""
+
+    adapt_check_seconds: float = 3.0
+    """Cost of one adaptation decision (Remos query + clustering); Table 3's
+    941 s adaptive vs 862 s fixed implies ~3.3 s per iteration boundary."""
+
+    migration_seconds: float = 0.5
+    """Remapping bookkeeping cost per actual migration (data is replicated
+    at migration points, so no payload copy is charged)."""
+
+
+DEFAULT_CALIBRATION = Calibration()

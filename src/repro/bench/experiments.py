@@ -1,0 +1,140 @@
+"""Experiment drivers shared by the benchmark harness and the CLI.
+
+Each function builds a fresh world, injects the scenario's traffic, brings
+monitoring up, runs the application, and returns what the paper's tables
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adapt import AdaptationModule, MigrationPolicy, select_nodes
+from repro.apps import FFT2D, Airshed
+from repro.bench import DEFAULT_CALIBRATION
+from repro.core import Timeframe
+from repro.fx.program import FxProgram
+from repro.fx.runtime import RunReport
+from repro.testbed import CMU_HOSTS, TRAFFIC_M6_M8, build_cmu_testbed
+from repro.testbed.cmu import (
+    interfering_traffic_1,
+    interfering_traffic_2,
+    non_interfering_traffic,
+)
+from repro.traffic import TrafficScenario
+
+
+def make_program(name: str, compiled_for: int | None = None) -> FxProgram:
+    """Programs by the names used in the paper's tables."""
+    if name == "FFT (512)":
+        return FFT2D(512, compiled_for=compiled_for)
+    if name == "FFT (1K)":
+        return FFT2D(1024, compiled_for=compiled_for)
+    if name == "Airshed":
+        return Airshed(compiled_for=compiled_for)
+    raise ValueError(f"unknown program {name!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """One (program, node set, traffic) measurement."""
+
+    hosts: list[str]
+    report: RunReport
+
+    @property
+    def elapsed(self) -> float:
+        return self.report.elapsed
+
+
+def run_fixed(
+    program_name: str,
+    hosts: list[str],
+    scenario: TrafficScenario | None = None,
+    compiled_for: int | None = None,
+    warmup: float = 10.0,
+) -> ExperimentResult:
+    """Run a program on an explicit node set, optionally under traffic."""
+    world = build_cmu_testbed(poll_interval=1.0)
+    if scenario is not None:
+        scenario.start(world.net)
+    world.start_monitoring(warmup=warmup)
+    runtime = world.runtime()
+    program = make_program(program_name, compiled_for=compiled_for)
+    report = world.env.run(until=runtime.launch(program, hosts))
+    return ExperimentResult(hosts=list(hosts), report=report)
+
+
+def run_selected(
+    program_name: str,
+    k: int,
+    start: str = "m-4",
+    scenario: TrafficScenario | None = None,
+    timeframe: Timeframe | None = None,
+    compiled_for: int | None = None,
+    warmup: float = 10.0,
+) -> ExperimentResult:
+    """Select nodes via Remos (the §7.3 pipeline), then run the program."""
+    world = build_cmu_testbed(poll_interval=1.0)
+    if scenario is not None:
+        scenario.start(world.net)
+    remos = world.start_monitoring(warmup=warmup)
+    selection = select_nodes(remos, CMU_HOSTS, k=k, start=start, timeframe=timeframe)
+    runtime = world.runtime()
+    program = make_program(program_name, compiled_for=compiled_for)
+    report = world.env.run(until=runtime.launch(program, selection.hosts))
+    return ExperimentResult(hosts=selection.hosts, report=report)
+
+
+def run_adaptive(
+    scenario: TrafficScenario | None,
+    start_hosts: list[str],
+    adaptive: bool,
+    threshold: float = 0.1,
+    correct_own_traffic: bool = True,
+    warmup: float = 10.0,
+) -> ExperimentResult:
+    """Table 3's runs: Airshed compiled for 8 on 5 nodes, fixed or adaptive."""
+    calibration = DEFAULT_CALIBRATION
+    world = build_cmu_testbed(poll_interval=1.0)
+    if scenario is not None:
+        scenario.start(world.net)
+    remos = world.start_monitoring(warmup=warmup)
+    runtime = world.runtime()
+    program = Airshed(compiled_for=8)
+    hook = None
+    adaptation = None
+    if adaptive:
+        adaptation = AdaptationModule(
+            remos=remos,
+            pool=CMU_HOSTS,
+            policy=MigrationPolicy(
+                threshold=threshold, correct_own_traffic=correct_own_traffic
+            ),
+            check_seconds=calibration.adapt_check_seconds,
+            migration_seconds=calibration.migration_seconds,
+        )
+        hook = adaptation.hook
+    report = world.env.run(until=runtime.launch(program, start_hosts, adapt_hook=hook))
+    result = ExperimentResult(hosts=list(start_hosts), report=report)
+    result.adaptation = adaptation  # type: ignore[attr-defined]
+    return result
+
+
+TABLE3_SCENARIOS = {
+    "No Traffic": lambda: None,
+    "Non-interfering": non_interfering_traffic,
+    "Interfering-1": interfering_traffic_1,
+    "Interfering-2": interfering_traffic_2,
+}
+
+__all__ = [
+    "CMU_HOSTS",
+    "TRAFFIC_M6_M8",
+    "TABLE3_SCENARIOS",
+    "ExperimentResult",
+    "make_program",
+    "run_adaptive",
+    "run_fixed",
+    "run_selected",
+]

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harnesses print tables shaped like the paper's (node sets,
+execution times, percent increases); this module keeps the formatting in
+one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_seconds(value: float) -> str:
+    """Seconds with sensible precision (matches the paper's style)."""
+    if value < 1.0:
+        return f"{value:.3f}"
+    if value < 10.0:
+        return f"{value:.2f}"
+    return f"{value:.0f}"
+
+
+def percent_increase(base: float, other: float) -> float:
+    """How much slower *other* is than *base*, in percent."""
+    if base <= 0:
+        raise ValueError("baseline must be positive")
+    return (other - base) / base * 100.0
+
+
+@dataclass
+class Table:
+    """A printable results table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append a row (cells are str()-ed; floats get 4 significant digits)."""
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.4g}")
+            else:
+                rendered.append(str(cell))
+        if len(rendered) != len(self.columns):
+            raise ValueError(
+                f"row has {len(rendered)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells):
+            return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, rule, line(self.columns), rule]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(rule)
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        """Render to stdout."""
+        print(self.render())

@@ -1,0 +1,215 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro info
+    python -m repro query --hosts m-1,m-4 --traffic m-6:m-8:90
+    python -m repro select --start m-4 --nodes 4 --traffic m-6:m-8:90
+    python -m repro table2 --rows "FFT (512)/2,Airshed/3"
+    python -m repro table3
+
+Everything runs the deterministic simulation; nothing touches a real
+network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro._version import __version__
+from repro.adapt import select_nodes
+from repro.bench import Table, format_seconds, percent_increase
+from repro.bench.experiments import (
+    TABLE3_SCENARIOS,
+    run_adaptive,
+    run_fixed,
+    run_selected,
+)
+from repro.core import Flow, Timeframe
+from repro.testbed import CMU_HOSTS, TRAFFIC_M6_M8, build_cmu_testbed
+from repro.traffic import TrafficScenario, TrafficSpec
+from repro.util import format_bandwidth
+from repro.util.errors import ReproError
+
+TABLE2_ROWS = {
+    "FFT (512)/2": ("FFT (512)", 2, ["m-4", "m-6"]),
+    "FFT (512)/4": ("FFT (512)", 4, ["m-4", "m-5", "m-6", "m-7"]),
+    "FFT (1K)/2": ("FFT (1K)", 2, ["m-4", "m-6"]),
+    "FFT (1K)/4": ("FFT (1K)", 4, ["m-4", "m-5", "m-6", "m-7"]),
+    "Airshed/3": ("Airshed", 3, ["m-4", "m-5", "m-6"]),
+    "Airshed/5": ("Airshed", 5, ["m-4", "m-5", "m-6", "m-7", "m-8"]),
+}
+
+
+def _parse_traffic(spec: str | None) -> TrafficScenario | None:
+    """Parse ``src:dst:rateMbps`` (comma-separated for several streams)."""
+    if not spec:
+        return None
+    streams = []
+    for piece in spec.split(","):
+        parts = piece.split(":")
+        if len(parts) != 3:
+            raise ReproError(f"traffic spec {piece!r} is not src:dst:rateMbps")
+        src, dst, rate = parts
+        streams.append(
+            TrafficSpec(src, dst, kind="cbr", rate=float(rate) * 1e6, weight=1000.0)
+        )
+    return TrafficScenario("cli-traffic", streams)
+
+
+def cmd_info(args) -> int:
+    print(f"repro {__version__} — reproduction of Remos (HPDC 1998)")
+    print("testbed hosts:", ", ".join(CMU_HOSTS))
+    print("commands: info, query, select, table2, table3")
+    return 0
+
+
+def cmd_query(args) -> int:
+    world = build_cmu_testbed(poll_interval=1.0)
+    scenario = _parse_traffic(args.traffic)
+    if scenario:
+        scenario.start(world.net)
+    remos = world.start_monitoring(warmup=args.warmup)
+    hosts = args.hosts.split(",")
+    if len(hosts) < 2:
+        raise ReproError("--hosts needs at least two comma-separated hosts")
+    flows = [
+        Flow(src, dst, name=f"{src}->{dst}")
+        for src in hosts
+        for dst in hosts
+        if src != dst
+    ]
+    result = remos.flow_info(
+        variable_flows=flows, timeframe=Timeframe.history(args.warmup)
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    table = Table(
+        f"simultaneous flow query among {args.hosts}",
+        ["Flow", "median bw", "quartiles", "accuracy"],
+    )
+    for answer in result.variable:
+        table.add_row(
+            answer.label,
+            format_bandwidth(answer.bandwidth.median),
+            str(answer.bandwidth),
+            f"{answer.bandwidth.accuracy:.2f}",
+        )
+    table.print()
+    return 0
+
+
+def cmd_select(args) -> int:
+    world = build_cmu_testbed(poll_interval=1.0)
+    scenario = _parse_traffic(args.traffic)
+    if scenario:
+        scenario.start(world.net)
+    remos = world.start_monitoring(warmup=args.warmup)
+    timeframe = Timeframe.static() if args.static else Timeframe.current()
+    selection = select_nodes(
+        remos, CMU_HOSTS, k=args.nodes, start=args.start, timeframe=timeframe
+    )
+    mode = "static capacities" if args.static else "dynamic measurements"
+    if args.json:
+        print(json.dumps({"mode": mode, "hosts": selection.hosts, "cost": selection.cost}))
+        return 0
+    print(f"selected ({mode}): {', '.join(selection.hosts)}")
+    print(f"expected-communication cost: {selection.cost:.3e}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    rows = args.rows.split(",") if args.rows else list(TABLE2_ROWS)
+    table = Table(
+        "Table 2 — node selection with external traffic m-6 -> m-8",
+        ["Program", "Nodes", "Remos set", "t", "Static set", "t", "%inc"],
+    )
+    for row in rows:
+        if row not in TABLE2_ROWS:
+            raise ReproError(f"unknown row {row!r}; choose from {list(TABLE2_ROWS)}")
+        program, k, static_hosts = TABLE2_ROWS[row]
+        dynamic = run_selected(program, k=k, start="m-4", scenario=TRAFFIC_M6_M8())
+        static = run_fixed(program, static_hosts, scenario=TRAFFIC_M6_M8())
+        table.add_row(
+            program, k,
+            ",".join(dynamic.hosts), format_seconds(dynamic.elapsed),
+            ",".join(static_hosts), format_seconds(static.elapsed),
+            f"{percent_increase(dynamic.elapsed, static.elapsed):+.0f}%",
+        )
+    table.print()
+    return 0
+
+
+def cmd_table3(args) -> int:
+    table = Table(
+        "Table 3 — adaptive vs fixed Airshed (compiled for 8, run on 5)",
+        ["Node set", "Pattern", "t", "migrations"],
+    )
+    start_hosts = ["m-4", "m-5", "m-6", "m-7", "m-8"]
+    for mode in ("Fixed", "Adaptive"):
+        for pattern, make_scenario in TABLE3_SCENARIOS.items():
+            result = run_adaptive(
+                scenario=make_scenario(),
+                start_hosts=start_hosts,
+                adaptive=(mode == "Adaptive"),
+            )
+            migrations = (
+                result.adaptation.migrations if result.adaptation is not None else 0
+            )
+            table.add_row(mode, pattern, format_seconds(result.elapsed), migrations)
+    table.print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Remos reproduction (HPDC 1998) experiment runner"
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="package and testbed summary").set_defaults(
+        func=cmd_info
+    )
+
+    query = subparsers.add_parser("query", help="simultaneous flow query on the testbed")
+    query.add_argument("--hosts", required=True, help="comma-separated host list")
+    query.add_argument("--traffic", help="competing traffic: src:dst:rateMbps[,...]")
+    query.add_argument("--warmup", type=float, default=10.0, help="measurement time (s)")
+    query.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    query.set_defaults(func=cmd_query)
+
+    select = subparsers.add_parser("select", help="Remos-driven node selection")
+    select.add_argument("--start", default="m-4", help="start node (default m-4)")
+    select.add_argument("--nodes", type=int, default=4, help="cluster size")
+    select.add_argument("--traffic", help="competing traffic: src:dst:rateMbps[,...]")
+    select.add_argument("--static", action="store_true", help="ignore measurements")
+    select.add_argument("--warmup", type=float, default=10.0)
+    select.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    select.set_defaults(func=cmd_select)
+
+    table2 = subparsers.add_parser("table2", help="reproduce Table 2 rows")
+    table2.add_argument("--rows", help=f"comma-separated from {list(TABLE2_ROWS)}")
+    table2.set_defaults(func=cmd_table2)
+
+    table3 = subparsers.add_parser("table3", help="reproduce Table 3")
+    table3.set_defaults(func=cmd_table3)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (also installed as ``python -m repro``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Collectors: the network-facing half of the Remos implementation.
+
+"A Collector consists of a process that retrieves raw information about the
+network" (§5).  Two collectors are provided, matching the paper:
+
+* :class:`SNMPCollector` — discovers topology and polls interface octet
+  counters via the simulated SNMP agents, deriving per-link-direction
+  utilization time series;
+* :class:`BenchmarkCollector` — actively probes host pairs with short
+  transfers, for networks whose routers "do not respond to our SNMP
+  queries", producing a logical cloud topology with measured
+  characteristics.
+
+Both produce a :class:`NetworkView` (topology + metric series) that the
+Modeler (:mod:`repro.core`) consumes.  A :class:`CollectorMaster` merges
+the views of multiple cooperating collectors ("a large environment may
+require multiple cooperating Collectors").
+"""
+
+from repro.collector.base import Collector, NetworkView
+from repro.collector.metrics import MetricsStore
+from repro.collector.snmp_collector import SNMPCollector
+from repro.collector.bench_collector import BenchmarkCollector
+from repro.collector.master import CollectorMaster
+
+__all__ = [
+    "Collector",
+    "NetworkView",
+    "MetricsStore",
+    "SNMPCollector",
+    "BenchmarkCollector",
+    "CollectorMaster",
+]

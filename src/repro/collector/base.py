@@ -1,0 +1,63 @@
+"""Collector interface and the NetworkView handed to the Modeler."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.collector.metrics import MetricsStore
+from repro.net import Topology
+from repro.stats import TimeSeries
+from repro.util.errors import CollectorError
+
+
+@dataclass
+class NetworkView:
+    """What a collector knows: a topology plus utilization series.
+
+    The topology is the collector's *belief* — discovered via SNMP, or a
+    synthetic cloud abstraction from probing — not necessarily the true
+    physical network.  Link capacities/latencies live on the topology;
+    utilization series live in the metrics store.
+    """
+
+    topology: Topology
+    metrics: MetricsStore
+
+    def link_use(self, link_name: str, from_node: str) -> TimeSeries:
+        """Used-bandwidth series (bits/s) for a link direction."""
+        return self.metrics.series(link_name, from_node)
+
+
+class Collector(abc.ABC):
+    """Common lifecycle for collectors.
+
+    ``start()`` launches the collection process(es) on the simulation
+    engine and returns an event that fires once the first full sweep has
+    completed (discovery + first samples), after which :meth:`view` is
+    usable.
+    """
+
+    def __init__(self) -> None:
+        self._view: NetworkView | None = None
+
+    @abc.abstractmethod
+    def start(self):
+        """Begin collecting; returns a 'ready' event."""
+
+    @abc.abstractmethod
+    def stop(self) -> None:
+        """Stop collecting (idempotent)."""
+
+    @property
+    def ready(self) -> bool:
+        """True once a view is available."""
+        return self._view is not None
+
+    def view(self) -> NetworkView:
+        """The current network view (raises until ready)."""
+        if self._view is None:
+            raise CollectorError(
+                f"{type(self).__name__} has no view yet; wait for start() event"
+            )
+        return self._view

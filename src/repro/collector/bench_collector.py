@@ -1,0 +1,164 @@
+"""The benchmark (active-probing) collector.
+
+"We also have a Collector that uses benchmarks to probe networks that do
+not respond to our SNMP queries (e.g. wide-area networks run by commercial
+ISPs)" (§5).  This collector never talks to agents; it measures what an
+application would see:
+
+* **latency probe** — a zero-byte transfer measures one-way path delay;
+* **throughput probe** — a short greedy transfer measures achievable
+  bandwidth between the pair at that instant.
+
+Because probing reveals end-to-end behaviour but not internals, the
+resulting view is the paper's *cloud abstraction*: each probed host hangs
+off an opaque network node by a logical link whose capacity is the largest
+throughput ever observed from that host and whose utilization series is
+capacity minus the currently observed throughput.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.collector.base import Collector, NetworkView
+from repro.collector.metrics import MetricsStore
+from repro.net import Topology
+from repro.netsim import FluidNetwork
+from repro.sim import Interrupt
+from repro.util.errors import ConfigurationError
+
+CLOUD_NODE = "cloud"
+
+
+class BenchmarkCollector(Collector):
+    """Active prober producing a cloud-abstraction view of the network.
+
+    Parameters
+    ----------
+    net:
+        The fluid network to probe (probes are real transfers and do load
+        the network — that is the honest cost of this collector).
+    hosts:
+        Hosts to probe pairwise.
+    probe_size:
+        Bytes per throughput probe; small to bound intrusiveness.
+    probe_interval:
+        Seconds between full probe sweeps.
+    """
+
+    def __init__(
+        self,
+        net: FluidNetwork,
+        hosts: list[str],
+        probe_size: float = 64e3,
+        probe_interval: float = 5.0,
+        series_capacity: int = 4096,
+    ):
+        super().__init__()
+        if len(hosts) < 2:
+            raise ConfigurationError("benchmark collector needs at least two hosts")
+        if probe_size <= 0 or probe_interval <= 0:
+            raise ConfigurationError("probe size and interval must be positive")
+        self.net = net
+        self.env = net.env
+        self.hosts = list(hosts)
+        self.probe_size = probe_size
+        self.probe_interval = probe_interval
+        self.metrics = MetricsStore(series_capacity)
+        self.probes_sent = 0
+        self.sweeps_completed = 0
+        self._process = None
+        # Running per-host estimates feeding the logical topology.
+        self._best_throughput: dict[str, float] = {}
+        self._latency: dict[str, float] = {}
+        self._pending_use: dict[str, list[float]] = {}
+
+    def start(self):
+        """Launch probing; returns the 'first sweep done' event."""
+        if self._process is not None:
+            raise ConfigurationError("collector already started")
+        ready = self.env.event()
+        self._process = self.env.process(self._run(ready), name="bench-collector")
+        return ready
+
+    def stop(self) -> None:
+        """Stop probing (idempotent)."""
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+
+    # -- probing process ---------------------------------------------------------
+
+    def _run(self, ready):
+        try:
+            yield from self._sweep()
+            self._view = self._build_view()
+            ready.succeed(self._view)
+            while True:
+                yield self.env.timeout(self.probe_interval)
+                yield from self._sweep()
+                self._refresh_view()
+        except Interrupt:
+            pass
+
+    def _sweep(self):
+        """Probe every host pair once (sequentially, to avoid self-contention)."""
+        self._pending_use = {host: [] for host in self.hosts}
+        for src, dst in itertools.combinations(self.hosts, 2):
+            # Latency probe: zero bytes, completes after one path latency.
+            latency_probe = self.net.transfer(src, dst, 0, label=f"probe-lat:{src}->{dst}")
+            start = self.env.now
+            yield latency_probe.done
+            latency = self.env.now - start
+            # Throughput probe.
+            probe = self.net.transfer(src, dst, self.probe_size, label=f"probe:{src}->{dst}")
+            yield probe.done
+            self.probes_sent += 2
+            transfer_time = max(1e-12, probe.elapsed - latency)
+            throughput = self.probe_size * 8.0 / transfer_time
+            for host in (src, dst):
+                self._best_throughput[host] = max(
+                    self._best_throughput.get(host, 0.0), throughput
+                )
+                # Half the end-to-end latency per logical access link.
+                self._latency.setdefault(host, latency / 2.0)
+                self._pending_use[host].append(throughput)
+        self.sweeps_completed += 1
+        now = self.env.now
+        for host, samples in self._pending_use.items():
+            if not samples:
+                continue
+            observed = max(samples)
+            capacity = self._best_throughput[host]
+            # What the probe could not get counts as "in use" on the
+            # host's logical access link.
+            self.metrics.record(self._link_name(host), host, now, capacity - observed)
+
+    @staticmethod
+    def _link_name(host: str) -> str:
+        return f"{host}--{CLOUD_NODE}"
+
+    def _build_view(self) -> NetworkView:
+        topology = Topology(name="probed-cloud")
+        topology.add_network_node(CLOUD_NODE)
+        for host in self.hosts:
+            topology.add_compute_node(host)
+            topology.add_link(
+                host,
+                CLOUD_NODE,
+                capacity=self._best_throughput[host],
+                latency=self._latency[host],
+                name=self._link_name(host),
+            )
+        return NetworkView(topology=topology, metrics=self.metrics)
+
+    def _refresh_view(self) -> None:
+        # Capacities only ever grow (best observed); rebuild when they do.
+        view = self._view
+        assert view is not None
+        stale = any(
+            view.topology.link(self._link_name(host)).capacity
+            < self._best_throughput[host]
+            for host in self.hosts
+        )
+        if stale:
+            self._view = self._build_view()

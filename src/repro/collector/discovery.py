@@ -1,0 +1,116 @@
+"""SNMP topology discovery.
+
+Breadth-first search over manageable nodes: starting from seed agents, each
+node's interface/neighbour tables reveal its links and the devices on the
+far end; neighbours that also run agents are enqueued and walked in turn.
+Nodes without agents (typical for end hosts in the testbed) are added as
+compute nodes with the attributes reported by the managed side of their
+access link.
+
+Latency is NOT discoverable through SNMP; following the paper ("the
+Collector currently assumes a fixed per-hop delay"), every discovered link
+is annotated with a configurable constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net import Topology
+from repro.snmp import SNMPClient, mib
+from repro.util.errors import CollectorError
+
+
+@dataclass
+class DiscoveryResult:
+    """Output of one discovery sweep."""
+
+    topology: Topology
+    managed_nodes: list[str]
+    """Nodes whose agents answered (these will be polled for counters)."""
+    interface_map: dict[str, dict[int, str]] = field(default_factory=dict)
+    """node -> ifIndex -> link name, for the polling loop."""
+
+
+def discover(client: SNMPClient, seeds: list[str], per_hop_latency: float = 0.1e-3):
+    """Generator (run in a sim process): BFS discovery from *seeds*.
+
+    Returns a :class:`DiscoveryResult`.  Raises CollectorError if no seed
+    agent answers.
+    """
+    topology = Topology(name="discovered")
+    managed: list[str] = []
+    interface_map: dict[str, dict[int, str]] = {}
+    visited: set[str] = set()
+    pending_links: dict[str, tuple[str, str, float]] = {}
+    queue = list(seeds)
+
+    while queue:
+        node_name = queue.pop(0)
+        if node_name in visited:
+            continue
+        visited.add(node_name)
+        if node_name not in client.agents:
+            continue
+        try:
+            descr = yield from client.get(node_name, mib.SYS_DESCR)
+        except Exception:
+            continue  # unreachable: treated as unmanaged
+        managed.append(node_name)
+        is_router = "router" in str(descr)
+        try:
+            raw_xbar = yield from client.get(node_name, mib.NODE_INTERNAL_BW)
+            internal_bw = float(raw_xbar) if raw_xbar else float("inf")
+        except Exception:
+            internal_bw = float("inf")  # agent without the enterprise OID
+        if not topology.has_node(node_name):
+            if is_router:
+                topology.add_network_node(node_name, internal_bandwidth=internal_bw)
+            else:
+                # Managed hosts report their resources (speed, memory).
+                try:
+                    speed = float((yield from client.get(node_name, mib.HOST_SPEED_FLOPS)))
+                    memory = float((yield from client.get(node_name, mib.HOST_MEMORY_BYTES)))
+                except Exception:
+                    speed, memory = 1e8, 256e6
+                topology.add_compute_node(
+                    node_name,
+                    compute_speed=speed,
+                    memory_bytes=memory,
+                    internal_bandwidth=internal_bw,
+                )
+
+        speeds = yield from client.walk(node_name, mib.IF_SPEED)
+        neighbors = yield from client.walk(node_name, mib.IF_NEIGHBOR)
+        speed_by_index = {
+            mib.column_index(oid, mib.IF_SPEED): value for oid, value in speeds
+        }
+        interface_map[node_name] = {}
+        for oid, value in neighbors:
+            if_index = mib.column_index(oid, mib.IF_NEIGHBOR)
+            neighbor_name, link_name = str(value).split("|", 1)
+            interface_map[node_name][if_index] = link_name
+            capacity = float(speed_by_index.get(if_index, 0) or 0)
+            pending_links.setdefault(
+                link_name, (node_name, neighbor_name, capacity)
+            )
+            if neighbor_name not in visited:
+                queue.append(neighbor_name)
+
+    if not managed:
+        raise CollectorError(f"discovery failed: no seed agent answered ({seeds})")
+
+    # Materialise nodes seen only as neighbours (unmanaged -> assume host),
+    # then the links.
+    for link_name, (a, b, capacity) in pending_links.items():
+        for name in (a, b):
+            if not topology.has_node(name):
+                topology.add_compute_node(name)
+        if capacity <= 0:
+            raise CollectorError(f"link {link_name!r} reported zero ifSpeed")
+        topology.add_link(a, b, capacity, per_hop_latency, name=link_name)
+
+    return DiscoveryResult(
+        topology=topology, managed_nodes=managed, interface_map=interface_map
+    )

@@ -1,0 +1,78 @@
+"""Multi-collector coordination.
+
+"A large environment may require multiple cooperating Collectors" (§5).
+The master owns several collectors — e.g. one SNMP collector per campus
+plus a benchmark collector for the WAN between them — starts them together,
+and merges their views into one topology + metric store for the Modeler.
+
+Merge rules: nodes are united by name (first collector to report a node
+wins its attributes); links likewise; metric series are adopted from
+whichever collector measured the direction (earlier collectors take
+precedence on conflicts).
+"""
+
+from __future__ import annotations
+
+from repro.collector.base import Collector, NetworkView
+from repro.collector.metrics import MetricsStore
+from repro.net import Topology
+from repro.sim import Engine
+from repro.util.errors import CollectorError, ConfigurationError
+
+
+class CollectorMaster(Collector):
+    """Facade over several collectors presenting one merged view."""
+
+    def __init__(self, env: Engine, collectors: list[Collector]):
+        super().__init__()
+        if not collectors:
+            raise ConfigurationError("master needs at least one collector")
+        self.env = env
+        self.collectors = list(collectors)
+        self._started = False
+
+    def start(self):
+        """Start every child; returns an event firing when all are ready."""
+        if self._started:
+            raise ConfigurationError("master already started")
+        self._started = True
+        ready = self.env.event()
+        child_events = [collector.start() for collector in self.collectors]
+
+        def waiter(env):
+            yield env.all_of(child_events)
+            self._view = self._merge()
+            ready.succeed(self._view)
+
+        self.env.process(waiter(self.env), name="collector-master")
+        return ready
+
+    def stop(self) -> None:
+        """Stop every child."""
+        for collector in self.collectors:
+            collector.stop()
+
+    def refresh(self) -> NetworkView:
+        """Re-merge child views (call after children kept polling)."""
+        if not all(collector.ready for collector in self.collectors):
+            raise CollectorError("cannot refresh: some collectors are not ready")
+        self._view = self._merge()
+        return self._view
+
+    def _merge(self) -> NetworkView:
+        merged = Topology(name="merged")
+        metrics = MetricsStore()
+        for collector in self.collectors:
+            view = collector.view()
+            for node in view.topology.nodes:
+                if not merged.has_node(node.name):
+                    merged.add_node(node)
+            for link in view.topology.links:
+                try:
+                    merged.link(link.name)
+                except Exception:
+                    merged.add_link(
+                        link.a, link.b, link.capacity, link.latency, name=link.name
+                    )
+            metrics.merge_from(view.metrics)
+        return NetworkView(topology=merged, metrics=metrics)

@@ -1,0 +1,72 @@
+"""Metric storage shared by all collectors.
+
+A :class:`MetricsStore` holds one bounded :class:`~repro.stats.TimeSeries`
+per *directed link* — the series values are **used bandwidth in bits per
+second** as observed over each polling interval.  The Modeler converts use
+into availability against the link's capacity.
+"""
+
+from __future__ import annotations
+
+from repro.stats import TimeSeries
+from repro.util.errors import CollectorError
+
+
+class MetricsStore:
+    """Per-directed-link utilization series, keyed by (link name, from node)."""
+
+    def __init__(self, capacity: int = 4096):
+        self._capacity = capacity
+        self._series: dict[tuple[str, str], TimeSeries] = {}
+
+    def record(self, link_name: str, from_node: str, time: float, bits_per_second: float) -> None:
+        """Append one sample of used bandwidth on a link direction."""
+        key = (link_name, from_node)
+        series = self._series.get(key)
+        if series is None:
+            series = TimeSeries(self._capacity, name=f"{link_name}:{from_node}->")
+            self._series[key] = series
+        series.add(time, max(0.0, bits_per_second))
+
+    def series(self, link_name: str, from_node: str) -> TimeSeries:
+        """The series for one direction (raises if never recorded)."""
+        try:
+            return self._series[(link_name, from_node)]
+        except KeyError:
+            raise CollectorError(
+                f"no measurements for link {link_name!r} direction from {from_node!r}"
+            ) from None
+
+    def has_series(self, link_name: str, from_node: str) -> bool:
+        """True once at least one sample exists for the direction."""
+        return (link_name, from_node) in self._series
+
+    def keys(self) -> list[tuple[str, str]]:
+        """All (link name, from node) directions with measurements."""
+        return list(self._series)
+
+    # CPU load series reuse the same store under a reserved pseudo-link
+    # name, so merging and capacity bounds apply uniformly.
+    _CPU_KEY = "cpu"
+
+    def record_cpu(self, host: str, time: float, utilization: float) -> None:
+        """Append a CPU-utilization sample (0..1) for *host*."""
+        self.record(self._CPU_KEY, host, time, min(1.0, max(0.0, utilization)))
+
+    def cpu_series(self, host: str) -> TimeSeries:
+        """CPU-utilization series for *host* (raises if never recorded)."""
+        return self.series(self._CPU_KEY, host)
+
+    def has_cpu_series(self, host: str) -> bool:
+        """True once at least one CPU sample exists for *host*."""
+        return self.has_series(self._CPU_KEY, host)
+
+    def merge_from(self, other: "MetricsStore", prefer_other: bool = False) -> None:
+        """Adopt *other*'s series for directions we lack (or always, if
+        *prefer_other*).  Used by the collector master."""
+        for key, series in other._series.items():
+            if prefer_other or key not in self._series:
+                self._series[key] = series
+
+    def __len__(self) -> int:
+        return len(self._series)

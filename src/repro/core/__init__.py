@@ -1,0 +1,43 @@
+"""The Remos API: the paper's contribution.
+
+Remos is "a query-based interface to the network state" (§4) with two query
+families:
+
+* :meth:`Remos.flow_info` — bandwidth/latency for sets of application-level
+  flows, honouring the fixed / variable / independent flow classes and
+  max-min fair sharing, *simultaneously* (shared bottlenecks among the
+  queried flows are accounted for);
+* :meth:`Remos.get_graph` — the *logical* topology connecting a set of
+  nodes: irrelevant parts pruned, degree-2 router chains collapsed, every
+  component annotated with static capacities and dynamic availability.
+
+All dynamic quantities are :class:`~repro.stats.StatMeasure` quartile
+summaries with estimation accuracy; every query takes a
+:class:`Timeframe` (static / current / history window / future prediction).
+
+Procedural wrappers :func:`remos_flow_info` and :func:`remos_get_graph`
+mirror the C API's call shapes from the paper.
+"""
+
+from repro.core.timeframe import Timeframe, TimeframeKind
+from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, MulticastFlow
+from repro.core.graph import RemosGraph, RemosEdge, RemosNode
+from repro.core.modeler import Modeler
+from repro.core.api import NodeAnswer, Remos, remos_flow_info, remos_get_graph
+
+__all__ = [
+    "Remos",
+    "Flow",
+    "MulticastFlow",
+    "FlowAnswer",
+    "FlowInfoResult",
+    "Timeframe",
+    "TimeframeKind",
+    "RemosGraph",
+    "RemosEdge",
+    "RemosNode",
+    "Modeler",
+    "NodeAnswer",
+    "remos_flow_info",
+    "remos_get_graph",
+]

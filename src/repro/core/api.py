@@ -1,0 +1,337 @@
+"""The public Remos facade.
+
+Construct a :class:`Remos` over either a live collector (the view refreshes
+as the collector keeps polling) or a static
+:class:`~repro.collector.base.NetworkView`, then issue queries::
+
+    remos = Remos(collector)
+    result = remos.flow_info(variable_flows=[Flow("m-1", "m-4", 1.0)])
+    graph = remos.get_graph(["m-1", "m-2", "m-4"], Timeframe.history(30.0))
+
+Flow-query semantics (§4.2): fixed flows are satisfied first, then variable
+flows proportionally to their relative requirements, then independent flows
+absorb leftovers — all under weighted max-min fairness against the
+capacities left over by measured external traffic.  Because network state
+is uncertain, the allocation is evaluated at the five availability
+quartiles (plus the mean), and each flow's answer is the quartile measure
+of its allocated rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.collector.base import Collector, NetworkView
+from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, MulticastFlow
+from repro.core.graph import RemosGraph
+from repro.core.modeler import Modeler
+from repro.core.timeframe import Timeframe
+from repro.fairshare import FlowRequest, admission_report, allocate_three_stage
+from repro.net import RoutingTable
+from repro.stats import StatMeasure
+from repro.util.errors import QueryError
+
+# Quantiles at which flow allocations are evaluated, pessimistic first.
+_LEVELS = ("minimum", "q1", "median", "q3", "maximum")
+
+
+@dataclass
+class NodeAnswer:
+    """Answer to a node_info query: computation and memory resources."""
+
+    name: str
+    compute_speed: float
+    memory_bytes: float
+    cpu_load: StatMeasure
+    cpu_available: StatMeasure
+
+    @property
+    def effective_speed(self) -> float:
+        """Flop/s left for a new job at the median measured load."""
+        return self.compute_speed * self.cpu_available.median
+
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON export."""
+        return {
+            "name": self.name,
+            "compute_speed": self.compute_speed,
+            "memory_bytes": self.memory_bytes,
+            "cpu_load": self.cpu_load.to_dict(),
+            "cpu_available": self.cpu_available.to_dict(),
+            "effective_speed": self.effective_speed,
+        }
+
+
+class Remos:
+    """The query interface applications link against."""
+
+    def __init__(self, source: Collector | NetworkView):
+        self._source = source
+        self._modeler_cache: tuple[NetworkView, Modeler] | None = None
+        self.queries_answered = 0
+
+    def _current_view(self) -> NetworkView:
+        if isinstance(self._source, Collector):
+            return self._source.view()
+        return self._source
+
+    def _modeler(self) -> Modeler:
+        view = self._current_view()
+        if self._modeler_cache is not None and self._modeler_cache[0] is view:
+            return self._modeler_cache[1]
+        modeler = Modeler(view, RoutingTable(view.topology))
+        self._modeler_cache = (view, modeler)
+        return modeler
+
+    # -- topology queries -----------------------------------------------------
+
+    def get_graph(
+        self, nodes: list[str], timeframe: Timeframe | None = None
+    ) -> RemosGraph:
+        """The logical topology relevant to connecting *nodes* (§4.3).
+
+        Matches the paper's ``remos_get_graph(nodes, graph, timeframe)``;
+        the graph is returned rather than filled in.
+        """
+        timeframe = timeframe or Timeframe.current()
+        self.queries_answered += 1
+        return self._modeler().logical_graph(list(nodes), timeframe)
+
+    # -- flow queries ------------------------------------------------------------
+
+    def flow_info(
+        self,
+        fixed_flows: list[Flow] | None = None,
+        variable_flows: list[Flow] | None = None,
+        independent_flows: list[Flow] | None = None,
+        timeframe: Timeframe | None = None,
+    ) -> FlowInfoResult:
+        """Answer a simultaneous multi-class flow query (§4.2).
+
+        Matches the paper's ``remos_flow_info(fixed_flows, variable_flows,
+        independent_flow, timeframe)``; any number of independent flows is
+        accepted (the paper's signature has one).
+        """
+        timeframe = timeframe or Timeframe.current()
+        fixed = list(fixed_flows or [])
+        variable = list(variable_flows or [])
+        independent = list(independent_flows or [])
+        if not fixed and not variable and not independent:
+            raise QueryError("flow_info requires at least one flow")
+        self.queries_answered += 1
+
+        modeler = self._modeler()
+        topology = modeler.view.topology
+        for flow in (*fixed, *variable, *independent):
+            endpoints = (flow.src, *flow.dsts) if isinstance(flow, MulticastFlow) else (
+                flow.src,
+                flow.dst,
+            )
+            for endpoint in endpoints:
+                if not topology.has_node(endpoint):
+                    raise QueryError(f"unknown flow endpoint {endpoint!r}")
+                if not topology.node(endpoint).is_compute:
+                    raise QueryError(
+                        f"flow endpoints must be compute nodes; {endpoint!r} is not"
+                    )
+
+        def resources_of(flow) -> tuple:
+            if isinstance(flow, MulticastFlow):
+                return modeler.resources_for_tree(flow.src, list(flow.dsts))
+            return modeler.resources_for_route(flow.src, flow.dst)
+
+        def requests(flows: list[Flow], klass: str) -> list[FlowRequest]:
+            return [
+                FlowRequest(
+                    flow_id=flow.label(index, klass),
+                    resources=resources_of(flow),
+                    requested=flow.requested,
+                    cap=flow.cap,
+                )
+                for index, flow in enumerate(flows)
+            ]
+
+        fixed_requests = requests(fixed, "fixed")
+        variable_requests = requests(variable, "variable")
+        independent_requests = requests(independent, "independent")
+        all_ids = [r.flow_id for r in (*fixed_requests, *variable_requests, *independent_requests)]
+        if len(set(all_ids)) != len(all_ids):
+            raise QueryError("flow labels must be unique within a query")
+
+        # Evaluate the allocation at each availability quantile.
+        rates_by_level: dict[str, dict[Hashable, float]] = {}
+        median_allocation = None
+        for level in (*_LEVELS, "mean"):
+            capacities = modeler.available_capacities(timeframe, quantile=level)
+            allocation = allocate_three_stage(
+                capacities,
+                fixed=fixed_requests,
+                variable=variable_requests,
+                independent=independent_requests,
+            )
+            rates_by_level[level] = allocation.rates
+            if level == "median":
+                median_allocation = allocation
+        assert median_allocation is not None
+
+        # Overall answer accuracy: the worst accuracy among the directions
+        # any queried flow traverses.
+        accuracy = self._query_accuracy(
+            modeler, timeframe, fixed + variable + independent
+        )
+
+        def answers(flows: list[Flow], reqs: list[FlowRequest], klass: str) -> list[FlowAnswer]:
+            result = []
+            for flow, request in zip(flows, reqs):
+                label = request.flow_id
+                # Rates at rising availability quantiles are monotone in all
+                # common cases; sorting guards the rare multi-bottleneck
+                # exception so the StatMeasure invariant always holds.
+                quartiles = sorted(rates_by_level[level][label] for level in _LEVELS)
+                bandwidth = StatMeasure(
+                    minimum=quartiles[0],
+                    q1=quartiles[1],
+                    median=quartiles[2],
+                    q3=quartiles[3],
+                    maximum=quartiles[4],
+                    mean=rates_by_level["mean"][label],
+                    n_samples=len(_LEVELS),
+                    accuracy=accuracy,
+                )
+                if isinstance(flow, MulticastFlow):
+                    tree = modeler.routing.multicast_tree(flow.src, list(flow.dsts))
+                    latency, hop_count = tree.max_latency, len(tree.hops)
+                else:
+                    route = modeler.routing.route(flow.src, flow.dst)
+                    latency, hop_count = route.latency, route.hop_count
+                result.append(
+                    FlowAnswer(
+                        flow=flow,
+                        label=label,
+                        bandwidth=bandwidth,
+                        latency=StatMeasure.constant(latency),
+                        hop_count=hop_count,
+                        satisfied=(
+                            median_allocation.satisfied.get(label)
+                            if klass == "fixed"
+                            else None
+                        ),
+                        bottleneck=median_allocation.bottlenecks.get(label),
+                    )
+                )
+            return result
+
+        return FlowInfoResult(
+            timeframe=timeframe,
+            fixed=answers(fixed, fixed_requests, "fixed"),
+            variable=answers(variable, variable_requests, "variable"),
+            independent=answers(independent, independent_requests, "independent"),
+        )
+
+    @staticmethod
+    def _query_accuracy(
+        modeler: Modeler, timeframe: Timeframe, flows: list[Flow]
+    ) -> float:
+        accuracy = 1.0
+        for flow in flows:
+            if isinstance(flow, MulticastFlow):
+                hops = modeler.routing.multicast_tree(flow.src, list(flow.dsts)).hops
+            else:
+                hops = modeler.routing.route(flow.src, flow.dst).hops
+            for hop in hops:
+                measure = modeler.available_bandwidth(hop, timeframe)
+                accuracy = min(accuracy, measure.accuracy)
+        return accuracy
+
+    # -- node (computation/memory) queries --------------------------------------
+
+    def node_info(self, host: str, timeframe: Timeframe | None = None) -> "NodeAnswer":
+        """The paper's "simple interface to computation and memory
+        resources" (§2): static speed/memory plus measured CPU load."""
+        timeframe = timeframe or Timeframe.current()
+        self.queries_answered += 1
+        modeler = self._modeler()
+        node = modeler.view.topology.node(host)
+        if not node.is_compute:
+            raise QueryError(f"node_info is only defined for compute nodes, not {host!r}")
+        load = modeler.cpu_load(host, timeframe)
+        return NodeAnswer(
+            name=host,
+            compute_speed=node.compute_speed,
+            memory_bytes=node.memory_bytes,
+            cpu_load=load,
+            cpu_available=load.complement_of(1.0),
+        )
+
+    # -- admission / guaranteed-service queries --------------------------------
+
+    def check_admission(
+        self,
+        fixed_flows: list[Flow],
+        timeframe: Timeframe | None = None,
+    ):
+        """Would this set of fixed-bandwidth flows fit, simultaneously?
+
+        The guaranteed-services question the paper defers (§4.5): for
+        networks with reservations, an application "may be primarily
+        interested in whether the network can support" its fixed flows.
+        Returns an :class:`~repro.fairshare.admission.AdmissionReport`
+        whose ``oversubscribed`` map names the offending resources.
+        """
+        timeframe = timeframe or Timeframe.current()
+        if not fixed_flows:
+            raise QueryError("check_admission requires at least one flow")
+        self.queries_answered += 1
+        modeler = self._modeler()
+        requests = []
+        for index, flow in enumerate(fixed_flows):
+            if isinstance(flow, MulticastFlow):
+                resources = modeler.resources_for_tree(flow.src, list(flow.dsts))
+            else:
+                resources = modeler.resources_for_route(flow.src, flow.dst)
+            requests.append(
+                FlowRequest(
+                    flow_id=flow.label(index, "fixed"),
+                    resources=resources,
+                    requested=flow.requested,
+                    cap=flow.requested,
+                )
+            )
+        capacities = modeler.available_capacities(timeframe, quantile="median")
+        return admission_report(capacities, requests)
+
+
+# -- procedural wrappers mirroring the paper's C-style API ----------------------
+
+
+def remos_get_graph(
+    remos: Remos, nodes: list[str], timeframe: Timeframe | None = None
+) -> RemosGraph:
+    """``remos_get_graph(nodes, graph, timeframe)`` — returns the graph."""
+    return remos.get_graph(nodes, timeframe)
+
+
+def remos_flow_info(
+    remos: Remos,
+    fixed_flows: list[Flow] | None = None,
+    variable_flows: list[Flow] | None = None,
+    independent_flow: Flow | list[Flow] | None = None,
+    timeframe: Timeframe | None = None,
+) -> FlowInfoResult:
+    """``remos_flow_info(fixed, variable, independent_flow, timeframe)``.
+
+    Accepts the paper's single ``independent_flow`` or a list.
+    """
+    if independent_flow is None:
+        independent: list[Flow] = []
+    elif isinstance(independent_flow, Flow):
+        independent = [independent_flow]
+    else:
+        independent = list(independent_flow)
+    return remos.flow_info(
+        fixed_flows=fixed_flows,
+        variable_flows=variable_flows,
+        independent_flows=independent,
+        timeframe=timeframe,
+    )

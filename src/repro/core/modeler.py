@@ -1,0 +1,283 @@
+"""The Modeler: turns a collector's NetworkView into Remos answers.
+
+"The primary tasks of the modeler are as follows: generating a logical
+topology, associating appropriate static and dynamic information with each
+of the network components, and satisfying flow requests based on the
+logical topology" (§5).  This module implements the first two tasks; flow
+satisfaction lives in :mod:`repro.core.api` on top of the availability
+estimates produced here.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.collector.base import NetworkView
+from repro.core.graph import RemosEdge, RemosGraph, RemosNode
+from repro.core.timeframe import Timeframe, TimeframeKind
+from repro.net import LinkDirection, RoutingTable
+from repro.stats import StatMeasure, make_predictor
+from repro.util.errors import QueryError
+
+# Accuracy attached to availability claims about directions nobody has
+# measured (assumed idle): low, but not zero — the topology is known.
+UNMEASURED_ACCURACY = 0.25
+
+
+class Modeler:
+    """Annotates topologies and estimates per-direction availability."""
+
+    def __init__(self, view: NetworkView, routing: RoutingTable | None = None):
+        self.view = view
+        self.routing = routing or RoutingTable(view.topology)
+
+    @property
+    def now(self) -> float:
+        """Query-evaluation time: the newest timestamp the metrics contain.
+
+        The Modeler is passive — it cannot read the simulation clock (a
+        real Modeler has no oracle either); "now" is the time of the most
+        recent measurement.
+        """
+        newest = 0.0
+        metrics = self.view.metrics
+        for link_name, from_node in metrics.keys():
+            series = metrics.series(link_name, from_node)
+            if not series.empty:
+                newest = max(newest, series.latest()[0])
+        return newest
+
+    # -- availability estimation ------------------------------------------------
+
+    def used_bandwidth(
+        self, direction: LinkDirection, timeframe: Timeframe
+    ) -> StatMeasure:
+        """Externally used bandwidth on a link direction for a timeframe."""
+        if timeframe.kind is TimeframeKind.STATIC:
+            return StatMeasure.constant(0.0)
+        metrics = self.view.metrics
+        link_name, from_node = direction.link.name, direction.src
+        if not metrics.has_series(link_name, from_node):
+            return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+        series = metrics.series(link_name, from_node)
+        if series.empty:
+            return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+        now = self.now
+        if timeframe.kind is TimeframeKind.CURRENT:
+            recent = series.window(now - 10 * max(1.0, series.span() / max(1, len(series))), now)
+            latest = series.latest_value()
+            accuracy = StatMeasure.from_samples(recent).accuracy if recent.size else 0.5
+            return StatMeasure.constant(latest).degraded(min(1.0, accuracy))
+        if timeframe.kind is TimeframeKind.HISTORY:
+            window = series.window(now - timeframe.window, now)
+            if window.size == 0:
+                return StatMeasure.constant(series.latest_value()).degraded(0.5)
+            return StatMeasure.from_samples(window)
+        # FUTURE
+        predictor = make_predictor(timeframe.predictor, history_window=timeframe.window)
+        return predictor.predict(series, now, timeframe.horizon)
+
+    def available_bandwidth(
+        self, direction: LinkDirection, timeframe: Timeframe
+    ) -> StatMeasure:
+        """Capacity minus external use, as a quartile measure."""
+        used = self.used_bandwidth(direction, timeframe)
+        return used.complement_of(direction.capacity)
+
+    def cpu_load(self, host: str, timeframe: Timeframe) -> StatMeasure:
+        """CPU utilization (0..1) of a host for a timeframe.
+
+        The paper's "simple interface to computation resources" (§2):
+        managed hosts report busy-time counters; unmonitored hosts are
+        assumed idle with low accuracy, like unmeasured links.
+        """
+        node = self.view.topology.node(host)
+        if not node.is_compute:
+            raise QueryError(f"cpu_load is only defined for compute nodes, not {host!r}")
+        if timeframe.kind is TimeframeKind.STATIC:
+            return StatMeasure.constant(0.0)
+        metrics = self.view.metrics
+        if not metrics.has_cpu_series(host):
+            return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+        series = metrics.cpu_series(host)
+        if series.empty:
+            return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+        now = self.now
+        if timeframe.kind is TimeframeKind.CURRENT:
+            return StatMeasure.constant(series.latest_value()).degraded(0.9)
+        if timeframe.kind is TimeframeKind.HISTORY:
+            window = series.window(now - timeframe.window, now)
+            if window.size == 0:
+                return StatMeasure.constant(series.latest_value()).degraded(0.5)
+            return StatMeasure.from_samples(window)
+        predictor = make_predictor(timeframe.predictor, history_window=timeframe.window)
+        return predictor.predict(series, now, timeframe.horizon)
+
+    def available_capacities(
+        self, timeframe: Timeframe, quantile: str = "median"
+    ) -> dict[Hashable, float]:
+        """Scalar resource capacities for one allocation run.
+
+        Directed links contribute their available bandwidth at *quantile*
+        (``"minimum"``/``"q1"``/``"median"``/``"q3"``/``"maximum"``/
+        ``"mean"``); finite node crossbars contribute their static internal
+        bandwidth (SNMP exposes no crossbar utilization).
+        """
+        capacities: dict[Hashable, float] = {}
+        for direction in self.view.topology.iter_directions():
+            available = self.available_bandwidth(direction, timeframe)
+            capacities[direction.key] = getattr(available, quantile)
+        for node in self.view.topology.nodes:
+            if node.internal_bandwidth != float("inf"):
+                capacities[("xbar", node.name)] = node.internal_bandwidth
+        return capacities
+
+    def resources_for_route(self, src: str, dst: str) -> tuple[Hashable, ...]:
+        """Resource keys a flow from *src* to *dst* consumes."""
+        route = self.routing.route(src, dst)
+        resources: list[Hashable] = [hop.key for hop in route.hops]
+        for name in route.node_sequence:
+            if self.view.topology.node(name).internal_bandwidth != float("inf"):
+                resources.append(("xbar", name))
+        return tuple(resources)
+
+    def resources_for_tree(self, src: str, dsts: list[str]) -> tuple[Hashable, ...]:
+        """Resource keys a multicast flow consumes: each tree link once."""
+        tree = self.routing.multicast_tree(src, list(dsts))
+        resources: list[Hashable] = [hop.key for hop in tree.hops]
+        for name in tree.nodes:
+            if self.view.topology.node(name).internal_bandwidth != float("inf"):
+                resources.append(("xbar", name))
+        return tuple(resources)
+
+    # -- logical topology ----------------------------------------------------------
+
+    def logical_graph(self, nodes: list[str], timeframe: Timeframe) -> RemosGraph:
+        """Build the pruned + collapsed logical topology for *nodes*.
+
+        1. keep only nodes/links on routes among the queried nodes;
+        2. collapse chains through degree-2 network nodes into single
+           logical links (capacity = min, latency = sum, availability =
+           element-wise min along the chain);
+        3. annotate everything for *timeframe*.
+        """
+        topology = self.view.topology
+        for name in nodes:
+            if not topology.has_node(name):
+                raise QueryError(f"unknown node {name!r} in get_graph query")
+            if not topology.node(name).is_compute:
+                raise QueryError(f"get_graph nodes must be compute nodes; {name!r} is not")
+        if not nodes:
+            raise QueryError("get_graph requires at least one node")
+
+        # Step 1: union of routing paths.
+        keep_nodes: set[str] = set(nodes)
+        keep_links: set[str] = set()
+        for i, src in enumerate(nodes):
+            for dst in nodes[i + 1:]:
+                route = self.routing.route(src, dst)
+                keep_nodes.update(route.node_sequence)
+                keep_links.update(link.name for link in route.links)
+
+        # Chains as link-name paths between "anchor" nodes.  Anchors are the
+        # queried nodes, compute nodes, and network nodes with degree != 2
+        # within the pruned subgraph.
+        adjacency: dict[str, list[str]] = {name: [] for name in keep_nodes}
+        for link_name in keep_links:
+            link = topology.link(link_name)
+            adjacency[link.a].append(link_name)
+            adjacency[link.b].append(link_name)
+
+        def is_anchor(name: str) -> bool:
+            node = topology.node(name)
+            if name in nodes or node.is_compute:
+                return True
+            if node.internal_bandwidth != float("inf"):
+                return True  # finite crossbars must stay visible
+            # First-hop routers (serving a kept host directly) stay: the
+            # host's access link is behaviour the application observes.
+            for link_name in adjacency[name]:
+                if topology.node(topology.link(link_name).other(name)).is_compute:
+                    return True
+            return len(adjacency[name]) != 2
+
+        graph = RemosGraph(list(nodes))
+        for name in sorted(keep_nodes):
+            if is_anchor(name):
+                node = topology.node(name)
+                graph.add_node(
+                    RemosNode(
+                        name=name,
+                        kind=node.kind,
+                        internal_bandwidth=node.internal_bandwidth,
+                        compute_speed=node.compute_speed,
+                        memory_bytes=node.memory_bytes,
+                    )
+                )
+
+        # Step 2: walk chains anchor -> anchor, collapsing pass-through
+        # network nodes.
+        visited_links: set[str] = set()
+        for start in sorted(keep_nodes):
+            if not is_anchor(start):
+                continue
+            for first_link_name in adjacency[start]:
+                if first_link_name in visited_links:
+                    continue
+                chain_links: list[str] = []
+                chain_nodes: list[str] = [start]
+                current = start
+                link_name = first_link_name
+                while True:
+                    chain_links.append(link_name)
+                    link = topology.link(link_name)
+                    current = link.other(current)
+                    chain_nodes.append(current)
+                    if is_anchor(current):
+                        break
+                    next_links = [l for l in adjacency[current] if l != link_name]
+                    assert len(next_links) == 1  # degree-2 non-anchor
+                    link_name = next_links[0]
+                visited_links.update(chain_links)
+                self._add_logical_edge(graph, chain_nodes, chain_links, timeframe)
+        return graph
+
+    def _add_logical_edge(
+        self,
+        graph: RemosGraph,
+        chain_nodes: list[str],
+        chain_links: list[str],
+        timeframe: Timeframe,
+    ) -> None:
+        topology = self.view.topology
+        start, end = chain_nodes[0], chain_nodes[-1]
+        links = [topology.link(name) for name in chain_links]
+        capacity = min(link.capacity for link in links)
+        latency = sum(link.latency for link in links)
+        # Availability per direction: element-wise min along the chain.
+        available: dict[str, StatMeasure] = {}
+        for chain in (chain_nodes, list(reversed(chain_nodes))):
+            measure: StatMeasure | None = None
+            for a, b in zip(chain, chain[1:]):
+                link = next(
+                    l for l in links if {l.a, l.b} == {a, b}
+                )
+                direction = link.direction(a, b)
+                step = self.available_bandwidth(direction, timeframe)
+                measure = step if measure is None else StatMeasure.min_of(measure, step)
+            assert measure is not None
+            available[chain[0]] = measure
+        name = chain_links[0] if len(chain_links) == 1 else f"{start}~{end}"
+        if len(chain_links) > 1 and any(e.name == name for e in graph.edges):
+            name = f"{name}~{len(graph.edges)}"  # parallel collapsed chains
+        graph.add_edge(
+            RemosEdge(
+                name=name,
+                a=start,
+                b=end,
+                capacity=capacity,
+                latency=latency,
+                available=available,
+                physical_links=tuple(chain_links),
+            )
+        )

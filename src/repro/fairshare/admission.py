@@ -1,0 +1,50 @@
+"""Admission checks for fixed flows.
+
+For a fixed flow the application "may be primarily interested in whether the
+network can support it" (§4.2).  These helpers answer exactly that yes/no
+question and, on refusal, say which resources are oversubscribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.fairshare.allocator import FlowRequest
+
+
+@dataclass(frozen=True)
+class AdmissionReport:
+    """Outcome of an admission check for a set of fixed flows."""
+
+    admitted: bool
+    oversubscribed: dict[Hashable, float]
+    """Resource key -> excess demand in bits/second (empty when admitted)."""
+
+
+def admission_report(
+    capacities: dict[Hashable, float],
+    fixed: list[FlowRequest],
+) -> AdmissionReport:
+    """Check whether all *fixed* requests fit within *capacities* at once.
+
+    A set of fixed flows is admissible iff on every resource the sum of
+    requests does not exceed the capacity — no fairness computation needed,
+    since fixed flows never exceed their request.
+    """
+    load: dict[Hashable, float] = {}
+    for request in fixed:
+        for resource in request.resources:
+            load[resource] = load.get(resource, 0.0) + request.requested
+
+    oversubscribed = {}
+    for resource, demand in load.items():
+        capacity = capacities.get(resource, float("inf"))
+        if demand > capacity * (1.0 + 1e-9):
+            oversubscribed[resource] = demand - capacity
+    return AdmissionReport(admitted=not oversubscribed, oversubscribed=oversubscribed)
+
+
+def admissible(capacities: dict[Hashable, float], fixed: list[FlowRequest]) -> bool:
+    """Shorthand for ``admission_report(...).admitted``."""
+    return admission_report(capacities, fixed).admitted

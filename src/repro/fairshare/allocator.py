@@ -1,0 +1,141 @@
+"""Three-stage allocation for Remos flow queries.
+
+The paper's ``remos_flow_info(fixed_flows, variable_flows, independent_flow,
+timeframe)`` satisfies the flow classes in strict priority order (§4.2):
+
+1. **fixed** flows — each wants exactly its requested bandwidth; equal-weight
+   max-min among them, capped at the request, decides what is achievable;
+2. **variable** flows — share what is left *proportionally to their relative
+   requirements* (weighted max-min, uncapped unless the caller caps them);
+3. **independent** flows — absorb whatever remains (equal-weight max-min).
+
+Each later stage sees capacities reduced by the earlier stages' allocations.
+This module is topology-agnostic: callers supply each flow's resource keys
+(directed links + finite node crossbars); :mod:`repro.core` derives those
+from routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.fairshare.maxmin import Demand, MaxMinResult, weighted_max_min
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlowRequest:
+    """A single flow presented for staged allocation.
+
+    For *fixed* flows, ``requested`` is the exact bandwidth wanted.
+    For *variable* flows, ``requested`` is the **relative** requirement (the
+    paper's "3, 4.5 and 9 Mbps relative to each other") used as the max-min
+    weight; ``cap`` optionally bounds the absolute rate.
+    For *independent* flows, ``requested`` is ignored.
+    """
+
+    flow_id: Hashable
+    resources: tuple[Hashable, ...]
+    requested: float = 1.0
+    cap: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.requested < 0:
+            raise ConfigurationError(
+                f"flow {self.flow_id!r}: requested bandwidth must be non-negative"
+            )
+
+
+@dataclass
+class StagedAllocation:
+    """Combined result of the three allocation stages.
+
+    ``rates`` covers every flow from all stages.  ``satisfied`` marks fixed
+    flows that received their full request.  ``bottlenecks`` names the
+    limiting resource per flow (None = demand-limited).
+    """
+
+    rates: dict[Hashable, float] = field(default_factory=dict)
+    satisfied: dict[Hashable, bool] = field(default_factory=dict)
+    bottlenecks: dict[Hashable, Hashable | None] = field(default_factory=dict)
+    residual_capacity: dict[Hashable, float] = field(default_factory=dict)
+
+    def rate(self, flow_id: Hashable) -> float:
+        """Allocated bits/second for *flow_id*."""
+        return self.rates[flow_id]
+
+    @property
+    def all_fixed_satisfied(self) -> bool:
+        """True when every fixed flow received its full request."""
+        return all(self.satisfied.values())
+
+
+def _merge(result: MaxMinResult, into: StagedAllocation) -> dict[Hashable, float]:
+    """Fold a stage's result into the combined allocation; return new capacities."""
+    into.rates.update(result.rates)
+    into.bottlenecks.update(result.bottlenecks)
+    return result.residual_capacity
+
+
+def allocate_three_stage(
+    capacities: dict[Hashable, float],
+    fixed: list[FlowRequest] | None = None,
+    variable: list[FlowRequest] | None = None,
+    independent: list[FlowRequest] | None = None,
+) -> StagedAllocation:
+    """Run the fixed → variable → independent allocation pipeline.
+
+    *capacities* should already exclude background (external) traffic; the
+    Modeler subtracts measured utilization before calling this.
+    """
+    fixed = fixed or []
+    variable = variable or []
+    independent = independent or []
+
+    all_ids = [f.flow_id for f in fixed + variable + independent]
+    if len(set(all_ids)) != len(all_ids):
+        raise ConfigurationError("flow_ids must be unique across all flow classes")
+
+    allocation = StagedAllocation()
+    current = {key: max(0.0, float(cap)) for key, cap in capacities.items()}
+
+    # Stage 1: fixed flows.  Equal weights, capped at the request — max-min
+    # among them decides who loses when they cannot all be satisfied.
+    if fixed:
+        demands = [
+            Demand(f.flow_id, f.resources, weight=1.0, cap=f.requested) for f in fixed
+        ]
+        result = weighted_max_min(demands, current)
+        current = _merge(result, allocation)
+        for request in fixed:
+            granted = result.rates[request.flow_id]
+            allocation.satisfied[request.flow_id] = (
+                granted >= request.requested * (1.0 - 1e-9)
+            )
+
+    # Stage 2: variable flows share the remainder proportionally to their
+    # relative requirements.
+    if variable:
+        demands = [
+            Demand(
+                f.flow_id,
+                f.resources,
+                weight=f.requested if f.requested > 0 else 1.0,
+                cap=f.cap,
+            )
+            for f in variable
+        ]
+        result = weighted_max_min(demands, current)
+        current = _merge(result, allocation)
+
+    # Stage 3: independent flows absorb the leftovers.
+    if independent:
+        demands = [
+            Demand(f.flow_id, f.resources, weight=1.0, cap=f.cap) for f in independent
+        ]
+        result = weighted_max_min(demands, current)
+        current = _merge(result, allocation)
+
+    allocation.residual_capacity = current
+    return allocation

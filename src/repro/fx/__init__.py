@@ -1,0 +1,33 @@
+"""A simulated Fx-style data-parallel runtime.
+
+The paper's applications are Fx (HPF-variant) programs whose runtime was
+"enhanced so that the assignment of nodes to tasks could be modified
+during execution" (§7.1).  This package reproduces the runtime behaviours
+the evaluation depends on:
+
+* a program is *compiled for* N partitions but may execute on fewer active
+  nodes (the mapping), paying a load-imbalance factor — the source of
+  Table 3's 862s-vs-650s overhead;
+* compute phases advance simulated time according to each host's speed;
+* communication phases are real concurrent flows on the fluid network, so
+  external traffic slows them exactly as it would on the testbed;
+* at *migration points* (iteration boundaries, where "the active data set
+  is replicated"), the mapping can be changed with no data-copy cost.
+
+Programs subclass :class:`FxProgram`; the :class:`FxRuntime` executes them
+and produces a :class:`RunReport` with compute/communication breakdowns.
+"""
+
+from repro.fx.mapping import NodeMapping
+from repro.fx.comm import CommWorld
+from repro.fx.program import FxProgram, ProgramContext
+from repro.fx.runtime import FxRuntime, RunReport
+
+__all__ = [
+    "NodeMapping",
+    "CommWorld",
+    "FxProgram",
+    "ProgramContext",
+    "FxRuntime",
+    "RunReport",
+]

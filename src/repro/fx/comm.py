@@ -1,0 +1,172 @@
+"""Collective communication over the fluid network.
+
+Every collective opens its member transfers *simultaneously* and waits for
+all of them — this is exactly the internal-sharing situation Remos's
+simultaneous flow queries exist to predict (§4.2).  All methods are
+generators to be driven from a simulation process (``yield from``).
+
+Accounting: ``bytes_moved`` and ``busy_time`` let run reports split compute
+from communication.
+"""
+
+from __future__ import annotations
+
+from repro.fx.mapping import NodeMapping
+from repro.netsim import FluidNetwork
+from repro.util.errors import RuntimeModelError
+
+# Payload of synchronisation messages (barrier tokens): small but non-zero,
+# so a barrier still costs latency.
+SYNC_BYTES = 64.0
+
+
+class CommWorld:
+    """Collectives bound to one mapping of ranks onto hosts."""
+
+    def __init__(self, net: FluidNetwork, mapping: NodeMapping):
+        mapping.validate_against(net.topology)
+        self.net = net
+        self.mapping = mapping
+        self.bytes_moved = 0.0
+        self.busy_time = 0.0
+
+    @property
+    def env(self):
+        """The simulation engine."""
+        return self.net.env
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return self.mapping.size
+
+    def _wait_all(self, handles):
+        """Wait for a set of transfers; book time and bytes."""
+        started = self.env.now
+        if handles:
+            yield self.env.all_of([handle.done for handle in handles])
+        self.busy_time += self.env.now - started
+        self.bytes_moved += sum(handle.size_bytes for handle in handles)
+
+    def _check_rank(self, rank: int) -> str:
+        return self.mapping.host_of(rank)
+
+    # -- point to point ----------------------------------------------------------
+
+    def send(self, src_rank: int, dst_rank: int, nbytes: float):
+        """One message from rank to rank (generator)."""
+        src = self._check_rank(src_rank)
+        dst = self._check_rank(dst_rank)
+        handle = self.net.transfer(src, dst, nbytes, label=f"p2p:{src}->{dst}")
+        yield from self._wait_all([handle])
+
+    # -- collectives ----------------------------------------------------------------
+
+    def all_to_all(self, bytes_per_pair: float):
+        """Every rank sends *bytes_per_pair* to every other rank at once.
+
+        This is the Fx transpose pattern — P(P-1) simultaneous flows.
+        """
+        if bytes_per_pair < 0:
+            raise RuntimeModelError("bytes_per_pair must be non-negative")
+        handles = []
+        for i in range(self.size):
+            for j in range(self.size):
+                if i == j:
+                    continue
+                src, dst = self.mapping.host_of(i), self.mapping.host_of(j)
+                handles.append(
+                    self.net.transfer(src, dst, bytes_per_pair, label=f"a2a:{src}->{dst}")
+                )
+        yield from self._wait_all(handles)
+
+    def broadcast(self, root_rank: int, nbytes: float):
+        """Root sends *nbytes* to every other rank simultaneously."""
+        root = self._check_rank(root_rank)
+        handles = [
+            self.net.transfer(root, host, nbytes, label=f"bcast:{root}->{host}")
+            for host in self.mapping
+            if host != root
+        ]
+        yield from self._wait_all(handles)
+
+    def multicast_broadcast(self, root_rank: int, nbytes: float):
+        """Broadcast over a multicast distribution tree (§4.5 extension).
+
+        One stream crosses each tree link once, so the root's uplink
+        carries the payload once instead of (P-1) times — compare
+        :meth:`broadcast` in the broadcast-strategy ablation.
+        """
+        root = self._check_rank(root_rank)
+        receivers = [host for host in self.mapping if host != root]
+        if not receivers:
+            return
+        handle = self.net.multicast_transfer(
+            root, receivers, nbytes, label=f"mbcast:{root}"
+        )
+        yield from self._wait_all([handle])
+
+    def gather(self, root_rank: int, nbytes_per_rank: float):
+        """Every non-root rank sends *nbytes_per_rank* to root."""
+        root = self._check_rank(root_rank)
+        handles = [
+            self.net.transfer(host, root, nbytes_per_rank, label=f"gather:{host}->{root}")
+            for host in self.mapping
+            if host != root
+        ]
+        yield from self._wait_all(handles)
+
+    def scatter(self, root_rank: int, nbytes_per_rank: float):
+        """Root sends a distinct *nbytes_per_rank* block to each rank."""
+        yield from self.broadcast(root_rank, nbytes_per_rank)
+
+    def allreduce(self, nbytes: float):
+        """Reduce-to-root then broadcast (the flat 1998-style algorithm)."""
+        yield from self.gather(0, nbytes)
+        yield from self.broadcast(0, nbytes)
+
+    def shift(self, nbytes: float):
+        """Each rank sends *nbytes* to its successor (no wraparound).
+
+        The pipeline step of systolic/pipelined algorithms (e.g. pipelined
+        SOR): rank i's boundary moves to rank i+1, all sends concurrent.
+        """
+        if self.size < 2:
+            return
+            yield  # pragma: no cover - generator marker
+        handles = []
+        for i in range(self.size - 1):
+            src, dst = self.mapping.host_of(i), self.mapping.host_of(i + 1)
+            handles.append(self.net.transfer(src, dst, nbytes, label=f"shift:{src}->{dst}"))
+        yield from self._wait_all(handles)
+
+    def ring_exchange(self, nbytes: float):
+        """Each rank exchanges *nbytes* with both ring neighbours at once.
+
+        The boundary-exchange pattern of stencil codes (Airshed transport).
+        With fewer than 2 ranks there is nothing to exchange; with exactly
+        2 the two directions collapse to one pair each way.
+        """
+        if self.size < 2:
+            return
+            yield  # pragma: no cover - makes this a generator
+        handles = []
+        seen = set()
+        for i in range(self.size):
+            for j in ((i + 1) % self.size, (i - 1) % self.size):
+                if (i, j) in seen or i == j:
+                    continue
+                seen.add((i, j))
+                src, dst = self.mapping.host_of(i), self.mapping.host_of(j)
+                handles.append(
+                    self.net.transfer(src, dst, nbytes, label=f"ring:{src}->{dst}")
+                )
+        yield from self._wait_all(handles)
+
+    def barrier(self):
+        """Synchronise all ranks (token gather + release broadcast)."""
+        if self.size < 2:
+            return
+            yield  # pragma: no cover
+        yield from self.gather(0, SYNC_BYTES)
+        yield from self.broadcast(0, SYNC_BYTES)

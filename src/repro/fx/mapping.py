@@ -1,0 +1,84 @@
+"""Rank-to-host mappings.
+
+A mapping is an ordered list of distinct compute hosts; rank *i* runs on
+``hosts[i]``.  Mappings are immutable — migration replaces the runtime's
+mapping rather than mutating it, so reports can record the history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net import Topology
+from repro.util.errors import RuntimeModelError
+
+
+@dataclass(frozen=True)
+class NodeMapping:
+    """An immutable assignment of ranks to hosts."""
+
+    hosts: tuple[str, ...]
+
+    def __init__(self, hosts):
+        object.__setattr__(self, "hosts", tuple(hosts))
+        if not self.hosts:
+            raise RuntimeModelError("mapping needs at least one host")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise RuntimeModelError(f"mapping has duplicate hosts: {self.hosts}")
+
+    @property
+    def size(self) -> int:
+        """Number of active ranks."""
+        return len(self.hosts)
+
+    def host_of(self, rank: int) -> str:
+        """Host running *rank*."""
+        if not 0 <= rank < self.size:
+            raise RuntimeModelError(f"rank {rank} out of range 0..{self.size - 1}")
+        return self.hosts[rank]
+
+    def rank_of(self, host: str) -> int:
+        """Rank running on *host*."""
+        try:
+            return self.hosts.index(host)
+        except ValueError:
+            raise RuntimeModelError(f"host {host!r} is not in the mapping") from None
+
+    def validate_against(self, topology: Topology) -> None:
+        """Check every host exists and is a compute node."""
+        for host in self.hosts:
+            if not topology.has_node(host):
+                raise RuntimeModelError(f"mapping host {host!r} not in topology")
+            if not topology.node(host).is_compute:
+                raise RuntimeModelError(f"mapping host {host!r} is not a compute node")
+
+    def imbalance_factor(self, compiled_for: int | None) -> float:
+        """Load-imbalance multiplier for compute phases.
+
+        A program compiled into *compiled_for* partitions running on P
+        hosts places ceil(compiled_for / P) partitions on the most loaded
+        host; relative to an ideally recompiled program (compiled_for / P
+        partitions per host) that costs
+        ``ceil(compiled_for / P) * P / compiled_for``.  Running 8
+        partitions on 5 nodes gives 2 * 5 / 8 = 1.25 — the Table 3
+        overhead of compiling for 8 and running on 5.
+        """
+        if compiled_for is None:
+            return 1.0
+        if compiled_for < self.size:
+            raise RuntimeModelError(
+                f"program compiled for {compiled_for} partitions cannot use "
+                f"{self.size} hosts"
+            )
+        import math
+
+        return math.ceil(compiled_for / self.size) * self.size / compiled_for
+
+    def __iter__(self):
+        return iter(self.hosts)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __str__(self) -> str:
+        return ",".join(self.hosts)

@@ -1,0 +1,163 @@
+"""The program model: what an Fx application looks like to the runtime.
+
+A program declares how many partitions it was *compiled for*, how many
+iterations its outer loop runs, and supplies an ``iteration`` generator
+that uses the :class:`ProgramContext` for compute and communication.  The
+iteration boundary is the migration point (§7.3): before each iteration
+the runtime calls the adaptation hook, which may remap the program.
+
+Programs also expose their communication pattern
+(:meth:`FxProgram.communication_pattern`) because "programming tools often
+have this information" (§6) and the adaptation layer feeds it into Remos
+flow queries.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.fx.comm import CommWorld
+from repro.fx.mapping import NodeMapping
+from repro.util.errors import RuntimeModelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fx.runtime import FxRuntime
+
+
+@dataclass(frozen=True)
+class CommPattern:
+    """One entry of a program's static communication pattern.
+
+    ``kind`` names the collective; ``bytes_per_iteration`` the data it
+    moves per outer-loop iteration (total across all flows).
+    """
+
+    kind: str
+    bytes_per_iteration: float
+
+
+class ProgramContext:
+    """Facilities a program's iteration body may use.
+
+    All operations are generators (``yield from ctx.compute(...)``).
+    Compute is charged per-rank against host speed, scaled by the
+    compiled-for imbalance factor; communication goes through the
+    :class:`CommWorld` for the current mapping.
+    """
+
+    def __init__(self, runtime: "FxRuntime", program: "FxProgram"):
+        self._runtime = runtime
+        self._program = program
+        self.compute_time = 0.0
+
+    @property
+    def env(self):
+        """The simulation engine (read the clock via ``ctx.env.now``)."""
+        return self._runtime.env
+
+    @property
+    def mapping(self) -> NodeMapping:
+        """Current rank-to-host mapping."""
+        return self._runtime.mapping
+
+    @property
+    def comm(self) -> CommWorld:
+        """Collectives over the current mapping."""
+        return self._runtime.comm
+
+    @property
+    def size(self) -> int:
+        """Number of active ranks."""
+        return self.mapping.size
+
+    def compute(self, flops_per_rank: float):
+        """All ranks compute in parallel; time = slowest rank (generator).
+
+        The imbalance factor for running `compiled_for` partitions on
+        fewer hosts multiplies the duration.
+        """
+        if flops_per_rank < 0:
+            raise RuntimeModelError("flops_per_rank must be non-negative")
+        topology = self._runtime.net.topology
+        activity = self._runtime.net.host_activity
+        factor = self.mapping.imbalance_factor(self._program.compiled_for)
+        # Fair time-sharing with whatever else runs on each host: our rank
+        # gets 1/(1 + competing share) of the CPU (frozen at phase start).
+        duration = 0.0
+        for host in self.mapping:
+            fraction = 1.0 / (1.0 + activity.active_share(host))
+            speed = topology.node(host).compute_speed * fraction
+            duration = max(duration, flops_per_rank * factor / speed)
+        self.compute_time += duration
+        for host in self.mapping:
+            activity.set_share(host, +1.0)
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            for host in self.mapping:
+                activity.set_share(host, -1.0)
+
+    def serial_compute(self, flops: float):
+        """Unparallelised work on rank 0 (generator)."""
+        topology = self._runtime.net.topology
+        activity = self._runtime.net.host_activity
+        root = self.mapping.host_of(0)
+        fraction = 1.0 / (1.0 + activity.active_share(root))
+        duration = flops / (topology.node(root).compute_speed * fraction)
+        self.compute_time += duration
+        activity.set_share(root, +1.0)
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            activity.set_share(root, -1.0)
+
+
+class FxProgram(abc.ABC):
+    """Base class for simulated Fx applications."""
+
+    #: Human-readable name used in reports and benchmark tables.
+    name: str = "program"
+
+    #: Partition count baked in at compile time (None = recompiled per run).
+    compiled_for: int | None = None
+
+    #: Outer-loop iterations; each boundary is a migration point.
+    iterations: int = 1
+
+    @abc.abstractmethod
+    def iteration(self, ctx: ProgramContext, index: int) -> Generator:
+        """One outer-loop iteration (generator using ctx operations)."""
+
+    def setup(self, ctx: ProgramContext) -> Generator:
+        """Optional one-time initialisation (default: nothing)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def communication_pattern(self) -> list[CommPattern]:
+        """Static description of the per-iteration communication.
+
+        Used by the adaptation layer to build Remos flow queries without
+        running the program.  Subclasses should override.
+        """
+        return []
+
+    def required_nodes(self) -> int:
+        """Minimum number of hosts (defaults to 1)."""
+        return 1
+
+    def memory_bytes_per_rank(self, size: int) -> float:
+        """Working-set bytes each rank needs when run on *size* hosts.
+
+        The node-count constraint of §2: "a certain minimum number of
+        nodes are often required to fit the data sets into the physical
+        memory of all participating nodes."  Defaults to 0 (no memory
+        pressure); data-holding programs override.
+        """
+        return 0.0
+
+
+#: Signature of the adaptation hook: called before every iteration with
+#: (runtime, program, iteration index); may call runtime.remap(...).
+AdaptHook = Callable[["FxRuntime", FxProgram, int], Generator]

@@ -1,0 +1,192 @@
+"""The Fx runtime: executes programs, supports remapping at migration points.
+
+The runtime models SPMD execution at the coordinator level: compute phases
+advance the virtual clock by the slowest rank's duration, communication
+phases run real concurrent flows on the fluid network.  Remapping swaps the
+mapping between iterations; with the paper's replicated-data assumption
+"no data copying or explicit synchronization is necessary for migration"
+(§8.3), so a remap's direct cost is zero — the *indirect* costs (adaptation
+decision time, running with an imbalanced compiled-for factor) are modelled
+explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fx.comm import CommWorld
+from repro.fx.mapping import NodeMapping
+from repro.fx.program import AdaptHook, FxProgram, ProgramContext
+from repro.netsim import FluidNetwork
+from repro.util.errors import RuntimeModelError
+
+
+@dataclass
+class MigrationRecord:
+    """One remap event in a run."""
+
+    iteration: int
+    time: float
+    from_hosts: tuple[str, ...]
+    to_hosts: tuple[str, ...]
+
+
+@dataclass
+class RunReport:
+    """Outcome of one program run."""
+
+    program: str
+    hosts_initial: tuple[str, ...]
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+    adapt_time: float = 0.0
+    bytes_moved: float = 0.0
+    iteration_times: list[float] = field(default_factory=list)
+    migrations: list[MigrationRecord] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Total wall-clock (simulated) execution time in seconds."""
+        return self.finished_at - self.started_at
+
+    @property
+    def final_hosts(self) -> tuple[str, ...]:
+        """Hosts in use when the program finished."""
+        if self.migrations:
+            return self.migrations[-1].to_hosts
+        return self.hosts_initial
+
+    def __str__(self) -> str:
+        return (
+            f"{self.program} on {','.join(self.hosts_initial)}: "
+            f"{self.elapsed:.3f}s (compute {self.compute_time:.3f}s, "
+            f"comm {self.comm_time:.3f}s, {len(self.migrations)} migrations)"
+        )
+
+
+class FxRuntime:
+    """Executes one program at a time over a fluid network."""
+
+    def __init__(self, net: FluidNetwork):
+        self.net = net
+        self.env = net.env
+        self._mapping: NodeMapping | None = None
+        self._comm: CommWorld | None = None
+        self._report: RunReport | None = None
+        self._running = False
+
+    @property
+    def mapping(self) -> NodeMapping:
+        """Current rank-to-host mapping."""
+        if self._mapping is None:
+            raise RuntimeModelError("no program is mapped")
+        return self._mapping
+
+    @property
+    def comm(self) -> CommWorld:
+        """Collectives over the current mapping."""
+        if self._comm is None:
+            raise RuntimeModelError("no program is mapped")
+        return self._comm
+
+    @property
+    def report(self) -> RunReport:
+        """The report of the current/most recent run."""
+        if self._report is None:
+            raise RuntimeModelError("no program has been launched")
+        return self._report
+
+    # -- mapping ------------------------------------------------------------------
+
+    def _install_mapping(self, hosts) -> None:
+        mapping = hosts if isinstance(hosts, NodeMapping) else NodeMapping(hosts)
+        mapping.validate_against(self.net.topology)
+        previous_comm = self._comm
+        self._mapping = mapping
+        self._comm = CommWorld(self.net, mapping)
+        if previous_comm is not None:
+            # Carry accounting across migrations.
+            self._comm.bytes_moved = previous_comm.bytes_moved
+            self._comm.busy_time = previous_comm.busy_time
+
+    def remap(self, hosts, iteration: int = -1) -> None:
+        """Switch the active mapping (legal only at migration points).
+
+        With replicated data at migration points the remap itself is free;
+        callers model decision costs separately (see
+        :meth:`charge_adaptation`).
+        """
+        if self._mapping is None:
+            raise RuntimeModelError("cannot remap before launch")
+        old = self._mapping.hosts
+        self._install_mapping(hosts)
+        if self._report is not None:
+            self._report.migrations.append(
+                MigrationRecord(
+                    iteration=iteration,
+                    time=self.env.now,
+                    from_hosts=old,
+                    to_hosts=self._mapping.hosts,
+                )
+            )
+
+    def charge_adaptation(self, seconds: float):
+        """Spend *seconds* on adaptation decision-making (generator)."""
+        if seconds < 0:
+            raise RuntimeModelError("adaptation cost must be non-negative")
+        if self._report is not None:
+            self._report.adapt_time += seconds
+        yield self.env.timeout(seconds)
+
+    # -- execution -----------------------------------------------------------------
+
+    def launch(self, program: FxProgram, hosts, adapt_hook: AdaptHook | None = None):
+        """Run *program* on *hosts*; returns the completion Process.
+
+        The process's value is the :class:`RunReport`.  ``adapt_hook`` is
+        invoked (as a sub-generator) before every iteration — the migration
+        point — and may call :meth:`remap` / :meth:`charge_adaptation`.
+        """
+        if self._running:
+            raise RuntimeModelError("runtime already has a program running")
+        if program.iterations < 1:
+            raise RuntimeModelError("program must have at least one iteration")
+        self._install_mapping(hosts)
+        if self.mapping.size < program.required_nodes():
+            raise RuntimeModelError(
+                f"{program.name} needs >= {program.required_nodes()} hosts, "
+                f"got {self.mapping.size}"
+            )
+        self._report = RunReport(
+            program=program.name,
+            hosts_initial=self.mapping.hosts,
+            started_at=self.env.now,
+        )
+        self._running = True
+        return self.env.process(self._run(program, adapt_hook), name=f"fx:{program.name}")
+
+    def _run(self, program: FxProgram, adapt_hook: AdaptHook | None):
+        report = self._report
+        assert report is not None
+        ctx = ProgramContext(self, program)
+        try:
+            yield from program.setup(ctx)
+            for index in range(program.iterations):
+                if adapt_hook is not None:
+                    yield from adapt_hook(self, program, index)
+                    # The hook may have remapped; refresh the context's view
+                    # implicitly (ctx reads mapping/comm via the runtime).
+                iteration_start = self.env.now
+                yield from program.iteration(ctx, index)
+                report.iteration_times.append(self.env.now - iteration_start)
+        finally:
+            self._running = False
+            report.finished_at = self.env.now
+            report.compute_time = ctx.compute_time
+            comm = self._comm
+            assert comm is not None
+            report.comm_time = comm.busy_time
+            report.bytes_moved = comm.bytes_moved
+        return report

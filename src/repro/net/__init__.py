@@ -1,0 +1,29 @@
+"""Static network model: nodes, duplex links, topologies and routing.
+
+This package knows nothing about time or traffic — it is the graph that the
+fluid simulator (:mod:`repro.netsim`) animates and that the Remos Modeler
+(:mod:`repro.core`) abstracts into logical topologies.
+
+Terminology follows the paper: *compute nodes* (hosts) run applications and
+terminate flows; *network nodes* (routers/switches) only forward.  Links are
+full-duplex with independent per-direction capacity; network nodes may have a
+finite internal (crossbar) bandwidth, which is how Fig. 1's "node internal
+bandwidth of 10 Mbps" scenario is modelled.
+"""
+
+from repro.net.topology import Link, LinkDirection, Node, NodeKind, Topology
+from repro.net.routing import MulticastTree, Route, RoutingTable
+from repro.net.builder import TopologyBuilder, topology_from_spec
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Link",
+    "LinkDirection",
+    "Topology",
+    "Route",
+    "MulticastTree",
+    "RoutingTable",
+    "TopologyBuilder",
+    "topology_from_spec",
+]

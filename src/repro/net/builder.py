@@ -1,0 +1,167 @@
+"""Fluent builder and dict-spec loader for topologies.
+
+Two ways to construct a network:
+
+1. The fluent builder::
+
+       topo = (
+           TopologyBuilder("lan")
+           .router("sw1")
+           .host("a").host("b")
+           .link("a", "sw1", "100Mbps", "0.1ms")
+           .link("b", "sw1", "100Mbps", "0.1ms")
+           .build()
+       )
+
+2. A declarative dict (handy for experiment configs)::
+
+       topo = topology_from_spec({
+           "name": "lan",
+           "hosts": ["a", "b"],
+           "routers": ["sw1"],
+           "links": [
+               {"a": "a", "b": "sw1", "capacity": "100Mbps", "latency": "0.1ms"},
+               {"a": "b", "b": "sw1", "capacity": "100Mbps", "latency": "0.1ms"},
+           ],
+       })
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.net.topology import Topology
+from repro.util.errors import ConfigurationError
+
+
+class TopologyBuilder:
+    """Chainable construction of a :class:`~repro.net.topology.Topology`."""
+
+    def __init__(self, name: str = "net"):
+        self._topology = Topology(name=name)
+        self._default_capacity: float | str = "100Mbps"
+        self._default_latency: float | str = "0.1ms"
+        self._built = False
+
+    def defaults(
+        self,
+        capacity: float | str | None = None,
+        latency: float | str | None = None,
+    ) -> "TopologyBuilder":
+        """Set defaults applied by :meth:`link` when values are omitted."""
+        if capacity is not None:
+            self._default_capacity = capacity
+        if latency is not None:
+            self._default_latency = latency
+        return self
+
+    def host(
+        self,
+        name: str,
+        compute_speed: float = 1e8,
+        memory_bytes: float = 256e6,
+    ) -> "TopologyBuilder":
+        """Add a compute node."""
+        self._topology.add_compute_node(
+            name, compute_speed=compute_speed, memory_bytes=memory_bytes
+        )
+        return self
+
+    def hosts(self, names: Iterable[str], compute_speed: float = 1e8) -> "TopologyBuilder":
+        """Add several identical compute nodes."""
+        for name in names:
+            self.host(name, compute_speed=compute_speed)
+        return self
+
+    def router(
+        self, name: str, internal_bandwidth: float | str = float("inf")
+    ) -> "TopologyBuilder":
+        """Add a network node, optionally with finite crossbar bandwidth."""
+        from repro.util.units import parse_bandwidth
+
+        bandwidth = (
+            float("inf")
+            if internal_bandwidth == float("inf")
+            else parse_bandwidth(internal_bandwidth)
+        )
+        self._topology.add_network_node(name, internal_bandwidth=bandwidth)
+        return self
+
+    def link(
+        self,
+        a: str,
+        b: str,
+        capacity: float | str | None = None,
+        latency: float | str | None = None,
+        name: str | None = None,
+    ) -> "TopologyBuilder":
+        """Connect two existing nodes (defaults from :meth:`defaults`)."""
+        self._topology.add_link(
+            a,
+            b,
+            capacity if capacity is not None else self._default_capacity,
+            latency if latency is not None else self._default_latency,
+            name=name,
+        )
+        return self
+
+    def star(
+        self,
+        center: str,
+        leaves: Iterable[str],
+        capacity: float | str | None = None,
+        latency: float | str | None = None,
+    ) -> "TopologyBuilder":
+        """Link every leaf to *center* (hosts/router must already exist)."""
+        for leaf in leaves:
+            self.link(leaf, center, capacity, latency)
+        return self
+
+    def build(self, validate: bool = True) -> Topology:
+        """Finish and (by default) validate the topology."""
+        if self._built:
+            raise ConfigurationError("TopologyBuilder.build() called twice")
+        self._built = True
+        if validate:
+            self._topology.validate()
+        return self._topology
+
+
+def topology_from_spec(spec: dict[str, Any]) -> Topology:
+    """Build a topology from a declarative dict (see module docstring).
+
+    Recognised keys: ``name``, ``hosts`` (list of names or
+    ``{name, compute_speed, memory_bytes}`` dicts), ``routers`` (list of
+    names or ``{name, internal_bandwidth}`` dicts), ``links`` (list of
+    ``{a, b, capacity, latency, name}`` dicts).
+    """
+    unknown = set(spec) - {"name", "hosts", "routers", "links"}
+    if unknown:
+        raise ConfigurationError(f"unknown topology spec keys: {sorted(unknown)}")
+    builder = TopologyBuilder(spec.get("name", "net"))
+    for host in spec.get("hosts", []):
+        if isinstance(host, str):
+            builder.host(host)
+        else:
+            builder.host(
+                host["name"],
+                compute_speed=host.get("compute_speed", 1e8),
+                memory_bytes=host.get("memory_bytes", 256e6),
+            )
+    for router in spec.get("routers", []):
+        if isinstance(router, str):
+            builder.router(router)
+        else:
+            builder.router(
+                router["name"],
+                internal_bandwidth=router.get("internal_bandwidth", float("inf")),
+            )
+    for link in spec.get("links", []):
+        builder.link(
+            link["a"],
+            link["b"],
+            link.get("capacity"),
+            link.get("latency"),
+            name=link.get("name"),
+        )
+    return builder.build()

@@ -1,0 +1,258 @@
+"""Static shortest-path routing over a Topology.
+
+The testbed (and 1990s IP networks generally) used static shortest-path
+routes, so the routing table is computed once per topology: Dijkstra with a
+configurable edge weight (default: latency, with hop count as tie-break so
+equal-latency networks route by hops).  Routes are deterministic — ties are
+broken by lexicographic node order — which keeps experiments reproducible.
+
+A :class:`Route` records both the directed links traversed and the transit
+nodes, because fair-share allocation charges a flow against every directed
+link *and* every node crossbar on its path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import Link, LinkDirection, Topology
+from repro.util.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Route:
+    """An ordered path through the network from ``src`` to ``dst``."""
+
+    src: str
+    dst: str
+    hops: tuple[LinkDirection, ...]
+
+    @property
+    def node_sequence(self) -> tuple[str, ...]:
+        """All nodes visited, endpoints included."""
+        if not self.hops:
+            return (self.src,)
+        return (self.hops[0].src,) + tuple(hop.dst for hop in self.hops)
+
+    @property
+    def transit_nodes(self) -> tuple[str, ...]:
+        """Nodes traversed excluding the endpoints (the forwarders)."""
+        return self.node_sequence[1:-1]
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """The physical links traversed."""
+        return tuple(hop.link for hop in self.hops)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return len(self.hops)
+
+    @property
+    def latency(self) -> float:
+        """Total propagation latency along the path, in seconds."""
+        return sum(hop.latency for hop in self.hops)
+
+    @property
+    def capacity(self) -> float:
+        """Minimum link capacity along the path (static bottleneck)."""
+        if not self.hops:
+            return float("inf")
+        return min(hop.capacity for hop in self.hops)
+
+    def uses_link(self, link_name: str) -> bool:
+        """True if the route traverses the named link (either direction)."""
+        return any(hop.link.name == link_name for hop in self.hops)
+
+    def __str__(self) -> str:
+        return " -> ".join(self.node_sequence)
+
+
+@dataclass(frozen=True)
+class MulticastTree:
+    """A source-rooted distribution tree (union of unicast routes).
+
+    The paper lists multicast as a desirable extension (§4.5); the tree is
+    the natural object: each directed link appears **once** no matter how
+    many receivers sit behind it, which is exactly the capacity-saving
+    that makes multicast interesting to a bandwidth query interface.
+    """
+
+    src: str
+    dsts: tuple[str, ...]
+    hops: tuple[LinkDirection, ...]
+    """Every directed link in the tree, deduplicated, in discovery order."""
+    latencies: "tuple[tuple[str, float], ...]"
+    """Per-receiver (dst, path latency) pairs."""
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Every node touched by the tree (source, forwarders, receivers)."""
+        seen: dict[str, None] = {self.src: None}
+        for hop in self.hops:
+            seen.setdefault(hop.src, None)
+            seen.setdefault(hop.dst, None)
+        return tuple(seen)
+
+    @property
+    def max_latency(self) -> float:
+        """Worst-case receiver latency (delivery completes at this offset)."""
+        if not self.latencies:
+            return 0.0
+        return max(latency for _, latency in self.latencies)
+
+    @property
+    def capacity(self) -> float:
+        """Minimum link capacity anywhere in the tree."""
+        if not self.hops:
+            return float("inf")
+        return min(hop.capacity for hop in self.hops)
+
+    def latency_to(self, dst: str) -> float:
+        """Path latency from the source to *dst*."""
+        for receiver, latency in self.latencies:
+            if receiver == dst:
+                return latency
+        raise TopologyError(f"{dst!r} is not a receiver of this tree")
+
+
+class RoutingTable:
+    """All-pairs deterministic shortest-path routes for a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network to route over.
+    weight:
+        ``"latency"`` (default) weights each link by its latency and breaks
+        ties by hop count; ``"hops"`` uses pure hop count.
+    """
+
+    def __init__(self, topology: Topology, weight: str = "latency"):
+        if weight not in ("latency", "hops"):
+            raise TopologyError(f"unknown routing weight {weight!r}")
+        self.topology = topology
+        self.weight = weight
+        self._next_hop: dict[str, dict[str, LinkDirection]] = {}
+        self._route_cache: dict[tuple[str, str], Route] = {}
+        self._build()
+
+    def _edge_cost(self, link: Link) -> float:
+        if self.weight == "hops":
+            return 1.0
+        # Latency plus a small per-hop epsilon so zero-latency networks
+        # still prefer fewer hops, deterministically.
+        return link.latency + 1e-9
+
+    def _build(self) -> None:
+        # Dijkstra from every node.  Topologies here are small (tens to a
+        # few hundred nodes); clarity beats asymptotics.
+        import heapq
+
+        topo = self.topology
+        for source in topo._nodes:
+            first_hop: dict[str, LinkDirection] = {}
+            dist: dict[str, float] = {source: 0.0}
+            # Heap entries carry the candidate first hop; ties are broken by
+            # (hop count, lexicographic node path) so routing is deterministic.
+            # Entries: (cost, hop_count, path, node, first_hop_or_None)
+            heap: list[tuple[float, int, tuple[str, ...], str, LinkDirection | None]] = [
+                (0.0, 0, (source,), source, None)
+            ]
+            settled: set[str] = set()
+            while heap:
+                cost, hops, path, node, hop = heapq.heappop(heap)
+                if node in settled:
+                    continue
+                settled.add(node)
+                if hop is not None:
+                    first_hop[node] = hop
+                for link in topo.links_at(node):
+                    neighbor = link.other(node)
+                    if neighbor in settled:
+                        continue
+                    new_cost = cost + self._edge_cost(link)
+                    if new_cost > dist.get(neighbor, float("inf")) + 1e-15:
+                        continue  # strictly worse; prune
+                    dist[neighbor] = min(new_cost, dist.get(neighbor, float("inf")))
+                    neighbor_hop = hop if hop is not None else link.direction(source, neighbor)
+                    heapq.heappush(
+                        heap, (new_cost, hops + 1, path + (neighbor,), neighbor, neighbor_hop)
+                    )
+            self._next_hop[source] = first_hop
+
+    def next_hop(self, src: str, dst: str) -> LinkDirection:
+        """The first directed link on the route from *src* towards *dst*."""
+        self.topology.node(src)
+        self.topology.node(dst)
+        try:
+            return self._next_hop[src][dst]
+        except KeyError:
+            raise TopologyError(f"no route from {src!r} to {dst!r}") from None
+
+    def route(self, src: str, dst: str) -> Route:
+        """The full route from *src* to *dst* (cached)."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        self.topology.node(src)
+        self.topology.node(dst)
+        if src == dst:
+            route = Route(src, dst, ())
+            self._route_cache[key] = route
+            return route
+        hops: list[LinkDirection] = []
+        current = src
+        visited = {src}
+        while current != dst:
+            hop = self.next_hop(current, dst)
+            hops.append(hop)
+            current = hop.dst
+            if current in visited:  # pragma: no cover - defensive
+                raise TopologyError(f"routing loop detected from {src!r} to {dst!r}")
+            visited.add(current)
+        route = Route(src, dst, tuple(hops))
+        self._route_cache[key] = route
+        return route
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True if a route exists between the two nodes."""
+        try:
+            self.route(src, dst)
+            return True
+        except TopologyError:
+            return False
+
+    def multicast_tree(self, src: str, dsts: list[str]) -> MulticastTree:
+        """The shortest-path tree from *src* covering every receiver.
+
+        Built as the union of the unicast routes; hop-by-hop forwarding
+        makes the union a tree (shared prefixes coincide).
+        """
+        if not dsts:
+            raise TopologyError("multicast tree needs at least one receiver")
+        unique_dsts = list(dict.fromkeys(dsts))
+        hops: dict[tuple[str, str, str], LinkDirection] = {}
+        latencies: list[tuple[str, float]] = []
+        for dst in unique_dsts:
+            route = self.route(src, dst)
+            latencies.append((dst, route.latency))
+            for hop in route.hops:
+                hops.setdefault(hop.key, hop)
+        return MulticastTree(
+            src=src,
+            dsts=tuple(unique_dsts),
+            hops=tuple(hops.values()),
+            latencies=tuple(latencies),
+        )
+
+    def routes_between(self, node_names: list[str]) -> dict[tuple[str, str], Route]:
+        """Routes for every ordered pair of distinct nodes in *node_names*."""
+        result = {}
+        for src in node_names:
+            for dst in node_names:
+                if src != dst:
+                    result[(src, dst)] = self.route(src, dst)
+        return result

@@ -1,0 +1,357 @@
+"""Nodes, links and the Topology container.
+
+Capacities are bits/second, latencies seconds, compute speeds flop/second —
+see :mod:`repro.util.units`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.util.errors import TopologyError
+from repro.util.units import parse_bandwidth, parse_time
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the network."""
+
+    COMPUTE = "compute"
+    NETWORK = "network"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A host (compute node) or router/switch (network node).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a topology.
+    kind:
+        COMPUTE nodes terminate flows and run application processes;
+        NETWORK nodes only forward.
+    internal_bandwidth:
+        Crossbar capacity in bits/second.  Every flow transiting (or
+        terminating at) the node consumes its rate from this budget;
+        ``inf`` means the node never bottlenecks (typical for hosts).
+    compute_speed:
+        Sustained computation rate in flop/second (compute nodes only);
+        used by the Fx-like runtime to turn work into simulated seconds.
+    memory_bytes:
+        Physical memory; consulted for the paper's "minimum number of nodes
+        to fit the data set" constraint.
+    """
+
+    name: str
+    kind: NodeKind
+    internal_bandwidth: float = float("inf")
+    compute_speed: float = 1e8
+    memory_bytes: float = 256e6
+
+    @property
+    def is_compute(self) -> bool:
+        """True for hosts that can run application processes."""
+        return self.kind is NodeKind.COMPUTE
+
+    @property
+    def is_network(self) -> bool:
+        """True for routers/switches."""
+        return self.kind is NodeKind.NETWORK
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Link:
+    """A full-duplex physical link between two nodes.
+
+    Each direction has the full *capacity* available independently (as in
+    the testbed's point-to-point switched Ethernet).  ``LinkDirection``
+    values identify one direction for routing and accounting.
+    """
+
+    name: str
+    a: str
+    b: str
+    capacity: float
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"link {self.name!r} connects {self.a!r} to itself")
+        if self.capacity <= 0:
+            raise TopologyError(f"link {self.name!r} has non-positive capacity")
+        if self.latency < 0:
+            raise TopologyError(f"link {self.name!r} has negative latency")
+
+    def endpoints(self) -> tuple[str, str]:
+        """The two attached node names."""
+        return (self.a, self.b)
+
+    def other(self, node: str) -> str:
+        """The endpoint opposite *node*."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise TopologyError(f"node {node!r} is not attached to link {self.name!r}")
+
+    def direction(self, src: str, dst: str) -> "LinkDirection":
+        """The directed view carrying traffic from *src* to *dst*."""
+        if (src, dst) == (self.a, self.b) or (src, dst) == (self.b, self.a):
+            return LinkDirection(self, src, dst)
+        raise TopologyError(
+            f"link {self.name!r} does not connect {src!r} to {dst!r}"
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LinkDirection:
+    """One direction of a duplex link; the unit of capacity accounting."""
+
+    link: Link
+    src: str
+    dst: str
+
+    @property
+    def capacity(self) -> float:
+        """Capacity of this direction in bits/second."""
+        return self.link.capacity
+
+    @property
+    def latency(self) -> float:
+        """Propagation latency of the underlying link in seconds."""
+        return self.link.latency
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Hashable identity: (link name, src, dst)."""
+        return (self.link.name, self.src, self.dst)
+
+    def reverse(self) -> "LinkDirection":
+        """The opposite direction of the same link."""
+        return LinkDirection(self.link, self.dst, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.link.name}:{self.src}->{self.dst}"
+
+
+@dataclass
+class Topology:
+    """A named collection of nodes and duplex links.
+
+    The container validates structural invariants on every mutation (unique
+    names, known endpoints).  Use :meth:`validate` for whole-graph checks
+    (connectivity, compute nodes present).
+    """
+
+    name: str = "net"
+    _nodes: dict[str, Node] = field(default_factory=dict)
+    _links: dict[str, Link] = field(default_factory=dict)
+    _adjacency: dict[str, list[str]] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Insert *node*; names must be unique."""
+        if node.name in self._nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._adjacency[node.name] = []
+        return node
+
+    def add_compute_node(
+        self,
+        name: str,
+        compute_speed: float = 1e8,
+        memory_bytes: float = 256e6,
+        internal_bandwidth: float = float("inf"),
+    ) -> Node:
+        """Convenience constructor for a host."""
+        return self.add_node(
+            Node(
+                name,
+                NodeKind.COMPUTE,
+                internal_bandwidth=internal_bandwidth,
+                compute_speed=compute_speed,
+                memory_bytes=memory_bytes,
+            )
+        )
+
+    def add_network_node(
+        self, name: str, internal_bandwidth: float = float("inf")
+    ) -> Node:
+        """Convenience constructor for a router/switch."""
+        return self.add_node(
+            Node(name, NodeKind.NETWORK, internal_bandwidth=internal_bandwidth)
+        )
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        capacity: float | str,
+        latency: float | str = 0.0,
+        name: str | None = None,
+    ) -> Link:
+        """Connect nodes *a* and *b* with a duplex link.
+
+        *capacity* and *latency* accept unit strings (``"100Mbps"``,
+        ``"1ms"``) or raw floats (bits/second, seconds).
+        """
+        for endpoint in (a, b):
+            if endpoint not in self._nodes:
+                raise TopologyError(f"link endpoint {endpoint!r} is not a known node")
+        link_name = name or f"{a}--{b}"
+        if link_name in self._links:
+            raise TopologyError(f"duplicate link name {link_name!r}")
+        link = Link(
+            link_name,
+            a,
+            b,
+            capacity=parse_bandwidth(capacity),
+            latency=parse_time(latency),
+        )
+        self._links[link_name] = link
+        self._adjacency[a].append(link_name)
+        self._adjacency[b].append(link_name)
+        return link
+
+    # -- lookups --------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """The node called *name* (raises TopologyError if unknown)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r} in topology {self.name!r}") from None
+
+    def link(self, name: str) -> Link:
+        """The link called *name* (raises TopologyError if unknown)."""
+        try:
+            return self._links[name]
+        except KeyError:
+            raise TopologyError(f"unknown link {name!r} in topology {self.name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        """True if a node called *name* exists."""
+        return name in self._nodes
+
+    @property
+    def nodes(self) -> list[Node]:
+        """All nodes in insertion order."""
+        return list(self._nodes.values())
+
+    @property
+    def links(self) -> list[Link]:
+        """All links in insertion order."""
+        return list(self._links.values())
+
+    @property
+    def compute_nodes(self) -> list[Node]:
+        """Hosts only."""
+        return [n for n in self._nodes.values() if n.is_compute]
+
+    @property
+    def network_nodes(self) -> list[Node]:
+        """Routers/switches only."""
+        return [n for n in self._nodes.values() if n.is_network]
+
+    def links_at(self, node: str) -> list[Link]:
+        """Links attached to *node*, in attachment order.
+
+        The attachment order doubles as the node's SNMP ``ifIndex`` order
+        (1-based) in :mod:`repro.snmp`.
+        """
+        self.node(node)
+        return [self._links[name] for name in self._adjacency[node]]
+
+    def neighbors(self, node: str) -> list[str]:
+        """Names of nodes directly linked to *node*."""
+        return [link.other(node) for link in self.links_at(node)]
+
+    def degree(self, node: str) -> int:
+        """Number of links attached to *node*."""
+        return len(self._adjacency[node])
+
+    def iter_directions(self) -> Iterator[LinkDirection]:
+        """Every directed link view (two per physical link)."""
+        for link in self._links.values():
+            yield LinkDirection(link, link.a, link.b)
+            yield LinkDirection(link, link.b, link.a)
+
+    # -- validation & export ---------------------------------------------------
+
+    def validate(self, require_connected: bool = True) -> None:
+        """Check whole-graph invariants, raising :class:`TopologyError`.
+
+        * at least one compute node;
+        * every compute node attached to something;
+        * (optionally) the graph is connected.
+        """
+        if not self.compute_nodes:
+            raise TopologyError(f"topology {self.name!r} has no compute nodes")
+        for node in self.compute_nodes:
+            if not self._adjacency[node.name]:
+                raise TopologyError(f"compute node {node.name!r} is unconnected")
+        if require_connected and len(self._nodes) > 1:
+            graph = self.to_networkx()
+            if not nx.is_connected(graph):
+                components = sorted(len(c) for c in nx.connected_components(graph))
+                raise TopologyError(
+                    f"topology {self.name!r} is disconnected "
+                    f"(component sizes: {components})"
+                )
+
+    def to_networkx(self) -> nx.Graph:
+        """Export as a networkx Graph (multi-links collapse to best link).
+
+        Edge attributes: ``capacity`` (max over parallel links), ``latency``
+        (min), ``link`` (the Link chosen).  Node attribute: ``node`` (the
+        Node object).
+        """
+        graph = nx.Graph()
+        for node in self._nodes.values():
+            graph.add_node(node.name, node=node)
+        for link in self._links.values():
+            if graph.has_edge(link.a, link.b):
+                existing = graph.edges[link.a, link.b]
+                if link.capacity > existing["capacity"]:
+                    existing.update(capacity=link.capacity, latency=link.latency, link=link)
+            else:
+                graph.add_edge(
+                    link.a, link.b, capacity=link.capacity, latency=link.latency, link=link
+                )
+        return graph
+
+    def subset(self, node_names: Iterable[str]) -> "Topology":
+        """A copy containing only *node_names* and the links among them."""
+        keep = set(node_names)
+        unknown = keep - set(self._nodes)
+        if unknown:
+            raise TopologyError(f"unknown nodes in subset: {sorted(unknown)}")
+        sub = Topology(name=f"{self.name}-subset")
+        for name, node in self._nodes.items():
+            if name in keep:
+                sub.add_node(node)
+        for link in self._links.values():
+            if link.a in keep and link.b in keep:
+                sub.add_link(link.a, link.b, link.capacity, link.latency, name=link.name)
+        return sub
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Topology {self.name!r}: {len(self._nodes)} nodes "
+            f"({len(self.compute_nodes)} compute), {len(self._links)} links>"
+        )

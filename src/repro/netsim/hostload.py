@@ -1,0 +1,120 @@
+"""Host CPU activity accounting.
+
+The paper: "Remos does include a simple interface to computation and
+memory resources" (§2), and §7.2 flags "tradeoffs between computation and
+communication resources" as future clustering work.  This module supplies
+the substrate: per-host busy-time integrals the SNMP agents expose (like a
+Unix load/uptime counter pair) and the collectors turn into CPU
+utilization series.
+
+Busy time accumulates from two sources:
+
+* the Fx runtime's compute phases (`mark_busy` on every mapped host);
+* synthetic :class:`ComputeLoad` processes standing in for other users'
+  jobs on shared workstations.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Engine, Interrupt, Process
+from repro.util.errors import ConfigurationError, SimulationError
+
+
+class HostActivity:
+    """Per-host cumulative busy seconds, integrable at any instant."""
+
+    def __init__(self, env: Engine, host_names: list[str]):
+        self.env = env
+        self._accumulated: dict[str, float] = {name: 0.0 for name in host_names}
+        # Fraction of the CPU currently in use, per host (may exceed 1 when
+        # jobs overlap; time-shared CPUs cap the *rate* of busy accrual at 1).
+        self._active_share: dict[str, float] = {name: 0.0 for name in host_names}
+        self._last_sync: dict[str, float] = {name: env.now for name in host_names}
+
+    def _check(self, host: str) -> None:
+        if host not in self._accumulated:
+            raise SimulationError(f"unknown host {host!r} in activity tracker")
+
+    def _sync(self, host: str) -> None:
+        now = self.env.now
+        elapsed = now - self._last_sync[host]
+        if elapsed > 0:
+            rate = min(1.0, self._active_share[host])
+            self._accumulated[host] += rate * elapsed
+        self._last_sync[host] = now
+
+    def set_share(self, host: str, delta: float) -> None:
+        """Adjust the host's active CPU share by *delta* (can be negative)."""
+        self._check(host)
+        self._sync(host)
+        self._active_share[host] = max(0.0, self._active_share[host] + delta)
+
+    def busy_seconds(self, host: str) -> float:
+        """Cumulative CPU-busy seconds up to now."""
+        self._check(host)
+        self._sync(host)
+        return self._accumulated[host]
+
+    def current_utilization(self, host: str) -> float:
+        """Instantaneous CPU utilization in [0, 1]."""
+        self._check(host)
+        return min(1.0, self._active_share[host])
+
+    def active_share(self, host: str) -> float:
+        """Raw sum of active job shares (may exceed 1 when oversubscribed).
+
+        A new job arriving now gets ``1 / (1 + active_share)`` of the CPU
+        under fair time-sharing — the slowdown model the Fx runtime uses.
+        """
+        self._check(host)
+        return self._active_share[host]
+
+
+class ComputeLoad:
+    """A synthetic CPU hog occupying *share* of a host's CPU.
+
+    Stands in for "computation load ... on network nodes" (§1) from other
+    users of a shared workstation pool.
+    """
+
+    def __init__(
+        self,
+        activity: HostActivity,
+        host: str,
+        share: float = 1.0,
+        start: float = 0.0,
+        duration: float = float("inf"),
+    ):
+        if not 0.0 < share <= 1.0:
+            raise ConfigurationError(f"CPU share must be in (0,1], got {share}")
+        if start < 0 or duration <= 0:
+            raise ConfigurationError("start must be >= 0 and duration positive")
+        self.activity = activity
+        self.host = host
+        self.share = share
+        self.start = start
+        self.duration = duration
+        self.done: Process = activity.env.process(self._run(), name=f"load:{host}")
+
+    def _run(self):
+        env = self.activity.env
+        engaged = False
+        try:
+            if self.start > 0:
+                yield env.timeout(self.start)
+            self.activity.set_share(self.host, +self.share)
+            engaged = True
+            if self.duration == float("inf"):
+                yield env.event()
+            else:
+                yield env.timeout(self.duration)
+        except Interrupt:
+            pass
+        finally:
+            if engaged:
+                self.activity.set_share(self.host, -self.share)
+
+    def stop(self) -> None:
+        """Terminate the load early (idempotent)."""
+        if self.done.is_alive:
+            self.done.interrupt("stop")

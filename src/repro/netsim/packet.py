@@ -1,0 +1,178 @@
+"""A packet-level reference simulator for validating the fluid model.
+
+DESIGN.md argues the fluid max-min model is a faithful substitute for the
+testbed.  This module makes that argument *empirical*: a small
+store-and-forward packet simulator with per-flow round-robin (fair
+queueing) service on every directed link.  Fair queueing over equal-size
+packets is the classic realisation of max-min fairness (Hahne 1991 — the
+paper's own citation [12]), so saturating flows here should converge to
+the fluid allocation; ``tests/netsim/test_packet_validation.py`` checks
+that they do, within a few percent, on assorted topologies.
+
+The packet simulator is deliberately small and slow — it exists for
+validation, not for running experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.net import RoutingTable, Topology
+from repro.sim import Engine, Event
+from repro.util.errors import SimulationError
+
+#: Ethernet-ish MTU; all packets are full-size.
+PACKET_BYTES = 1500.0
+#: Source window: packets allowed in flight into the first hop before the
+#: source blocks (models transport backpressure, keeps queues bounded).
+SOURCE_WINDOW = 8
+
+
+@dataclass
+class PacketFlow:
+    """One flow in the packet simulator."""
+
+    flow_id: int
+    src: str
+    dst: str
+    hops: tuple
+    rate: float | None  # None = saturating (always backlogged)
+    delivered_bytes: float = 0.0
+    injected_packets: int = 0
+    in_flight: int = 0
+
+    def throughput(self, duration: float) -> float:
+        """Achieved delivery rate in bits/second over *duration*."""
+        if duration <= 0:
+            raise SimulationError("duration must be positive")
+        return self.delivered_bytes * 8.0 / duration
+
+
+@dataclass
+class _LinkServer:
+    """Round-robin packet service for one directed link."""
+
+    capacity: float
+    latency: float
+    queues: dict[int, deque] = field(default_factory=dict)
+    order: deque = field(default_factory=deque)
+    busy: bool = False
+    wakeup: Event | None = None
+
+    def backlog(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+
+class PacketLevelSimulator:
+    """Store-and-forward simulation with per-flow fair queueing."""
+
+    def __init__(self, topology: Topology, routing: RoutingTable | None = None):
+        self.topology = topology
+        self.routing = routing or RoutingTable(topology)
+        self.env = Engine()
+        self._flows: list[PacketFlow] = []
+        self._servers: dict = {}
+        for direction in topology.iter_directions():
+            self._servers[direction.key] = _LinkServer(
+                capacity=direction.capacity, latency=direction.latency
+            )
+
+    # -- setup ----------------------------------------------------------------
+
+    def add_flow(self, src: str, dst: str, rate: float | None = None) -> PacketFlow:
+        """Add a flow; ``rate=None`` makes it saturating (greedy)."""
+        for name in (src, dst):
+            if not self.topology.node(name).is_compute:
+                raise SimulationError(f"{name!r} is not a compute node")
+        route = self.routing.route(src, dst)
+        if not route.hops:
+            raise SimulationError("loopback flows are not supported here")
+        flow = PacketFlow(
+            flow_id=len(self._flows), src=src, dst=dst, hops=route.hops, rate=rate
+        )
+        self._flows.append(flow)
+        return flow
+
+    # -- mechanics ---------------------------------------------------------------
+
+    def _enqueue(self, flow: PacketFlow, hop_index: int) -> None:
+        server = self._servers[flow.hops[hop_index].key]
+        queue = server.queues.setdefault(flow.flow_id, deque())
+        if not queue and flow.flow_id not in server.order:
+            server.order.append(flow.flow_id)
+        queue.append(hop_index)
+        if server.wakeup is not None and not server.wakeup.triggered:
+            server.wakeup.succeed()
+            server.wakeup = None
+
+    def _deliver(self, flow: PacketFlow, hop_index: int) -> None:
+        if hop_index + 1 < len(flow.hops):
+            self._enqueue(flow, hop_index + 1)
+        else:
+            flow.delivered_bytes += PACKET_BYTES
+            flow.in_flight -= 1
+            self._refill(flow)
+
+    def _refill(self, flow: PacketFlow) -> None:
+        """Saturating sources keep the window full."""
+        if flow.rate is not None:
+            return
+        while flow.in_flight < SOURCE_WINDOW:
+            flow.in_flight += 1
+            flow.injected_packets += 1
+            self._enqueue(flow, 0)
+
+    def _link_process(self, key):
+        server = self._servers[key]
+        env = self.env
+        transmit_time = PACKET_BYTES * 8.0 / server.capacity
+        while True:
+            if not server.order:
+                server.wakeup = env.event()
+                yield server.wakeup
+                continue
+            flow_id = server.order.popleft()
+            queue = server.queues[flow_id]
+            hop_index = queue.popleft()
+            if queue:
+                server.order.append(flow_id)  # round-robin re-queue
+            yield env.timeout(transmit_time)
+            # Propagation: schedule arrival at the next hop after latency
+            # without blocking this link's service loop.
+            flow = self._flows[flow_id]
+
+            def arrive(event, flow=flow, hop_index=hop_index):
+                self._deliver(flow, hop_index)
+
+            arrival = env.event()
+            arrival.callbacks.append(arrive)
+            arrival.succeed(delay=server.latency)
+
+    def _rate_source(self, flow: PacketFlow):
+        env = self.env
+        interval = PACKET_BYTES * 8.0 / flow.rate
+        while True:
+            yield env.timeout(interval)
+            flow.injected_packets += 1
+            flow.in_flight += 1
+            self._enqueue(flow, 0)
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Simulate *duration* seconds of packet forwarding."""
+        if duration <= 0:
+            raise SimulationError("duration must be positive")
+        for key in self._servers:
+            self.env.process(self._link_process(key), name=f"link:{key}")
+        for flow in self._flows:
+            if flow.rate is None:
+                self._refill(flow)
+            else:
+                self.env.process(self._rate_source(flow), name=f"src:{flow.flow_id}")
+        self.env.run(until=duration)
+
+    def throughputs(self, duration: float) -> dict[int, float]:
+        """Per-flow delivered bits/second over *duration*."""
+        return {f.flow_id: f.throughput(duration) for f in self._flows}

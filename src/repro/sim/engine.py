@@ -1,0 +1,128 @@
+"""The simulation engine: virtual clock plus event heap.
+
+The engine is deliberately minimal — scheduling, time, and process creation.
+Model-level concepts (links, flows, collectors) live in higher packages and
+interact with the engine only through events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.util.errors import SimulationError
+
+
+class Engine:
+    """Discrete-event engine with a float-seconds virtual clock.
+
+    Parameters
+    ----------
+    start:
+        Initial clock value (seconds).
+    strict:
+        When true (the default), an exception escaping a process body
+        propagates out of :meth:`run` immediately.  When false it fails the
+        process's event instead, letting supervisors observe it.
+    """
+
+    def __init__(self, start: float = 0.0, strict: bool = True):
+        self._now = float(start)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.strict = strict
+        self._active_process: Process | None = None
+        # Keep every live process reachable.  A process waiting forever on
+        # an event nobody else references would otherwise form an
+        # unreachable cycle; Python's GC would close its generator, firing
+        # `finally` blocks at arbitrary simulation times.
+        self._live_processes: set[Process] = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Place a triggered event on the heap to fire after *delay*."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap empties, a time is reached, or an event fires.
+
+        * ``until=None`` — run to exhaustion.
+        * ``until=<float>`` — run to that simulated time (clock lands there).
+        * ``until=<Event>`` — run until that event has been processed and
+          return its value (raising if it failed).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if stop_event.ok:
+                return stop_event.value
+            raise stop_event.value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(f"cannot run backwards to {horizon} (now={self._now})")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._heap:
+            self.step()
+        return None
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str | None = None) -> Process:
+        """Start *generator* as a process; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Event firing once all of *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Event firing once any of *events* has fired."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self._now:.6g} pending={len(self._heap)}>"

@@ -1,0 +1,187 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` has a three-stage lifecycle:
+
+1. *pending* — created, nobody has scheduled it;
+2. *triggered* — given a value (or exception) and placed on the engine's
+   heap with a fire time;
+3. *processed* — the engine popped it and ran its callbacks, resuming any
+   processes that were waiting on it.
+
+Composite events (:class:`AllOf` / :class:`AnyOf`) trigger when their
+children do, which is how processes wait for "all transfers finished" or
+"first reply or timeout".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+# Sentinel distinguishing "not yet triggered" from a legitimate None value.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries whatever object the interrupter passed.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A single occurrence in simulated time that processes can wait on."""
+
+    def __init__(self, env: "Engine"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and a scheduled fire time."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is in the past)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded; only meaningful once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception object for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with *value* after *delay*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters will see *exception* raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay, created pre-triggered."""
+
+    def __init__(self, env: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay)
+
+
+class Condition(Event):
+    """Waits for some subset of *events*, defined by *evaluate*.
+
+    The condition's value is a dict mapping each already-triggered child
+    event to its value, so ``yield AllOf(...)`` hands back all results.
+    A failed child fails the whole condition immediately.
+    """
+
+    def __init__(
+        self,
+        env: "Engine",
+        evaluate: Callable[[list[Event], int], bool],
+        events: list[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different engines")
+
+        if not self._events:
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            elif event.callbacks is not None:
+                event.callbacks.append(self._check)
+            else:  # pragma: no cover - defensive
+                raise SimulationError("event in inconsistent state")
+
+    def _collect_values(self) -> dict[Event, Any]:
+        # Only *processed* children count: a Timeout is born triggered but
+        # has not "happened" until the engine pops it off the heap.
+        return {e: e.value for e in self._events if e.processed and e.ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if event._ok is False:
+            self.fail(event.value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        """Evaluate function: true once every child has triggered."""
+        return count == len(events)
+
+    @staticmethod
+    def any_event(events: list[Event], count: int) -> bool:
+        """Evaluate function: true once at least one child has triggered."""
+        return count >= 1
+
+
+class AllOf(Condition):
+    """Condition that fires when all child events have fired."""
+
+    def __init__(self, env: "Engine", events: list[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires when any child event has fired."""
+
+    def __init__(self, env: "Engine", events: list[Event]):
+        super().__init__(env, Condition.any_event, events)

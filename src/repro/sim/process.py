@@ -1,0 +1,131 @@
+"""Generator-based processes for the DES kernel.
+
+A process wraps a Python generator.  Each ``yield`` hands the engine an
+:class:`~repro.sim.events.Event`; the process resumes when that event fires,
+receiving the event's value as the result of the ``yield`` expression (or
+having the event's exception raised at the yield point).
+
+A :class:`Process` is itself an Event — it triggers when the generator
+returns — so processes can wait on each other and be combined with
+``AllOf``/``AnyOf``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event, Interrupt
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Process(Event):
+    """A running coroutine inside the simulation."""
+
+    def __init__(self, env: "Engine", generator: Generator[Event, Any, Any], name: str | None = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        env._live_processes.add(self)
+        # Bootstrap: resume the generator at time now.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The interrupt is delivered via an immediately-scheduled event so the
+        interrupter's own execution is not re-entered.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        delivery = Event(self.env)
+        delivery.callbacks.append(self._deliver_interrupt)
+        delivery.succeed(Interrupt(cause))
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if self.triggered:  # finished in the meantime; drop the interrupt
+            return
+        # Detach from the event we were waiting on so its eventual firing
+        # does not resume us a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        self._step(event.value, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok is False:
+            self._step(event.value, throw=True)
+        else:
+            self._step(event.value, throw=False)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        self.env._active_process = self
+        try:
+            if throw:
+                next_event = self._generator.throw(value)
+            else:
+                next_event = self._generator.send(value)
+        except StopIteration as stop:
+            self.env._live_processes.discard(self)
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # An uncaught interrupt terminates the process as failed.
+            self.env._live_processes.discard(self)
+            self.fail(interrupt)
+            return
+        except BaseException as exc:
+            self.env._live_processes.discard(self)
+            if self.env.strict:
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_event!r}; processes must yield events"
+            )
+            self._generator.close()
+            raise error
+        if next_event.env is not self.env:
+            raise SimulationError("process yielded an event from a different engine")
+
+        self._target = next_event
+        if next_event.callbacks is not None:
+            next_event.callbacks.append(self._resume)
+        else:
+            # Event already processed: resume immediately via a fresh event so
+            # scheduling order stays deterministic.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            if next_event.ok:
+                relay.succeed(next_event.value)
+            else:
+                relay.fail(next_event.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

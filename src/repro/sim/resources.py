@@ -1,0 +1,109 @@
+"""Counting resources for the DES kernel.
+
+A :class:`Resource` models a pool of identical servers (e.g. a CPU, a
+collector's single SNMP socket).  Processes ``yield resource.request()``,
+hold the slot, and must ``release`` it when done.  Context-manager support
+makes the hold/release pairing explicit::
+
+    with resource.request() as req:
+        yield req
+        ... hold the resource ...
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.sim.events import Event
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Request(Event):
+    """Pending acquisition of one slot of a resource."""
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """FIFO resource with integer capacity."""
+
+    def __init__(self, env: "Engine", capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._users: set[Request] = set()
+        self._queue: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Ask for one slot; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return the slot held by *request* and wake the next waiter."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            # Releasing an unfulfilled request is treated as cancellation,
+            # which lets `with resource.request()` unwind cleanly after an
+            # interrupt arrives while still queued.
+            self._cancel(request)
+
+    def _enqueue(self, request: Request) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (request.priority, self._seq, request))
+        self._grant_next()
+
+    def _cancel(self, request: Request) -> None:
+        self._queue = [entry for entry in self._queue if entry[2] is not request]
+        heapq.heapify(self._queue)
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            _, _, request = heapq.heappop(self._queue)
+            if request.triggered:  # pragma: no cover - defensive
+                continue
+            self._users.add(request)
+            request.succeed(request)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is ordered by the request's priority (low first).
+
+    Ties are FIFO.  Used where the model wants e.g. application probes to
+    outrank background management traffic.
+    """
+
+    def request(self, priority: float = 0.0) -> Request:
+        return Request(self, priority)

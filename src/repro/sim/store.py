@@ -1,0 +1,95 @@
+"""Unbounded-or-bounded item store (message queue) for the DES kernel.
+
+Stores back the message-passing layer of the Fx-like runtime: ``put`` wakes a
+pending ``get`` and vice versa.  Items are delivered FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.events import Event
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class StorePut(Event):
+    """Pending insertion of an item into a store."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._puts.append(self)
+        store._settle()
+
+
+class StoreGet(Event):
+    """Pending retrieval of an item from a store."""
+
+    def __init__(self, store: "Store", predicate: Callable[[Any], bool] | None = None):
+        super().__init__(store.env)
+        self.predicate = predicate
+        store._gets.append(self)
+        store._settle()
+
+
+class Store:
+    """FIFO item store with optional capacity and filtered gets."""
+
+    def __init__(self, env: "Engine", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._puts: deque[StorePut] = deque()
+        self._gets: deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        """Offer *item*; the event fires once the store has room for it."""
+        return StorePut(self, item)
+
+    def get(self, predicate: Callable[[Any], bool] | None = None) -> StoreGet:
+        """Take the oldest item (matching *predicate* if given)."""
+        return StoreGet(self, predicate)
+
+    def _settle(self) -> None:
+        # Admit queued puts while there is room.
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy gets from available items.
+            remaining: deque[StoreGet] = deque()
+            while self._gets:
+                get = self._gets.popleft()
+                index = self._find(get.predicate)
+                if index is None:
+                    remaining.append(get)
+                else:
+                    item = self.items[index]
+                    del self.items[index]
+                    get.succeed(item)
+                    progressed = True
+            self._gets = remaining
+
+    def _find(self, predicate: Callable[[Any], bool] | None) -> int | None:
+        if predicate is None:
+            return 0 if self.items else None
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                return index
+        return None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Store items={len(self.items)} puts={len(self._puts)} gets={len(self._gets)}>"

@@ -1,0 +1,18 @@
+"""Simulated SNMP substrate.
+
+The paper's primary Collector "uses SNMP to extract both static topology and
+dynamic bandwidth information from the routers" (§5).  Real agents are
+unavailable here, so each simulated node runs an :class:`SNMPAgent` exposing
+a MIB-II-like view — system group, ifTable with ``ifSpeed`` and byte-exact
+``ifInOctets``/``ifOutOctets`` integrated from the fluid simulation, and a
+neighbour table for topology discovery.  An :class:`SNMPClient` issues
+GET/GETNEXT/walk requests that consume simulated time (and can be directed
+at "unresponsive" agents, exercising the benchmark-collector fallback).
+"""
+
+from repro.snmp.oid import OID
+from repro.snmp import mib
+from repro.snmp.agent import SNMPAgent, SNMPError, NoSuchObject
+from repro.snmp.client import SNMPClient
+
+__all__ = ["OID", "mib", "SNMPAgent", "SNMPClient", "SNMPError", "NoSuchObject"]

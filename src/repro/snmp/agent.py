@@ -1,0 +1,158 @@
+"""Per-node SNMP agents over the fluid simulation.
+
+An agent lazily computes values at query time, so ``ifInOctets`` /
+``ifOutOctets`` reflect the byte-exact integrals the fluid network keeps.
+Counters wrap at 2^32 like real Counter32 objects — collectors must handle
+the wrap (and the SNMP collector's tests verify they do).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.netsim import FluidNetwork
+from repro.snmp import mib
+from repro.snmp.oid import OID
+from repro.util.errors import ReproError
+
+
+class SNMPError(ReproError):
+    """Agent-level failure (unreachable agent, malformed request)."""
+
+
+class NoSuchObject(SNMPError):
+    """GET for an OID the agent does not implement."""
+
+
+class EndOfMib(SNMPError):
+    """GETNEXT walked past the last implemented OID."""
+
+
+class SNMPAgent:
+    """MIB-II-ish agent for one node of the simulated network.
+
+    Interfaces are the node's attached links in attachment order, with
+    1-based ``ifIndex``; octet counters are read live from the fluid
+    network.  Set ``reachable = False`` to simulate an unmanaged device
+    (a commercial ISP's router, say) — every request then raises
+    :class:`SNMPError`, which is what pushes the Remos implementation to
+    its benchmark collector (§5).
+    """
+
+    def __init__(self, node_name: str, net: FluidNetwork, reachable: bool = True):
+        self.node_name = node_name
+        self.net = net
+        self.reachable = reachable
+        self.requests_served = 0
+        topology = net.topology
+        self.node = topology.node(node_name)
+        self._links = topology.links_at(node_name)
+
+    # -- value computation -----------------------------------------------------
+
+    def _interface_link(self, if_index: int):
+        if not 1 <= if_index <= len(self._links):
+            raise NoSuchObject(f"{self.node_name}: no interface {if_index}")
+        return self._links[if_index - 1]
+
+    def _value(self, oid: OID) -> Any:
+        if oid == mib.SYS_DESCR:
+            kind = "router" if self.node.is_network else "host"
+            return f"repro simulated {kind} {self.node_name}"
+        if oid == mib.SYS_NAME:
+            return self.node_name
+        if oid == mib.IF_NUMBER:
+            return len(self._links)
+        if oid == mib.NODE_INTERNAL_BW:
+            bandwidth = self.node.internal_bandwidth
+            return 0 if bandwidth == float("inf") else int(bandwidth)
+        if oid == mib.HOST_BUSY_CS and self.node.is_compute:
+            return int(self.net.host_activity.busy_seconds(self.node_name) * 100.0)
+        if oid == mib.HOST_SPEED_FLOPS and self.node.is_compute:
+            return int(self.node.compute_speed)
+        if oid == mib.HOST_MEMORY_BYTES and self.node.is_compute:
+            return int(self.node.memory_bytes)
+
+        for column in (
+            mib.IF_INDEX,
+            mib.IF_DESCR,
+            mib.IF_SPEED,
+            mib.IF_OPER_STATUS,
+            mib.IF_IN_OCTETS,
+            mib.IF_OUT_OCTETS,
+            mib.IF_NEIGHBOR,
+        ):
+            if oid.startswith(column) and len(oid.parts) == len(column.parts) + 1:
+                if_index = oid.parts[-1]
+                link = self._interface_link(if_index)
+                if column == mib.IF_INDEX:
+                    return if_index
+                if column == mib.IF_DESCR:
+                    return f"{self.node_name}:{link.name}"
+                if column == mib.IF_SPEED:
+                    return int(link.capacity)
+                if column == mib.IF_OPER_STATUS:
+                    return mib.STATUS_UP
+                if column == mib.IF_IN_OCTETS:
+                    other = link.other(self.node_name)
+                    octets = self.net.link_octets(link.name, other)
+                    return int(octets) % mib.COUNTER32_MAX
+                if column == mib.IF_OUT_OCTETS:
+                    octets = self.net.link_octets(link.name, self.node_name)
+                    return int(octets) % mib.COUNTER32_MAX
+                if column == mib.IF_NEIGHBOR:
+                    return f"{link.other(self.node_name)}|{link.name}"
+        raise NoSuchObject(f"{self.node_name}: no object {oid}")
+
+    def _all_oids(self) -> list[OID]:
+        oids = [mib.SYS_DESCR, mib.SYS_NAME, mib.IF_NUMBER, mib.NODE_INTERNAL_BW]
+        if self.node.is_compute:
+            oids.extend([mib.HOST_BUSY_CS, mib.HOST_SPEED_FLOPS, mib.HOST_MEMORY_BYTES])
+        for column in (
+            mib.IF_INDEX,
+            mib.IF_DESCR,
+            mib.IF_SPEED,
+            mib.IF_OPER_STATUS,
+            mib.IF_IN_OCTETS,
+            mib.IF_OUT_OCTETS,
+            mib.IF_NEIGHBOR,
+        ):
+            for if_index in range(1, len(self._links) + 1):
+                oids.append(column.extend(if_index))
+        return sorted(oids)
+
+    # -- protocol operations ------------------------------------------------------
+
+    def _check_reachable(self) -> None:
+        if not self.reachable:
+            raise SNMPError(f"agent on {self.node_name} does not respond")
+
+    def get(self, oid: OID) -> Any:
+        """GET: the value at exactly *oid*."""
+        self._check_reachable()
+        self.requests_served += 1
+        return self._value(oid)
+
+    def getnext(self, oid: OID) -> tuple[OID, Any]:
+        """GETNEXT: the first implemented OID strictly after *oid*."""
+        self._check_reachable()
+        self.requests_served += 1
+        for candidate in self._all_oids():
+            if candidate > oid:
+                return candidate, self._value(candidate)
+        raise EndOfMib(f"{self.node_name}: walked past end of MIB")
+
+    def walk(self, prefix: OID) -> list[tuple[OID, Any]]:
+        """All (oid, value) pairs under *prefix* via repeated GETNEXT."""
+        self._check_reachable()
+        results: list[tuple[OID, Any]] = []
+        cursor = prefix
+        while True:
+            try:
+                cursor, value = self.getnext(cursor)
+            except EndOfMib:
+                break
+            if not cursor.startswith(prefix):
+                break
+            results.append((cursor, value))
+        return results

@@ -1,0 +1,89 @@
+"""SNMP client: issues requests that consume simulated time.
+
+Queries are not free — the paper stresses that Remos overhead is "directly
+related to the depth and frequency of its requests".  The client charges a
+per-request round-trip (network RTT to the agent plus agent processing) so
+collector polling frequency shows up as measurable overhead in the
+ablation benchmarks.
+
+Methods are generators: call them from a process as
+``value = yield from client.get(node, oid)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.netsim import FluidNetwork
+from repro.snmp.agent import EndOfMib, SNMPAgent
+from repro.snmp.oid import OID
+from repro.util.errors import ConfigurationError
+
+
+class SNMPClient:
+    """Talks to the agents of a simulated network from a given host."""
+
+    def __init__(
+        self,
+        net: FluidNetwork,
+        agents: dict[str, SNMPAgent],
+        client_host: str | None = None,
+        processing_delay: float = 0.5e-3,
+    ):
+        self.net = net
+        self.agents = agents
+        self.client_host = client_host
+        self.processing_delay = processing_delay
+        self.requests_sent = 0
+        self.time_spent = 0.0
+
+    def _agent(self, node_name: str) -> SNMPAgent:
+        try:
+            return self.agents[node_name]
+        except KeyError:
+            raise ConfigurationError(f"no SNMP agent registered for {node_name!r}") from None
+
+    def _request_cost(self, node_name: str) -> float:
+        """Round-trip time for one request: 2x path latency + processing."""
+        cost = self.processing_delay
+        if self.client_host is not None and self.client_host != node_name:
+            route = self.net.routing.route(self.client_host, node_name)
+            cost += 2.0 * route.latency
+        return cost
+
+    def _charge(self, node_name: str):
+        cost = self._request_cost(node_name)
+        self.requests_sent += 1
+        self.time_spent += cost
+        return self.net.env.timeout(cost)
+
+    def get(self, node_name: str, oid: OID):
+        """GET one value (generator; use with ``yield from``)."""
+        agent = self._agent(node_name)
+        yield self._charge(node_name)
+        return agent.get(oid)
+
+    def getnext(self, node_name: str, oid: OID):
+        """GETNEXT (generator)."""
+        agent = self._agent(node_name)
+        yield self._charge(node_name)
+        return agent.getnext(oid)
+
+    def walk(self, node_name: str, prefix: OID):
+        """Walk a subtree via repeated GETNEXT (generator).
+
+        Each row costs one round trip, like a real (non-bulk) walk.
+        """
+        agent = self._agent(node_name)
+        results: list[tuple[OID, Any]] = []
+        cursor = prefix
+        while True:
+            yield self._charge(node_name)
+            try:
+                cursor, value = agent.getnext(cursor)
+            except EndOfMib:
+                break
+            if not cursor.startswith(prefix):
+                break
+            results.append((cursor, value))
+        return results

@@ -1,0 +1,67 @@
+"""MIB-II object identifiers used by the simulated agents.
+
+A pragmatic subset of RFC 1213's MIB-II: the system group, the interfaces
+table columns the Collector needs (speed, octet counters, oper status), and
+— in lieu of walking ipRouteTable/ipNetToMediaTable the way real topology
+discovery does — a neighbour column reporting the node name on the far end
+of each interface plus the link name.  The neighbour column lives under the
+ifXTable ``ifAlias`` position, where real deployments also stash peer
+information.
+"""
+
+from repro.snmp.oid import OID
+
+MIB2 = OID("1.3.6.1.2.1")
+
+# -- system group -------------------------------------------------------------
+SYS_DESCR = MIB2.extend(1, 1, 0)
+SYS_NAME = MIB2.extend(1, 5, 0)
+
+# -- interfaces group ----------------------------------------------------------
+IF_NUMBER = MIB2.extend(2, 1, 0)
+_IF_ENTRY = MIB2.extend(2, 2, 1)
+
+# Column bases; append the 1-based ifIndex to address a row.
+IF_INDEX = _IF_ENTRY.extend(1)
+IF_DESCR = _IF_ENTRY.extend(2)
+IF_SPEED = _IF_ENTRY.extend(5)
+IF_OPER_STATUS = _IF_ENTRY.extend(8)
+IF_IN_OCTETS = _IF_ENTRY.extend(10)
+IF_OUT_OCTETS = _IF_ENTRY.extend(16)
+
+# ifXTable ifAlias — repurposed to expose the neighbour "<node>|<link>" for
+# topology discovery.
+IF_NEIGHBOR = MIB2.extend(31, 1, 1, 1, 18)
+
+# Enterprise OID exposing the node's internal (crossbar) forwarding
+# bandwidth in bits/second; 0 means unconstrained.  The paper stresses that
+# "it is just as important that the nodes include performance information"
+# (§4.3, Fig. 1) — real deployments would get this from vendor MIBs.
+NODE_INTERNAL_BW = OID("1.3.6.1.4.1.99999.1.1.0")
+
+# Enterprise OID exposing cumulative CPU-busy centiseconds (a counter, so
+# collectors derive utilization from deltas exactly like octet counters).
+# Only compute nodes implement it.
+HOST_BUSY_CS = OID("1.3.6.1.4.1.99999.1.2.0")
+
+# Enterprise OIDs for host resources (the paper's "simple interface to
+# computation and memory resources"): sustained flop rate and physical
+# memory.  Real deployments would use the Host Resources MIB (RFC 2790).
+HOST_SPEED_FLOPS = OID("1.3.6.1.4.1.99999.1.3.0")
+HOST_MEMORY_BYTES = OID("1.3.6.1.4.1.99999.1.4.0")
+
+# ifOperStatus values (RFC 1213).
+STATUS_UP = 1
+STATUS_DOWN = 2
+
+# 32-bit counter wrap, as in real SNMPv1/v2c octet counters.  The collectors
+# must handle wraps; at 100 Mbps a counter wraps every ~5.7 minutes.
+COUNTER32_MAX = 2**32
+
+
+def column_index(oid: OID, column: OID) -> int:
+    """Extract the ifIndex from a row OID under *column*."""
+    suffix = oid.strip_prefix(column)
+    if len(suffix) != 1:
+        raise ValueError(f"{oid} is not a row of column {column}")
+    return suffix[0]

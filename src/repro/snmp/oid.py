@@ -1,0 +1,68 @@
+"""Object identifiers: dotted integer paths with lexicographic ordering.
+
+GETNEXT semantics depend on the total order over OIDs; this class stores an
+OID as a tuple of ints and derives ordering from tuple comparison, which is
+exactly SNMP's lexicographic rule.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+from repro.util.errors import ConfigurationError
+
+
+@total_ordering
+class OID:
+    """An immutable SNMP object identifier."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, value: "str | tuple[int, ...] | list[int] | OID"):
+        if isinstance(value, OID):
+            parts: tuple[int, ...] = value.parts
+        elif isinstance(value, str):
+            text = value.strip().lstrip(".")
+            if not text:
+                raise ConfigurationError("empty OID string")
+            try:
+                parts = tuple(int(piece) for piece in text.split("."))
+            except ValueError:
+                raise ConfigurationError(f"invalid OID string {value!r}") from None
+        else:
+            parts = tuple(int(piece) for piece in value)
+        if not parts or any(piece < 0 for piece in parts):
+            raise ConfigurationError(f"invalid OID components {parts!r}")
+        object.__setattr__(self, "parts", parts)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("OID is immutable")
+
+    def extend(self, *suffix: int) -> "OID":
+        """A child OID with *suffix* appended."""
+        return OID(self.parts + tuple(int(piece) for piece in suffix))
+
+    def startswith(self, prefix: "OID") -> bool:
+        """True if *prefix* is an ancestor of (or equal to) this OID."""
+        return self.parts[: len(prefix.parts)] == prefix.parts
+
+    def strip_prefix(self, prefix: "OID") -> tuple[int, ...]:
+        """Components after *prefix* (raises if not under it)."""
+        if not self.startswith(prefix):
+            raise ConfigurationError(f"{self} is not under {prefix}")
+        return self.parts[len(prefix.parts):]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, OID) and self.parts == other.parts
+
+    def __lt__(self, other: "OID") -> bool:
+        return self.parts < other.parts
+
+    def __hash__(self) -> int:
+        return hash(self.parts)
+
+    def __str__(self) -> str:
+        return ".".join(str(piece) for piece in self.parts)
+
+    def __repr__(self) -> str:
+        return f"OID({str(self)!r})"

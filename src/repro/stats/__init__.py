@@ -1,0 +1,37 @@
+"""Statistical machinery behind Remos answers.
+
+The paper (§4.4) requires every dynamic quantity to be reported as
+"probabilistic quartile measures along with a measure of estimation
+accuracy", because network measurements are variable, often bimodal, and
+not normally distributed — quartiles are "the best choice for an unknown
+data distribution" (Jain 1991).
+
+* :class:`StatMeasure` — the five-number summary plus accuracy that
+  annotates every dynamic quantity Remos returns;
+* :class:`TimeSeries` — bounded (time, value) series kept per metric by the
+  collectors;
+* predictors — turn a historical series into an expectation of *future*
+  behaviour for ``Timeframe.future(...)`` queries.
+"""
+
+from repro.stats.quartiles import StatMeasure
+from repro.stats.series import TimeSeries
+from repro.stats.predictors import (
+    EWMAPredictor,
+    LastValuePredictor,
+    Predictor,
+    SlidingMeanPredictor,
+    make_predictor,
+)
+from repro.stats.accuracy import sample_accuracy
+
+__all__ = [
+    "StatMeasure",
+    "TimeSeries",
+    "Predictor",
+    "LastValuePredictor",
+    "SlidingMeanPredictor",
+    "EWMAPredictor",
+    "make_predictor",
+    "sample_accuracy",
+]

@@ -1,0 +1,111 @@
+"""Future-timeframe predictors.
+
+"Initial implementations may only support historical performance, or use a
+simplistic model to predict future performance from current and historical
+data" (§4.4).  These are exactly such simplistic models: each turns a
+historical :class:`~repro.stats.series.TimeSeries` into a
+:class:`~repro.stats.quartiles.StatMeasure` describing expected behaviour
+over the next *horizon* seconds, with accuracy degraded to reflect that it
+is a prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.stats.quartiles import StatMeasure
+from repro.stats.series import TimeSeries
+from repro.util.errors import ConfigurationError
+
+# Predictions are inherently less trustworthy than measurements of the same
+# window; every predictor multiplies its accuracy by this.
+PREDICTION_DISCOUNT = 0.8
+
+
+class Predictor(Protocol):
+    """Turns history into an expectation of the next *horizon* seconds."""
+
+    def predict(self, series: TimeSeries, now: float, horizon: float) -> StatMeasure:
+        """Expected behaviour over [now, now + horizon]."""
+        ...  # pragma: no cover
+
+
+class LastValuePredictor:
+    """Naive persistence: the future looks like the latest sample.
+
+    Variability is borrowed from recent history so the quartiles are not
+    falsely tight.
+    """
+
+    def __init__(self, history_window: float = 60.0):
+        self.history_window = history_window
+
+    def predict(self, series: TimeSeries, now: float, horizon: float) -> StatMeasure:
+        if series.empty:
+            raise ConfigurationError("cannot predict from an empty series")
+        last = series.latest_value()
+        recent = series.window(now - self.history_window, now)
+        if recent.size >= 2:
+            base = StatMeasure.from_samples(recent)
+            shift = last - base.median
+            return base.shifted(shift).degraded(PREDICTION_DISCOUNT)
+        return StatMeasure.constant(last).degraded(0.5 * PREDICTION_DISCOUNT)
+
+
+class SlidingMeanPredictor:
+    """The future behaves like the quartiles of the recent window."""
+
+    def __init__(self, history_window: float = 60.0):
+        if history_window <= 0:
+            raise ConfigurationError("history window must be positive")
+        self.history_window = history_window
+
+    def predict(self, series: TimeSeries, now: float, horizon: float) -> StatMeasure:
+        recent = series.window(now - self.history_window, now)
+        if recent.size == 0:
+            raise ConfigurationError("no samples in prediction history window")
+        return StatMeasure.from_samples(recent).degraded(PREDICTION_DISCOUNT)
+
+
+class EWMAPredictor:
+    """Exponentially-weighted mean as the centre, historical spread around it.
+
+    ``alpha`` is the per-sample smoothing factor (higher = more reactive).
+    """
+
+    def __init__(self, alpha: float = 0.3, history_window: float = 120.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0,1], got {alpha}")
+        self.alpha = alpha
+        self.history_window = history_window
+
+    def predict(self, series: TimeSeries, now: float, horizon: float) -> StatMeasure:
+        recent = series.window(now - self.history_window, now)
+        if recent.size == 0:
+            raise ConfigurationError("no samples in prediction history window")
+        smoothed = recent[0]
+        for value in recent[1:]:
+            smoothed = self.alpha * value + (1 - self.alpha) * smoothed
+        base = StatMeasure.from_samples(recent)
+        shift = float(smoothed) - base.median
+        return base.shifted(shift).degraded(PREDICTION_DISCOUNT)
+
+
+_PREDICTORS = {
+    "last": LastValuePredictor,
+    "mean": SlidingMeanPredictor,
+    "ewma": EWMAPredictor,
+}
+
+
+def make_predictor(name: str = "ewma", **kwargs) -> Predictor:
+    """Factory: ``"last"``, ``"mean"`` or ``"ewma"``."""
+    try:
+        factory = _PREDICTORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown predictor {name!r}; expected one of {sorted(_PREDICTORS)}"
+        ) from None
+    return factory(**kwargs)

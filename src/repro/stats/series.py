@@ -1,0 +1,95 @@
+"""Bounded time series of measurements.
+
+Collectors append (time, value) samples; the Modeler summarises windows of
+them into :class:`~repro.stats.quartiles.StatMeasure`.  Storage is a ring
+buffer so long-running collectors stay bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.quartiles import StatMeasure
+from repro.util.errors import ConfigurationError
+from repro.util.ringbuf import RingBuffer
+
+
+class TimeSeries:
+    """Append-only (time, value) samples with window queries."""
+
+    def __init__(self, capacity: int = 4096, name: str = ""):
+        self.name = name
+        self._buffer: RingBuffer[tuple[float, float]] = RingBuffer(capacity)
+        self._last_time = -float("inf")
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def empty(self) -> bool:
+        """True if no samples recorded yet."""
+        return len(self._buffer) == 0
+
+    def add(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if time < self._last_time:
+            raise ConfigurationError(
+                f"series {self.name!r}: sample time {time} precedes {self._last_time}"
+            )
+        self._last_time = time
+        self._buffer.append((time, float(value)))
+
+    def latest(self) -> tuple[float, float]:
+        """Most recent (time, value)."""
+        if self.empty:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+        return self._buffer.newest()
+
+    def latest_value(self) -> float:
+        """Most recent value."""
+        return self.latest()[1]
+
+    def window(self, since: float, until: float = float("inf")) -> np.ndarray:
+        """Values with ``since <= t <= until``, oldest first (may be empty)."""
+        return np.array(
+            [v for t, v in self._buffer if since <= t <= until], dtype=float
+        )
+
+    def times(self, since: float = -float("inf"), until: float = float("inf")) -> np.ndarray:
+        """Sample times within the window, oldest first."""
+        return np.array(
+            [t for t, _ in self._buffer if since <= t <= until], dtype=float
+        )
+
+    def values(self) -> np.ndarray:
+        """Every retained value, oldest first."""
+        return np.array([v for _, v in self._buffer], dtype=float)
+
+    def span(self) -> float:
+        """Time covered by retained samples."""
+        if len(self._buffer) < 2:
+            return 0.0
+        return self._buffer.newest()[0] - self._buffer.oldest()[0]
+
+    def summarise(
+        self, since: float, until: float = float("inf"), accuracy: float | None = None
+    ) -> StatMeasure:
+        """Quartile summary of the window (raises if the window is empty)."""
+        values = self.window(since, until)
+        if values.size == 0:
+            raise ConfigurationError(
+                f"series {self.name!r}: no samples in window [{since}, {until}]"
+            )
+        return StatMeasure.from_samples(values, accuracy=accuracy)
+
+    def mean_over(self, since: float, until: float = float("inf")) -> float:
+        """Arithmetic mean of the window (raises if empty)."""
+        values = self.window(since, until)
+        if values.size == 0:
+            raise ConfigurationError(
+                f"series {self.name!r}: no samples in window [{since}, {until}]"
+            )
+        return float(values.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TimeSeries {self.name!r} n={len(self)}>"

@@ -1,0 +1,25 @@
+"""The paper's networks, ready to simulate.
+
+* :func:`build_cmu_testbed` — the dedicated IP testbed of Figs. 3/4:
+  8 DEC Alpha endpoints ``m-1`` .. ``m-8`` behind three PC routers
+  (``aspen``, ``timberline``, ``whiteface``) on 100 Mbps point-to-point
+  Ethernet;
+* :func:`build_figure1_network` — the 8-host, 2-router example of Fig. 1,
+  parameterised by the routers' internal bandwidth (the knob the paper
+  uses to move the bottleneck);
+* :class:`World` — one bundle of engine + network + agents + collector +
+  Remos + runtime, with a helper to fast-forward until monitoring is live.
+"""
+
+from repro.testbed.world import World
+from repro.testbed.cmu import build_cmu_testbed, CMU_HOSTS, CMU_ROUTERS, TRAFFIC_M6_M8
+from repro.testbed.figures import build_figure1_network
+
+__all__ = [
+    "World",
+    "build_cmu_testbed",
+    "build_figure1_network",
+    "CMU_HOSTS",
+    "CMU_ROUTERS",
+    "TRAFFIC_M6_M8",
+]

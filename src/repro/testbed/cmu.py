@@ -1,0 +1,150 @@
+"""The CMU IP testbed of Figures 3 and 4.
+
+Endpoints ``m-1`` .. ``m-8`` (DEC Alphas in the paper), routers ``aspen``,
+``timberline`` and ``whiteface`` (Pentium Pro PCs running NetBSD), all
+links 100 Mbps point-to-point Ethernet.
+
+Host attachment follows Fig. 4's traffic route (``m-6 -> timberline ->
+whiteface -> m-8``) and node-selection outcome (start ``m-4``, traffic on
+the timberline-whiteface side, selected ``{m-1, m-2, m-4, m-5}``):
+
+* aspen:      m-1, m-2, m-3
+* timberline: m-4, m-5, m-6
+* whiteface:  m-7, m-8
+* backbone:   aspen -- timberline -- whiteface
+
+Every compute node is reachable from every other within 3 router hops, as
+the paper states.
+"""
+
+from __future__ import annotations
+
+from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.net import TopologyBuilder
+from repro.testbed.world import World
+from repro.traffic import TrafficScenario, TrafficSpec
+
+CMU_HOSTS = ["m-1", "m-2", "m-3", "m-4", "m-5", "m-6", "m-7", "m-8"]
+CMU_ROUTERS = ["aspen", "timberline", "whiteface"]
+
+_ATTACHMENT = {
+    "aspen": ["m-1", "m-2", "m-3"],
+    "timberline": ["m-4", "m-5", "m-6"],
+    "whiteface": ["m-7", "m-8"],
+}
+
+
+def build_cmu_topology(calibration: Calibration = DEFAULT_CALIBRATION):
+    """The raw topology (no simulation attached)."""
+    builder = TopologyBuilder("cmu-testbed").defaults(
+        capacity=calibration.link_capacity, latency=calibration.link_latency
+    )
+    for router in CMU_ROUTERS:
+        builder.router(router)
+    for router, hosts in _ATTACHMENT.items():
+        for host in hosts:
+            builder.host(
+                host,
+                compute_speed=calibration.alpha_flops,
+                memory_bytes=calibration.host_memory_bytes,
+            )
+            builder.link(host, router)
+    builder.link("aspen", "timberline")
+    builder.link("timberline", "whiteface")
+    return builder.build()
+
+
+def build_cmu_testbed(
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    poll_interval: float = 2.0,
+    monitor_hosts: bool = False,
+) -> World:
+    """The testbed as a ready-to-run :class:`~repro.testbed.world.World`."""
+    return World.from_topology(
+        build_cmu_topology(calibration),
+        poll_interval=poll_interval,
+        monitor_hosts=monitor_hosts,
+    )
+
+
+def TRAFFIC_M6_M8(calibration: Calibration = DEFAULT_CALIBRATION) -> TrafficScenario:
+    """Table 2's competing load: heavy synthetic traffic m-6 -> m-8.
+
+    The route is m-6 -> timberline -> whiteface -> m-8 (Fig. 4), loading
+    m-6's access link and the timberline-whiteface backbone link.
+    """
+    return TrafficScenario(
+        "traffic(m-6,m-8)",
+        [
+            TrafficSpec(
+                "m-6",
+                "m-8",
+                kind="cbr",
+                rate=calibration.traffic_rate,
+                weight=calibration.traffic_weight,
+            )
+        ],
+    )
+
+
+def interfering_traffic_1(calibration: Calibration = DEFAULT_CALIBRATION) -> TrafficScenario:
+    """Table 3 'Interfering Traffic-1': load across the hosts the program
+    starts on (timberline side)."""
+    return TrafficScenario(
+        "interfering-1",
+        [
+            TrafficSpec(
+                "m-4",
+                "m-7",
+                kind="cbr",
+                rate=calibration.traffic_rate,
+                weight=calibration.traffic_weight,
+            )
+        ],
+    )
+
+
+def interfering_traffic_2(calibration: Calibration = DEFAULT_CALIBRATION) -> TrafficScenario:
+    """Table 3 'Interfering Traffic-2': heavier interference — a
+    bidirectional blast between m-4 and m-7 that loads *both* directions of
+    the timberline-whiteface backbone plus both hosts' access links, so the
+    fixed node set suffers on every cross-router flow while the aspen side
+    (plus m-5, m-6) stays clean for the adaptive version to find."""
+    return TrafficScenario(
+        "interfering-2",
+        [
+            TrafficSpec(
+                "m-4",
+                "m-7",
+                kind="cbr",
+                rate=calibration.traffic_rate,
+                weight=calibration.traffic_weight,
+            ),
+            TrafficSpec(
+                "m-7",
+                "m-4",
+                kind="cbr",
+                rate=calibration.traffic_rate,
+                weight=calibration.traffic_weight,
+            ),
+        ],
+    )
+
+
+def non_interfering_traffic(calibration: Calibration = DEFAULT_CALIBRATION) -> TrafficScenario:
+    """Table 3 'Non-interfering Traffic': load away from the start nodes.
+
+    Traffic between m-1 and m-3 stays on aspen's access links.
+    """
+    return TrafficScenario(
+        "non-interfering",
+        [
+            TrafficSpec(
+                "m-1",
+                "m-3",
+                kind="cbr",
+                rate=calibration.traffic_rate,
+                weight=calibration.traffic_weight,
+            )
+        ],
+    )

@@ -1,0 +1,37 @@
+"""The example network of Figure 1.
+
+"Nodes A and B are network nodes, and nodes 1-8 are compute nodes": hosts
+1-4 on A, 5-8 on B, all access links 10 Mbps, a 100 Mbps link between A
+and B.  The paper reads the figure twice:
+
+* routers with ample internal bandwidth (>= 100 Mbps): the 10 Mbps access
+  links bottleneck, so "all nodes can send and receive messages at up to
+  10 Mbps simultaneously";
+* routers with 10 Mbps internal bandwidth: the routers themselves
+  bottleneck, capping the aggregate of nodes 1-4 (and 5-8) at 10 Mbps —
+  equivalent to two shared 10 Mbps Ethernet segments joined by a fast
+  link.
+"""
+
+from __future__ import annotations
+
+from repro.net import Topology, TopologyBuilder
+
+FIG1_HOSTS = [f"n{i}" for i in range(1, 9)]
+
+
+def build_figure1_network(router_internal_bandwidth: float | str = float("inf")) -> Topology:
+    """Fig. 1's network; the router crossbar capacity is the knob."""
+    builder = (
+        TopologyBuilder("figure-1")
+        .router("A", internal_bandwidth=router_internal_bandwidth)
+        .router("B", internal_bandwidth=router_internal_bandwidth)
+    )
+    for host in FIG1_HOSTS:
+        builder.host(host)
+    for i in range(1, 5):
+        builder.link(f"n{i}", "A", "10Mbps", "0.1ms")
+    for i in range(5, 9):
+        builder.link(f"n{i}", "B", "10Mbps", "0.1ms")
+    builder.link("A", "B", "100Mbps", "0.1ms")
+    return builder.build()

@@ -1,0 +1,35 @@
+"""Traffic sources and competing-load scenarios.
+
+Sources are DES processes that open/close/modulate flows on a
+:class:`~repro.netsim.FluidNetwork`:
+
+* :class:`CBRSource` — constant bit-rate (the paper's fixed/audio-like flow);
+* :class:`GreedySource` — takes every bit max-min grants it (an aggressive
+  bulk application, like the paper's synthetic traffic program);
+* :class:`OnOffSource` — exponentially-distributed on/off bursts (produces
+  the bimodal bandwidth distributions that motivate quartile reporting, §4.4);
+* :class:`PoissonTransferSource` — random bulk transfers at Poisson arrivals.
+
+:mod:`repro.traffic.generator` packages named multi-source scenarios used by
+the Table 2/3 experiments.
+"""
+
+from repro.traffic.sources import (
+    CBRSource,
+    GreedySource,
+    OnOffSource,
+    PoissonTransferSource,
+)
+from repro.traffic.generator import TrafficScenario, TrafficSpec
+from repro.traffic.trace import TraceSource, record_trace
+
+__all__ = [
+    "CBRSource",
+    "GreedySource",
+    "OnOffSource",
+    "PoissonTransferSource",
+    "TrafficScenario",
+    "TrafficSpec",
+    "TraceSource",
+    "record_trace",
+]

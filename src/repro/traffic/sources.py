@@ -1,0 +1,242 @@
+"""Traffic source processes for the fluid network.
+
+Every source starts its own process on construction and exposes ``stop()``
+for early termination plus a ``done`` event (the process handle).  All
+randomness comes from an injected generator (see :mod:`repro.util.rng`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim import FluidNetwork
+from repro.sim import Interrupt, Process
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+from repro.util.units import parse_bandwidth, parse_bytes, parse_time
+
+
+class _Source:
+    """Common scaffolding: lifecycle process plus stop()."""
+
+    def __init__(self, net: FluidNetwork, label: str):
+        self.net = net
+        self.label = label
+        self.done: Process = net.env.process(self._run(), name=label)
+
+    def _run(self):
+        raise NotImplementedError  # pragma: no cover
+
+    def stop(self) -> None:
+        """Terminate the source early (idempotent once finished)."""
+        if self.done.is_alive:
+            self.done.interrupt("stop")
+
+
+class CBRSource(_Source):
+    """Constant-bit-rate flow between two hosts for a fixed interval."""
+
+    def __init__(
+        self,
+        net: FluidNetwork,
+        src: str,
+        dst: str,
+        rate: float | str,
+        start: float | str = 0.0,
+        duration: float | str = float("inf"),
+        weight: float = 1.0,
+        label: str | None = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.rate = parse_bandwidth(rate)
+        self.weight = weight
+        self.start = parse_time(start)
+        self.duration = (
+            float("inf") if duration == float("inf") else parse_time(duration)
+        )
+        super().__init__(net, label or f"cbr:{src}->{dst}")
+
+    def _run(self):
+        env = self.net.env
+        flow = None
+        try:
+            if self.start > 0:
+                yield env.timeout(self.start)
+            flow = self.net.open_flow(
+                self.src,
+                self.dst,
+                demand=self.rate,
+                weight=self.weight,
+                label=self.label,
+            )
+            if self.duration == float("inf"):
+                yield env.event()  # run forever (until interrupted)
+            else:
+                yield env.timeout(self.duration)
+        except Interrupt:
+            pass
+        finally:
+            if flow is not None:
+                self.net.close_flow(flow)
+
+
+class GreedySource(_Source):
+    """A flow that absorbs all bandwidth max-min fairness grants it."""
+
+    def __init__(
+        self,
+        net: FluidNetwork,
+        src: str,
+        dst: str,
+        start: float | str = 0.0,
+        duration: float | str = float("inf"),
+        weight: float = 1.0,
+        label: str | None = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.start = parse_time(start)
+        self.duration = (
+            float("inf") if duration == float("inf") else parse_time(duration)
+        )
+        self.weight = weight
+        super().__init__(net, label or f"greedy:{src}->{dst}")
+
+    def _run(self):
+        env = self.net.env
+        flow = None
+        try:
+            if self.start > 0:
+                yield env.timeout(self.start)
+            flow = self.net.open_flow(
+                self.src,
+                self.dst,
+                demand=float("inf"),
+                weight=self.weight,
+                label=self.label,
+            )
+            if self.duration == float("inf"):
+                yield env.event()
+            else:
+                yield env.timeout(self.duration)
+        except Interrupt:
+            pass
+        finally:
+            if flow is not None:
+                self.net.close_flow(flow)
+
+
+class OnOffSource(_Source):
+    """Bursty source: exponential ON periods at *rate*, exponential OFF gaps.
+
+    Produces exactly the "periodic availability of a high burst bandwidth"
+    the paper contrasts with a steady average (§4.4) — the resulting
+    available-bandwidth samples are bimodal, not normal.
+    """
+
+    def __init__(
+        self,
+        net: FluidNetwork,
+        src: str,
+        dst: str,
+        rate: float | str,
+        mean_on: float | str = 1.0,
+        mean_off: float | str = 1.0,
+        rng: int | np.random.Generator | None = 0,
+        start: float | str = 0.0,
+        duration: float | str = float("inf"),
+        weight: float = 1.0,
+        label: str | None = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.rate = parse_bandwidth(rate)
+        self.weight = weight
+        self.mean_on = parse_time(mean_on)
+        self.mean_off = parse_time(mean_off)
+        if self.mean_on <= 0 or self.mean_off <= 0:
+            raise ConfigurationError("mean_on and mean_off must be positive")
+        self.rng = make_rng(rng)
+        self.start = parse_time(start)
+        self.duration = (
+            float("inf") if duration == float("inf") else parse_time(duration)
+        )
+        super().__init__(net, label or f"onoff:{src}->{dst}")
+
+    def _run(self):
+        env = self.net.env
+        flow = None
+        stop_at = None
+        try:
+            if self.start > 0:
+                yield env.timeout(self.start)
+            stop_at = env.now + self.duration
+            flow = self.net.open_flow(
+                self.src, self.dst, demand=0.0, weight=self.weight, label=self.label
+            )
+            while env.now < stop_at:
+                on_time = self.rng.exponential(self.mean_on)
+                self.net.set_demand(flow, self.rate)
+                yield env.timeout(min(on_time, max(0.0, stop_at - env.now)))
+                if env.now >= stop_at:
+                    break
+                off_time = self.rng.exponential(self.mean_off)
+                self.net.set_demand(flow, 0.0)
+                yield env.timeout(min(off_time, max(0.0, stop_at - env.now)))
+        except Interrupt:
+            pass
+        finally:
+            if flow is not None:
+                self.net.close_flow(flow)
+
+
+class PoissonTransferSource(_Source):
+    """Fires bulk transfers of exponential size at Poisson arrival times."""
+
+    def __init__(
+        self,
+        net: FluidNetwork,
+        src: str,
+        dst: str,
+        mean_interarrival: float | str = 1.0,
+        mean_size: float | str = "1MB",
+        rng: int | np.random.Generator | None = 0,
+        start: float | str = 0.0,
+        duration: float | str = float("inf"),
+        label: str | None = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.mean_interarrival = parse_time(mean_interarrival)
+        self.mean_size = parse_bytes(mean_size)
+        if self.mean_interarrival <= 0 or self.mean_size <= 0:
+            raise ConfigurationError("mean interarrival and size must be positive")
+        self.rng = make_rng(rng)
+        self.start = parse_time(start)
+        self.duration = (
+            float("inf") if duration == float("inf") else parse_time(duration)
+        )
+        self.transfers_started = 0
+        super().__init__(net, label or f"poisson:{src}->{dst}")
+
+    def _run(self):
+        env = self.net.env
+        try:
+            if self.start > 0:
+                yield env.timeout(self.start)
+            stop_at = env.now + self.duration
+            while env.now < stop_at:
+                yield env.timeout(self.rng.exponential(self.mean_interarrival))
+                if env.now >= stop_at:
+                    break
+                size = max(1.0, self.rng.exponential(self.mean_size))
+                self.net.transfer(
+                    self.src,
+                    self.dst,
+                    size,
+                    label=f"{self.label}#{self.transfers_started}",
+                )
+                self.transfers_started += 1
+        except Interrupt:
+            pass

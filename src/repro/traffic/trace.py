@@ -1,0 +1,110 @@
+"""Trace-driven traffic replay.
+
+Remos's evaluation used live testbed traffic; operators often have
+historical utilization traces instead.  A :class:`TraceSource` replays a
+``[(time, bits_per_second), ...]`` schedule onto a flow, so recorded (or
+hand-crafted) load shapes can drive experiments reproducibly.  A
+convenience recorder turns a live simulation's utilization into a trace
+for later replay.
+"""
+
+from __future__ import annotations
+
+from repro.netsim import FluidNetwork
+from repro.sim import Interrupt
+from repro.traffic.sources import _Source
+from repro.util.errors import ConfigurationError
+
+
+class TraceSource(_Source):
+    """Replays a rate schedule between two hosts.
+
+    ``trace`` is a list of (time offset seconds, rate bits/s) pairs with
+    strictly increasing offsets; each rate holds from its offset until the
+    next entry.  After the last entry the final rate holds until
+    :meth:`stop` — append a ``(t, 0.0)`` entry to end the load — unless
+    ``loop=True``, which repeats the schedule forever.
+    """
+
+    def __init__(
+        self,
+        net: FluidNetwork,
+        src: str,
+        dst: str,
+        trace: list[tuple[float, float]],
+        loop: bool = False,
+        weight: float = 1.0,
+        label: str | None = None,
+    ):
+        if not trace:
+            raise ConfigurationError("trace must have at least one entry")
+        offsets = [t for t, _ in trace]
+        if offsets[0] < 0 or any(b <= a for a, b in zip(offsets, offsets[1:])):
+            raise ConfigurationError("trace offsets must be non-negative and increasing")
+        if any(rate < 0 for _, rate in trace):
+            raise ConfigurationError("trace rates must be non-negative")
+        if loop and offsets[0] != 0.0:
+            raise ConfigurationError("looping traces must start at offset 0")
+        self.src = src
+        self.dst = dst
+        self.trace = [(float(t), float(r)) for t, r in trace]
+        self.loop = loop
+        self.weight = weight
+        self.replays = 0
+        super().__init__(net, label or f"trace:{src}->{dst}")
+
+    def _run(self):
+        env = self.net.env
+        flow = None
+        try:
+            if self.trace[0][0] > 0:
+                yield env.timeout(self.trace[0][0])
+            flow = self.net.open_flow(
+                self.src, self.dst, demand=0.0, weight=self.weight, label=self.label
+            )
+            while True:
+                cycle_start = env.now - self.trace[0][0]
+                for index, (offset, rate) in enumerate(self.trace):
+                    target = cycle_start + offset
+                    if target > env.now:
+                        yield env.timeout(target - env.now)
+                    self.net.set_demand(flow, rate)
+                self.replays += 1
+                if not self.loop:
+                    yield env.event()  # hold the final rate until stop()
+                # Hold the final rate until the schedule wraps.
+                period = self.trace[-1][0] - self.trace[0][0]
+                if period <= 0:
+                    break
+                yield env.timeout(cycle_start + period + self.trace[0][0] - env.now)
+        except Interrupt:
+            pass
+        finally:
+            if flow is not None:
+                self.net.close_flow(flow)
+
+
+def record_trace(
+    net: FluidNetwork,
+    link_name: str,
+    from_node: str,
+    duration: float,
+    sample_interval: float = 1.0,
+) -> list[tuple[float, float]]:
+    """Sample a link direction's load into a replayable trace.
+
+    Advances the simulation by *duration* while sampling; returns
+    ``[(offset, bits_per_second), ...]`` suitable for :class:`TraceSource`.
+    """
+    if duration <= 0 or sample_interval <= 0:
+        raise ConfigurationError("duration and sample_interval must be positive")
+    env = net.env
+    start = env.now
+    trace: list[tuple[float, float]] = []
+    elapsed = 0.0
+    while elapsed < duration:
+        trace.append((elapsed, net.link_load(link_name, from_node)))
+        step = min(sample_interval, duration - elapsed)
+        env.run(until=env.now + step)
+        elapsed = env.now - start
+    return trace

@@ -1,0 +1,68 @@
+"""Graphviz DOT export for topologies and logical graphs.
+
+Release-quality tooling: ``dot -Tpng`` renders what a query returned.
+Network nodes come out as boxes, compute nodes as ellipses; edges are
+labelled with capacity (and, for logical graphs, median availability per
+direction when it differs from capacity).
+"""
+
+from __future__ import annotations
+
+from repro.util.units import format_bandwidth, format_time
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def topology_to_dot(topology) -> str:
+    """DOT source for a physical :class:`~repro.net.Topology`."""
+    lines = [f"graph {_quote(topology.name)} {{"]
+    lines.append("  node [fontsize=10];")
+    for node in topology.nodes:
+        shape = "box" if node.is_network else "ellipse"
+        extra = ""
+        if node.internal_bandwidth != float("inf"):
+            extra = f"\\n{format_bandwidth(node.internal_bandwidth)} xbar"
+        lines.append(
+            f"  {_quote(node.name)} [shape={shape}, label={_quote(node.name + extra)}];"
+        )
+    for link in topology.links:
+        label = f"{format_bandwidth(link.capacity)} / {format_time(link.latency)}"
+        lines.append(
+            f"  {_quote(link.a)} -- {_quote(link.b)} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def remos_graph_to_dot(graph) -> str:
+    """DOT source for a logical :class:`~repro.core.RemosGraph`.
+
+    Queried nodes are drawn bold; collapsed edges note how many physical
+    links they hide; per-direction availability is shown when it is below
+    capacity (i.e. when there is measured traffic).
+    """
+    lines = ["graph remos {", "  node [fontsize=10];"]
+    queried = set(graph.query_nodes)
+    for node in graph.nodes:
+        shape = "ellipse" if node.is_compute else "box"
+        style = ', style=bold' if node.name in queried else ""
+        lines.append(f"  {_quote(node.name)} [shape={shape}{style}];")
+    for edge in graph.edges:
+        parts = [format_bandwidth(edge.capacity)]
+        if len(edge.physical_links) > 1:
+            parts.append(f"({len(edge.physical_links)} links)")
+        for endpoint in (edge.a, edge.b):
+            try:
+                available = edge.available_from(endpoint).median
+            except Exception:
+                continue
+            if available < edge.capacity * 0.999:
+                parts.append(f"{endpoint}->: {format_bandwidth(available)}")
+        label = "\\n".join(parts)
+        lines.append(
+            f"  {_quote(edge.a)} -- {_quote(edge.b)} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

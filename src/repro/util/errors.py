@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration value (bad unit string, negative capacity, ...)."""
+
+
+class TopologyError(ReproError):
+    """Structural problem with a network topology (unknown node, no route, ...)."""
+
+
+class SimulationError(ReproError):
+    """Runtime failure inside the discrete-event simulation kernel."""
+
+
+class QueryError(ReproError):
+    """A Remos query could not be answered (unknown host, bad timeframe, ...)."""
+
+
+class CollectorError(ReproError):
+    """A collector failed to gather data (agent unreachable, no samples, ...)."""
+
+
+class RuntimeModelError(ReproError):
+    """Misuse of the Fx-like parallel runtime model (bad rank, no mapping, ...)."""

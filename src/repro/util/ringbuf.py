@@ -1,0 +1,97 @@
+"""Fixed-capacity ring buffer used by the collectors' metric stores.
+
+Collectors poll agents for years of simulated time; keeping every sample
+would grow without bound, so time series are held in bounded ring buffers.
+The buffer stores arbitrary items (the metric store puts ``(time, value)``
+pairs in it) and evicts the oldest item once full.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+from repro.util.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """A bounded FIFO with O(1) append and oldest-first iteration."""
+
+    __slots__ = ("_items", "_capacity", "_start", "_count")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ConfigurationError(f"ring buffer capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._items: list[T | None] = [None] * self._capacity
+        self._start = 0
+        self._count = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of items retained."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    @property
+    def full(self) -> bool:
+        """True once appends start evicting the oldest item."""
+        return self._count == self._capacity
+
+    def append(self, item: T) -> None:
+        """Add *item*, evicting the oldest item if the buffer is full."""
+        end = (self._start + self._count) % self._capacity
+        self._items[end] = item
+        if self._count == self._capacity:
+            self._start = (self._start + 1) % self._capacity
+        else:
+            self._count += 1
+
+    def extend(self, items) -> None:
+        """Append every element of *items* in order."""
+        for item in items:
+            self.append(item)
+
+    def __getitem__(self, index: int) -> T:
+        """Item at *index*, where 0 is the oldest retained item."""
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(f"ring buffer index {index} out of range (len={self._count})")
+        return self._items[(self._start + index) % self._capacity]  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[T]:
+        for i in range(self._count):
+            yield self._items[(self._start + i) % self._capacity]  # type: ignore[misc]
+
+    def newest(self) -> T:
+        """Most recently appended item."""
+        if self._count == 0:
+            raise IndexError("ring buffer is empty")
+        return self[self._count - 1]
+
+    def oldest(self) -> T:
+        """Oldest retained item."""
+        if self._count == 0:
+            raise IndexError("ring buffer is empty")
+        return self[0]
+
+    def clear(self) -> None:
+        """Drop every item."""
+        self._items = [None] * self._capacity
+        self._start = 0
+        self._count = 0
+
+    def to_list(self) -> list[T]:
+        """Items oldest-first as a plain list."""
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingBuffer(len={self._count}, capacity={self._capacity})"

@@ -1,0 +1,168 @@
+"""Unit handling for bandwidth, byte counts and time.
+
+Conventions used throughout the package:
+
+* bandwidth is stored in **bits per second** (float),
+* data amounts are stored in **bytes** (float; fractional bytes are allowed
+  in fluid-flow arithmetic),
+* time is stored in **seconds** (float).
+
+Network units are decimal (1 Mbps = 1e6 bit/s), matching how link speeds are
+specified by both the paper and SNMP's ``ifSpeed``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ConfigurationError
+
+KILO = 1_000.0
+MEGA = 1_000_000.0
+GIGA = 1_000_000_000.0
+
+_BANDWIDTH_SUFFIXES = {
+    "bps": 1.0,
+    "kbps": KILO,
+    "mbps": MEGA,
+    "gbps": GIGA,
+    "b/s": 1.0,
+    "kb/s": KILO,
+    "mb/s": MEGA,
+    "gb/s": GIGA,
+}
+
+_BYTE_SUFFIXES = {
+    "b": 1.0,
+    "kb": KILO,
+    "mb": MEGA,
+    "gb": GIGA,
+    "kib": 1024.0,
+    "mib": 1024.0**2,
+    "gib": 1024.0**3,
+}
+
+_TIME_SUFFIXES = {
+    "s": 1.0,
+    "sec": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "ns": 1e-9,
+    "min": 60.0,
+    "h": 3600.0,
+}
+
+_NUMBER_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([a-zA-Z/]*)\s*$")
+
+
+def kbps(value: float) -> float:
+    """Return *value* kilobits/second expressed in bits/second."""
+    return value * KILO
+
+
+def mbps(value: float) -> float:
+    """Return *value* megabits/second expressed in bits/second."""
+    return value * MEGA
+
+
+def gbps(value: float) -> float:
+    """Return *value* gigabits/second expressed in bits/second."""
+    return value * GIGA
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a bit count (or bit rate) to bytes (or bytes/second)."""
+    return bits / 8.0
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert a byte count (or byte rate) to bits (or bits/second)."""
+    return nbytes * 8.0
+
+
+def _parse(text: str, suffixes: dict[str, float], default: float, what: str) -> float:
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise ConfigurationError(f"cannot parse {what} from {text!r}")
+    value = float(match.group(1))
+    suffix = match.group(2).lower()
+    if not suffix:
+        return value * default
+    try:
+        return value * suffixes[suffix]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown {what} unit {match.group(2)!r} in {text!r}; "
+            f"expected one of {sorted(suffixes)}"
+        ) from None
+
+
+def parse_bandwidth(value: float | str) -> float:
+    """Parse a bandwidth into bits/second.
+
+    Accepts a bare number (already bits/second) or a string such as
+    ``"100Mbps"``, ``"1.5 Gb/s"`` or ``"56kbps"``.
+    """
+    if isinstance(value, (int, float)):
+        result = float(value)
+    else:
+        result = _parse(value, _BANDWIDTH_SUFFIXES, 1.0, "bandwidth")
+    if result < 0:
+        raise ConfigurationError(f"bandwidth must be non-negative, got {value!r}")
+    return result
+
+
+def parse_bytes(value: float | str) -> float:
+    """Parse a data amount into bytes (``"4MB"``, ``"512KiB"``, or a number)."""
+    if isinstance(value, (int, float)):
+        result = float(value)
+    else:
+        result = _parse(value, _BYTE_SUFFIXES, 1.0, "byte count")
+    if result < 0:
+        raise ConfigurationError(f"byte count must be non-negative, got {value!r}")
+    return result
+
+
+def parse_time(value: float | str) -> float:
+    """Parse a duration into seconds (``"10ms"``, ``"2min"``, or a number)."""
+    if isinstance(value, (int, float)):
+        result = float(value)
+    else:
+        result = _parse(value, _TIME_SUFFIXES, 1.0, "time")
+    if result < 0:
+        raise ConfigurationError(f"time must be non-negative, got {value!r}")
+    return result
+
+
+def _format(value: float, steps: list[tuple[float, str]], unit: str) -> str:
+    for factor, suffix in steps:
+        if abs(value) >= factor:
+            return f"{value / factor:.3g}{suffix}"
+    return f"{value:.3g}{unit}"
+
+
+def format_bandwidth(bits_per_second: float) -> str:
+    """Human-readable bandwidth, e.g. ``format_bandwidth(1e8) == '100Mbps'``."""
+    return _format(
+        bits_per_second,
+        [(GIGA, "Gbps"), (MEGA, "Mbps"), (KILO, "kbps")],
+        "bps",
+    )
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count, e.g. ``format_bytes(2e6) == '2MB'``."""
+    return _format(nbytes, [(GIGA, "GB"), (MEGA, "MB"), (KILO, "kB")], "B")
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration, e.g. ``format_time(0.0021) == '2.1ms'``."""
+    if seconds == 0:
+        return "0s"
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.3g}s"
+    if abs(seconds) >= 1e-3:
+        return f"{seconds * 1e3:.3g}ms"
+    if abs(seconds) >= 1e-6:
+        return f"{seconds * 1e6:.3g}us"
+    return f"{seconds * 1e9:.3g}ns"

@@ -1,0 +1,146 @@
+"""Runtime adaptation module tests."""
+
+import pytest
+
+from repro.adapt import AdaptationModule, MigrationPolicy
+from repro.apps import SyntheticApp
+from repro.testbed import CMU_HOSTS, build_cmu_testbed
+from repro.traffic import TrafficScenario, TrafficSpec
+from repro.util.errors import ConfigurationError
+
+
+def make_app(iterations=6):
+    """Comm-heavy app so placement matters."""
+    return SyntheticApp(
+        flops_per_rank=1e7, comm_bytes=5e7, pattern="all_to_all", iterations=iterations
+    )
+
+
+class TestMigrationPolicy:
+    def test_threshold(self):
+        policy = MigrationPolicy(threshold=0.2)
+        assert policy.should_migrate(100.0, 70.0)
+        assert not policy.should_migrate(100.0, 90.0)
+
+    def test_zero_current_cost_never_migrates(self):
+        assert not MigrationPolicy().should_migrate(0.0, -1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MigrationPolicy(threshold=-0.1)
+        with pytest.raises(ConfigurationError):
+            MigrationPolicy(check_every=0)
+
+
+class TestAdaptationModule:
+    def test_migrates_away_from_traffic(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        # Load the whiteface side, where the program starts.
+        TrafficScenario(
+            "t", [TrafficSpec("m-6", "m-8", kind="cbr", rate="90Mbps")]
+        ).start(world.net)
+        world.settle(10.0)
+
+        adaptation = AdaptationModule(
+            remos=remos,
+            pool=CMU_HOSTS,
+            policy=MigrationPolicy(threshold=0.05),
+            check_seconds=0.1,
+        )
+        runtime = world.runtime()
+        report = world.env.run(
+            until=runtime.launch(
+                make_app(), ["m-6", "m-7", "m-8"], adapt_hook=adaptation.hook
+            )
+        )
+        assert adaptation.migrations >= 1
+        final = set(report.final_hosts)
+        # The program escaped the loaded timberline->whiteface corridor.
+        assert not ({"m-7", "m-8"} & final) or "m-6" not in final
+
+    def test_no_migration_on_idle_network(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        adaptation = AdaptationModule(
+            remos=remos,
+            pool=CMU_HOSTS,
+            policy=MigrationPolicy(threshold=0.05),
+            check_seconds=0.1,
+        )
+        runtime = world.runtime()
+        report = world.env.run(
+            until=runtime.launch(
+                make_app(), ["m-1", "m-2", "m-3"], adapt_hook=adaptation.hook
+            )
+        )
+        assert adaptation.migrations == 0
+        assert report.final_hosts == ("m-1", "m-2", "m-3")
+
+    def test_check_costs_charged(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        adaptation = AdaptationModule(
+            remos=remos, pool=CMU_HOSTS, check_seconds=2.0
+        )
+        runtime = world.runtime()
+        report = world.env.run(
+            until=runtime.launch(
+                make_app(iterations=4), ["m-1", "m-2"], adapt_hook=adaptation.hook
+            )
+        )
+        # Checks at iterations 1, 2, 3 (not 0).
+        assert adaptation.checks == 3
+        assert report.adapt_time >= 3 * 2.0
+
+    def test_check_every_reduces_checks(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        adaptation = AdaptationModule(
+            remos=remos,
+            pool=CMU_HOSTS,
+            policy=MigrationPolicy(check_every=3),
+            check_seconds=0.1,
+        )
+        runtime = world.runtime()
+        world.env.run(
+            until=runtime.launch(
+                make_app(iterations=7), ["m-1", "m-2"], adapt_hook=adaptation.hook
+            )
+        )
+        # Iterations 3 and 6 only.
+        assert adaptation.checks == 2
+
+
+class TestSelfTrafficCorrection:
+    def _run(self, correct: bool):
+        world = build_cmu_testbed(poll_interval=0.5)
+        remos = world.start_monitoring(warmup=5.0)
+        adaptation = AdaptationModule(
+            remos=remos,
+            pool=CMU_HOSTS,
+            policy=MigrationPolicy(
+                threshold=0.0, correct_own_traffic=correct
+            ),
+            check_seconds=0.1,
+        )
+        runtime = world.runtime()
+        # Heavy communication: the app's own flows dominate measurements.
+        app = SyntheticApp(
+            flops_per_rank=1e6, comm_bytes=4e8, pattern="all_to_all", iterations=8
+        )
+        report = world.env.run(
+            until=runtime.launch(app, ["m-1", "m-2", "m-3"], adapt_hook=adaptation.hook)
+        )
+        return adaptation, report
+
+    def test_without_correction_app_flees_itself(self):
+        adaptation, _ = self._run(correct=False)
+        # The paper's fallacy: the idle network shows no reason to move,
+        # yet the app migrates to avoid its own traffic.
+        assert adaptation.migrations >= 1
+
+    def test_with_correction_app_stays_put(self):
+        adaptation, report = self._run(correct=True)
+        assert adaptation.migrations == 0
+        assert report.final_hosts == ("m-1", "m-2", "m-3")

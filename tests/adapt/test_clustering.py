@@ -1,0 +1,119 @@
+"""Clustering heuristic tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adapt import (
+    cluster_cost,
+    greedy_cluster,
+    greedy_cluster_best_start,
+    optimal_cluster,
+)
+from repro.util.errors import ConfigurationError
+
+
+def matrix_for(names, close_pairs, near=1.0, far=10.0):
+    """Distance matrix: listed pairs are close, everything else far."""
+    size = len(names)
+    matrix = np.full((size, size), far)
+    np.fill_diagonal(matrix, 0.0)
+    for a, b in close_pairs:
+        i, j = names.index(a), names.index(b)
+        matrix[i, j] = matrix[j, i] = near
+    return matrix
+
+
+class TestGreedy:
+    def test_picks_close_nodes(self):
+        names = ["a", "b", "c", "d"]
+        matrix = matrix_for(names, [("a", "b"), ("b", "c"), ("a", "c")])
+        assert set(greedy_cluster(names, matrix, "a", 3)) == {"a", "b", "c"}
+
+    def test_start_always_included(self):
+        names = ["a", "b", "c", "d"]
+        matrix = matrix_for(names, [("b", "c"), ("c", "d"), ("b", "d")])
+        cluster = greedy_cluster(names, matrix, "a", 2)
+        assert cluster[0] == "a"
+
+    def test_k_equals_pool(self):
+        names = ["a", "b", "c"]
+        matrix = matrix_for(names, [])
+        assert set(greedy_cluster(names, matrix, "b", 3)) == set(names)
+
+    def test_k_one(self):
+        names = ["a", "b"]
+        assert greedy_cluster(names, matrix_for(names, []), "b", 1) == ["b"]
+
+    def test_bad_k(self):
+        names = ["a", "b"]
+        with pytest.raises(ConfigurationError):
+            greedy_cluster(names, matrix_for(names, []), "a", 3)
+
+    def test_unknown_start(self):
+        names = ["a", "b"]
+        with pytest.raises(ConfigurationError, match="not in candidate pool"):
+            greedy_cluster(names, matrix_for(names, []), "z", 1)
+
+    def test_deterministic_tie_break(self):
+        names = ["a", "b", "c"]
+        matrix = matrix_for(names, [])  # all equally far
+        assert greedy_cluster(names, matrix, "a", 2) == ["a", "b"]
+
+
+class TestBestStartAndOptimal:
+    def test_best_start_finds_far_cluster(self):
+        # Start-agnostic clustering should find {c,d,e} even though the
+        # pinned-start version from "a" cannot.
+        names = ["a", "b", "c", "d", "e"]
+        matrix = matrix_for(names, [("c", "d"), ("d", "e"), ("c", "e")])
+        best = greedy_cluster_best_start(names, matrix, 3)
+        assert set(best) == {"c", "d", "e"}
+
+    def test_optimal_matches_greedy_on_easy_instance(self):
+        names = ["a", "b", "c", "d"]
+        matrix = matrix_for(names, [("a", "b"), ("a", "c"), ("b", "c")])
+        greedy = greedy_cluster(names, matrix, "a", 3)
+        optimal = optimal_cluster(names, matrix, 3, start="a")
+        assert cluster_cost(names, matrix, greedy) == cluster_cost(names, matrix, optimal)
+
+    def test_optimal_beats_greedy_on_adversarial_instance(self):
+        # Classic greedy trap: the nearest neighbour of the start leads
+        # into a bad cluster.
+        names = ["s", "trap", "g1", "g2"]
+        matrix = np.array(
+            [
+                #  s     trap  g1    g2
+                [0.0, 1.0, 2.0, 2.0],  # s
+                [1.0, 0.0, 10.0, 10.0],  # trap
+                [2.0, 10.0, 0.0, 0.1],  # g1
+                [2.0, 10.0, 0.1, 0.0],  # g2
+            ]
+        )
+        greedy = greedy_cluster(names, matrix, "s", 3)
+        optimal = optimal_cluster(names, matrix, 3, start="s")
+        assert cluster_cost(names, matrix, optimal) <= cluster_cost(names, matrix, greedy)
+        assert "trap" in greedy
+        assert set(optimal) == {"s", "g1", "g2"}
+
+    def test_optimal_without_start(self):
+        names = ["a", "b", "c", "d"]
+        matrix = matrix_for(names, [("c", "d")])
+        assert set(optimal_cluster(names, matrix, 2)) == {"c", "d"}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=2, max_value=6))
+    def test_greedy_never_beats_optimal(self, seed, size):
+        rng = np.random.default_rng(seed)
+        names = [f"n{i}" for i in range(size + 2)]
+        raw = rng.uniform(0.1, 10.0, (len(names), len(names)))
+        matrix = (raw + raw.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        k = int(rng.integers(1, size))
+        start = names[int(rng.integers(0, len(names)))]
+        greedy = greedy_cluster(names, matrix, start, k)
+        optimal = optimal_cluster(names, matrix, k, start=start)
+        assert (
+            cluster_cost(names, matrix, optimal)
+            <= cluster_cost(names, matrix, greedy) + 1e-9
+        )

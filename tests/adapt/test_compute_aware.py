@@ -1,0 +1,81 @@
+"""Compute-aware node selection (§7.2's flagged future work, implemented)."""
+
+import pytest
+
+from repro.adapt import select_nodes, select_nodes_compute_aware
+from repro.core import Timeframe
+from repro.netsim.hostload import ComputeLoad
+from repro.testbed import CMU_HOSTS, build_cmu_testbed
+
+
+@pytest.fixture
+def loaded_world():
+    """Testbed with m-5 and m-6 heavily CPU-loaded, fully monitored."""
+    world = build_cmu_testbed(poll_interval=1.0, monitor_hosts=True)
+    ComputeLoad(world.net.host_activity, "m-5", share=0.9)
+    ComputeLoad(world.net.host_activity, "m-6", share=0.9)
+    world.start_monitoring(warmup=20.0)
+    return world
+
+
+def test_plain_selection_ignores_cpu_load(loaded_world):
+    remos = loaded_world.make_remos()
+    result = select_nodes(
+        remos, CMU_HOSTS, k=3, start="m-4", timeframe=Timeframe.history(15.0)
+    )
+    # Network is idle, so the loaded timberline siblings still look closest.
+    assert set(result.hosts) == {"m-4", "m-5", "m-6"}
+
+
+def test_compute_aware_selection_avoids_loaded_hosts(loaded_world):
+    remos = loaded_world.make_remos()
+    result = select_nodes_compute_aware(
+        remos, CMU_HOSTS, k=3, start="m-4", timeframe=Timeframe.history(15.0)
+    )
+    assert "m-5" not in result.hosts
+    assert "m-6" not in result.hosts
+    assert result.hosts[0] == "m-4"
+
+
+def test_compute_aware_matches_plain_when_idle():
+    world = build_cmu_testbed(poll_interval=1.0, monitor_hosts=True)
+    remos = world.start_monitoring(warmup=10.0)
+    plain = select_nodes(remos, CMU_HOSTS, k=4, start="m-4")
+    aware = select_nodes_compute_aware(remos, CMU_HOSTS, k=4, start="m-4")
+    assert set(plain.hosts) == set(aware.hosts)
+
+
+def test_penalty_weight_zero_disables_awareness(loaded_world):
+    remos = loaded_world.make_remos()
+    result = select_nodes_compute_aware(
+        remos,
+        CMU_HOSTS,
+        k=3,
+        start="m-4",
+        timeframe=Timeframe.history(15.0),
+        compute_penalty=0.0,
+    )
+    assert set(result.hosts) == {"m-4", "m-5", "m-6"}
+
+
+def test_compute_aware_faster_execution():
+    """Placement that dodges busy CPUs actually runs faster end-to-end."""
+    from repro.apps import SyntheticApp
+
+    def run(compute_aware: bool) -> float:
+        world = build_cmu_testbed(poll_interval=1.0, monitor_hosts=True)
+        ComputeLoad(world.net.host_activity, "m-5", share=0.9)
+        ComputeLoad(world.net.host_activity, "m-6", share=0.9)
+        remos = world.start_monitoring(warmup=20.0)
+        selector = select_nodes_compute_aware if compute_aware else select_nodes
+        selection = selector(
+            remos, CMU_HOSTS, k=3, start="m-4", timeframe=Timeframe.history(15.0)
+        )
+        app = SyntheticApp(flops_per_rank=5e8, comm_bytes=1e4, iterations=2)
+        report = world.env.run(until=world.runtime().launch(app, selection.hosts))
+        return report.elapsed
+
+    naive_time = run(compute_aware=False)
+    aware_time = run(compute_aware=True)
+    # Naive placement shares m-5/m-6 with 0.9-share hogs: ~1.9x compute.
+    assert aware_time < naive_time / 1.5

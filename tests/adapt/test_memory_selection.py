@@ -1,0 +1,81 @@
+"""Memory-constrained node-count selection (§2)."""
+
+import pytest
+
+from repro.adapt import minimum_nodes, select_nodes_for_program
+from repro.apps import Airshed, FFT2D, SyntheticApp
+from repro.bench.calibration import Calibration
+from repro.testbed import CMU_HOSTS, build_cmu_testbed
+from repro.testbed.cmu import build_cmu_topology
+from repro.util.errors import ConfigurationError
+
+
+class TestMinimumNodes:
+    def test_memoryless_program_needs_one(self):
+        topo = build_cmu_topology()
+        assert minimum_nodes(SyntheticApp(), topo, CMU_HOSTS) == 1
+
+    def test_airshed_needs_two_for_grid(self):
+        # 2 x 157MB grid vs 256MB hosts: one rank cannot hold it.
+        topo = build_cmu_topology()
+        assert minimum_nodes(Airshed(), topo, CMU_HOSTS) == 2
+
+    def test_small_memory_forces_more_nodes(self):
+        calibration = Calibration(host_memory_bytes=64e6)
+        topo = build_cmu_topology(calibration)
+        # 314MB total over 64MB hosts: ceil -> 5 ranks.
+        assert minimum_nodes(Airshed(), topo, CMU_HOSTS) == 5
+
+    def test_huge_fft_never_fits(self):
+        calibration = Calibration(host_memory_bytes=1e6)
+        topo = build_cmu_topology(calibration)
+        with pytest.raises(ConfigurationError, match="does not fit"):
+            minimum_nodes(FFT2D(8192), topo, CMU_HOSTS)
+
+    def test_respects_required_nodes_floor(self):
+        topo = build_cmu_topology()
+        # FFT(512) fits on one host memory-wise, Airshed declares 2 anyway.
+        assert minimum_nodes(FFT2D(512), topo, CMU_HOSTS) == 1
+        assert minimum_nodes(Airshed(hours=1), topo, CMU_HOSTS) == 2
+
+    def test_empty_pool_rejected(self):
+        topo = build_cmu_topology()
+        with pytest.raises(ConfigurationError, match="empty"):
+            minimum_nodes(SyntheticApp(), topo, [])
+
+
+class TestSelectForProgram:
+    def test_counts_and_places(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        selection = select_nodes_for_program(
+            remos, CMU_HOSTS, Airshed(), start="m-4"
+        )
+        assert len(selection.hosts) == 2
+        assert selection.hosts[0] == "m-4"
+
+    def test_extra_nodes_added(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        selection = select_nodes_for_program(
+            remos, CMU_HOSTS, Airshed(), start="m-4", extra_nodes=3
+        )
+        assert len(selection.hosts) == 5
+
+    def test_capped_at_pool_size(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        selection = select_nodes_for_program(
+            remos, CMU_HOSTS, Airshed(), start="m-4", extra_nodes=100
+        )
+        assert len(selection.hosts) == len(CMU_HOSTS)
+
+    def test_runnable_end_to_end(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        program = Airshed(hours=1)
+        selection = select_nodes_for_program(
+            remos, CMU_HOSTS, program, start="m-4", extra_nodes=1
+        )
+        report = world.env.run(until=world.runtime().launch(program, selection.hosts))
+        assert report.elapsed > 0

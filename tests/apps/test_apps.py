@@ -1,0 +1,109 @@
+"""Application model tests on the CMU testbed."""
+
+import pytest
+
+from repro.apps import FFT2D, Airshed, SyntheticApp
+from repro.fx import FxRuntime
+from repro.testbed import build_cmu_testbed
+from repro.util.errors import ConfigurationError
+
+
+def run_app(program, hosts, adapt_hook=None):
+    world = build_cmu_testbed()
+    runtime = world.runtime()
+    return world.env.run(until=runtime.launch(program, hosts, adapt_hook=adapt_hook))
+
+
+class TestFFT2D:
+    def test_ballpark_of_paper_512_2nodes(self):
+        report = run_app(FFT2D(512), ["m-4", "m-5"])
+        # Paper: 0.462s on the testbed; same order of magnitude is the bar.
+        assert 0.2 < report.elapsed < 0.9
+
+    def test_more_nodes_faster(self):
+        two = run_app(FFT2D(512), ["m-4", "m-5"])
+        four = run_app(FFT2D(512), ["m-4", "m-5", "m-6", "m-7"])
+        assert four.elapsed < two.elapsed
+
+    def test_larger_fft_slower(self):
+        small = run_app(FFT2D(512), ["m-4", "m-5"])
+        large = run_app(FFT2D(1024), ["m-4", "m-5"])
+        # Paper ratio 2.63/0.462 ~ 5.7; ours must be clearly superlinear.
+        assert large.elapsed > 4 * small.elapsed
+
+    def test_frames_scale_linearly(self):
+        one = run_app(FFT2D(512, frames=1), ["m-4", "m-5"])
+        three = run_app(FFT2D(512, frames=3), ["m-4", "m-5"])
+        assert three.elapsed == pytest.approx(3 * one.elapsed, rel=1e-6)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            FFT2D(500)
+
+    def test_comm_pattern_declared(self):
+        pattern = FFT2D(512).communication_pattern()
+        assert pattern[0].kind == "all_to_all"
+        assert pattern[0].bytes_per_iteration == 512 * 512 * 16
+
+    def test_memory_per_rank_shrinks_with_nodes(self):
+        app = FFT2D(1024)
+        assert app.memory_bytes_per_rank(4) == app.memory_bytes_per_rank(2) / 2
+
+
+class TestAirshed:
+    def test_ballpark_of_paper(self):
+        # Paper: 908s on 3 nodes, 650s on 5 nodes.
+        three = run_app(Airshed(), ["m-4", "m-5", "m-6"])
+        five = run_app(Airshed(), ["m-4", "m-5", "m-6", "m-7", "m-8"])
+        assert 700 < three.elapsed < 1150
+        assert 500 < five.elapsed < 850
+        assert five.elapsed < three.elapsed
+
+    def test_compiled_for_8_on_5_overhead(self):
+        # Paper Table 3: 862s vs 650s (about +33%).
+        recompiled = run_app(Airshed(), ["m-4", "m-5", "m-6", "m-7", "m-8"])
+        fixed8 = run_app(
+            Airshed(compiled_for=8), ["m-4", "m-5", "m-6", "m-7", "m-8"]
+        )
+        ratio = fixed8.elapsed / recompiled.elapsed
+        assert 1.1 < ratio < 1.45
+
+    def test_needs_two_nodes(self):
+        from repro.util.errors import RuntimeModelError
+
+        world = build_cmu_testbed()
+        with pytest.raises(RuntimeModelError):
+            world.runtime().launch(Airshed(), ["m-4"])
+
+    def test_short_run(self):
+        report = run_app(Airshed(hours=2), ["m-4", "m-5"])
+        assert len(report.iteration_times) == 2
+
+    def test_bad_hours(self):
+        with pytest.raises(ConfigurationError):
+            Airshed(hours=0)
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("pattern", ["all_to_all", "ring_exchange", "allreduce", "broadcast"])
+    def test_patterns_run(self, pattern):
+        report = run_app(
+            SyntheticApp(flops_per_rank=1e7, comm_bytes=1e6, pattern=pattern, iterations=2),
+            ["m-1", "m-2", "m-4"],
+        )
+        assert report.elapsed > 0
+        assert report.bytes_moved > 0
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError, match="unknown pattern"):
+            SyntheticApp(pattern="telepathy")
+
+    def test_comm_compute_ratio_controllable(self):
+        compute_heavy = run_app(
+            SyntheticApp(flops_per_rank=1e9, comm_bytes=1e4, iterations=1), ["m-1", "m-2"]
+        )
+        comm_heavy = run_app(
+            SyntheticApp(flops_per_rank=1e4, comm_bytes=1e8, iterations=1), ["m-1", "m-2"]
+        )
+        assert compute_heavy.compute_time > compute_heavy.comm_time
+        assert comm_heavy.comm_time > comm_heavy.compute_time

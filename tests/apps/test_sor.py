@@ -1,0 +1,151 @@
+"""Pipelined SOR model and depth adaptation tests."""
+
+import pytest
+
+from repro.adapt import DepthAdapter
+from repro.apps import PipelinedSOR, optimal_depth, sweep_time_estimate
+from repro.fx import FxRuntime
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.util.errors import ConfigurationError
+
+
+def make_world(latency="0.1ms", capacity="100Mbps"):
+    env = Engine()
+    topo = (
+        TopologyBuilder()
+        .router("sw")
+        .hosts(["a", "b", "c", "d"], compute_speed=1e8)
+        .star("sw", ["a", "b", "c", "d"], capacity, latency)
+        .build()
+    )
+    return env, FluidNetwork(env, topo)
+
+
+def run_sor(depth, latency="0.1ms", sweeps=3, n=2048):
+    env, net = make_world(latency=latency)
+    runtime = FxRuntime(net)
+    program = PipelinedSOR(n=n, sweeps=sweeps, depth=depth)
+    return env.run(until=runtime.launch(program, ["a", "b", "c", "d"]))
+
+
+class TestModel:
+    def test_runs(self):
+        report = run_sor(depth=4)
+        assert report.elapsed > 0
+        assert len(report.iteration_times) == 3
+
+    def test_depth_tradeoff_low_latency(self):
+        # Low latency: deeper pipelines pay little per step and amortise
+        # the fill, so some depth > 1 beats depth 1.
+        shallow = run_sor(depth=1, latency="0.05ms")
+        deeper = run_sor(depth=8, latency="0.05ms")
+        assert deeper.elapsed < shallow.elapsed
+
+    def test_depth_tradeoff_high_latency(self):
+        # High latency: every extra step costs a full RTT-ish delay; very
+        # deep pipelines lose badly.
+        moderate = run_sor(depth=2, latency="50ms")
+        very_deep = run_sor(depth=64, latency="50ms")
+        assert very_deep.elapsed > moderate.elapsed
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PipelinedSOR(n=1)
+        with pytest.raises(ConfigurationError):
+            PipelinedSOR(sweeps=0)
+        with pytest.raises(ConfigurationError):
+            PipelinedSOR(depth=0)
+        program = PipelinedSOR()
+        with pytest.raises(ConfigurationError):
+            program.depth = -1
+
+    def test_estimate_tracks_simulation(self):
+        # The analytic sweep estimate must rank depths the same way the
+        # simulator does (that is all the adapter needs).
+        times_sim = {d: run_sor(depth=d, sweeps=1).elapsed for d in (1, 4, 16, 64)}
+        times_model = {
+            d: sweep_time_estimate(
+                2048, 4, d, compute_speed=1e8, bandwidth=100e6, latency=0.2e-3
+            )
+            for d in (1, 4, 16, 64)
+        }
+        order_sim = sorted(times_sim, key=times_sim.get)
+        order_model = sorted(times_model, key=times_model.get)
+        assert order_sim == order_model
+
+
+class TestOptimalDepth:
+    def test_single_node_is_one(self):
+        assert optimal_depth(2048, 1, 1e8, 100e6, 1e-3) == 1
+
+    def test_low_latency_deeper_than_high_latency(self):
+        deep = optimal_depth(2048, 4, 1e8, 100e6, 1e-5)
+        shallow = optimal_depth(2048, 4, 1e8, 100e6, 50e-3)
+        assert deep > shallow
+
+    def test_optimum_actually_minimises_model(self):
+        best = optimal_depth(4096, 8, 1e8, 100e6, 1e-3)
+        t_best = sweep_time_estimate(4096, 8, best, 1e8, 100e6, 1e-3)
+        for d in range(1, 257):
+            assert t_best <= sweep_time_estimate(4096, 8, d, 1e8, 100e6, 1e-3) + 1e-15
+
+
+class TestDepthAdapter:
+    @staticmethod
+    def monitored_world(latency):
+        from repro.collector import SNMPCollector
+        from repro.core import Remos
+        from repro.snmp import SNMPAgent
+
+        env, net = make_world(latency=latency)
+        agents = {"sw": SNMPAgent("sw", net)}
+        collector = SNMPCollector(
+            net, agents, poll_interval=1.0, per_hop_latency=float(latency[:-2]) * 1e-3
+            if latency.endswith("ms")
+            else 0.1e-3,
+        )
+        env.run(until=collector.start())
+        return env, net, Remos(collector)
+
+    def test_adapter_sets_near_optimal_depth(self):
+        env, net, remos = self.monitored_world("0.1ms")
+        adapter = DepthAdapter(remos=remos, check_seconds=0.0)
+        runtime = FxRuntime(net)
+        program = PipelinedSOR(n=2048, sweeps=2, depth=1)
+        report = env.run(
+            until=runtime.launch(program, ["a", "b", "c", "d"], adapt_hook=adapter.hook)
+        )
+        assert adapter.adjustments >= 1
+        assert program.depth > 1  # low-latency LAN wants a deep pipeline
+
+    def test_adapted_beats_naive_depth(self):
+        results = {}
+        for label, depth, adapt in [("naive", 1, False), ("adapted", 1, True)]:
+            env, net, remos = self.monitored_world("0.1ms")
+            adapter = DepthAdapter(remos=remos, check_seconds=0.0)
+            runtime = FxRuntime(net)
+            program = PipelinedSOR(n=2048, sweeps=3, depth=depth)
+            report = env.run(
+                until=runtime.launch(
+                    program,
+                    ["a", "b", "c", "d"],
+                    adapt_hook=adapter.hook if adapt else None,
+                )
+            )
+            results[label] = report.elapsed
+        assert results["adapted"] < results["naive"]
+
+    def test_rejects_other_programs(self):
+        from repro.apps import SyntheticApp
+
+        env, net, remos = self.monitored_world("0.1ms")
+        adapter = DepthAdapter(remos=remos)
+        runtime = FxRuntime(net)
+        with pytest.raises(ConfigurationError, match="only adapts PipelinedSOR"):
+            env.run(
+                until=runtime.launch(
+                    SyntheticApp(iterations=1), ["a", "b"], adapt_hook=adapter.hook
+                )
+            )

@@ -1,0 +1,75 @@
+"""Table rendering and formatting helper tests."""
+
+import pytest
+
+from repro.bench import Table, format_seconds, percent_increase
+
+
+class TestFormatSeconds:
+    def test_sub_second(self):
+        assert format_seconds(0.4621) == "0.462"
+
+    def test_seconds(self):
+        assert format_seconds(2.634) == "2.63"
+
+    def test_large(self):
+        assert format_seconds(907.8) == "908"
+
+
+class TestPercentIncrease:
+    def test_basic(self):
+        assert percent_increase(100.0, 150.0) == pytest.approx(50.0)
+
+    def test_negative(self):
+        assert percent_increase(100.0, 90.0) == pytest.approx(-10.0)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            percent_increase(0.0, 1.0)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("title", ["A", "Blong"])
+        table.add_row("x", 1)
+        table.add_row("yyyy", 2.5)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "A" in lines[2] and "Blong" in lines[2]
+        # All data lines have the same width structure.
+        assert "x" in text and "yyyy" in text
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(1.23456789)
+        assert "1.235" in table.render()
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row("only-one")
+
+    def test_print(self, capsys):
+        table = Table("hello", ["c"])
+        table.add_row("v")
+        table.print()
+        out = capsys.readouterr().out
+        assert "hello" in out and "v" in out
+
+
+class TestCalibration:
+    def test_frozen(self):
+        from repro.bench import DEFAULT_CALIBRATION
+
+        with pytest.raises(AttributeError):
+            DEFAULT_CALIBRATION.alpha_flops = 1.0
+
+    def test_custom_calibration_propagates(self):
+        from repro.bench.calibration import Calibration
+        from repro.testbed.cmu import build_cmu_topology
+
+        calibration = Calibration(alpha_flops=1e9, link_capacity=10e6)
+        topo = build_cmu_topology(calibration)
+        assert topo.node("m-1").compute_speed == 1e9
+        assert topo.link("m-1--aspen").capacity == 10e6

@@ -1,0 +1,29 @@
+"""Shared fixtures: a three-router network with agents everywhere."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.snmp import SNMPAgent
+
+
+@pytest.fixture
+def world():
+    """env, net, agents for a 4-host, 2-router line network."""
+    env = Engine()
+    topo = (
+        TopologyBuilder("lab")
+        .hosts(["h1", "h2", "h3", "h4"])
+        .router("r1")
+        .router("r2")
+        .link("h1", "r1", "100Mbps", "0.1ms")
+        .link("h2", "r1", "100Mbps", "0.1ms")
+        .link("h3", "r2", "100Mbps", "0.1ms")
+        .link("h4", "r2", "100Mbps", "0.1ms")
+        .link("r1", "r2", "10Mbps", "1ms", name="trunk")
+        .build()
+    )
+    net = FluidNetwork(env, topo)
+    agents = {name: SNMPAgent(name, net) for name in ("r1", "r2")}
+    return env, net, agents

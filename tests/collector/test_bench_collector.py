@@ -1,0 +1,85 @@
+"""Benchmark collector tests: probing and cloud abstraction."""
+
+import pytest
+
+from repro.collector import BenchmarkCollector
+from repro.collector.bench_collector import CLOUD_NODE
+from repro.util import mbps
+from repro.util.errors import ConfigurationError
+
+
+class TestProbing:
+    def test_builds_cloud_topology(self, world):
+        env, net, _ = world
+        collector = BenchmarkCollector(net, ["h1", "h3"], probe_interval=2.0)
+        env.run(until=collector.start())
+        topo = collector.view().topology
+        assert topo.has_node(CLOUD_NODE)
+        assert topo.node(CLOUD_NODE).is_network
+        assert {n.name for n in topo.compute_nodes} == {"h1", "h3"}
+        assert len(topo.links) == 2
+
+    def test_measures_bottleneck_capacity(self, world):
+        env, net, _ = world
+        # h1 <-> h3 crosses the 10Mb trunk: probes should see ~10Mbps.
+        collector = BenchmarkCollector(net, ["h1", "h3"], probe_interval=2.0)
+        env.run(until=collector.start())
+        topo = collector.view().topology
+        capacity = topo.link(f"h1--{CLOUD_NODE}").capacity
+        assert capacity == pytest.approx(mbps(10), rel=0.05)
+
+    def test_latency_measured_not_assumed(self, world):
+        env, net, _ = world
+        collector = BenchmarkCollector(net, ["h1", "h3"], probe_interval=2.0)
+        env.run(until=collector.start())
+        topo = collector.view().topology
+        # Path latency h1->h3 = 0.1 + 1 + 0.1 ms = 1.2ms; half per access.
+        assert topo.link(f"h1--{CLOUD_NODE}").latency == pytest.approx(0.6e-3, rel=1e-6)
+
+    def test_observes_competing_traffic(self, world):
+        env, net, _ = world
+        collector = BenchmarkCollector(net, ["h1", "h3"], probe_interval=1.0)
+        env.run(until=collector.start())
+        # Saturate the trunk with competing traffic; subsequent probes see
+        # only a share, so recorded 'use' rises.
+        net.open_flow("h2", "h4", demand=mbps(10))
+        env.run(until=env.now + 10.0)
+        use = collector.view().link_use(f"h1--{CLOUD_NODE}", "h1").latest_value()
+        assert use > mbps(3)  # about half the trunk now in use by others
+
+    def test_probe_and_sweep_counters(self, world):
+        env, net, _ = world
+        collector = BenchmarkCollector(net, ["h1", "h2", "h3"], probe_interval=1.0)
+        env.run(until=collector.start())
+        assert collector.sweeps_completed == 1
+        assert collector.probes_sent == 6  # 3 pairs x (latency + throughput)
+        env.run(until=env.now + 3.5)
+        assert collector.sweeps_completed >= 3
+
+    def test_stop_halts_probing(self, world):
+        env, net, _ = world
+        collector = BenchmarkCollector(net, ["h1", "h3"], probe_interval=1.0)
+        env.run(until=collector.start())
+        collector.stop()
+        count = collector.probes_sent
+        env.run(until=env.now + 10.0)
+        assert collector.probes_sent == count
+
+
+class TestValidation:
+    def test_needs_two_hosts(self, world):
+        _, net, _ = world
+        with pytest.raises(ConfigurationError, match="two hosts"):
+            BenchmarkCollector(net, ["h1"])
+
+    def test_positive_probe_size(self, world):
+        _, net, _ = world
+        with pytest.raises(ConfigurationError):
+            BenchmarkCollector(net, ["h1", "h2"], probe_size=0)
+
+    def test_double_start_rejected(self, world):
+        _, net, _ = world
+        collector = BenchmarkCollector(net, ["h1", "h2"])
+        collector.start()
+        with pytest.raises(ConfigurationError, match="already started"):
+            collector.start()

@@ -1,0 +1,66 @@
+"""Multi-collector master tests."""
+
+import pytest
+
+from repro.collector import BenchmarkCollector, CollectorMaster, SNMPCollector
+from repro.collector.bench_collector import CLOUD_NODE
+from repro.util.errors import CollectorError, ConfigurationError
+
+
+def test_merges_snmp_and_bench_views(world):
+    env, net, agents = world
+    snmp = SNMPCollector(net, agents, poll_interval=1.0)
+    bench = BenchmarkCollector(net, ["h1", "h4"], probe_interval=2.0)
+    master = CollectorMaster(env, [snmp, bench])
+    env.run(until=master.start())
+    view = master.view()
+    names = {n.name for n in view.topology.nodes}
+    # Physical nodes from SNMP plus the bench collector's cloud.
+    assert {"h1", "h2", "h3", "h4", "r1", "r2", CLOUD_NODE} <= names
+    # Metrics from both collectors are reachable.
+    assert view.metrics.has_series("trunk", "r1")
+    assert view.metrics.has_series(f"h1--{CLOUD_NODE}", "h1")
+
+
+def test_refresh_after_more_polling(world):
+    env, net, agents = world
+    snmp = SNMPCollector(net, agents, poll_interval=1.0)
+    master = CollectorMaster(env, [snmp])
+    env.run(until=master.start())
+    env.run(until=env.now + 5.0)
+    view = master.refresh()
+    assert len(view.link_use("trunk", "r1").values()) >= 5
+
+
+def test_refresh_before_ready_raises(world):
+    env, net, agents = world
+    snmp = SNMPCollector(net, agents)
+    master = CollectorMaster(env, [snmp])
+    master.start()
+    with pytest.raises(CollectorError, match="not ready"):
+        master.refresh()
+
+
+def test_stop_stops_children(world):
+    env, net, agents = world
+    snmp = SNMPCollector(net, agents, poll_interval=1.0)
+    master = CollectorMaster(env, [snmp])
+    env.run(until=master.start())
+    master.stop()
+    count = snmp.polls_completed
+    env.run(until=env.now + 5.0)
+    assert snmp.polls_completed == count
+
+
+def test_empty_collector_list_rejected(world):
+    env, _, _ = world
+    with pytest.raises(ConfigurationError, match="at least one"):
+        CollectorMaster(env, [])
+
+
+def test_double_start_rejected(world):
+    env, net, agents = world
+    master = CollectorMaster(env, [SNMPCollector(net, agents)])
+    master.start()
+    with pytest.raises(ConfigurationError, match="already started"):
+        master.start()

@@ -1,0 +1,135 @@
+"""SNMP collector tests: discovery, polling, wrap handling."""
+
+import pytest
+
+from repro.collector import SNMPCollector
+from repro.util import mbps
+from repro.util.errors import CollectorError, ConfigurationError
+
+
+class TestDiscovery:
+    def test_discovers_full_topology_from_router_agents(self, world):
+        env, net, agents = world
+        collector = SNMPCollector(net, agents, poll_interval=1.0)
+        ready = collector.start()
+        env.run(until=ready)
+        topo = collector.view().topology
+        assert {n.name for n in topo.nodes} == {"h1", "h2", "h3", "h4", "r1", "r2"}
+        assert {n.name for n in topo.network_nodes} == {"r1", "r2"}
+        assert topo.link("trunk").capacity == mbps(10)
+        assert len(topo.links) == 5
+
+    def test_hosts_without_agents_become_compute_nodes(self, world):
+        env, net, agents = world
+        collector = SNMPCollector(net, agents)
+        env.run(until=collector.start())
+        topo = collector.view().topology
+        assert topo.node("h1").is_compute
+
+    def test_fixed_per_hop_latency_assumed(self, world):
+        env, net, agents = world
+        collector = SNMPCollector(net, agents, per_hop_latency=0.5e-3)
+        env.run(until=collector.start())
+        topo = collector.view().topology
+        # SNMP cannot see real latency; all links get the constant.
+        assert topo.link("trunk").latency == pytest.approx(0.5e-3)
+        assert topo.link("h1--r1").latency == pytest.approx(0.5e-3)
+
+    def test_view_before_ready_raises(self, world):
+        env, net, agents = world
+        collector = SNMPCollector(net, agents)
+        collector.start()
+        with pytest.raises(CollectorError, match="no view yet"):
+            collector.view()
+
+    def test_no_responding_seed_fails(self, world):
+        env, net, agents = world
+        for agent in agents.values():
+            agent.reachable = False
+        collector = SNMPCollector(net, agents)
+        collector.start()
+        with pytest.raises(CollectorError, match="no seed agent answered"):
+            env.run(until=60.0)
+
+    def test_double_start_rejected(self, world):
+        env, net, agents = world
+        collector = SNMPCollector(net, agents)
+        collector.start()
+        with pytest.raises(ConfigurationError, match="already started"):
+            collector.start()
+
+
+class TestPolling:
+    def test_utilization_series_tracks_flow(self, world):
+        env, net, agents = world
+        net.open_flow("h1", "h3", demand=mbps(4))
+        collector = SNMPCollector(net, agents, poll_interval=1.0)
+        env.run(until=collector.start())
+        env.run(until=env.now + 10.0)
+        series = collector.view().link_use("trunk", "r1")
+        assert series.latest_value() == pytest.approx(mbps(4), rel=1e-3)
+        # Reverse direction idle.
+        reverse = collector.view().link_use("trunk", "r2")
+        assert reverse.latest_value() == pytest.approx(0.0, abs=1.0)
+
+    def test_access_links_covered_from_router_side(self, world):
+        env, net, agents = world
+        net.open_flow("h1", "h2", demand=mbps(20))
+        collector = SNMPCollector(net, agents, poll_interval=1.0)
+        env.run(until=collector.start())
+        env.run(until=env.now + 5.0)
+        view = collector.view()
+        # h1 -> r1 measured via r1's ifInOctets.
+        assert view.link_use("h1--r1", "h1").latest_value() == pytest.approx(
+            mbps(20), rel=1e-3
+        )
+        # r1 -> h2 measured via r1's ifOutOctets.
+        assert view.link_use("h2--r1", "r1").latest_value() == pytest.approx(
+            mbps(20), rel=1e-3
+        )
+
+    def test_polls_counted_and_stopped(self, world):
+        env, net, agents = world
+        collector = SNMPCollector(net, agents, poll_interval=1.0)
+        env.run(until=collector.start())
+        env.run(until=env.now + 5.0)
+        count = collector.polls_completed
+        assert count >= 5
+        collector.stop()
+        env.run(until=env.now + 5.0)
+        assert collector.polls_completed == count
+
+    def test_counter_wrap_handled(self, world):
+        env, net, agents = world
+        # 10Mbps on the trunk wraps Counter32 in ~3436s.
+        net.open_flow("h1", "h3", demand=mbps(10))
+        collector = SNMPCollector(net, agents, poll_interval=60.0)
+        env.run(until=collector.start())
+        env.run(until=5000.0)
+        series = collector.view().link_use("trunk", "r1")
+        values = series.values()
+        # Every sample near 10Mb/s; a mishandled wrap would go negative or
+        # produce a huge spike.
+        assert values.min() >= 0.0
+        assert values.max() <= mbps(10) * 1.01
+        assert series.latest_value() == pytest.approx(mbps(10), rel=1e-2)
+
+    def test_idle_network_reports_zero(self, world):
+        env, net, agents = world
+        collector = SNMPCollector(net, agents, poll_interval=1.0)
+        env.run(until=collector.start())
+        env.run(until=env.now + 3.0)
+        assert collector.view().link_use("trunk", "r1").latest_value() == 0.0
+
+    def test_invalid_poll_interval(self, world):
+        env, net, agents = world
+        with pytest.raises(ConfigurationError):
+            SNMPCollector(net, agents, poll_interval=0.0)
+
+    def test_query_cost_accumulates(self, world):
+        env, net, agents = world
+        collector = SNMPCollector(net, agents, poll_interval=1.0, client_host="h1")
+        env.run(until=collector.start())
+        env.run(until=env.now + 5.0)
+        assert collector.client.requests_sent > 0
+        assert collector.client.time_spent > 0.0

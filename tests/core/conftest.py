@@ -1,0 +1,62 @@
+"""Fixtures: hand-built NetworkViews with known measurements."""
+
+import pytest
+
+from repro.collector import MetricsStore
+from repro.collector.base import NetworkView
+from repro.core import Remos
+from repro.net import TopologyBuilder
+from repro.util import mbps
+
+
+def line_topology():
+    """h1,h2 -- r1 -- r2 -- r3 -- h3,h4; 100Mb access, 100Mb backbone."""
+    return (
+        TopologyBuilder("line")
+        .hosts(["h1", "h2", "h3", "h4"])
+        .router("r1")
+        .router("r2")
+        .router("r3")
+        .link("h1", "r1", "100Mbps", "0.1ms")
+        .link("h2", "r1", "100Mbps", "0.1ms")
+        .link("r1", "r2", "100Mbps", "1ms", name="t12")
+        .link("r2", "r3", "100Mbps", "1ms", name="t23")
+        .link("h3", "r3", "100Mbps", "0.1ms")
+        .link("h4", "r3", "100Mbps", "0.1ms")
+        .build()
+    )
+
+
+def measured_view(topology, loads: dict[tuple[str, str], float], samples: int = 20):
+    """A NetworkView whose every direction has a flat measured load.
+
+    *loads* maps (link_name, from_node) to bits/s; unlisted directions get
+    explicit zero samples.
+    """
+    metrics = MetricsStore()
+    for direction in topology.iter_directions():
+        level = loads.get((direction.link.name, direction.src), 0.0)
+        for i in range(samples):
+            metrics.record(direction.link.name, direction.src, float(i), level)
+    return NetworkView(topology=topology, metrics=metrics)
+
+
+@pytest.fixture
+def idle_view():
+    return measured_view(line_topology(), {})
+
+
+@pytest.fixture
+def loaded_view():
+    # 60Mb/s of external traffic r2->r3 (i.e. on t23 eastbound).
+    return measured_view(line_topology(), {("t23", "r2"): mbps(60)})
+
+
+@pytest.fixture
+def idle_remos(idle_view):
+    return Remos(idle_view)
+
+
+@pytest.fixture
+def loaded_remos(loaded_view):
+    return Remos(loaded_view)

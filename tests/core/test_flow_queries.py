@@ -1,0 +1,160 @@
+"""Remos flow_info semantics."""
+
+import pytest
+
+from repro.core import Flow, Remos, Timeframe, remos_flow_info
+from repro.util import mbps
+from repro.util.errors import QueryError
+
+
+class TestSingleFlow:
+    def test_idle_network_full_capacity(self, idle_remos):
+        result = idle_remos.flow_info(variable_flows=[Flow("h1", "h3")])
+        answer = result.variable[0]
+        assert answer.bandwidth.median == pytest.approx(mbps(100))
+
+    def test_latency_is_route_latency(self, idle_remos):
+        result = idle_remos.flow_info(variable_flows=[Flow("h1", "h3")])
+        answer = result.variable[0]
+        # 0.1 + 1 + 1 + 0.1 ms.
+        assert answer.latency.median == pytest.approx(2.2e-3)
+        assert answer.hop_count == 4
+
+    def test_external_load_subtracted(self, loaded_remos):
+        result = loaded_remos.flow_info(
+            variable_flows=[Flow("h1", "h3")], timeframe=Timeframe.history(30.0)
+        )
+        # 60Mb/s external traffic on t23 leaves 40.
+        assert result.variable[0].bandwidth.median == pytest.approx(mbps(40))
+
+    def test_static_timeframe_ignores_load(self, loaded_remos):
+        result = loaded_remos.flow_info(
+            variable_flows=[Flow("h1", "h3")], timeframe=Timeframe.static()
+        )
+        assert result.variable[0].bandwidth.median == pytest.approx(mbps(100))
+
+    def test_reverse_direction_unaffected_by_forward_load(self, loaded_remos):
+        result = loaded_remos.flow_info(variable_flows=[Flow("h3", "h1")])
+        assert result.variable[0].bandwidth.median == pytest.approx(mbps(100))
+
+
+class TestSimultaneousQueries:
+    def test_shared_bottleneck_split(self, idle_remos):
+        # Both flows cross t12/t23: simultaneous query accounts for internal
+        # sharing (§4.2) and reports 50 each, not 100 each.
+        result = idle_remos.flow_info(
+            variable_flows=[Flow("h1", "h3"), Flow("h2", "h4")]
+        )
+        for answer in result.variable:
+            assert answer.bandwidth.median == pytest.approx(mbps(50))
+
+    def test_separate_queries_overestimate(self, idle_remos):
+        # The contrast the paper draws: querying flows one at a time is
+        # "overly optimistic" when they share a bottleneck.
+        one_at_a_time = [
+            idle_remos.flow_info(variable_flows=[Flow("h1", "h3")]),
+            idle_remos.flow_info(variable_flows=[Flow("h2", "h4")]),
+        ]
+        for result in one_at_a_time:
+            assert result.variable[0].bandwidth.median == pytest.approx(mbps(100))
+
+    def test_disjoint_flows_dont_interact(self, idle_remos):
+        result = idle_remos.flow_info(
+            variable_flows=[Flow("h1", "h2"), Flow("h3", "h4")]
+        )
+        for answer in result.variable:
+            assert answer.bandwidth.median == pytest.approx(mbps(100))
+
+    def test_proportional_variable_sharing(self, idle_remos):
+        result = idle_remos.flow_info(
+            variable_flows=[
+                Flow("h1", "h3", requested=3.0),
+                Flow("h2", "h4", requested=1.0),
+            ]
+        )
+        assert result.variable[0].bandwidth.median == pytest.approx(mbps(75))
+        assert result.variable[1].bandwidth.median == pytest.approx(mbps(25))
+
+
+class TestFlowClasses:
+    def test_fixed_then_variable_then_independent(self, idle_remos):
+        result = idle_remos.flow_info(
+            fixed_flows=[Flow("h1", "h3", requested=mbps(20), name="f")],
+            variable_flows=[Flow("h2", "h4", requested=1.0, cap=mbps(30), name="v")],
+            independent_flows=[Flow("h1", "h4", name="i")],
+        )
+        assert result.answer("f").bandwidth.median == pytest.approx(mbps(20))
+        assert result.answer("f").satisfied is True
+        assert result.answer("v").bandwidth.median == pytest.approx(mbps(30))
+        # Independent absorbs 100 - 20 - 30 on the backbone.
+        assert result.answer("i").bandwidth.median == pytest.approx(mbps(50))
+        assert result.all_fixed_satisfied
+
+    def test_unsatisfiable_fixed_flow(self, loaded_remos):
+        result = loaded_remos.flow_info(
+            fixed_flows=[Flow("h1", "h3", requested=mbps(80), name="f")],
+            timeframe=Timeframe.history(30.0),
+        )
+        answer = result.answer("f")
+        assert answer.satisfied is False
+        assert answer.bandwidth.median == pytest.approx(mbps(40))
+        assert not result.all_fixed_satisfied
+
+    def test_bottleneck_reported(self, loaded_remos):
+        result = loaded_remos.flow_info(
+            variable_flows=[Flow("h1", "h3", name="v")],
+            timeframe=Timeframe.history(30.0),
+        )
+        bottleneck = result.answer("v").bottleneck
+        assert bottleneck == ("t23", "r2", "r3")
+
+    def test_satisfied_is_none_for_non_fixed(self, idle_remos):
+        result = idle_remos.flow_info(variable_flows=[Flow("h1", "h3")])
+        assert result.variable[0].satisfied is None
+
+
+class TestValidation:
+    def test_empty_query_rejected(self, idle_remos):
+        with pytest.raises(QueryError, match="at least one flow"):
+            idle_remos.flow_info()
+
+    def test_unknown_endpoint(self, idle_remos):
+        with pytest.raises(QueryError, match="unknown flow endpoint"):
+            idle_remos.flow_info(variable_flows=[Flow("h1", "ghost")])
+
+    def test_network_node_endpoint_rejected(self, idle_remos):
+        with pytest.raises(QueryError, match="compute nodes"):
+            idle_remos.flow_info(variable_flows=[Flow("h1", "r1")])
+
+    def test_duplicate_labels_rejected(self, idle_remos):
+        with pytest.raises(QueryError, match="unique"):
+            idle_remos.flow_info(
+                variable_flows=[Flow("h1", "h3", name="x"), Flow("h2", "h4", name="x")]
+            )
+
+    def test_unknown_answer_label(self, idle_remos):
+        result = idle_remos.flow_info(variable_flows=[Flow("h1", "h3")])
+        with pytest.raises(QueryError, match="no flow labelled"):
+            result.answer("nope")
+
+    def test_query_counter(self, idle_remos):
+        idle_remos.flow_info(variable_flows=[Flow("h1", "h3")])
+        idle_remos.get_graph(["h1", "h3"])
+        assert idle_remos.queries_answered == 2
+
+
+class TestProceduralWrapper:
+    def test_single_independent_flow(self, idle_remos):
+        result = remos_flow_info(
+            idle_remos,
+            variable_flows=[Flow("h1", "h3", cap=mbps(40), name="v")],
+            independent_flow=Flow("h2", "h4", name="i"),
+        )
+        assert result.answer("i").bandwidth.median == pytest.approx(mbps(60))
+
+    def test_independent_flow_list(self, idle_remos):
+        result = remos_flow_info(
+            idle_remos,
+            independent_flow=[Flow("h1", "h3", name="i1"), Flow("h2", "h4", name="i2")],
+        )
+        assert len(result.independent) == 2

@@ -1,0 +1,96 @@
+"""RemosGraph / RemosEdge error paths and auxiliary behaviour."""
+
+import pytest
+
+from repro.core import RemosEdge, RemosGraph, RemosNode, Timeframe
+from repro.net import NodeKind
+from repro.stats import StatMeasure
+from repro.util.errors import QueryError
+
+
+def small_graph():
+    graph = RemosGraph(["a", "b"])
+    graph.add_node(RemosNode("a", NodeKind.COMPUTE))
+    graph.add_node(RemosNode("b", NodeKind.COMPUTE))
+    graph.add_node(RemosNode("r", NodeKind.NETWORK))
+    graph.add_edge(
+        RemosEdge(
+            name="a--r", a="a", b="r", capacity=1e8, latency=1e-3,
+            available={"a": StatMeasure.constant(1e8), "r": StatMeasure.constant(1e8)},
+        )
+    )
+    graph.add_edge(
+        RemosEdge(
+            name="r--b", a="r", b="b", capacity=1e8, latency=1e-3,
+            available={"r": StatMeasure.constant(1e8), "b": StatMeasure.constant(1e8)},
+        )
+    )
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        graph = RemosGraph([])
+        graph.add_node(RemosNode("x", NodeKind.COMPUTE))
+        with pytest.raises(QueryError, match="duplicate"):
+            graph.add_node(RemosNode("x", NodeKind.COMPUTE))
+
+    def test_edge_with_unknown_endpoint_rejected(self):
+        graph = RemosGraph([])
+        graph.add_node(RemosNode("x", NodeKind.COMPUTE))
+        with pytest.raises(QueryError, match="not in logical graph"):
+            graph.add_edge(RemosEdge("e", "x", "ghost", 1e8, 0.0))
+
+    def test_duplicate_edge_rejected(self):
+        graph = small_graph()
+        with pytest.raises(QueryError, match="duplicate logical edge"):
+            graph.add_edge(RemosEdge("a--r", "a", "r", 1e8, 0.0))
+
+    def test_unknown_lookups(self):
+        graph = small_graph()
+        with pytest.raises(QueryError, match="no node"):
+            graph.node("zz")
+        with pytest.raises(QueryError, match="no edge"):
+            graph.edge("zz")
+
+
+class TestEdge:
+    def test_other(self):
+        edge = small_graph().edge("a--r")
+        assert edge.other("a") == "r"
+        with pytest.raises(QueryError, match="not an endpoint"):
+            edge.other("b")
+
+    def test_available_from_missing_direction(self):
+        edge = RemosEdge("e", "a", "b", 1e8, 0.0, available={})
+        # endpoint check passes, data missing:
+        with pytest.raises(QueryError, match="no availability data"):
+            edge.available_from("a")
+
+
+class TestPaths:
+    def test_no_path(self):
+        graph = small_graph()
+        graph.add_node(RemosNode("island", NodeKind.COMPUTE))
+        with pytest.raises(QueryError, match="no logical path"):
+            graph.path_available("a", "island")
+
+    def test_self_path(self):
+        graph = small_graph()
+        assert graph.path_latency("a", "a") == 0.0
+        assert graph.path_available("a", "a").median == float("inf")
+
+    def test_path_edges_order(self):
+        graph = small_graph()
+        steps = graph.path_edges("a", "b")
+        assert [(e.name, frm) for e, frm in steps] == [("a--r", "a"), ("r--b", "r")]
+
+    def test_distance_matrix_explicit_hosts(self):
+        graph = small_graph()
+        names, matrix = graph.distance_matrix(["a", "b"], quantile="median")
+        assert names == ["a", "b"]
+        assert matrix[0, 1] == pytest.approx(1e-8)
+
+    def test_compute_nodes_listing(self):
+        graph = small_graph()
+        assert {n.name for n in graph.compute_nodes} == {"a", "b"}

@@ -1,0 +1,163 @@
+"""remos_get_graph: logical topology construction."""
+
+import pytest
+
+from repro.core import Remos, Timeframe, remos_get_graph
+from repro.net import NodeKind, TopologyBuilder
+from repro.util import mbps
+from repro.util.errors import QueryError
+
+from tests.core.conftest import measured_view
+
+
+class TestPruning:
+    def test_irrelevant_parts_dropped(self, idle_remos):
+        graph = idle_remos.get_graph(["h1", "h2"])
+        names = {n.name for n in graph.nodes}
+        # h1 and h2 talk through r1 only: r2, r3, h3, h4 are pruned.
+        assert names == {"h1", "h2", "r1"}
+
+    def test_single_node_graph(self, idle_remos):
+        graph = idle_remos.get_graph(["h1"])
+        assert {n.name for n in graph.nodes} == {"h1"}
+        assert graph.edges == []
+
+    def test_unknown_node_rejected(self, idle_remos):
+        with pytest.raises(QueryError, match="unknown node"):
+            idle_remos.get_graph(["h1", "nope"])
+
+    def test_router_in_query_rejected(self, idle_remos):
+        with pytest.raises(QueryError, match="compute nodes"):
+            idle_remos.get_graph(["h1", "r1"])
+
+    def test_empty_query_rejected(self, idle_remos):
+        with pytest.raises(QueryError, match="at least one node"):
+            idle_remos.get_graph([])
+
+
+class TestChainCollapse:
+    def test_degree2_router_chain_collapses(self, idle_remos):
+        # h1 -- r1 -- r2 -- r3 -- h3: r2 is a pass-through degree-2 router
+        # between anchors r1 and r3 and must vanish into one logical link.
+        graph = idle_remos.get_graph(["h1", "h3"])
+        names = {n.name for n in graph.nodes}
+        assert "r2" not in names
+        assert names == {"h1", "h3", "r1", "r3"}
+        edge = next(e for e in graph.edges if {e.a, e.b} == {"r1", "r3"})
+        assert edge.capacity == mbps(100)
+        assert edge.latency == pytest.approx(2e-3)  # 1ms + 1ms
+        assert set(edge.physical_links) == {"t12", "t23"}
+
+    def test_collapse_keeps_finite_crossbar_router(self):
+        topo = (
+            TopologyBuilder()
+            .hosts(["a", "b"])
+            .router("r1")
+            .router("rmid", internal_bandwidth="50Mbps")
+            .router("r2")
+            .link("a", "r1", "100Mbps", "0.1ms")
+            .link("r1", "rmid", "100Mbps", "1ms")
+            .link("rmid", "r2", "100Mbps", "1ms")
+            .link("r2", "b", "100Mbps", "0.1ms")
+            .build()
+        )
+        remos = Remos(measured_view(topo, {}))
+        graph = remos.get_graph(["a", "b"])
+        # rmid's finite crossbar is behaviour the app can observe: keep it.
+        assert graph.has_node("rmid")
+
+    def test_availability_is_chain_bottleneck(self, loaded_remos):
+        graph = loaded_remos.get_graph(["h1", "h3"], Timeframe.history(30.0))
+        edge = next(e for e in graph.edges if {e.a, e.b} == {"r1", "r3"})
+        # Eastbound r1->r3 is limited by the loaded t23 (40 available).
+        assert edge.available_from("r1").median == pytest.approx(mbps(40))
+        # Westbound both hops idle.
+        assert edge.available_from("r3").median == pytest.approx(mbps(100))
+
+
+class TestAnnotations:
+    def test_node_kinds_preserved(self, idle_remos):
+        graph = idle_remos.get_graph(["h1", "h3"])
+        assert graph.node("h1").kind is NodeKind.COMPUTE
+        assert graph.node("r1").kind is NodeKind.NETWORK
+        assert graph.node("h1").is_compute
+
+    def test_static_timeframe_availability_equals_capacity(self, loaded_remos):
+        graph = loaded_remos.get_graph(["h1", "h3"], Timeframe.static())
+        for edge in graph.edges:
+            for endpoint in (edge.a, edge.b):
+                assert edge.available_from(endpoint).median == pytest.approx(edge.capacity)
+
+    def test_path_available(self, loaded_remos):
+        graph = loaded_remos.get_graph(["h1", "h3"], Timeframe.history(30.0))
+        assert graph.path_available("h1", "h3").median == pytest.approx(mbps(40))
+        assert graph.path_available("h3", "h1").median == pytest.approx(mbps(100))
+
+    def test_path_latency(self, idle_remos):
+        graph = idle_remos.get_graph(["h1", "h3"])
+        assert graph.path_latency("h1", "h3") == pytest.approx(2.2e-3)
+
+    def test_distance_matrix(self, loaded_remos):
+        graph = loaded_remos.get_graph(
+            ["h1", "h2", "h3", "h4"], Timeframe.history(30.0)
+        )
+        names, matrix = graph.distance_matrix(["h1", "h2", "h3"])
+        assert names == ["h1", "h2", "h3"]
+        assert matrix[0, 0] == 0.0
+        # h1-h2 same router (100 available) is closer than h1-h3 (40).
+        assert matrix[0, 1] < matrix[0, 2]
+
+    def test_to_networkx(self, idle_remos):
+        graph = idle_remos.get_graph(["h1", "h3"]).to_networkx()
+        assert "h1" in graph
+        assert graph.number_of_edges() == 3  # h1-r1, r1~r3, r3-h3
+
+    def test_procedural_wrapper(self, idle_remos):
+        graph = remos_get_graph(idle_remos, ["h1", "h2"])
+        assert graph.has_node("r1")
+
+
+class TestFigure1Interpretations:
+    """The two readings of the paper's Fig. 1 network (see §4.3)."""
+
+    @staticmethod
+    def build(internal_bandwidth):
+        builder = (
+            TopologyBuilder("fig1")
+            .router("A", internal_bandwidth=internal_bandwidth)
+            .router("B", internal_bandwidth=internal_bandwidth)
+        )
+        for i in range(1, 5):
+            builder.host(f"n{i}")
+        for i in range(5, 9):
+            builder.host(f"n{i}")
+        for i in range(1, 5):
+            builder.link(f"n{i}", "A", "10Mbps", "0.1ms")
+        for i in range(5, 9):
+            builder.link(f"n{i}", "B", "10Mbps", "0.1ms")
+        builder.link("A", "B", "100Mbps", "0.1ms")
+        return builder.build()
+
+    def test_fast_routers_access_links_bottleneck(self):
+        remos = Remos(measured_view(self.build(float("inf")), {}))
+        from repro.core import Flow
+
+        result = remos.flow_info(
+            variable_flows=[Flow(f"n{i}", f"n{i + 4}") for i in range(1, 5)]
+        )
+        # All four concurrent flows get their full 10Mbps access rate.
+        for answer in result.variable:
+            assert answer.bandwidth.median == pytest.approx(mbps(10))
+
+    def test_slow_routers_crossbar_bottleneck(self):
+        from repro.util.units import parse_bandwidth
+
+        remos = Remos(measured_view(self.build(parse_bandwidth("10Mbps")), {}))
+        from repro.core import Flow
+
+        result = remos.flow_info(
+            variable_flows=[Flow(f"n{i}", f"n{i + 4}") for i in range(1, 5)]
+        )
+        # Aggregate through each router is capped at 10Mbps: 2.5 each.
+        for answer in result.variable:
+            assert answer.bandwidth.median == pytest.approx(mbps(2.5))

@@ -1,0 +1,138 @@
+"""Modeler unit tests: availability estimation per timeframe."""
+
+import pytest
+
+from repro.collector import MetricsStore
+from repro.collector.base import NetworkView
+from repro.core import Timeframe
+from repro.core.modeler import Modeler, UNMEASURED_ACCURACY
+from repro.net import TopologyBuilder
+from repro.util import mbps
+
+
+def two_host_topo():
+    return (
+        TopologyBuilder()
+        .hosts(["a", "b"])
+        .router("r")
+        .link("a", "r", "100Mbps", "0.1ms")
+        .link("r", "b", "100Mbps", "0.1ms")
+        .build()
+    )
+
+
+def view_with_series(samples):
+    """View where a->r carries the given (t, bits/s) samples."""
+    topo = two_host_topo()
+    metrics = MetricsStore()
+    for t, value in samples:
+        metrics.record("a--r", "a", t, value)
+    return NetworkView(topology=topo, metrics=metrics)
+
+
+def direction(view):
+    link = view.topology.link("a--r")
+    return link.direction("a", "r")
+
+
+class TestUsedBandwidth:
+    def test_static_is_zero(self):
+        view = view_with_series([(float(t), mbps(50)) for t in range(10)])
+        modeler = Modeler(view)
+        used = modeler.used_bandwidth(direction(view), Timeframe.static())
+        assert used.median == 0.0
+        assert used.accuracy == 1.0
+
+    def test_current_uses_latest(self):
+        samples = [(float(t), mbps(10)) for t in range(9)] + [(9.0, mbps(70))]
+        view = view_with_series(samples)
+        modeler = Modeler(view)
+        used = modeler.used_bandwidth(direction(view), Timeframe.current())
+        assert used.median == pytest.approx(mbps(70))
+
+    def test_history_quartiles(self):
+        samples = [(float(t), mbps(v)) for t, v in enumerate([10, 20, 30, 40, 50])]
+        view = view_with_series(samples)
+        modeler = Modeler(view)
+        used = modeler.used_bandwidth(direction(view), Timeframe.history(10.0))
+        assert used.minimum == pytest.approx(mbps(10))
+        assert used.maximum == pytest.approx(mbps(50))
+        assert used.median == pytest.approx(mbps(30))
+
+    def test_history_window_excludes_old_samples(self):
+        samples = [(0.0, mbps(90))] + [(float(t), mbps(10)) for t in range(50, 60)]
+        view = view_with_series(samples)
+        modeler = Modeler(view)
+        used = modeler.used_bandwidth(direction(view), Timeframe.history(15.0))
+        assert used.maximum == pytest.approx(mbps(10))
+
+    def test_future_prediction(self):
+        samples = [(float(t), mbps(40)) for t in range(60)]
+        view = view_with_series(samples)
+        modeler = Modeler(view)
+        used = modeler.used_bandwidth(
+            direction(view), Timeframe.future(horizon=10.0, window=30.0)
+        )
+        assert used.median == pytest.approx(mbps(40), rel=1e-6)
+        # Predictions carry reduced accuracy.
+        history = modeler.used_bandwidth(direction(view), Timeframe.history(30.0))
+        assert used.accuracy < history.accuracy
+
+    def test_unmeasured_direction_assumed_idle(self):
+        view = view_with_series([(1.0, mbps(50))])
+        modeler = Modeler(view)
+        reverse = view.topology.link("a--r").direction("r", "a")
+        used = modeler.used_bandwidth(reverse, Timeframe.current())
+        assert used.median == 0.0
+        assert used.accuracy <= UNMEASURED_ACCURACY
+
+    def test_available_is_complement(self):
+        view = view_with_series([(float(t), mbps(30)) for t in range(10)])
+        modeler = Modeler(view)
+        available = modeler.available_bandwidth(direction(view), Timeframe.history(20.0))
+        assert available.median == pytest.approx(mbps(70))
+
+    def test_overload_clamps_to_zero(self):
+        # Measurement glitches can exceed capacity; availability clamps.
+        view = view_with_series([(float(t), mbps(140)) for t in range(5)])
+        modeler = Modeler(view)
+        available = modeler.available_bandwidth(direction(view), Timeframe.history(20.0))
+        assert available.median == 0.0
+
+    def test_modeler_now_is_newest_sample(self):
+        view = view_with_series([(3.0, 1.0), (17.5, 2.0)])
+        assert Modeler(view).now == 17.5
+
+    def test_modeler_now_empty_metrics(self):
+        view = NetworkView(topology=two_host_topo(), metrics=MetricsStore())
+        assert Modeler(view).now == 0.0
+
+
+class TestRemosViewRefresh:
+    def test_remos_rebuilds_modeler_on_view_change(self):
+        from repro.core import Remos
+
+        class FakeCollector:
+            """Duck-typed collector whose view object changes."""
+
+            def __init__(self):
+                self._views = [
+                    view_with_series([(1.0, mbps(10))]),
+                    view_with_series([(1.0, mbps(10)), (2.0, mbps(90))]),
+                ]
+                self.calls = 0
+
+            def view(self):
+                view = self._views[min(self.calls, 1)]
+                self.calls += 1
+                return view
+
+        from repro.collector.base import Collector
+
+        collector = FakeCollector()
+        Collector.register(FakeCollector)
+        remos = Remos(collector)
+        first = remos.get_graph(["a", "b"], Timeframe.current())
+        second = remos.get_graph(["a", "b"], Timeframe.current())
+        edge = next(e for e in second.edges if "a" in (e.a, e.b))
+        assert edge.available_from("a").median == pytest.approx(mbps(10))

@@ -1,0 +1,68 @@
+"""node_info queries: the computation/memory resource interface (§2)."""
+
+import pytest
+
+from repro.core import Timeframe
+from repro.netsim.hostload import ComputeLoad
+from repro.testbed import build_cmu_testbed
+from repro.util.errors import QueryError
+
+
+@pytest.fixture
+def monitored_world():
+    world = build_cmu_testbed(poll_interval=1.0, monitor_hosts=True)
+    return world
+
+
+class TestNodeInfo:
+    def test_static_attributes(self, monitored_world):
+        remos = monitored_world.start_monitoring(warmup=5.0)
+        answer = remos.node_info("m-1")
+        assert answer.name == "m-1"
+        assert answer.compute_speed == 4e7
+        assert answer.memory_bytes == 256e6
+
+    def test_idle_host_reports_zero_load(self, monitored_world):
+        remos = monitored_world.start_monitoring(warmup=5.0)
+        answer = remos.node_info("m-1")
+        assert answer.cpu_load.median == pytest.approx(0.0, abs=1e-6)
+        assert answer.cpu_available.median == pytest.approx(1.0, abs=1e-6)
+        assert answer.effective_speed == pytest.approx(4e7)
+
+    def test_loaded_host_measured(self, monitored_world):
+        world = monitored_world
+        ComputeLoad(world.net.host_activity, "m-3", share=0.7)
+        remos = world.start_monitoring(warmup=20.0)
+        answer = remos.node_info("m-3", Timeframe.history(15.0))
+        assert answer.cpu_load.median == pytest.approx(0.7, rel=0.05)
+        assert answer.effective_speed == pytest.approx(4e7 * 0.3, rel=0.1)
+
+    def test_router_rejected(self, monitored_world):
+        remos = monitored_world.start_monitoring(warmup=5.0)
+        with pytest.raises(QueryError, match="compute nodes"):
+            remos.node_info("aspen")
+
+    def test_unmonitored_host_assumed_idle_low_accuracy(self):
+        world = build_cmu_testbed(poll_interval=1.0)  # routers only
+        remos = world.start_monitoring(warmup=5.0)
+        answer = remos.node_info("m-1")
+        assert answer.cpu_load.median == 0.0
+        assert answer.cpu_load.accuracy <= 0.3
+
+    def test_static_timeframe_ignores_load(self, monitored_world):
+        world = monitored_world
+        ComputeLoad(world.net.host_activity, "m-3", share=1.0)
+        remos = world.start_monitoring(warmup=20.0)
+        answer = remos.node_info("m-3", Timeframe.static())
+        assert answer.cpu_load.median == 0.0
+
+    def test_application_shows_up_in_load(self, monitored_world):
+        from repro.apps import SyntheticApp
+
+        world = monitored_world
+        remos = world.start_monitoring(warmup=5.0)
+        app = SyntheticApp(flops_per_rank=4e8, comm_bytes=1e3, iterations=3)
+        world.env.run(until=world.runtime().launch(app, ["m-1", "m-2"]))
+        world.settle(3.0)
+        answer = remos.node_info("m-1", Timeframe.history(20.0))
+        assert answer.cpu_load.maximum > 0.5

@@ -1,0 +1,97 @@
+"""to_dict / JSON export tests."""
+
+import json
+
+import pytest
+
+from repro.core import Flow, Remos, Timeframe
+from repro.stats import StatMeasure
+from repro.util import mbps
+
+from tests.core.conftest import line_topology, measured_view
+
+
+@pytest.fixture
+def remos():
+    return Remos(measured_view(line_topology(), {("t23", "r2"): mbps(60)}))
+
+
+class TestStatMeasure:
+    def test_roundtrips_through_json(self):
+        measure = StatMeasure.from_samples([1.0, 2.0, 3.0, 4.0])
+        data = json.loads(json.dumps(measure.to_dict()))
+        assert data["min"] == 1.0
+        assert data["max"] == 4.0
+        assert data["median"] == 2.5
+        assert data["n_samples"] == 4
+        assert 0.0 <= data["accuracy"] <= 1.0
+
+
+class TestFlowInfoResult:
+    def test_full_structure(self, remos):
+        result = remos.flow_info(
+            fixed_flows=[Flow("h1", "h3", requested=mbps(80), name="f")],
+            variable_flows=[Flow("h2", "h4", name="v")],
+            timeframe=Timeframe.history(30.0),
+        )
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["timeframe"] == "history(30.0s)"
+        assert data["all_fixed_satisfied"] is False  # 60Mb load on t23
+        fixed = data["fixed"][0]
+        assert fixed["label"] == "f"
+        assert fixed["satisfied"] is False
+        assert fixed["bottleneck"] is not None
+        variable = data["variable"][0]
+        assert variable["src"] == "h2" and variable["dst"] == "h4"
+        assert variable["satisfied"] is None
+        assert variable["hop_count"] == 4
+
+    def test_json_serializable_without_custom_encoder(self, remos):
+        result = remos.flow_info(variable_flows=[Flow("h1", "h2")])
+        json.dumps(result.to_dict())  # must not raise
+
+
+class TestRemosGraph:
+    def test_graph_export(self, remos):
+        graph = remos.get_graph(["h1", "h3"], Timeframe.history(30.0))
+        data = json.loads(json.dumps(graph.to_dict()))
+        assert set(data["query_nodes"]) == {"h1", "h3"}
+        names = {n["name"] for n in data["nodes"]}
+        assert {"h1", "h3", "r1", "r3"} <= names
+        kinds = {n["name"]: n["kind"] for n in data["nodes"]}
+        assert kinds["h1"] == "compute" and kinds["r1"] == "network"
+        backbone = next(e for e in data["edges"] if len(e["physical_links"]) == 2)
+        assert backbone["available"]["r1"]["median"] == pytest.approx(mbps(40))
+        # Infinite crossbar encodes as null, not inf (invalid JSON).
+        assert all(
+            n["internal_bandwidth"] is None for n in data["nodes"]
+        )
+
+
+class TestNodeAnswer:
+    def test_node_info_export(self):
+        from repro.testbed import build_cmu_testbed
+
+        world = build_cmu_testbed(poll_interval=1.0, monitor_hosts=True)
+        remos = world.start_monitoring(warmup=5.0)
+        data = json.loads(json.dumps(remos.node_info("m-1").to_dict()))
+        assert data["name"] == "m-1"
+        assert data["effective_speed"] == pytest.approx(4e7)
+        assert data["cpu_load"]["median"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCliJson:
+    def test_query_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["query", "--hosts", "m-1,m-4", "--warmup", "5", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["variable"][0]["bandwidth"]["median"] == pytest.approx(1e8)
+
+    def test_select_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["select", "--nodes", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["hosts"]) == 2
+        assert data["mode"] == "dynamic measurements"

@@ -1,0 +1,47 @@
+"""Timeframe validation tests."""
+
+import pytest
+
+from repro.core import Timeframe, TimeframeKind
+from repro.util.errors import QueryError
+
+
+def test_static():
+    tf = Timeframe.static()
+    assert tf.kind is TimeframeKind.STATIC
+
+
+def test_current():
+    assert Timeframe.current().kind is TimeframeKind.CURRENT
+
+
+def test_history_requires_window():
+    tf = Timeframe.history(30.0)
+    assert tf.window == 30.0
+    with pytest.raises(QueryError, match="positive window"):
+        Timeframe(TimeframeKind.HISTORY, window=0.0)
+
+
+def test_future_requires_horizon():
+    tf = Timeframe.future(10.0, predictor="last")
+    assert tf.horizon == 10.0
+    assert tf.predictor == "last"
+    with pytest.raises(QueryError, match="positive horizon"):
+        Timeframe(TimeframeKind.FUTURE)
+
+
+def test_negative_values_rejected():
+    with pytest.raises(QueryError):
+        Timeframe(TimeframeKind.HISTORY, window=-1.0)
+
+
+def test_str_forms():
+    assert str(Timeframe.static()) == "static"
+    assert str(Timeframe.history(5.0)) == "history(5.0s)"
+    assert "future" in str(Timeframe.future(2.0))
+
+
+def test_frozen():
+    tf = Timeframe.current()
+    with pytest.raises(AttributeError):
+        tf.window = 9.0

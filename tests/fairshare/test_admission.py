@@ -1,0 +1,40 @@
+"""Admission control tests."""
+
+import pytest
+
+from repro.fairshare import FlowRequest, admissible, admission_report
+
+
+def test_admits_fitting_flows():
+    report = admission_report(
+        {"L": 100.0},
+        [FlowRequest("a", ("L",), requested=40.0), FlowRequest("b", ("L",), requested=60.0)],
+    )
+    assert report.admitted
+    assert report.oversubscribed == {}
+
+
+def test_rejects_oversubscription():
+    report = admission_report(
+        {"L": 100.0},
+        [FlowRequest("a", ("L",), requested=80.0), FlowRequest("b", ("L",), requested=80.0)],
+    )
+    assert not report.admitted
+    assert report.oversubscribed["L"] == pytest.approx(60.0)
+
+
+def test_multi_resource_flow_charges_everywhere():
+    report = admission_report(
+        {"L1": 50.0, "L2": 10.0},
+        [FlowRequest("a", ("L1", "L2"), requested=20.0)],
+    )
+    assert not report.admitted
+    assert list(report.oversubscribed) == ["L2"]
+
+
+def test_unknown_resource_unconstrained():
+    assert admissible({}, [FlowRequest("a", ("?",), requested=1e12)])
+
+
+def test_empty_flow_set_admitted():
+    assert admissible({"L": 1.0}, [])

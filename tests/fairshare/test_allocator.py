@@ -1,0 +1,140 @@
+"""Three-stage (fixed/variable/independent) allocation tests."""
+
+import pytest
+
+from repro.fairshare import FlowRequest, allocate_three_stage
+from repro.util.errors import ConfigurationError
+
+
+class TestFixedStage:
+    def test_fixed_satisfied_when_fitting(self):
+        allocation = allocate_three_stage(
+            {"L": 100.0},
+            fixed=[FlowRequest("audio", ("L",), requested=10.0)],
+        )
+        assert allocation.rate("audio") == pytest.approx(10.0)
+        assert allocation.satisfied["audio"]
+        assert allocation.all_fixed_satisfied
+
+    def test_fixed_unsatisfied_when_oversubscribed(self):
+        allocation = allocate_three_stage(
+            {"L": 15.0},
+            fixed=[
+                FlowRequest("a", ("L",), requested=10.0),
+                FlowRequest("b", ("L",), requested=10.0),
+            ],
+        )
+        # Equal max-min among fixed: each gets 7.5 of the 15.
+        assert allocation.rate("a") == pytest.approx(7.5)
+        assert allocation.rate("b") == pytest.approx(7.5)
+        assert not allocation.satisfied["a"]
+        assert not allocation.all_fixed_satisfied
+
+    def test_fixed_mixed_sizes(self):
+        allocation = allocate_three_stage(
+            {"L": 15.0},
+            fixed=[
+                FlowRequest("small", ("L",), requested=2.0),
+                FlowRequest("big", ("L",), requested=20.0),
+            ],
+        )
+        assert allocation.rate("small") == pytest.approx(2.0)
+        assert allocation.rate("big") == pytest.approx(13.0)
+        assert allocation.satisfied["small"]
+        assert not allocation.satisfied["big"]
+
+
+class TestVariableStage:
+    def test_proportional_sharing_paper_example(self):
+        # Paper §4.2: requirements 3, 4.5, 9 get 1, 1.5, 3 when only 5.5
+        # total is available.
+        allocation = allocate_three_stage(
+            {"L": 5.5},
+            variable=[
+                FlowRequest("v1", ("L",), requested=3.0),
+                FlowRequest("v2", ("L",), requested=4.5),
+                FlowRequest("v3", ("L",), requested=9.0),
+            ],
+        )
+        assert allocation.rate("v1") == pytest.approx(1.0)
+        assert allocation.rate("v2") == pytest.approx(1.5)
+        assert allocation.rate("v3") == pytest.approx(3.0)
+
+    def test_variable_sees_capacity_after_fixed(self):
+        allocation = allocate_three_stage(
+            {"L": 100.0},
+            fixed=[FlowRequest("f", ("L",), requested=40.0)],
+            variable=[FlowRequest("v", ("L",), requested=1.0)],
+        )
+        assert allocation.rate("v") == pytest.approx(60.0)
+
+    def test_variable_cap_respected(self):
+        allocation = allocate_three_stage(
+            {"L": 100.0},
+            variable=[FlowRequest("v", ("L",), requested=1.0, cap=25.0)],
+        )
+        assert allocation.rate("v") == pytest.approx(25.0)
+
+
+class TestIndependentStage:
+    def test_independent_absorbs_leftover(self):
+        allocation = allocate_three_stage(
+            {"L": 100.0},
+            fixed=[FlowRequest("f", ("L",), requested=30.0)],
+            variable=[FlowRequest("v", ("L",), requested=1.0, cap=50.0)],
+            independent=[FlowRequest("i", ("L",))],
+        )
+        assert allocation.rate("i") == pytest.approx(20.0)
+
+    def test_independent_gets_zero_when_variables_greedy(self):
+        allocation = allocate_three_stage(
+            {"L": 100.0},
+            variable=[FlowRequest("v", ("L",), requested=1.0)],  # uncapped
+            independent=[FlowRequest("i", ("L",))],
+        )
+        assert allocation.rate("v") == pytest.approx(100.0)
+        assert allocation.rate("i") == pytest.approx(0.0)
+
+    def test_multiple_independent_split_equally(self):
+        allocation = allocate_three_stage(
+            {"L": 60.0},
+            independent=[FlowRequest("i1", ("L",)), FlowRequest("i2", ("L",))],
+        )
+        assert allocation.rate("i1") == pytest.approx(30.0)
+        assert allocation.rate("i2") == pytest.approx(30.0)
+
+
+class TestCombined:
+    def test_stage_priority_over_disjoint_paths(self):
+        # Fixed on L1+L2, variable on L2 only: variable sees the remainder.
+        allocation = allocate_three_stage(
+            {"L1": 50.0, "L2": 100.0},
+            fixed=[FlowRequest("f", ("L1", "L2"), requested=50.0)],
+            variable=[FlowRequest("v", ("L2",), requested=1.0)],
+        )
+        assert allocation.rate("f") == pytest.approx(50.0)
+        assert allocation.rate("v") == pytest.approx(50.0)
+
+    def test_residual_capacity_exposed(self):
+        allocation = allocate_three_stage(
+            {"L": 100.0},
+            fixed=[FlowRequest("f", ("L",), requested=30.0)],
+        )
+        assert allocation.residual_capacity["L"] == pytest.approx(70.0)
+
+    def test_duplicate_ids_across_classes_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            allocate_three_stage(
+                {"L": 10.0},
+                fixed=[FlowRequest("x", ("L",), requested=1.0)],
+                variable=[FlowRequest("x", ("L",), requested=1.0)],
+            )
+
+    def test_negative_request_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowRequest("f", ("L",), requested=-1.0)
+
+    def test_empty_query(self):
+        allocation = allocate_three_stage({"L": 10.0})
+        assert allocation.rates == {}
+        assert allocation.residual_capacity["L"] == 10.0

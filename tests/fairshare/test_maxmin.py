@@ -1,0 +1,260 @@
+"""Max-min fair allocation: worked examples and property-based invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fairshare import Demand, weighted_max_min
+from repro.util.errors import ConfigurationError
+
+
+class TestSingleResource:
+    def test_equal_split(self):
+        demands = [Demand(i, ("L",)) for i in range(4)]
+        result = weighted_max_min(demands, {"L": 100.0})
+        assert all(result.rate(i) == pytest.approx(25.0) for i in range(4))
+
+    def test_weighted_split(self):
+        # The paper's example: relative requirements 3, 4.5, 9 on a link
+        # that can carry 5.5 total => rates 1, 1.5, 3.
+        demands = [
+            Demand("a", ("L",), weight=3.0),
+            Demand("b", ("L",), weight=4.5),
+            Demand("c", ("L",), weight=9.0),
+        ]
+        result = weighted_max_min(demands, {"L": 5.5})
+        assert result.rate("a") == pytest.approx(1.0)
+        assert result.rate("b") == pytest.approx(1.5)
+        assert result.rate("c") == pytest.approx(3.0)
+
+    def test_demand_cap_redistributes(self):
+        # One flow capped below its fair share; others absorb the slack.
+        demands = [
+            Demand("small", ("L",), cap=10.0),
+            Demand("big1", ("L",)),
+            Demand("big2", ("L",)),
+        ]
+        result = weighted_max_min(demands, {"L": 100.0})
+        assert result.rate("small") == pytest.approx(10.0)
+        assert result.rate("big1") == pytest.approx(45.0)
+        assert result.rate("big2") == pytest.approx(45.0)
+        assert result.demand_limited("small")
+        assert not result.demand_limited("big1")
+
+    def test_bottleneck_reported(self):
+        result = weighted_max_min([Demand("f", ("L",))], {"L": 10.0})
+        assert result.bottlenecks["f"] == "L"
+
+    def test_residual_capacity(self):
+        result = weighted_max_min([Demand("f", ("L",), cap=30.0)], {"L": 100.0})
+        assert result.residual_capacity["L"] == pytest.approx(70.0)
+
+    def test_zero_cap_flow(self):
+        result = weighted_max_min(
+            [Demand("zero", ("L",), cap=0.0), Demand("other", ("L",))], {"L": 10.0}
+        )
+        assert result.rate("zero") == 0.0
+        assert result.rate("other") == pytest.approx(10.0)
+
+    def test_zero_capacity_resource(self):
+        result = weighted_max_min([Demand("f", ("L",))], {"L": 0.0})
+        assert result.rate("f") == 0.0
+        assert result.bottlenecks["f"] == "L"
+
+
+class TestMultiResource:
+    def test_classic_parking_lot(self):
+        # Three links in a line; one long flow over all, one short per link.
+        # Max-min: every flow gets half of its link.
+        capacities = {"L1": 10.0, "L2": 10.0, "L3": 10.0}
+        demands = [
+            Demand("long", ("L1", "L2", "L3")),
+            Demand("s1", ("L1",)),
+            Demand("s2", ("L2",)),
+            Demand("s3", ("L3",)),
+        ]
+        result = weighted_max_min(demands, capacities)
+        for flow in ("long", "s1", "s2", "s3"):
+            assert result.rate(flow) == pytest.approx(5.0)
+
+    def test_unequal_bottlenecks(self):
+        # Long flow limited by the thin link; short flow on the fat link
+        # absorbs what the long flow cannot use there.
+        capacities = {"thin": 2.0, "fat": 10.0}
+        demands = [
+            Demand("long", ("thin", "fat")),
+            Demand("short", ("fat",)),
+        ]
+        result = weighted_max_min(demands, capacities)
+        assert result.rate("long") == pytest.approx(2.0)
+        assert result.rate("short") == pytest.approx(8.0)
+        assert result.bottlenecks["long"] == "thin"
+        assert result.bottlenecks["short"] == "fat"
+
+    def test_unknown_resource_is_unconstrained(self):
+        result = weighted_max_min([Demand("f", ("mystery",), cap=7.0)], {})
+        assert result.rate("f") == pytest.approx(7.0)
+
+    def test_uncapped_unconstrained_flow_is_infinite(self):
+        result = weighted_max_min([Demand("f", ())], {})
+        assert result.rate("f") == float("inf")
+
+    def test_no_demands(self):
+        result = weighted_max_min([], {"L": 10.0})
+        assert result.rates == {}
+        assert result.residual_capacity["L"] == 10.0
+
+    def test_flow_through_same_resource_twice_counted_twice(self):
+        # A route that crosses a resource twice (e.g. hairpin through a
+        # crossbar) consumes double capacity there.
+        result = weighted_max_min([Demand("f", ("X", "X"))], {"X": 10.0})
+        assert result.rate("f") == pytest.approx(5.0)
+
+
+class TestValidation:
+    def test_duplicate_flow_id_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            weighted_max_min([Demand("f", ()), Demand("f", ())], {})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError, match="weight"):
+            Demand("f", (), weight=-1.0)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ConfigurationError, match="weight"):
+            Demand("f", (), weight=0.0)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ConfigurationError, match="cap"):
+            Demand("f", (), cap=-5.0)
+
+    def test_negative_capacity_clamped(self):
+        result = weighted_max_min([Demand("f", ("L",))], {"L": -5.0})
+        assert result.rate("f") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants of max-min fairness.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def allocation_problems(draw):
+    """Random allocation problems: a few resources, flows over subsets."""
+    n_resources = draw(st.integers(min_value=1, max_value=5))
+    resources = [f"R{i}" for i in range(n_resources)]
+    capacities = {
+        r: draw(st.floats(min_value=1.0, max_value=1000.0)) for r in resources
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    demands = []
+    for i in range(n_flows):
+        subset = draw(
+            st.lists(st.sampled_from(resources), min_size=1, max_size=n_resources, unique=True)
+        )
+        weight = draw(st.floats(min_value=0.1, max_value=10.0))
+        cap = draw(
+            st.one_of(st.just(float("inf")), st.floats(min_value=0.0, max_value=500.0))
+        )
+        demands.append(Demand(i, tuple(subset), weight=weight, cap=cap))
+    return demands, capacities
+
+
+@settings(max_examples=200, deadline=None)
+@given(allocation_problems())
+def test_feasibility(problem):
+    """No resource is oversubscribed and no flow exceeds its cap."""
+    demands, capacities = problem
+    result = weighted_max_min(demands, capacities)
+    load = {r: 0.0 for r in capacities}
+    for demand in demands:
+        rate = result.rate(demand.flow_id)
+        assert rate <= demand.cap * (1 + 1e-6)
+        assert rate >= 0.0
+        for resource in demand.resources:
+            load[resource] += rate
+    for resource, total in load.items():
+        assert total <= capacities[resource] * (1 + 1e-6)
+
+
+@settings(max_examples=200, deadline=None)
+@given(allocation_problems())
+def test_pareto_efficiency(problem):
+    """Every flow is blocked: either at cap or crossing a saturated resource."""
+    demands, capacities = problem
+    result = weighted_max_min(demands, capacities)
+    load = {r: 0.0 for r in capacities}
+    for demand in demands:
+        for resource in demand.resources:
+            load[resource] += result.rate(demand.flow_id)
+    for demand in demands:
+        rate = result.rate(demand.flow_id)
+        # Absolute slack covers sub-bit/s caps that the engine floors to 0.
+        at_cap = rate >= demand.cap * (1 - 1e-6) - 1e-9
+        crosses_saturated = any(
+            load[r] >= capacities[r] * (1 - 1e-6) for r in demand.resources
+        )
+        assert at_cap or crosses_saturated, (
+            f"flow {demand.flow_id} with rate {rate} is not blocked"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(allocation_problems())
+def test_bottleneck_fairness(problem):
+    """At each flow's bottleneck, no other flow has a larger weighted rate.
+
+    This is the defining property of weighted max-min fairness: a flow's
+    weighted rate at its bottleneck is maximal among flows crossing it
+    (up to demand caps).
+    """
+    demands, capacities = problem
+    result = weighted_max_min(demands, capacities)
+    by_id = {d.flow_id: d for d in demands}
+    for demand in demands:
+        bottleneck = result.bottlenecks[demand.flow_id]
+        if bottleneck is None:
+            continue  # demand-limited
+        my_share = result.rate(demand.flow_id) / demand.weight
+        for other in demands:
+            if other.flow_id == demand.flow_id or bottleneck not in other.resources:
+                continue
+            other_share = result.rate(other.flow_id) / other.weight
+            # Others may only beat my share if they are demand-capped at a
+            # *lower* weighted rate (then they are not really "beating" me)
+            # — i.e. nobody uncapped exceeds my weighted rate here.
+            if other_share > my_share * (1 + 1e-6):
+                other_demand = by_id[other.flow_id]
+                assert result.rate(other.flow_id) <= other_demand.cap * (1 + 1e-6)
+                # The excess must come from another bottleneck freezing me
+                # earlier... which cannot happen at *my* bottleneck. Fail:
+                pytest.fail(
+                    f"flow {other.flow_id} (share {other_share}) beats "
+                    f"{demand.flow_id} (share {my_share}) at its bottleneck"
+                )
+
+
+@settings(max_examples=100, deadline=None)
+@given(allocation_problems())
+def test_determinism(problem):
+    """Same input, same output — allocation is a pure function."""
+    demands, capacities = problem
+    first = weighted_max_min(demands, capacities)
+    second = weighted_max_min(demands, capacities)
+    assert first.rates == second.rates
+    assert first.bottlenecks == second.bottlenecks
+
+
+@settings(max_examples=100, deadline=None)
+@given(allocation_problems(), st.floats(min_value=0.5, max_value=2.0))
+def test_scale_invariance(problem, factor):
+    """Scaling capacities and caps by k scales all rates by k."""
+    demands, capacities = problem
+    base = weighted_max_min(demands, capacities)
+    scaled_demands = [
+        Demand(d.flow_id, d.resources, weight=d.weight, cap=d.cap * factor)
+        for d in demands
+    ]
+    scaled_caps = {r: c * factor for r, c in capacities.items()}
+    scaled = weighted_max_min(scaled_demands, scaled_caps)
+    for demand in demands:
+        expected = base.rate(demand.flow_id) * factor
+        assert scaled.rate(demand.flow_id) == pytest.approx(expected, rel=1e-6, abs=1e-9)

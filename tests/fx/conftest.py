@@ -1,0 +1,20 @@
+"""Shared fixtures: a 4-host star network for runtime tests."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+
+
+@pytest.fixture
+def star_world():
+    env = Engine()
+    topo = (
+        TopologyBuilder("star")
+        .router("sw")
+        .hosts(["a", "b", "c", "d"], compute_speed=1e8)
+        .star("sw", ["a", "b", "c", "d"], "100Mbps", "0.1ms")
+        .build()
+    )
+    return env, FluidNetwork(env, topo)

@@ -1,0 +1,96 @@
+"""CommWorld collective tests."""
+
+import pytest
+
+from repro.fx import CommWorld, NodeMapping
+
+
+def drive(env, generator):
+    done = env.process(generator)
+    env.run(until=done)
+    return env.now
+
+
+class TestPointToPoint:
+    def test_send_timing(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b"]))
+        # 1.25MB at 100Mbps = 0.1s + 0.2ms latency.
+        elapsed = drive(env, comm.send(0, 1, 1.25e6))
+        assert elapsed == pytest.approx(0.1 + 0.2e-3)
+        assert comm.bytes_moved == 1.25e6
+        assert comm.busy_time == pytest.approx(elapsed)
+
+
+class TestAllToAll:
+    def test_four_ranks_share_access_links(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b", "c", "d"]))
+        # Each host sends 3 concurrent flows over its 100Mb access link:
+        # each flow gets 33.3Mbps; 1.25MB takes 0.3s.
+        elapsed = drive(env, comm.all_to_all(1.25e6))
+        assert elapsed == pytest.approx(0.3 + 0.2e-3, rel=1e-3)
+        assert comm.bytes_moved == pytest.approx(12 * 1.25e6)
+
+    def test_zero_bytes(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b"]))
+        elapsed = drive(env, comm.all_to_all(0.0))
+        assert elapsed == pytest.approx(0.2e-3)  # latency only
+
+
+class TestBroadcastGather:
+    def test_broadcast_shares_root_uplink(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b", "c", "d"]))
+        # Root sends 3 concurrent 1.25MB flows over one 100Mb uplink: 0.3s.
+        elapsed = drive(env, comm.broadcast(0, 1.25e6))
+        assert elapsed == pytest.approx(0.3 + 0.2e-3, rel=1e-3)
+
+    def test_gather_shares_root_downlink(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b", "c", "d"]))
+        elapsed = drive(env, comm.gather(0, 1.25e6))
+        assert elapsed == pytest.approx(0.3 + 0.2e-3, rel=1e-3)
+
+    def test_allreduce_is_gather_plus_broadcast(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b", "c", "d"]))
+        elapsed = drive(env, comm.allreduce(1.25e6))
+        assert elapsed == pytest.approx(0.6 + 0.4e-3, rel=1e-3)
+
+
+class TestRingAndBarrier:
+    def test_ring_exchange_timing(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b", "c", "d"]))
+        # Each host sends 2 concurrent flows (both neighbours): 50Mb each;
+        # 1.25MB at 50Mb = 0.2s.
+        elapsed = drive(env, comm.ring_exchange(1.25e6))
+        assert elapsed == pytest.approx(0.2 + 0.2e-3, rel=1e-3)
+        assert comm.bytes_moved == pytest.approx(8 * 1.25e6)
+
+    def test_ring_with_two_ranks(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b"]))
+        drive(env, comm.ring_exchange(1.25e6))
+        # One pair each way, not duplicated.
+        assert comm.bytes_moved == pytest.approx(2 * 1.25e6)
+
+    def test_ring_single_rank_is_noop(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a"]))
+        elapsed = drive(env, comm.ring_exchange(1e6))
+        assert elapsed == 0.0
+        assert comm.bytes_moved == 0.0
+
+    def test_barrier_costs_latency(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a", "b", "c"]))
+        elapsed = drive(env, comm.barrier())
+        assert 0 < elapsed < 0.01
+
+    def test_barrier_single_rank_is_noop(self, star_world):
+        env, net = star_world
+        comm = CommWorld(net, NodeMapping(["a"]))
+        assert drive(env, comm.barrier()) == 0.0

@@ -1,0 +1,63 @@
+"""NodeMapping tests."""
+
+import pytest
+
+from repro.fx import NodeMapping
+from repro.net import TopologyBuilder
+from repro.util.errors import RuntimeModelError
+
+
+def test_basic():
+    mapping = NodeMapping(["a", "b", "c"])
+    assert mapping.size == 3
+    assert mapping.host_of(1) == "b"
+    assert mapping.rank_of("c") == 2
+    assert list(mapping) == ["a", "b", "c"]
+    assert str(mapping) == "a,b,c"
+
+
+def test_empty_rejected():
+    with pytest.raises(RuntimeModelError, match="at least one"):
+        NodeMapping([])
+
+
+def test_duplicates_rejected():
+    with pytest.raises(RuntimeModelError, match="duplicate"):
+        NodeMapping(["a", "a"])
+
+
+def test_bad_rank():
+    with pytest.raises(RuntimeModelError, match="out of range"):
+        NodeMapping(["a"]).host_of(1)
+
+
+def test_unknown_host():
+    with pytest.raises(RuntimeModelError, match="not in the mapping"):
+        NodeMapping(["a"]).rank_of("z")
+
+
+def test_validate_against_topology():
+    topo = TopologyBuilder().hosts(["a", "b"]).router("r").star("r", ["a", "b"]).build()
+    NodeMapping(["a", "b"]).validate_against(topo)
+    with pytest.raises(RuntimeModelError, match="not in topology"):
+        NodeMapping(["ghost"]).validate_against(topo)
+    with pytest.raises(RuntimeModelError, match="not a compute node"):
+        NodeMapping(["r"]).validate_against(topo)
+
+
+class TestImbalance:
+    def test_exact_fit_is_one(self):
+        assert NodeMapping(["a", "b"]).imbalance_factor(2) == 1.0
+        assert NodeMapping(["a", "b"]).imbalance_factor(8) == 1.0
+
+    def test_paper_case_8_on_5(self):
+        mapping = NodeMapping(["a", "b", "c", "d", "e"])
+        # ceil(8/5)=2 partitions on the busiest host: 2*5/8 = 1.25.
+        assert mapping.imbalance_factor(8) == pytest.approx(1.25)
+
+    def test_none_means_recompiled(self):
+        assert NodeMapping(["a", "b", "c"]).imbalance_factor(None) == 1.0
+
+    def test_fewer_partitions_than_hosts_rejected(self):
+        with pytest.raises(RuntimeModelError):
+            NodeMapping(["a", "b", "c"]).imbalance_factor(2)

@@ -1,0 +1,45 @@
+"""Multicast vs flat broadcast in the runtime."""
+
+import pytest
+
+from repro.fx import CommWorld, NodeMapping
+
+
+def drive(env, generator):
+    done = env.process(generator)
+    env.run(until=done)
+    return env.now
+
+
+def test_multicast_broadcast_faster_than_flat(star_world):
+    env, net = star_world
+    mapping = NodeMapping(["a", "b", "c", "d"])
+
+    flat = CommWorld(net, mapping)
+    flat_time = drive(env, flat.broadcast(0, 1.25e6))
+
+    start = env.now
+    multicast = CommWorld(net, mapping)
+    done = env.process(multicast.multicast_broadcast(0, 1.25e6))
+    env.run(until=done)
+    multicast_time = env.now - start
+
+    # Flat: root uplink carries 3 copies (0.3s); multicast: one copy (0.1s).
+    assert flat_time == pytest.approx(0.3 + 0.2e-3, rel=1e-3)
+    assert multicast_time == pytest.approx(0.1 + 0.2e-3, rel=1e-3)
+
+
+def test_multicast_broadcast_bytes_accounting(star_world):
+    env, net = star_world
+    comm = CommWorld(net, NodeMapping(["a", "b", "c"]))
+    done = env.process(comm.multicast_broadcast(0, 1e6))
+    env.run(until=done)
+    assert comm.bytes_moved == pytest.approx(1e6)
+
+
+def test_multicast_broadcast_single_rank_noop(star_world):
+    env, net = star_world
+    comm = CommWorld(net, NodeMapping(["a"]))
+    done = env.process(comm.multicast_broadcast(0, 1e6))
+    env.run(until=done)
+    assert comm.bytes_moved == 0.0

@@ -1,0 +1,201 @@
+"""FxRuntime tests: execution, reporting, migration."""
+
+import pytest
+
+from repro.fx import FxProgram, FxRuntime
+from repro.util.errors import RuntimeModelError
+
+
+class TwoPhaseProgram(FxProgram):
+    """compute 1e7 flops/rank then all-to-all 1.25MB per pair, per iteration."""
+
+    name = "two-phase"
+    iterations = 2
+
+    def iteration(self, ctx, index):
+        yield from ctx.compute(1e7)  # 0.1s at 1e8 flop/s
+        yield from ctx.comm.all_to_all(1.25e6)
+
+
+class TestExecution:
+    def test_report_breakdown(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+        done = runtime.launch(TwoPhaseProgram(), ["a", "b"])
+        report = env.run(until=done)
+        # Per iteration: 0.1s compute + (1.25MB at 100Mb = 0.1s + latency).
+        assert report.elapsed == pytest.approx(2 * (0.1 + 0.1 + 0.2e-3), rel=1e-3)
+        assert report.compute_time == pytest.approx(0.2)
+        assert report.comm_time == pytest.approx(2 * (0.1 + 0.2e-3), rel=1e-3)
+        assert report.bytes_moved == pytest.approx(2 * 2 * 1.25e6)
+        assert len(report.iteration_times) == 2
+        assert report.final_hosts == ("a", "b")
+
+    def test_more_hosts_less_compute_time(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+
+        class ScalableProgram(FxProgram):
+            name = "scalable"
+            iterations = 1
+            total_flops = 4e8
+
+            def iteration(self, ctx, index):
+                yield from ctx.compute(self.total_flops / ctx.size)
+
+        report2 = env.run(until=runtime.launch(ScalableProgram(), ["a", "b"]))
+        report4 = env.run(until=runtime.launch(ScalableProgram(), ["a", "b", "c", "d"]))
+        assert report4.compute_time == pytest.approx(report2.compute_time / 2)
+
+    def test_compiled_for_imbalance_slows_compute(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+
+        class CompiledProgram(FxProgram):
+            name = "compiled"
+            compiled_for = 4
+            iterations = 1
+
+            def iteration(self, ctx, index):
+                yield from ctx.compute(1e8)
+
+        # Compiled for 4, run on 3: factor ceil(4/3)*3/4 = 1.5.
+        report = env.run(until=runtime.launch(CompiledProgram(), ["a", "b", "c"]))
+        assert report.compute_time == pytest.approx(1.5)
+
+    def test_serial_compute(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+
+        class SerialProgram(FxProgram):
+            name = "serial"
+            iterations = 1
+
+            def iteration(self, ctx, index):
+                yield from ctx.serial_compute(5e7)
+
+        report = env.run(until=runtime.launch(SerialProgram(), ["a", "b"]))
+        assert report.compute_time == pytest.approx(0.5)
+
+    def test_setup_runs_once(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+        calls = []
+
+        class WithSetup(FxProgram):
+            name = "with-setup"
+            iterations = 3
+
+            def setup(self, ctx):
+                calls.append("setup")
+                yield from ctx.compute(1e7)
+
+            def iteration(self, ctx, index):
+                calls.append(f"iter{index}")
+                yield from ctx.compute(1e7)
+
+        env.run(until=runtime.launch(WithSetup(), ["a"]))
+        assert calls == ["setup", "iter0", "iter1", "iter2"]
+
+    def test_concurrent_launch_rejected(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+        runtime.launch(TwoPhaseProgram(), ["a", "b"])
+        with pytest.raises(RuntimeModelError, match="already has a program"):
+            runtime.launch(TwoPhaseProgram(), ["c", "d"])
+
+    def test_required_nodes_enforced(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+
+        class Needs3(FxProgram):
+            name = "needs3"
+            iterations = 1
+
+            def required_nodes(self):
+                return 3
+
+            def iteration(self, ctx, index):
+                yield from ctx.compute(1.0)
+
+        with pytest.raises(RuntimeModelError, match=">= 3 hosts"):
+            runtime.launch(Needs3(), ["a", "b"])
+
+
+class TestMigration:
+    def test_adapt_hook_can_remap(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+        seen_hosts = []
+
+        class Watcher(FxProgram):
+            name = "watcher"
+            iterations = 3
+
+            def iteration(self, ctx, index):
+                seen_hosts.append(tuple(ctx.mapping.hosts))
+                yield from ctx.compute(1e6)
+
+        def hook(rt, program, index):
+            if index == 1:
+                rt.remap(["c", "d"], iteration=index)
+            return
+            yield  # pragma: no cover
+
+        report = env.run(until=runtime.launch(Watcher(), ["a", "b"], adapt_hook=hook))
+        assert seen_hosts == [("a", "b"), ("c", "d"), ("c", "d")]
+        assert len(report.migrations) == 1
+        assert report.migrations[0].from_hosts == ("a", "b")
+        assert report.migrations[0].to_hosts == ("c", "d")
+        assert report.final_hosts == ("c", "d")
+
+    def test_adaptation_cost_charged(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+
+        class Quick(FxProgram):
+            name = "quick"
+            iterations = 2
+
+            def iteration(self, ctx, index):
+                yield from ctx.compute(1e6)
+
+        def hook(rt, program, index):
+            yield from rt.charge_adaptation(0.5)
+
+        report = env.run(until=runtime.launch(Quick(), ["a"], adapt_hook=hook))
+        assert report.adapt_time == pytest.approx(1.0)
+        assert report.elapsed == pytest.approx(1.0 + 2 * 0.01)
+
+    def test_comm_accounting_survives_remap(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+
+        class Chatty(FxProgram):
+            name = "chatty"
+            iterations = 2
+
+            def iteration(self, ctx, index):
+                yield from ctx.comm.all_to_all(1.25e6)
+
+        def hook(rt, program, index):
+            if index == 1:
+                rt.remap(["c", "d"], iteration=index)
+            return
+            yield  # pragma: no cover
+
+        report = env.run(until=runtime.launch(Chatty(), ["a", "b"], adapt_hook=hook))
+        assert report.bytes_moved == pytest.approx(2 * 2 * 1.25e6)
+
+    def test_remap_before_launch_rejected(self, star_world):
+        _, net = star_world
+        runtime = FxRuntime(net)
+        with pytest.raises(RuntimeModelError, match="before launch"):
+            runtime.remap(["a"])
+
+    def test_runtime_reusable_after_run(self, star_world):
+        env, net = star_world
+        runtime = FxRuntime(net)
+        first = env.run(until=runtime.launch(TwoPhaseProgram(), ["a", "b"]))
+        second = env.run(until=runtime.launch(TwoPhaseProgram(), ["c", "d"]))
+        assert first.elapsed == pytest.approx(second.elapsed, rel=1e-6)

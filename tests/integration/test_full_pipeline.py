@@ -1,0 +1,148 @@
+"""Integration: the complete §7.3 usage pipeline and the WAN cloud case."""
+
+import pytest
+
+from repro.adapt import select_nodes
+from repro.apps import FFT2D
+from repro.collector import BenchmarkCollector, CollectorMaster, SNMPCollector
+from repro.core import Flow, Remos, Timeframe
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.snmp import SNMPAgent
+from repro.testbed import CMU_HOSTS, TRAFFIC_M6_M8, build_cmu_testbed
+
+
+class TestSection73Pipeline:
+    """Start Remos -> get_graph -> distances -> clustering -> run -> profit."""
+
+    def test_pipeline_end_to_end(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        scenario = TRAFFIC_M6_M8()
+        scenario.start(world.net)
+        remos = world.start_monitoring(warmup=10.0)
+
+        selection = select_nodes(remos, CMU_HOSTS, k=4, start="m-4")
+        runtime = world.runtime()
+        report = world.env.run(until=runtime.launch(FFT2D(512), selection.hosts))
+
+        naive_world = build_cmu_testbed(poll_interval=1.0)
+        TRAFFIC_M6_M8().start(naive_world.net)
+        naive_world.start_monitoring(warmup=10.0)
+        naive_report = naive_world.env.run(
+            until=naive_world.runtime().launch(FFT2D(512), ["m-4", "m-6", "m-7", "m-8"])
+        )
+        assert report.elapsed < naive_report.elapsed / 1.5
+
+    def test_selection_stable_across_repeated_queries(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        TRAFFIC_M6_M8().start(world.net)
+        remos = world.start_monitoring(warmup=10.0)
+        first = select_nodes(remos, CMU_HOSTS, k=4, start="m-4")
+        world.settle(20.0)
+        second = select_nodes(remos, CMU_HOSTS, k=4, start="m-4")
+        assert set(first.hosts) == set(second.hosts)
+
+
+class TestWanCloud:
+    """Two campuses joined by an unmanaged WAN (§4.3, §5).
+
+    Campus routers answer SNMP; the WAN routers do not (a commercial
+    ISP), so a benchmark collector probes across, and the master merges
+    the views.  The WAN shows up as the probing collector's cloud.
+    """
+
+    @staticmethod
+    def build():
+        topo = (
+            TopologyBuilder("two-campus")
+            .router("campusA")
+            .router("campusB")
+            .router("wan1")
+            .router("wan2")
+            .hosts(["a1", "a2"], compute_speed=1e8)
+            .hosts(["b1", "b2"], compute_speed=1e8)
+            .link("a1", "campusA", "100Mbps", "0.1ms")
+            .link("a2", "campusA", "100Mbps", "0.1ms")
+            .link("b1", "campusB", "100Mbps", "0.1ms")
+            .link("b2", "campusB", "100Mbps", "0.1ms")
+            .link("campusA", "wan1", "100Mbps", "2ms")
+            .link("wan1", "wan2", "34Mbps", "10ms", name="wan-core")  # E3 line
+            .link("wan2", "campusB", "100Mbps", "2ms")
+            .build()
+        )
+        env = Engine()
+        net = FluidNetwork(env, topo)
+        # Only campus routers are manageable; the WAN is a black box.
+        agents = {
+            "campusA": SNMPAgent("campusA", net),
+            "campusB": SNMPAgent("campusB", net),
+            "wan1": SNMPAgent("wan1", net, reachable=False),
+            "wan2": SNMPAgent("wan2", net, reachable=False),
+        }
+        return env, net, agents
+
+    def test_snmp_alone_cannot_see_across_the_wan(self):
+        env, net, agents = self.build()
+        collector = SNMPCollector(net, agents, seeds=["campusA", "campusB"])
+        env.run(until=collector.start())
+        topo = collector.view().topology
+        # The discovered graph is missing the wan-core link (no agent
+        # answered for wan1/wan2's interfaces)...
+        assert not any(l.name == "wan-core" for l in topo.links)
+
+    def test_master_merges_campus_snmp_with_wan_probes(self):
+        env, net, agents = self.build()
+        snmp = SNMPCollector(net, agents, seeds=["campusA", "campusB"], poll_interval=1.0)
+        bench = BenchmarkCollector(net, ["a1", "b1"], probe_interval=2.0)
+        master = CollectorMaster(env, [snmp, bench])
+        env.run(until=master.start())
+        env.run(until=env.now + 10.0)
+        view = master.refresh()
+        names = {n.name for n in view.topology.nodes}
+        assert {"a1", "a2", "b1", "b2", "campusA", "campusB", "cloud"} <= names
+
+        # The cloud's measured capacity reflects the 34Mbps WAN bottleneck.
+        remos = Remos(master)
+        answer = remos.flow_info(
+            variable_flows=[Flow("a1", "b1")], timeframe=Timeframe.current()
+        )
+        assert answer.variable[0].bandwidth.median == pytest.approx(34e6, rel=0.1)
+
+    def test_probed_wan_latency_visible(self):
+        env, net, agents = self.build()
+        bench = BenchmarkCollector(net, ["a1", "b1"], probe_interval=2.0)
+        env.run(until=bench.start())
+        topo = bench.view().topology
+        total = sum(link.latency for link in topo.links)
+        # True one-way a1->b1 latency: 0.1+2+10+2+0.1 ms.
+        assert total == pytest.approx(14.2e-3, rel=1e-6)
+
+
+class TestMultiApplicationSharing:
+    """Two applications on one network: queries see each other's load."""
+
+    def test_second_app_sees_first_apps_traffic(self):
+        world = build_cmu_testbed(poll_interval=0.5)
+        remos = world.start_monitoring(warmup=5.0)
+        # App 1: a long-lived aggressive transfer stream m-1 -> m-4.
+        world.net.open_flow("m-1", "m-4", demand=80e6, weight=1000.0)
+        world.settle(10.0)
+        # App 2 asks about the same corridor.
+        answer = remos.flow_info(
+            variable_flows=[Flow("m-2", "m-5", name="app2")],
+            timeframe=Timeframe.current(),
+        )
+        # m-1's flow occupies 80Mb of aspen->timberline: app2 is offered 20.
+        assert answer.answer("app2").bandwidth.median == pytest.approx(20e6, rel=0.1)
+
+    def test_fixed_flow_admission_changes_with_load(self):
+        world = build_cmu_testbed(poll_interval=0.5)
+        remos = world.start_monitoring(warmup=5.0)
+        flow = Flow("m-2", "m-5", requested=50e6, name="reservation")
+        before = remos.flow_info(fixed_flows=[flow], timeframe=Timeframe.current())
+        assert before.answer("reservation").satisfied is True
+        world.net.open_flow("m-1", "m-4", demand=80e6, weight=1000.0)
+        world.settle(10.0)
+        after = remos.flow_info(fixed_flows=[flow], timeframe=Timeframe.current())
+        assert after.answer("reservation").satisfied is False

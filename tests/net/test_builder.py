@@ -1,0 +1,101 @@
+"""TopologyBuilder and declarative spec tests."""
+
+import pytest
+
+from repro.net import TopologyBuilder, topology_from_spec
+from repro.util.errors import ConfigurationError, TopologyError
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        topo = (
+            TopologyBuilder("lan")
+            .router("sw")
+            .hosts(["a", "b", "c"])
+            .star("sw", ["a", "b", "c"], "100Mbps", "0.1ms")
+            .build()
+        )
+        assert topo.name == "lan"
+        assert len(topo.compute_nodes) == 3
+        assert len(topo.links) == 3
+
+    def test_defaults_applied(self):
+        topo = (
+            TopologyBuilder()
+            .defaults(capacity="10Mbps", latency="2ms")
+            .hosts(["a", "b"])
+            .link("a", "b")
+            .build()
+        )
+        link = topo.links[0]
+        assert link.capacity == 10e6
+        assert link.latency == pytest.approx(2e-3)
+
+    def test_build_twice_rejected(self):
+        builder = TopologyBuilder().hosts(["a", "b"]).link("a", "b")
+        builder.build()
+        with pytest.raises(ConfigurationError, match="called twice"):
+            builder.build()
+
+    def test_build_validates(self):
+        builder = TopologyBuilder().hosts(["a", "b"])  # no links
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_build_without_validation(self):
+        topo = TopologyBuilder().hosts(["a", "b"]).build(validate=False)
+        assert len(topo.nodes) == 2
+
+    def test_router_with_finite_crossbar(self):
+        topo = (
+            TopologyBuilder()
+            .router("sw", internal_bandwidth="10Mbps")
+            .hosts(["a", "b"])
+            .star("sw", ["a", "b"])
+            .build()
+        )
+        assert topo.node("sw").internal_bandwidth == 10e6
+
+
+class TestSpec:
+    def test_minimal_spec(self):
+        topo = topology_from_spec(
+            {
+                "name": "lan",
+                "hosts": ["a", "b"],
+                "routers": ["sw"],
+                "links": [
+                    {"a": "a", "b": "sw", "capacity": "100Mbps", "latency": "0.1ms"},
+                    {"a": "b", "b": "sw", "capacity": "100Mbps", "latency": "0.1ms"},
+                ],
+            }
+        )
+        assert topo.name == "lan"
+        assert len(topo.links) == 2
+
+    def test_rich_node_specs(self):
+        topo = topology_from_spec(
+            {
+                "hosts": [{"name": "a", "compute_speed": 5e7}, "b"],
+                "routers": [{"name": "sw", "internal_bandwidth": "10Mbps"}],
+                "links": [
+                    {"a": "a", "b": "sw"},
+                    {"a": "b", "b": "sw"},
+                ],
+            }
+        )
+        assert topo.node("a").compute_speed == 5e7
+        assert topo.node("sw").internal_bandwidth == 10e6
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology spec keys"):
+            topology_from_spec({"hosts": ["a"], "frobnicate": True})
+
+    def test_named_links(self):
+        topo = topology_from_spec(
+            {
+                "hosts": ["a", "b"],
+                "links": [{"a": "a", "b": "b", "name": "trunk", "capacity": "1Gbps"}],
+            }
+        )
+        assert topo.link("trunk").capacity == 1e9

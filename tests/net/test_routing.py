@@ -1,0 +1,143 @@
+"""Routing table tests: shortest paths, determinism, route anatomy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import RoutingTable, Topology, TopologyBuilder
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def line_topo():
+    # h1 - r1 - r2 - h2, plus a slow shortcut h1 - r2.
+    return (
+        TopologyBuilder("line")
+        .hosts(["h1", "h2"])
+        .router("r1")
+        .router("r2")
+        .link("h1", "r1", "100Mbps", "1ms")
+        .link("r1", "r2", "100Mbps", "1ms")
+        .link("r2", "h2", "100Mbps", "1ms")
+        .link("h1", "r2", "100Mbps", "10ms")
+        .build()
+    )
+
+
+class TestShortestPath:
+    def test_prefers_low_latency(self, line_topo):
+        table = RoutingTable(line_topo, weight="latency")
+        route = table.route("h1", "h2")
+        assert route.node_sequence == ("h1", "r1", "r2", "h2")
+        assert route.latency == pytest.approx(3e-3)
+
+    def test_hop_weight_prefers_fewer_hops(self, line_topo):
+        table = RoutingTable(line_topo, weight="hops")
+        route = table.route("h1", "h2")
+        assert route.node_sequence == ("h1", "r2", "h2")
+        assert route.hop_count == 2
+
+    def test_self_route_empty(self, line_topo):
+        route = RoutingTable(line_topo).route("h1", "h1")
+        assert route.hops == ()
+        assert route.latency == 0.0
+        assert route.capacity == float("inf")
+        assert route.node_sequence == ("h1",)
+
+    def test_symmetry_of_hops(self, line_topo):
+        table = RoutingTable(line_topo)
+        forward = table.route("h1", "h2")
+        backward = table.route("h2", "h1")
+        assert forward.hop_count == backward.hop_count
+        assert [l.name for l in forward.links] == [l.name for l in reversed(backward.links)]
+
+    def test_unknown_weight_rejected(self, line_topo):
+        with pytest.raises(TopologyError, match="unknown routing weight"):
+            RoutingTable(line_topo, weight="cost")
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_compute_node("a")
+        topo.add_compute_node("b")
+        table = RoutingTable(topo)
+        with pytest.raises(TopologyError, match="no route"):
+            table.route("a", "b")
+
+    def test_unknown_node_raises(self, line_topo):
+        with pytest.raises(TopologyError, match="unknown node"):
+            RoutingTable(line_topo).route("h1", "ghost")
+
+
+class TestRouteAnatomy:
+    def test_transit_nodes(self, line_topo):
+        route = RoutingTable(line_topo).route("h1", "h2")
+        assert route.transit_nodes == ("r1", "r2")
+
+    def test_capacity_is_bottleneck(self):
+        topo = (
+            TopologyBuilder()
+            .hosts(["a", "b"])
+            .router("r")
+            .link("a", "r", "100Mbps", "1ms")
+            .link("r", "b", "10Mbps", "1ms")
+            .build()
+        )
+        route = RoutingTable(topo).route("a", "b")
+        assert route.capacity == 10e6
+
+    def test_uses_link(self, line_topo):
+        route = RoutingTable(line_topo).route("h1", "h2")
+        assert route.uses_link("r1--r2")
+        assert not route.uses_link("h1--r2")
+
+    def test_str(self, line_topo):
+        assert str(RoutingTable(line_topo).route("h1", "h2")) == "h1 -> r1 -> r2 -> h2"
+
+    def test_routes_between(self, line_topo):
+        routes = RoutingTable(line_topo).routes_between(["h1", "h2"])
+        assert set(routes) == {("h1", "h2"), ("h2", "h1")}
+
+    def test_reachable(self, line_topo):
+        table = RoutingTable(line_topo)
+        assert table.reachable("h1", "h2")
+
+
+class TestDeterminism:
+    def test_tie_break_is_stable(self):
+        # Diamond: a - r1 - b and a - r2 - b with identical weights.
+        topo = (
+            TopologyBuilder()
+            .hosts(["a", "b"])
+            .router("r1")
+            .router("r2")
+            .link("a", "r1", "100Mbps", "1ms")
+            .link("r1", "b", "100Mbps", "1ms")
+            .link("a", "r2", "100Mbps", "1ms")
+            .link("r2", "b", "100Mbps", "1ms")
+            .build()
+        )
+        routes = {RoutingTable(topo).route("a", "b").node_sequence for _ in range(5)}
+        assert routes == {("a", "r1", "b")}  # lexicographically first path
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_trees_route_everywhere(self, seed):
+        """On random trees every host pair has a unique route matching the tree path."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(2, 12))
+        topo = Topology()
+        names = [f"n{i}" for i in range(count)]
+        for name in names:
+            topo.add_compute_node(name)
+        for i in range(1, count):
+            parent = int(rng.integers(0, i))
+            topo.add_link(names[i], names[parent], "100Mbps", "1ms")
+        table = RoutingTable(topo)
+        for src in names:
+            for dst in names:
+                route = table.route(src, dst)
+                assert route.node_sequence[0] == src
+                assert route.node_sequence[-1] == dst
+                # Tree property: no repeated nodes on the route.
+                assert len(set(route.node_sequence)) == len(route.node_sequence)

@@ -1,0 +1,184 @@
+"""Topology container invariants."""
+
+import pytest
+
+from repro.net import Node, NodeKind, Topology
+from repro.util import mbps
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def small_topo():
+    topo = Topology(name="t")
+    topo.add_compute_node("h1")
+    topo.add_compute_node("h2")
+    topo.add_network_node("r1")
+    topo.add_link("h1", "r1", "100Mbps", "0.1ms")
+    topo.add_link("h2", "r1", "10Mbps", "0.1ms")
+    return topo
+
+
+class TestNodes:
+    def test_kinds(self, small_topo):
+        assert small_topo.node("h1").is_compute
+        assert small_topo.node("r1").is_network
+        assert not small_topo.node("r1").is_compute
+
+    def test_duplicate_name_rejected(self, small_topo):
+        with pytest.raises(TopologyError, match="duplicate node"):
+            small_topo.add_compute_node("h1")
+
+    def test_unknown_node_rejected(self, small_topo):
+        with pytest.raises(TopologyError, match="unknown node"):
+            small_topo.node("nope")
+
+    def test_compute_and_network_partition(self, small_topo):
+        names = {n.name for n in small_topo.nodes}
+        compute = {n.name for n in small_topo.compute_nodes}
+        network = {n.name for n in small_topo.network_nodes}
+        assert compute | network == names
+        assert compute & network == set()
+
+    def test_contains(self, small_topo):
+        assert "h1" in small_topo
+        assert "zz" not in small_topo
+
+    def test_default_internal_bandwidth_infinite(self, small_topo):
+        assert small_topo.node("r1").internal_bandwidth == float("inf")
+
+
+class TestLinks:
+    def test_capacity_parsed(self, small_topo):
+        assert small_topo.link("h1--r1").capacity == mbps(100)
+        assert small_topo.link("h2--r1").capacity == mbps(10)
+
+    def test_latency_parsed(self, small_topo):
+        assert small_topo.link("h1--r1").latency == pytest.approx(0.1e-3)
+
+    def test_self_loop_rejected(self, small_topo):
+        with pytest.raises(TopologyError, match="itself"):
+            small_topo.add_link("h1", "h1", "10Mbps")
+
+    def test_unknown_endpoint_rejected(self, small_topo):
+        with pytest.raises(TopologyError, match="not a known node"):
+            small_topo.add_link("h1", "ghost", "10Mbps")
+
+    def test_duplicate_link_name_rejected(self, small_topo):
+        with pytest.raises(TopologyError, match="duplicate link"):
+            small_topo.add_link("h1", "r1", "10Mbps")  # auto-name collides
+
+    def test_parallel_links_with_names(self, small_topo):
+        small_topo.add_link("h1", "r1", "10Mbps", name="backup")
+        assert len(small_topo.links_at("h1")) == 2
+
+    def test_zero_capacity_rejected(self, small_topo):
+        with pytest.raises(TopologyError, match="non-positive capacity"):
+            small_topo.add_link("h1", "h2", 0)
+
+    def test_other_endpoint(self, small_topo):
+        link = small_topo.link("h1--r1")
+        assert link.other("h1") == "r1"
+        assert link.other("r1") == "h1"
+        with pytest.raises(TopologyError):
+            link.other("h2")
+
+    def test_direction(self, small_topo):
+        link = small_topo.link("h1--r1")
+        fwd = link.direction("h1", "r1")
+        assert fwd.src == "h1" and fwd.dst == "r1"
+        assert fwd.reverse().src == "r1"
+        assert fwd.capacity == link.capacity
+        with pytest.raises(TopologyError):
+            link.direction("h1", "h2")
+
+    def test_direction_keys_distinct(self, small_topo):
+        link = small_topo.link("h1--r1")
+        fwd = link.direction("h1", "r1")
+        assert fwd.key != fwd.reverse().key
+
+    def test_iter_directions_two_per_link(self, small_topo):
+        directions = list(small_topo.iter_directions())
+        assert len(directions) == 2 * len(small_topo.links)
+
+
+class TestAdjacency:
+    def test_neighbors(self, small_topo):
+        assert small_topo.neighbors("r1") == ["h1", "h2"]
+        assert small_topo.neighbors("h1") == ["r1"]
+
+    def test_degree(self, small_topo):
+        assert small_topo.degree("r1") == 2
+        assert small_topo.degree("h1") == 1
+
+    def test_links_at_order_is_attachment_order(self, small_topo):
+        names = [l.name for l in small_topo.links_at("r1")]
+        assert names == ["h1--r1", "h2--r1"]
+
+
+class TestValidation:
+    def test_valid_topology_passes(self, small_topo):
+        small_topo.validate()
+
+    def test_no_compute_nodes_rejected(self):
+        topo = Topology()
+        topo.add_network_node("r1")
+        with pytest.raises(TopologyError, match="no compute nodes"):
+            topo.validate()
+
+    def test_unconnected_compute_node_rejected(self):
+        topo = Topology()
+        topo.add_compute_node("h1")
+        topo.add_compute_node("orphan")
+        topo.add_network_node("r1")
+        topo.add_link("h1", "r1", "10Mbps")
+        with pytest.raises(TopologyError, match="unconnected"):
+            topo.validate()
+
+    def test_disconnected_graph_rejected(self):
+        topo = Topology()
+        for name in ("a", "b", "c", "d"):
+            topo.add_compute_node(name)
+        topo.add_link("a", "b", "10Mbps")
+        topo.add_link("c", "d", "10Mbps")
+        with pytest.raises(TopologyError, match="disconnected"):
+            topo.validate()
+
+    def test_disconnected_allowed_when_not_required(self):
+        topo = Topology()
+        topo.add_compute_node("a")
+        topo.add_compute_node("b")
+        topo.add_compute_node("c")
+        topo.add_compute_node("d")
+        topo.add_link("a", "b", "10Mbps")
+        topo.add_link("c", "d", "10Mbps")
+        topo.validate(require_connected=False)
+
+
+class TestExportAndSubset:
+    def test_to_networkx(self, small_topo):
+        graph = small_topo.to_networkx()
+        assert set(graph.nodes) == {"h1", "h2", "r1"}
+        assert graph.edges["h1", "r1"]["capacity"] == mbps(100)
+        assert isinstance(graph.nodes["h1"]["node"], Node)
+
+    def test_parallel_links_keep_best(self, small_topo):
+        small_topo.add_link("h1", "r1", "1Gbps", name="fat")
+        graph = small_topo.to_networkx()
+        assert graph.edges["h1", "r1"]["capacity"] == 1e9
+
+    def test_subset(self, small_topo):
+        sub = small_topo.subset(["h1", "r1"])
+        assert {n.name for n in sub.nodes} == {"h1", "r1"}
+        assert len(sub.links) == 1
+
+    def test_subset_drops_external_links(self, small_topo):
+        sub = small_topo.subset(["h1", "h2"])
+        assert len(sub.links) == 0
+
+    def test_subset_unknown_node_rejected(self, small_topo):
+        with pytest.raises(TopologyError, match="unknown nodes"):
+            small_topo.subset(["h1", "phantom"])
+
+    def test_node_kind_enum_values(self):
+        assert NodeKind.COMPUTE.value == "compute"
+        assert NodeKind.NETWORK.value == "network"

@@ -1,0 +1,261 @@
+"""Fluid network simulation tests: rates, sharing, transfers, counters."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.util import mbps
+from repro.util.errors import SimulationError, TopologyError
+
+
+def dumbbell():
+    """a,b -- r1 ==(bottleneck)== r2 -- c,d with 100Mb access, 10Mb trunk."""
+    return (
+        TopologyBuilder("dumbbell")
+        .hosts(["a", "b", "c", "d"])
+        .router("r1")
+        .router("r2")
+        .link("a", "r1", "100Mbps", "0.1ms")
+        .link("b", "r1", "100Mbps", "0.1ms")
+        .link("c", "r2", "100Mbps", "0.1ms")
+        .link("d", "r2", "100Mbps", "0.1ms")
+        .link("r1", "r2", "10Mbps", "1ms", name="trunk")
+        .build()
+    )
+
+
+@pytest.fixture
+def net():
+    env = Engine()
+    return FluidNetwork(env, dumbbell())
+
+
+class TestFlowRates:
+    def test_single_flow_gets_bottleneck(self, net):
+        flow = net.open_flow("a", "c")
+        assert net.flow_rate(flow) == pytest.approx(mbps(10))
+
+    def test_two_flows_share_trunk(self, net):
+        f1 = net.open_flow("a", "c")
+        f2 = net.open_flow("b", "d")
+        assert net.flow_rate(f1) == pytest.approx(mbps(5))
+        assert net.flow_rate(f2) == pytest.approx(mbps(5))
+
+    def test_close_restores_rate(self, net):
+        f1 = net.open_flow("a", "c")
+        f2 = net.open_flow("b", "d")
+        net.close_flow(f2)
+        assert net.flow_rate(f1) == pytest.approx(mbps(10))
+        assert net.flow_rate(f2) == 0.0
+
+    def test_close_idempotent(self, net):
+        flow = net.open_flow("a", "c")
+        net.close_flow(flow)
+        net.close_flow(flow)  # no error
+
+    def test_demand_cap(self, net):
+        flow = net.open_flow("a", "c", demand=mbps(2))
+        assert net.flow_rate(flow) == pytest.approx(mbps(2))
+
+    def test_set_demand(self, net):
+        flow = net.open_flow("a", "c", demand=mbps(2))
+        net.set_demand(flow, mbps(4))
+        assert net.flow_rate(flow) == pytest.approx(mbps(4))
+
+    def test_set_demand_on_closed_flow_rejected(self, net):
+        flow = net.open_flow("a", "c")
+        net.close_flow(flow)
+        with pytest.raises(SimulationError, match="closed"):
+            net.set_demand(flow, mbps(1))
+
+    def test_negative_demand_rejected(self, net):
+        with pytest.raises(SimulationError, match="non-negative"):
+            net.open_flow("a", "c", demand=-1.0)
+
+    def test_flow_from_network_node_rejected(self, net):
+        with pytest.raises(TopologyError, match="compute nodes"):
+            net.open_flow("r1", "c")
+
+    def test_local_flows_avoid_trunk(self, net):
+        # a->b stays on r1; c->d on r2; neither crosses the 10Mb trunk.
+        f1 = net.open_flow("a", "b")
+        f2 = net.open_flow("c", "d")
+        assert net.flow_rate(f1) == pytest.approx(mbps(100))
+        assert net.flow_rate(f2) == pytest.approx(mbps(100))
+
+    def test_weighted_sharing(self, net):
+        f1 = net.open_flow("a", "c", weight=3.0)
+        f2 = net.open_flow("b", "d", weight=1.0)
+        assert net.flow_rate(f1) == pytest.approx(mbps(7.5))
+        assert net.flow_rate(f2) == pytest.approx(mbps(2.5))
+
+    def test_duplex_directions_independent(self, net):
+        fwd = net.open_flow("a", "c")
+        rev = net.open_flow("c", "a")
+        # Opposite directions of every link: no sharing.
+        assert net.flow_rate(fwd) == pytest.approx(mbps(10))
+        assert net.flow_rate(rev) == pytest.approx(mbps(10))
+
+
+class TestCrossbar:
+    def test_finite_crossbar_limits_aggregate(self):
+        # Fig. 1 scenario: router internal bandwidth 10Mbps caps the sum of
+        # flows through it even though each access link is 100Mbps.
+        topo = (
+            TopologyBuilder()
+            .hosts(["a", "b", "c", "d"])
+            .router("sw", internal_bandwidth="10Mbps")
+            .star("sw", ["a", "b", "c", "d"], "100Mbps", "0.1ms")
+            .build()
+        )
+        net = FluidNetwork(Engine(), topo)
+        f1 = net.open_flow("a", "b")
+        f2 = net.open_flow("c", "d")
+        assert net.flow_rate(f1) == pytest.approx(mbps(5))
+        assert net.flow_rate(f2) == pytest.approx(mbps(5))
+
+    def test_infinite_crossbar_no_limit(self):
+        topo = (
+            TopologyBuilder()
+            .hosts(["a", "b", "c", "d"])
+            .router("sw")
+            .star("sw", ["a", "b", "c", "d"], "100Mbps", "0.1ms")
+            .build()
+        )
+        net = FluidNetwork(Engine(), topo)
+        f1 = net.open_flow("a", "b")
+        f2 = net.open_flow("c", "d")
+        assert net.flow_rate(f1) == pytest.approx(mbps(100))
+        assert net.flow_rate(f2) == pytest.approx(mbps(100))
+
+
+class TestTransfers:
+    def test_transfer_time_includes_latency(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        # 10Mbps bottleneck: 1.25MB = 1e7 bits -> 1s, plus 1.2ms path latency.
+        handle = net.transfer("a", "c", 1.25e6)
+        result = env.run(until=handle.done)
+        assert result is handle
+        assert env.now == pytest.approx(1.0 + 1.2e-3)
+        assert handle.elapsed == pytest.approx(1.0 + 1.2e-3)
+        assert handle.throughput == pytest.approx(1e7 / (1.0 + 1.2e-3), rel=1e-6)
+
+    def test_transfer_shares_with_competitor(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        net.open_flow("b", "d")  # persistent competitor on the trunk
+        handle = net.transfer("a", "c", 1.25e6)  # now only 5Mbps available
+        env.run(until=handle.done)
+        assert env.now == pytest.approx(2.0 + 1.2e-3)
+
+    def test_competitor_arriving_mid_transfer(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        handle = net.transfer("a", "c", 2.5e6)  # 2e7 bits: 2s alone
+
+        def competitor(env, net):
+            yield env.timeout(1.0)
+            net.open_flow("b", "d")  # halves the transfer's rate
+
+        env.process(competitor(env, net))
+        env.run(until=handle.done)
+        # 1s at 10Mb (1e7 bits) + 1s... remaining 1e7 bits at 5Mb = 2s.
+        assert env.now == pytest.approx(3.0 + 1.2e-3)
+
+    def test_competitor_leaving_mid_transfer(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        competitor = net.open_flow("b", "d")
+        handle = net.transfer("a", "c", 2.5e6)
+
+        def leave(env, net, flow):
+            yield env.timeout(1.0)
+            net.close_flow(flow)
+
+        env.process(leave(env, net, competitor))
+        env.run(until=handle.done)
+        # 1s at 5Mb (5e6 bits) + remaining 1.5e7 bits at 10Mb = 1.5s.
+        assert env.now == pytest.approx(2.5 + 1.2e-3)
+
+    def test_zero_byte_transfer_costs_latency_only(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        handle = net.transfer("a", "c", 0)
+        env.run(until=handle.done)
+        assert env.now == pytest.approx(1.2e-3)
+
+    def test_loopback_transfer_nearly_instant(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        handle = net.transfer("a", "a", 1e6)
+        env.run(until=handle.done)
+        assert env.now < 1e-4
+
+    def test_negative_size_rejected(self):
+        net = FluidNetwork(Engine(), dumbbell())
+        with pytest.raises(SimulationError, match="non-negative"):
+            net.transfer("a", "c", -1)
+
+    def test_parallel_transfers_complete_in_order_of_share(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        small = net.transfer("a", "c", 0.625e6)  # 5e6 bits
+        big = net.transfer("b", "d", 2.5e6)  # 2e7 bits
+        env.run(until=env.all_of([small.done, big.done]))
+        # Shared 10Mb trunk: both at 5Mb. small done at t=1s (then big
+        # speeds to 10Mb): big has 1.5e7 bits left -> +1.5s.
+        assert small.completed_at == pytest.approx(1.0 + 1.2e-3)
+        assert big.completed_at == pytest.approx(2.5 + 1.2e-3)
+
+    def test_throughput_before_completion_raises(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        handle = net.transfer("a", "c", 1e6)
+        with pytest.raises(SimulationError):
+            _ = handle.throughput
+
+
+class TestAccounting:
+    def test_octet_counters_integrate_rates(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        net.open_flow("a", "c", demand=mbps(8))
+        env.run(until=10.0)
+        # 8Mbps for 10s = 1e7 bytes on every hop of the route.
+        expected = 8e6 * 10 / 8
+        assert net.link_octets("a--r1", "a") == pytest.approx(expected)
+        assert net.link_octets("trunk", "r1") == pytest.approx(expected)
+        assert net.link_octets("c--r2", "r2") == pytest.approx(expected)
+        # Reverse directions untouched.
+        assert net.link_octets("a--r1", "r1") == 0.0
+
+    def test_link_load_and_utilization(self, net):
+        net.open_flow("a", "c", demand=mbps(4))
+        assert net.link_load("trunk", "r1") == pytest.approx(mbps(4))
+        assert net.utilization("trunk", "r1") == pytest.approx(0.4)
+        assert net.utilization("trunk", "r2") == 0.0
+
+    def test_active_flows_listing(self, net):
+        f1 = net.open_flow("a", "c")
+        net.open_flow("b", "d")
+        assert len(net.active_flows) == 2
+        net.close_flow(f1)
+        assert len(net.active_flows) == 1
+
+    def test_counters_stable_when_idle(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        flow = net.open_flow("a", "c", demand=mbps(8))
+        env.run(until=5.0)
+        net.close_flow(flow)
+        env.run(until=20.0)
+        assert net.link_octets("a--r1", "a") == pytest.approx(8e6 * 5 / 8)
+
+    def test_transfer_bytes_exact(self):
+        env = Engine()
+        net = FluidNetwork(env, dumbbell())
+        handle = net.transfer("a", "c", 1.25e6)
+        env.run(until=handle.done)
+        assert net.link_octets("trunk", "r1") == pytest.approx(1.25e6)

@@ -1,0 +1,98 @@
+"""Host CPU activity accounting tests."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.netsim.hostload import ComputeLoad, HostActivity
+from repro.sim import Engine
+from repro.util.errors import ConfigurationError, SimulationError
+
+
+@pytest.fixture
+def world():
+    env = Engine()
+    topo = (
+        TopologyBuilder()
+        .router("sw")
+        .hosts(["a", "b"])
+        .star("sw", ["a", "b"], "100Mbps", "0.1ms")
+        .build()
+    )
+    return env, FluidNetwork(env, topo)
+
+
+class TestHostActivity:
+    def test_idle_host_accumulates_nothing(self, world):
+        env, net = world
+        env.run(until=10.0)
+        assert net.host_activity.busy_seconds("a") == 0.0
+        assert net.host_activity.current_utilization("a") == 0.0
+
+    def test_busy_share_integrates(self, world):
+        env, net = world
+        activity = net.host_activity
+        activity.set_share("a", +1.0)
+        env.run(until=4.0)
+        assert activity.busy_seconds("a") == pytest.approx(4.0)
+        activity.set_share("a", -1.0)
+        env.run(until=10.0)
+        assert activity.busy_seconds("a") == pytest.approx(4.0)
+
+    def test_partial_share(self, world):
+        env, net = world
+        net.host_activity.set_share("a", +0.5)
+        env.run(until=10.0)
+        assert net.host_activity.busy_seconds("a") == pytest.approx(5.0)
+
+    def test_overlapping_shares_capped_at_one(self, world):
+        env, net = world
+        net.host_activity.set_share("a", +0.8)
+        net.host_activity.set_share("a", +0.8)
+        env.run(until=10.0)
+        # A time-shared CPU cannot accrue more than 1s of busy per second.
+        assert net.host_activity.busy_seconds("a") == pytest.approx(10.0)
+        assert net.host_activity.current_utilization("a") == 1.0
+
+    def test_unknown_host(self, world):
+        _, net = world
+        with pytest.raises(SimulationError, match="unknown host"):
+            net.host_activity.busy_seconds("sw")
+
+
+class TestComputeLoad:
+    def test_load_window(self, world):
+        env, net = world
+        ComputeLoad(net.host_activity, "a", share=1.0, start=2.0, duration=3.0)
+        env.run(until=10.0)
+        assert net.host_activity.busy_seconds("a") == pytest.approx(3.0)
+
+    def test_stop_early(self, world):
+        env, net = world
+        load = ComputeLoad(net.host_activity, "a", share=1.0)
+        env.run(until=4.0)
+        load.stop()
+        env.run(until=10.0)
+        assert net.host_activity.busy_seconds("a") == pytest.approx(4.0)
+        load.stop()  # idempotent
+
+    def test_invalid_share(self, world):
+        _, net = world
+        with pytest.raises(ConfigurationError):
+            ComputeLoad(net.host_activity, "a", share=0.0)
+        with pytest.raises(ConfigurationError):
+            ComputeLoad(net.host_activity, "a", share=1.5)
+
+
+class TestRuntimeIntegration:
+    def test_fx_compute_registers_busy_time(self, world):
+        from repro.apps import SyntheticApp
+        from repro.fx import FxRuntime
+
+        env, net = world
+        runtime = FxRuntime(net)
+        app = SyntheticApp(flops_per_rank=2e8, comm_bytes=1e3, iterations=1)
+        report = env.run(until=runtime.launch(app, ["a", "b"]))
+        # 2e8 flops at 1e8 flop/s = 2s of busy time per host.
+        assert net.host_activity.busy_seconds("a") == pytest.approx(2.0, rel=1e-6)
+        assert net.host_activity.busy_seconds("b") == pytest.approx(2.0, rel=1e-6)

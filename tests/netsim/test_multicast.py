@@ -1,0 +1,128 @@
+"""Multicast flows in the fluid network (§4.5 extension)."""
+
+import pytest
+
+from repro.net import RoutingTable, TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.util import mbps
+from repro.util.errors import TopologyError
+
+
+def tree_topo():
+    """src -- r1 -- r2 with two receivers per router."""
+    return (
+        TopologyBuilder("mc")
+        .hosts(["src", "a", "b", "c", "d"])
+        .router("r1")
+        .router("r2")
+        .link("src", "r1", "100Mbps", "1ms")
+        .link("a", "r1", "100Mbps", "1ms")
+        .link("b", "r1", "100Mbps", "1ms")
+        .link("r1", "r2", "100Mbps", "1ms", name="trunk")
+        .link("c", "r2", "100Mbps", "1ms")
+        .link("d", "r2", "100Mbps", "1ms")
+        .build()
+    )
+
+
+class TestMulticastTree:
+    def test_tree_links_deduplicated(self):
+        table = RoutingTable(tree_topo())
+        tree = table.multicast_tree("src", ["a", "b", "c", "d"])
+        # src->r1 once, r1->{a,b}, r1->r2 once, r2->{c,d}: 6 directed links.
+        assert len(tree.hops) == 6
+
+    def test_latencies_per_receiver(self):
+        table = RoutingTable(tree_topo())
+        tree = table.multicast_tree("src", ["a", "c"])
+        assert tree.latency_to("a") == pytest.approx(2e-3)
+        assert tree.latency_to("c") == pytest.approx(3e-3)
+        assert tree.max_latency == pytest.approx(3e-3)
+
+    def test_unknown_receiver_latency(self):
+        table = RoutingTable(tree_topo())
+        tree = table.multicast_tree("src", ["a"])
+        with pytest.raises(TopologyError, match="not a receiver"):
+            tree.latency_to("d")
+
+    def test_duplicate_receivers_collapse(self):
+        table = RoutingTable(tree_topo())
+        tree = table.multicast_tree("src", ["a", "a", "a"])
+        assert tree.dsts == ("a",)
+
+    def test_empty_receivers_rejected(self):
+        table = RoutingTable(tree_topo())
+        with pytest.raises(TopologyError, match="at least one receiver"):
+            table.multicast_tree("src", [])
+
+    def test_tree_nodes(self):
+        table = RoutingTable(tree_topo())
+        tree = table.multicast_tree("src", ["a", "c"])
+        assert set(tree.nodes) == {"src", "r1", "r2", "a", "c"}
+
+    def test_capacity_is_tree_bottleneck(self):
+        topo = (
+            TopologyBuilder()
+            .hosts(["s", "x", "y"])
+            .router("r")
+            .link("s", "r", "100Mbps", "1ms")
+            .link("x", "r", "10Mbps", "1ms")
+            .link("y", "r", "100Mbps", "1ms")
+            .build()
+        )
+        tree = RoutingTable(topo).multicast_tree("s", ["x", "y"])
+        assert tree.capacity == mbps(10)
+
+
+class TestMulticastFlows:
+    def test_stream_charged_once_per_tree_link(self):
+        env = Engine()
+        net = FluidNetwork(env, tree_topo())
+        net.open_multicast_flow("src", ["a", "b", "c", "d"], demand=mbps(8))
+        env.run(until=10.0)
+        # The source uplink carried the stream once (1MB/s x 10s)...
+        assert net.link_octets("src--r1", "src") == pytest.approx(1e7)
+        # ...and so did the trunk, although two receivers sit behind it.
+        assert net.link_octets("trunk", "r1") == pytest.approx(1e7)
+
+    def test_unicast_equivalent_carries_n_copies(self):
+        env = Engine()
+        net = FluidNetwork(env, tree_topo())
+        for dst in ("a", "b", "c", "d"):
+            net.open_flow("src", dst, demand=mbps(8))
+        env.run(until=10.0)
+        assert net.link_octets("src--r1", "src") == pytest.approx(4e7)
+
+    def test_multicast_rate_limited_by_worst_tree_link(self):
+        env = Engine()
+        net = FluidNetwork(env, tree_topo())
+        # Aggressive competitor holds 60Mb of the r2->d access link.
+        net.open_flow("c", "d", demand=mbps(60), weight=1000.0)
+        flow = net.open_multicast_flow("src", ["a", "d"])
+        # r2->d has 40 left; the whole stream runs at the slowest branch.
+        assert net.flow_rate(flow) == pytest.approx(mbps(40))
+        assert flow.is_multicast
+
+    def test_multicast_transfer_completes_at_deepest_receiver(self):
+        env = Engine()
+        net = FluidNetwork(env, tree_topo())
+        handle = net.multicast_transfer("src", ["a", "c"], 1.25e6)
+        env.run(until=handle.done)
+        # 1.25MB at 100Mbps = 0.1s + deepest latency 3ms.
+        assert env.now == pytest.approx(0.1 + 3e-3)
+
+    def test_multicast_from_network_node_rejected(self):
+        env = Engine()
+        net = FluidNetwork(env, tree_topo())
+        with pytest.raises(TopologyError):
+            net.open_multicast_flow("r1", ["a"])
+
+    def test_multicast_shares_with_unicast_fairly(self):
+        env = Engine()
+        net = FluidNetwork(env, tree_topo())
+        mc = net.open_multicast_flow("src", ["a", "c"])
+        uni = net.open_flow("src", "b")
+        # Both compete on src's uplink: 50/50.
+        assert net.flow_rate(mc) == pytest.approx(mbps(50))
+        assert net.flow_rate(uni) == pytest.approx(mbps(50))

@@ -1,0 +1,139 @@
+"""Packet-level cross-validation of the fluid max-min model.
+
+The substitution argument in DESIGN.md, tested: per-flow fair queueing at
+packet granularity must converge to the fluid simulator's max-min rates.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fairshare import Demand, weighted_max_min
+from repro.net import TopologyBuilder, Topology
+from repro.netsim.packet import PACKET_BYTES, PacketLevelSimulator
+from repro.sim import Engine
+from repro.util import make_rng, mbps
+from repro.util.errors import SimulationError
+
+
+def dumbbell(trunk="10Mbps"):
+    return (
+        TopologyBuilder()
+        .hosts(["a", "b", "c", "d"])
+        .router("r1")
+        .router("r2")
+        .link("a", "r1", "100Mbps", "0.1ms")
+        .link("b", "r1", "100Mbps", "0.1ms")
+        .link("c", "r2", "100Mbps", "0.1ms")
+        .link("d", "r2", "100Mbps", "0.1ms")
+        .link("r1", "r2", trunk, "0.5ms", name="trunk")
+        .build()
+    )
+
+
+def fluid_rates(topology, flow_specs):
+    """Reference rates from the fluid machinery for the same flows."""
+    from repro.netsim import FluidNetwork
+
+    net = FluidNetwork(Engine(), topology)
+    flows = [
+        net.open_flow(src, dst, demand=(rate if rate is not None else float("inf")))
+        for src, dst, rate in flow_specs
+    ]
+    return [net.flow_rate(f) for f in flows]
+
+
+class TestBasicScenarios:
+    def test_single_flow_hits_bottleneck(self):
+        sim = PacketLevelSimulator(dumbbell())
+        flow = sim.add_flow("a", "c")
+        sim.run(3.0)
+        assert flow.throughput(3.0) == pytest.approx(mbps(10), rel=0.03)
+
+    def test_two_flows_share_fairly(self):
+        sim = PacketLevelSimulator(dumbbell())
+        f1 = sim.add_flow("a", "c")
+        f2 = sim.add_flow("b", "d")
+        sim.run(3.0)
+        assert f1.throughput(3.0) == pytest.approx(mbps(5), rel=0.05)
+        assert f2.throughput(3.0) == pytest.approx(mbps(5), rel=0.05)
+
+    def test_rate_limited_flow_leaves_rest(self):
+        sim = PacketLevelSimulator(dumbbell())
+        cbr = sim.add_flow("a", "c", rate=mbps(2))
+        greedy = sim.add_flow("b", "d")
+        sim.run(3.0)
+        assert cbr.throughput(3.0) == pytest.approx(mbps(2), rel=0.05)
+        assert greedy.throughput(3.0) == pytest.approx(mbps(8), rel=0.05)
+
+    def test_parking_lot_matches_fluid(self):
+        # Long flow over two 10Mb trunks + one short flow per trunk.
+        topo = (
+            TopologyBuilder()
+            .hosts(["a", "b", "c", "x", "y"])
+            .router("r1").router("r2").router("r3")
+            .link("a", "r1", "100Mbps", "0.1ms")
+            .link("b", "r1", "100Mbps", "0.1ms")
+            .link("x", "r2", "100Mbps", "0.1ms")
+            .link("c", "r2", "100Mbps", "0.1ms")
+            .link("y", "r3", "100Mbps", "0.1ms")
+            .link("r1", "r2", "10Mbps", "0.5ms", name="t1")
+            .link("r2", "r3", "10Mbps", "0.5ms", name="t2")
+            .build()
+        )
+        sim = PacketLevelSimulator(topo)
+        long_flow = sim.add_flow("a", "y")   # crosses t1 and t2
+        short1 = sim.add_flow("b", "x")      # t1 only
+        short2 = sim.add_flow("c", "y")      # t2 only
+        sim.run(4.0)
+        for flow in (long_flow, short1, short2):
+            assert flow.throughput(4.0) == pytest.approx(mbps(5), rel=0.07)
+
+    def test_validation_errors(self):
+        sim = PacketLevelSimulator(dumbbell())
+        with pytest.raises(SimulationError):
+            sim.add_flow("r1", "c")
+        with pytest.raises(SimulationError):
+            sim.add_flow("a", "a")
+        with pytest.raises(SimulationError):
+            sim.run(0.0)
+        flow = sim.add_flow("a", "c")
+        with pytest.raises(SimulationError):
+            flow.throughput(0.0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_scenarios_match_fluid(seed):
+    """Saturating flows on random small trees: packet ~= fluid rates."""
+    rng = make_rng(seed)
+    topology = Topology(name=f"v{seed}")
+    n_routers = int(rng.integers(1, 4))
+    routers = [f"r{i}" for i in range(n_routers)]
+    for router in routers:
+        topology.add_network_node(router)
+    for i in range(1, n_routers):
+        j = int(rng.integers(0, i))
+        topology.add_link(routers[i], routers[j], float(rng.choice([4e6, 10e6])), 0.3e-3)
+    hosts = [f"h{i}" for i in range(4)]
+    for host in hosts:
+        topology.add_compute_node(host)
+        router = routers[int(rng.integers(0, n_routers))]
+        topology.add_link(host, router, float(rng.choice([10e6, 20e6])), 0.1e-3)
+
+    n_flows = int(rng.integers(1, 4))
+    specs = []
+    for _ in range(n_flows):
+        src, dst = rng.choice(hosts, size=2, replace=False)
+        specs.append((str(src), str(dst), None))
+
+    reference = fluid_rates(topology, specs)
+    sim = PacketLevelSimulator(topology)
+    flows = [sim.add_flow(src, dst) for src, dst, _ in specs]
+    duration = 4.0
+    sim.run(duration)
+    for flow, expected in zip(flows, reference):
+        measured = flow.throughput(duration)
+        # Packetisation + window effects allow a few percent of slack
+        # (plus one window of packets still in flight at cutoff).
+        window_bits_per_second = 8 * PACKET_BYTES * 8 / duration
+        assert measured == pytest.approx(expected, rel=0.08, abs=window_bits_per_second)

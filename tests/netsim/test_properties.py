@@ -1,0 +1,154 @@
+"""Property-based and stateful tests of the fluid network's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.fairshare import Demand, weighted_max_min
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+
+
+def star_network():
+    env = Engine()
+    topo = (
+        TopologyBuilder("star")
+        .router("sw", internal_bandwidth="250Mbps")
+        .hosts(["h0", "h1", "h2", "h3"])
+        .star("sw", ["h0", "h1", "h2", "h3"], "100Mbps", "0.1ms")
+        .build()
+    )
+    return env, FluidNetwork(env, topo)
+
+
+class FluidNetworkMachine(RuleBasedStateMachine):
+    """Random open/close/set_demand/advance sequences keep invariants.
+
+    Invariants checked after every step:
+
+    * feasibility: no directed link or crossbar carries more than capacity;
+    * agreement: live rates equal a fresh max-min computation over the
+      same demands (the simulator never drifts from its own model);
+    * counters: per-direction octet counters never decrease.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.env, self.net = star_network()
+        self.flows = []
+        self.last_octets = {}
+
+    hosts = st.sampled_from(["h0", "h1", "h2", "h3"])
+
+    @rule(src=hosts, dst=hosts, demand=st.one_of(
+        st.just(float("inf")), st.floats(min_value=1e5, max_value=2e8)
+    ), weight=st.floats(min_value=0.1, max_value=10.0))
+    def open_flow(self, src, dst, demand, weight):
+        if src == dst:
+            return
+        self.flows.append(self.net.open_flow(src, dst, demand=demand, weight=weight))
+
+    @rule(data=st.data())
+    def close_flow(self, data):
+        live = [f for f in self.flows if not f.closed]
+        if not live:
+            return
+        flow = data.draw(st.sampled_from(live))
+        self.net.close_flow(flow)
+
+    @rule(data=st.data(), demand=st.floats(min_value=0.0, max_value=2e8))
+    def change_demand(self, data, demand):
+        live = [f for f in self.flows if not f.closed]
+        if not live:
+            return
+        flow = data.draw(st.sampled_from(live))
+        self.net.set_demand(flow, demand)
+
+    @rule(dt=st.floats(min_value=0.001, max_value=5.0))
+    def advance(self, dt):
+        self.env.run(until=self.env.now + dt)
+
+    @invariant()
+    def feasible(self):
+        load = {}
+        for flow in self.flows:
+            if flow.closed:
+                continue
+            for resource in flow.resources:
+                load[resource] = load.get(resource, 0.0) + flow.rate
+        for resource, total in load.items():
+            capacity = self.net.capacities().get(resource, float("inf"))
+            assert total <= capacity * (1 + 1e-6), (resource, total, capacity)
+
+    @invariant()
+    def rates_match_fresh_maxmin(self):
+        live = [f for f in self.flows if not f.closed]
+        demands = [
+            Demand(f.flow_id, f.resources, weight=f.weight, cap=f.demand)
+            for f in live
+            if f.demand > 0
+        ]
+        if not demands:
+            return
+        fresh = weighted_max_min(demands, self.net.capacities())
+        for flow in live:
+            expected = fresh.rates.get(flow.flow_id, 0.0)
+            assert flow.rate == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    @invariant()
+    def octets_monotone(self):
+        for direction in self.net.topology.iter_directions():
+            octets = self.net.link_octets(direction.link.name, direction.src)
+            key = direction.key
+            assert octets + 1e-9 >= self.last_octets.get(key, 0.0)
+            self.last_octets[key] = octets
+
+
+FluidNetworkMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestFluidNetworkMachine = FluidNetworkMachine.TestCase
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=1e3, max_value=5e6), min_size=1, max_size=6),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_transfer_byte_conservation(sizes, seed):
+    """Every transfer delivers exactly its bytes onto every hop it crosses."""
+    env, net = star_network()
+    rng = np.random.default_rng(seed)
+    hosts = ["h0", "h1", "h2", "h3"]
+    handles = []
+    expected_per_direction: dict = {}
+    for size in sizes:
+        src, dst = rng.choice(hosts, size=2, replace=False)
+        handle = net.transfer(str(src), str(dst), size)
+        handles.append(handle)
+        for hop in handle.flow.hops:
+            expected_per_direction[hop.key] = (
+                expected_per_direction.get(hop.key, 0.0) + size
+            )
+    env.run(until=env.all_of([h.done for h in handles]))
+    for key, expected in expected_per_direction.items():
+        link_name, src, _ = key
+        assert net.link_octets(link_name, src) == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    demand=st.floats(min_value=1e5, max_value=3e8),
+    duration=st.floats(min_value=0.1, max_value=20.0),
+)
+def test_cbr_octets_exact(demand, duration):
+    """A capped flow's counters integrate exactly rate x time."""
+    env, net = star_network()
+    flow = net.open_flow("h0", "h1", demand=demand)
+    env.run(until=duration)
+    effective = min(demand, 100e6)  # access-link cap
+    assert net.link_octets("h0--sw", "h0") == pytest.approx(
+        effective * duration / 8.0, rel=1e-9
+    )

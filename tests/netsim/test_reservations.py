@@ -1,0 +1,88 @@
+"""Guaranteed-service reservations (§4.5 extension)."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.util import mbps
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture
+def net():
+    env = Engine()
+    topo = (
+        TopologyBuilder()
+        .hosts(["a", "b", "c"])
+        .router("r")
+        .star("r", ["a", "b", "c"], "100Mbps", "0.1ms")
+        .build()
+    )
+    return FluidNetwork(env, topo)
+
+
+class TestAdmission:
+    def test_admits_within_capacity(self, net):
+        reservation = net.reserve("a", "b", mbps(40))
+        assert reservation.active
+        assert len(net.reservations) == 1
+
+    def test_rejects_oversubscription(self, net):
+        net.reserve("a", "b", mbps(70))
+        with pytest.raises(SimulationError, match="rejected"):
+            net.reserve("a", "b", mbps(40))
+
+    def test_release_frees_capacity(self, net):
+        first = net.reserve("a", "b", mbps(70))
+        net.release(first)
+        assert net.reservations == []
+        net.reserve("a", "b", mbps(90))  # now fits
+
+    def test_release_idempotent(self, net):
+        reservation = net.reserve("a", "b", mbps(10))
+        net.release(reservation)
+        net.release(reservation)
+
+    def test_zero_rate_rejected(self, net):
+        with pytest.raises(SimulationError, match="positive"):
+            net.reserve("a", "b", 0.0)
+
+    def test_disjoint_paths_independent(self, net):
+        net.reserve("a", "b", mbps(90))
+        net.reserve("c", "b", mbps(10))  # shares only r->b
+        with pytest.raises(SimulationError):
+            net.reserve("c", "b", mbps(10))  # r->b now full
+
+
+class TestEffectOnBestEffort:
+    def test_best_effort_sees_reduced_capacity(self, net):
+        net.reserve("a", "b", mbps(40))
+        flow = net.open_flow("a", "b")
+        assert net.flow_rate(flow) == pytest.approx(mbps(60))
+
+    def test_release_restores_best_effort(self, net):
+        reservation = net.reserve("a", "b", mbps(40))
+        flow = net.open_flow("a", "b")
+        net.release(reservation)
+        assert net.flow_rate(flow) == pytest.approx(mbps(100))
+
+    def test_reserved_flow_unaffected_by_congestion(self, net):
+        reservation = net.reserve("a", "b", mbps(30))
+        reserved_flow = net.open_reserved_flow(reservation)
+        # Pile on best-effort congestion.
+        for _ in range(5):
+            net.open_flow("a", "b")
+        assert net.flow_rate(reserved_flow) == pytest.approx(mbps(30))
+
+    def test_reserved_flow_counted_in_octets(self, net):
+        reservation = net.reserve("a", "b", mbps(8))
+        net.open_reserved_flow(reservation)
+        net.env.run(until=10.0)
+        assert net.link_octets("a--r", "a") == pytest.approx(1e7)
+
+    def test_reserved_flow_on_released_reservation_rejected(self, net):
+        reservation = net.reserve("a", "b", mbps(10))
+        net.release(reservation)
+        with pytest.raises(SimulationError, match="released"):
+            net.open_reserved_flow(reservation)

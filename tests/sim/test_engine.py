@@ -1,0 +1,194 @@
+"""Engine and event-ordering tests for the DES kernel."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.util.errors import SimulationError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_custom_start(self):
+        assert Engine(start=100.0).now == 100.0
+
+    def test_run_until_time_advances_clock(self):
+        env = Engine()
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_run_backwards_rejected(self):
+        env = Engine(start=10.0)
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+    def test_peek_empty_is_inf(self):
+        assert Engine().peek() == float("inf")
+
+    def test_step_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().step()
+
+
+class TestTimeouts:
+    def test_timeout_fires_at_delay(self):
+        env = Engine()
+        times = []
+
+        def proc(env):
+            yield env.timeout(3.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [3.0]
+
+    def test_timeout_value_passed_through_yield(self):
+        env = Engine()
+        got = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="hello")
+            got.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["hello"]
+
+    def test_negative_delay_rejected(self):
+        env = Engine()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_allowed(self):
+        env = Engine()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(0.0)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == [0.0]
+
+
+class TestOrdering:
+    def test_simultaneous_events_fifo(self):
+        env = Engine()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_interleaving(self):
+        env = Engine()
+        log = []
+
+        def ticker(env, name, period, count):
+            for _ in range(count):
+                yield env.timeout(period)
+                log.append((env.now, name))
+
+        env.process(ticker(env, "fast", 1.0, 4))
+        env.process(ticker(env, "slow", 2.0, 2))
+        env.run()
+        # At equal times, the event scheduled earlier fires first: slow's
+        # t=2 timeout was scheduled at t=0, before fast's (scheduled at t=1).
+        assert log == [
+            (1.0, "fast"),
+            (2.0, "slow"),
+            (2.0, "fast"),
+            (3.0, "fast"),
+            (4.0, "slow"),
+            (4.0, "fast"),
+        ]
+
+    def test_run_until_time_stops_mid_simulation(self):
+        env = Engine()
+        log = []
+
+        def ticker(env):
+            while True:
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        env.process(ticker(env))
+        env.run(until=3.5)
+        assert log == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+        env.run(until=5.0)
+        assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self):
+        env = Engine()
+
+        def proc(env):
+            yield env.timeout(2.0)
+            return 42
+
+        result = env.run(until=env.process(proc(env)))
+        assert result == 42
+        assert env.now == 2.0
+
+    def test_failed_event_raises(self):
+        env = Engine(strict=False)
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=env.process(proc(env)))
+
+    def test_event_never_fires_raises(self):
+        env = Engine()
+        orphan = env.event()
+        with pytest.raises(SimulationError):
+            env.run(until=orphan)
+
+
+class TestManualEvents:
+    def test_succeed_wakes_waiter(self):
+        env = Engine()
+        gate = env.event()
+        woken = []
+
+        def waiter(env):
+            value = yield gate
+            woken.append((env.now, value))
+
+        def opener(env):
+            yield env.timeout(5.0)
+            gate.succeed("open")
+
+        env.process(waiter(env))
+        env.process(opener(env))
+        env.run()
+        assert woken == [(5.0, "open")]
+
+    def test_double_trigger_rejected(self):
+        env = Engine()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Engine()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Engine()
+        with pytest.raises(SimulationError):
+            _ = env.event().value

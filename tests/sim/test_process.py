@@ -1,0 +1,254 @@
+"""Process semantics: waiting, returning, interrupts, failure."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Interrupt
+from repro.util.errors import SimulationError
+
+
+class TestProcessLifecycle:
+    def test_process_is_event(self):
+        env = Engine()
+
+        def child(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        def parent(env, results):
+            value = yield env.process(child(env))
+            results.append(value)
+
+        results = []
+        env.process(parent(env, results))
+        env.run()
+        assert results == ["done"]
+
+    def test_is_alive(self):
+        env = Engine()
+
+        def body(env):
+            yield env.timeout(2.0)
+
+        proc = env.process(body(env))
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_non_generator_rejected(self):
+        env = Engine()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yield_non_event_raises(self):
+        env = Engine()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError, match="must yield events"):
+            env.run()
+
+    def test_exception_propagates_in_strict_mode(self):
+        env = Engine(strict=True)
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("kaboom")
+
+        env.process(bad(env))
+        with pytest.raises(RuntimeError, match="kaboom"):
+            env.run()
+
+    def test_exception_fails_event_in_lenient_mode(self):
+        env = Engine(strict=False)
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("kaboom")
+
+        proc = env.process(bad(env))
+        env.run()
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.value, RuntimeError)
+
+    def test_waiting_on_already_processed_event(self):
+        env = Engine()
+        log = []
+
+        def proc(env):
+            timeout = env.timeout(1.0, value="x")
+            yield env.timeout(2.0)  # let the first timeout become stale
+            value = yield timeout  # waiting on processed event: immediate
+            log.append((env.now, value))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [(2.0, "x")]
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Engine()
+        caught = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as interrupt:
+                caught.append((env.now, interrupt.cause))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(3.0)
+            victim_proc.interrupt("reason")
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert caught == [(3.0, "reason")]
+
+    def test_interrupted_process_can_continue(self):
+        env = Engine()
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(2.0)
+            victim_proc.interrupt()
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert log == [3.0]
+
+    def test_uncaught_interrupt_fails_process(self):
+        env = Engine()
+
+        def victim(env):
+            yield env.timeout(10.0)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1.0)
+            victim_proc.interrupt("die")
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert victim_proc.triggered and not victim_proc.ok
+        assert isinstance(victim_proc.value, Interrupt)
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Engine()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        proc = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_stale_target_does_not_resume_twice(self):
+        env = Engine()
+        resumed = []
+
+        def victim(env):
+            try:
+                yield env.timeout(5.0)
+            except Interrupt:
+                resumed.append(("interrupt", env.now))
+            yield env.timeout(10.0)
+            resumed.append(("timeout", env.now))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(4.0)
+            victim_proc.interrupt()
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        # Exactly one interrupt resume; the interrupted 5s timeout must NOT
+        # also resume the victim when it fires at t=5.
+        assert resumed == [("interrupt", 4.0), ("timeout", 14.0)]
+
+
+class TestConditions:
+    def test_all_of_collects_values(self):
+        env = Engine()
+        got = []
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="a")
+            t2 = env.timeout(2.0, value="b")
+            results = yield AllOf(env, [t1, t2])
+            got.append((env.now, sorted(results.values())))
+
+        env.process(proc(env))
+        env.run()
+        assert got == [(2.0, ["a", "b"])]
+
+    def test_any_of_fires_on_first(self):
+        env = Engine()
+        got = []
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="fast")
+            t2 = env.timeout(5.0, value="slow")
+            results = yield AnyOf(env, [t1, t2])
+            got.append((env.now, list(results.values())))
+
+        env.process(proc(env))
+        env.run()
+        assert got == [(1.0, ["fast"])]
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Engine()
+        got = []
+
+        def proc(env):
+            yield AllOf(env, [])
+            got.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert got == [0.0]
+
+    def test_all_of_with_failed_child_fails(self):
+        env = Engine(strict=False)
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("child failed")
+
+        def waiter(env, children, log):
+            try:
+                yield AllOf(env, children)
+            except ValueError as exc:
+                log.append(str(exc))
+
+        log = []
+        child = env.process(failing(env))
+        env.process(waiter(env, [child, env.timeout(5.0)], log))
+        env.run()
+        assert log == ["child failed"]
+
+    def test_engine_helpers(self):
+        env = Engine()
+        got = []
+
+        def proc(env):
+            yield env.all_of([env.timeout(1.0), env.timeout(2.0)])
+            got.append(env.now)
+            yield env.any_of([env.timeout(1.0), env.timeout(9.0)])
+            got.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert got == [2.0, 3.0]

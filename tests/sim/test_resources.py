@@ -1,0 +1,194 @@
+"""Resource and store tests."""
+
+import pytest
+
+from repro.sim import Engine, PriorityResource, Resource, Store
+from repro.util.errors import SimulationError
+
+
+class TestResource:
+    def test_capacity_one_serialises(self):
+        env = Engine()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(env, name, hold):
+            with resource.request() as req:
+                yield req
+                log.append(("start", name, env.now))
+                yield env.timeout(hold)
+                log.append(("end", name, env.now))
+
+        env.process(user(env, "a", 2.0))
+        env.process(user(env, "b", 1.0))
+        env.run()
+        assert log == [
+            ("start", "a", 0.0),
+            ("end", "a", 2.0),
+            ("start", "b", 2.0),
+            ("end", "b", 3.0),
+        ]
+
+    def test_capacity_two_parallel(self):
+        env = Engine()
+        resource = Resource(env, capacity=2)
+        starts = []
+
+        def user(env, name):
+            with resource.request() as req:
+                yield req
+                starts.append((name, env.now))
+                yield env.timeout(1.0)
+
+        for name in "abc":
+            env.process(user(env, name))
+        env.run()
+        assert starts == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_count_and_queue_length(self):
+        env = Engine()
+        resource = Resource(env, capacity=1)
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def observer(env, log):
+            yield env.timeout(1.0)
+            resource.request()  # queued behind holder
+            yield env.timeout(0.0)
+            log.append((resource.count, resource.queue_length))
+
+        log = []
+        env.process(holder(env))
+        env.process(observer(env, log))
+        env.run(until=2.0)
+        assert log == [(1, 1)]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), capacity=0)
+
+    def test_priority_resource_orders_waiters(self):
+        env = Engine()
+        resource = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(2.0)
+
+        def user(env, name, priority, delay):
+            yield env.timeout(delay)
+            with resource.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(0.1)
+
+        env.process(holder(env))
+        env.process(user(env, "low", priority=5, delay=0.5))
+        env.process(user(env, "high", priority=1, delay=1.0))
+        env.run()
+        assert order == ["high", "low"]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Engine()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            yield store.put("item")
+
+        def consumer(env):
+            item = yield store.get()
+            got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self):
+        env = Engine()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(3.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_order(self):
+        env = Engine()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_bounded_put_blocks(self):
+        env = Engine()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")
+            log.append(("put-b", env.now))
+
+        def consumer(env):
+            yield env.timeout(2.0)
+            item = yield store.get()
+            log.append((f"got-{item}", env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [("put-a", 0.0), ("got-a", 2.0), ("put-b", 2.0)]
+
+    def test_filtered_get(self):
+        env = Engine()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            yield store.put(("tag1", "x"))
+            yield store.put(("tag2", "y"))
+
+        def consumer(env):
+            item = yield store.get(lambda msg: msg[0] == "tag2")
+            got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [("tag2", "y")]
+        assert list(store.items) == [("tag1", "x")]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Engine(), capacity=0)

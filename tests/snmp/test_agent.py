@@ -1,0 +1,142 @@
+"""SNMP agent tests against a live fluid simulation."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.snmp import OID, SNMPAgent, mib
+from repro.snmp.agent import EndOfMib, NoSuchObject, SNMPError
+
+
+@pytest.fixture
+def world():
+    env = Engine()
+    topo = (
+        TopologyBuilder()
+        .hosts(["a", "b"])
+        .router("r")
+        .link("a", "r", "100Mbps", "0.1ms")
+        .link("r", "b", "10Mbps", "0.1ms")
+        .build()
+    )
+    net = FluidNetwork(env, topo)
+    return env, net
+
+
+class TestSystemGroup:
+    def test_sys_name(self, world):
+        _, net = world
+        agent = SNMPAgent("r", net)
+        assert agent.get(mib.SYS_NAME) == "r"
+
+    def test_sys_descr_distinguishes_kind(self, world):
+        _, net = world
+        assert "router" in SNMPAgent("r", net).get(mib.SYS_DESCR)
+        assert "host" in SNMPAgent("a", net).get(mib.SYS_DESCR)
+
+
+class TestIfTable:
+    def test_if_number(self, world):
+        _, net = world
+        assert SNMPAgent("r", net).get(mib.IF_NUMBER) == 2
+        assert SNMPAgent("a", net).get(mib.IF_NUMBER) == 1
+
+    def test_if_speed(self, world):
+        _, net = world
+        agent = SNMPAgent("r", net)
+        assert agent.get(mib.IF_SPEED.extend(1)) == 100_000_000
+        assert agent.get(mib.IF_SPEED.extend(2)) == 10_000_000
+
+    def test_if_descr_and_status(self, world):
+        _, net = world
+        agent = SNMPAgent("r", net)
+        assert agent.get(mib.IF_DESCR.extend(1)) == "r:a--r"
+        assert agent.get(mib.IF_OPER_STATUS.extend(1)) == mib.STATUS_UP
+
+    def test_neighbor_column(self, world):
+        _, net = world
+        agent = SNMPAgent("r", net)
+        assert agent.get(mib.IF_NEIGHBOR.extend(1)) == "a|a--r"
+        assert agent.get(mib.IF_NEIGHBOR.extend(2)) == "b|r--b"
+
+    def test_bad_if_index(self, world):
+        _, net = world
+        with pytest.raises(NoSuchObject):
+            SNMPAgent("r", net).get(mib.IF_SPEED.extend(3))
+
+    def test_unknown_oid(self, world):
+        _, net = world
+        with pytest.raises(NoSuchObject):
+            SNMPAgent("r", net).get(OID("1.2.3.4"))
+
+
+class TestCounters:
+    def test_octet_counters_track_traffic(self, world):
+        env, net = world
+        net.open_flow("a", "b", demand=8e6)  # 1 MB/s
+        env.run(until=10.0)
+        agent = SNMPAgent("r", net)
+        # if 1 (toward a): in = bytes a sent; if 2 (toward b): out = same.
+        assert agent.get(mib.IF_IN_OCTETS.extend(1)) == pytest.approx(1e7, rel=1e-6)
+        assert agent.get(mib.IF_OUT_OCTETS.extend(2)) == pytest.approx(1e7, rel=1e-6)
+        # Nothing flowed the other way.
+        assert agent.get(mib.IF_OUT_OCTETS.extend(1)) == 0
+        assert agent.get(mib.IF_IN_OCTETS.extend(2)) == 0
+
+    def test_counter_wraps_at_2_32(self, world):
+        env, net = world
+        net.open_flow("a", "b", demand=10e6)  # 10Mb/s = 1.25e6 B/s
+        # 2^32 bytes take ~3436s; run past that.
+        env.run(until=4000.0)
+        agent = SNMPAgent("r", net)
+        raw = net.link_octets("r--b", "r")
+        assert raw > mib.COUNTER32_MAX
+        assert agent.get(mib.IF_OUT_OCTETS.extend(2)) == int(raw) % mib.COUNTER32_MAX
+
+
+class TestGetNextAndWalk:
+    def test_getnext_order(self, world):
+        _, net = world
+        agent = SNMPAgent("a", net)
+        oid, value = agent.getnext(mib.SYS_DESCR)
+        assert oid == mib.SYS_NAME
+        assert value == "a"
+
+    def test_getnext_end_of_mib(self, world):
+        _, net = world
+        agent = SNMPAgent("a", net)
+        with pytest.raises(EndOfMib):
+            agent.getnext(OID("9.9.9"))
+
+    def test_walk_speed_column(self, world):
+        _, net = world
+        rows = SNMPAgent("r", net).walk(mib.IF_SPEED)
+        assert [(mib.column_index(oid, mib.IF_SPEED), v) for oid, v in rows] == [
+            (1, 100_000_000),
+            (2, 10_000_000),
+        ]
+
+    def test_walk_returns_sorted_oids(self, world):
+        _, net = world
+        rows = SNMPAgent("r", net).walk(OID("1.3.6.1.2.1"))
+        oids = [oid for oid, _ in rows]
+        assert oids == sorted(oids)
+        assert len(rows) == 3 + 7 * 2  # system group + 7 columns x 2 interfaces
+
+
+class TestReachability:
+    def test_unreachable_agent_raises(self, world):
+        _, net = world
+        agent = SNMPAgent("r", net, reachable=False)
+        with pytest.raises(SNMPError, match="does not respond"):
+            agent.get(mib.SYS_NAME)
+        with pytest.raises(SNMPError):
+            agent.walk(mib.IF_SPEED)
+
+    def test_request_counter(self, world):
+        _, net = world
+        agent = SNMPAgent("r", net)
+        agent.get(mib.SYS_NAME)
+        agent.get(mib.IF_NUMBER)
+        assert agent.requests_served == 2

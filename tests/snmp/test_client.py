@@ -1,0 +1,87 @@
+"""SNMP client tests: generator protocol and time costs."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.snmp import SNMPAgent, SNMPClient, mib
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def world():
+    env = Engine()
+    topo = (
+        TopologyBuilder()
+        .hosts(["a", "b"])
+        .router("r")
+        .link("a", "r", "100Mbps", "1ms")
+        .link("r", "b", "100Mbps", "1ms")
+        .build()
+    )
+    net = FluidNetwork(env, topo)
+    agents = {name: SNMPAgent(name, net) for name in ("a", "b", "r")}
+    client = SNMPClient(net, agents, client_host="a", processing_delay=0.5e-3)
+    return env, net, client
+
+
+def run_query(env, generator):
+    """Drive a client generator inside a process and return its value."""
+    result = {}
+
+    def proc(env):
+        result["value"] = yield from generator
+
+    env.process(proc(env))
+    env.run()
+    return result["value"]
+
+
+def test_get_returns_value(world):
+    env, _, client = world
+    assert run_query(env, client.get("r", mib.SYS_NAME)) == "r"
+
+
+def test_get_costs_rtt_plus_processing(world):
+    env, _, client = world
+    run_query(env, client.get("r", mib.SYS_NAME))
+    # a->r latency 1ms, RTT 2ms, +0.5ms processing.
+    assert env.now == pytest.approx(2.5e-3)
+
+
+def test_local_query_costs_processing_only(world):
+    env, _, client = world
+    run_query(env, client.get("a", mib.SYS_NAME))
+    assert env.now == pytest.approx(0.5e-3)
+
+
+def test_walk_costs_scale_with_rows(world):
+    env, _, client = world
+    rows = run_query(env, client.walk("r", mib.IF_SPEED))
+    assert len(rows) == 2
+    # Walking reads rows until it leaves the prefix: row1, row2, probe = 3
+    # requests... each 2.5ms.
+    assert client.requests_sent == 3
+    assert env.now == pytest.approx(3 * 2.5e-3)
+
+
+def test_getnext(world):
+    env, _, client = world
+    oid, value = run_query(env, client.getnext("r", mib.SYS_DESCR))
+    assert oid == mib.SYS_NAME
+    assert value == "r"
+
+
+def test_unknown_agent_rejected(world):
+    env, _, client = world
+    with pytest.raises(ConfigurationError, match="no SNMP agent"):
+        run_query(env, client.get("ghost", mib.SYS_NAME))
+
+
+def test_time_spent_accumulates(world):
+    env, _, client = world
+    run_query(env, client.get("r", mib.SYS_NAME))
+    run_query(env, client.get("b", mib.SYS_NAME))
+    assert client.requests_sent == 2
+    assert client.time_spent == pytest.approx(2.5e-3 + 4.5e-3)

@@ -1,0 +1,75 @@
+"""OID parsing and ordering tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.snmp import OID
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert OID("1.3.6.1").parts == (1, 3, 6, 1)
+
+    def test_leading_dot_tolerated(self):
+        assert OID(".1.3.6").parts == (1, 3, 6)
+
+    def test_from_tuple(self):
+        assert OID((1, 2, 3)).parts == (1, 2, 3)
+
+    def test_from_oid_copies(self):
+        a = OID("1.2")
+        assert OID(a) == a
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OID("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OID("1.x.3")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OID((1, -2))
+
+    def test_immutable(self):
+        oid = OID("1.2")
+        with pytest.raises(AttributeError):
+            oid.parts = (9,)
+
+
+class TestOps:
+    def test_extend(self):
+        assert OID("1.2").extend(3, 4) == OID("1.2.3.4")
+
+    def test_startswith(self):
+        assert OID("1.2.3").startswith(OID("1.2"))
+        assert OID("1.2").startswith(OID("1.2"))
+        assert not OID("1.3").startswith(OID("1.2"))
+
+    def test_strip_prefix(self):
+        assert OID("1.2.3.4").strip_prefix(OID("1.2")) == (3, 4)
+        with pytest.raises(ConfigurationError):
+            OID("1.3").strip_prefix(OID("1.2"))
+
+    def test_str_roundtrip(self):
+        assert str(OID("1.3.6.1.2.1")) == "1.3.6.1.2.1"
+
+    def test_hashable(self):
+        assert len({OID("1.2"), OID("1.2"), OID("1.3")}) == 2
+
+
+class TestOrdering:
+    def test_lexicographic(self):
+        assert OID("1.2") < OID("1.2.0")  # prefix sorts first
+        assert OID("1.2.9") < OID("1.10")  # numeric, not string, comparison
+        assert OID("2") > OID("1.9.9.9")
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=6),
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=6),
+    )
+    def test_matches_tuple_order(self, a, b):
+        assert (OID(a) < OID(b)) == (tuple(a) < tuple(b))
+        assert (OID(a) == OID(b)) == (tuple(a) == tuple(b))

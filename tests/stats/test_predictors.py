@@ -1,0 +1,148 @@
+"""Predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    EWMAPredictor,
+    LastValuePredictor,
+    SlidingMeanPredictor,
+    TimeSeries,
+    make_predictor,
+)
+from repro.stats.predictors import PREDICTION_DISCOUNT
+from repro.util.errors import ConfigurationError
+
+
+def constant_series(value=50.0, n=30):
+    series = TimeSeries()
+    for t in range(n):
+        series.add(float(t), value)
+    return series
+
+
+def trending_series():
+    series = TimeSeries()
+    for t in range(60):
+        series.add(float(t), 10.0 + t)
+    return series
+
+
+class TestLastValue:
+    def test_constant_series(self):
+        prediction = LastValuePredictor().predict(constant_series(), now=29.0, horizon=5.0)
+        assert prediction.median == pytest.approx(50.0)
+
+    def test_tracks_latest(self):
+        prediction = LastValuePredictor().predict(trending_series(), now=59.0, horizon=5.0)
+        assert prediction.median == pytest.approx(69.0)
+
+    def test_accuracy_discounted(self):
+        series = constant_series()
+        measured = series.summarise(0.0)
+        predicted = LastValuePredictor().predict(series, now=29.0, horizon=5.0)
+        assert predicted.accuracy <= measured.accuracy * PREDICTION_DISCOUNT + 1e-12
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ConfigurationError):
+            LastValuePredictor().predict(TimeSeries(), now=0.0, horizon=1.0)
+
+    def test_single_sample(self):
+        series = TimeSeries()
+        series.add(0.0, 42.0)
+        prediction = LastValuePredictor().predict(series, now=0.0, horizon=1.0)
+        assert prediction.median == 42.0
+        assert prediction.accuracy < 0.5
+
+
+class TestSlidingMean:
+    def test_window_quartiles(self):
+        series = constant_series(value=7.0)
+        prediction = SlidingMeanPredictor(history_window=100).predict(
+            series, now=29.0, horizon=5.0
+        )
+        assert prediction.median == pytest.approx(7.0)
+        assert prediction.is_constant
+
+    def test_window_restricts_history(self):
+        # Old values (0..29) then recent jump to 100 at t 30..39.
+        series = TimeSeries()
+        for t in range(30):
+            series.add(float(t), 1.0)
+        for t in range(30, 40):
+            series.add(float(t), 100.0)
+        prediction = SlidingMeanPredictor(history_window=9.5).predict(
+            series, now=39.0, horizon=5.0
+        )
+        assert prediction.median == pytest.approx(100.0)
+
+    def test_no_recent_samples_raises(self):
+        series = constant_series(n=5)  # times 0..4
+        with pytest.raises(ConfigurationError):
+            SlidingMeanPredictor(history_window=2.0).predict(series, now=100.0, horizon=1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SlidingMeanPredictor(history_window=0)
+
+
+class TestEWMA:
+    def test_reacts_to_recent_change(self):
+        series = TimeSeries()
+        for t in range(50):
+            series.add(float(t), 10.0)
+        for t in range(50, 60):
+            series.add(float(t), 90.0)
+        ewma = EWMAPredictor(alpha=0.5, history_window=1000).predict(
+            series, now=59.0, horizon=5.0
+        )
+        mean = SlidingMeanPredictor(history_window=1000).predict(
+            series, now=59.0, horizon=5.0
+        )
+        # EWMA weighs the recent 90s far more than the flat mean does.
+        assert ewma.median > mean.median
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            EWMAPredictor(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EWMAPredictor(alpha=1.5)
+
+    def test_constant_series_exact(self):
+        prediction = EWMAPredictor().predict(constant_series(3.0), now=29.0, horizon=5.0)
+        assert prediction.median == pytest.approx(3.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("last", LastValuePredictor),
+        ("mean", SlidingMeanPredictor),
+        ("ewma", EWMAPredictor),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_predictor(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown predictor"):
+            make_predictor("oracle")
+
+    def test_kwargs_forwarded(self):
+        predictor = make_predictor("ewma", alpha=0.9)
+        assert predictor.alpha == 0.9
+
+
+def test_accuracy_reflects_sample_count():
+    from repro.stats import sample_accuracy
+
+    few = sample_accuracy(np.array([5.0, 5.0]))
+    many = sample_accuracy(np.array([5.0] * 100))
+    assert many > few
+    assert sample_accuracy(np.array([])) == 0.0
+
+
+def test_accuracy_reflects_dispersion():
+    from repro.stats import sample_accuracy
+
+    tight = sample_accuracy(np.full(50, 10.0))
+    noisy = sample_accuracy(np.linspace(0, 100, 50))
+    assert tight > noisy

@@ -1,0 +1,126 @@
+"""StatMeasure tests: construction, arithmetic, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import StatMeasure
+from repro.util.errors import ConfigurationError
+
+samples_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestConstruction:
+    def test_from_samples(self):
+        m = StatMeasure.from_samples([1, 2, 3, 4, 5])
+        assert m.minimum == 1 and m.maximum == 5
+        assert m.median == 3
+        assert m.q1 == 2 and m.q3 == 4
+        assert m.mean == 3
+        assert m.n_samples == 5
+
+    def test_single_sample(self):
+        m = StatMeasure.from_samples([7.0])
+        assert m.is_constant
+        assert m.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="zero samples"):
+            StatMeasure.from_samples([])
+
+    def test_constant(self):
+        m = StatMeasure.constant(42.0)
+        assert m.is_constant
+        assert m.accuracy == 1.0
+
+    def test_disordered_quartiles_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-decreasing"):
+            StatMeasure(5, 4, 3, 2, 1, 3, 5, 1.0)
+
+    def test_bad_accuracy_rejected(self):
+        with pytest.raises(ConfigurationError, match="accuracy"):
+            StatMeasure(1, 1, 1, 1, 1, 1, 1, 1.5)
+
+    def test_explicit_accuracy(self):
+        m = StatMeasure.from_samples([1, 2, 3], accuracy=0.42)
+        assert m.accuracy == 0.42
+
+    @given(samples_lists)
+    def test_quartiles_ordered_property(self, values):
+        m = StatMeasure.from_samples(values)
+        assert m.minimum <= m.q1 <= m.median <= m.q3 <= m.maximum
+        slack = 1e-9 * max(abs(m.minimum), abs(m.maximum), 1.0)
+        assert m.minimum - slack <= m.mean <= m.maximum + slack
+        assert 0.0 <= m.accuracy <= 1.0
+
+
+class TestDerived:
+    def test_iqr_and_spread(self):
+        m = StatMeasure.from_samples([0, 25, 50, 75, 100])
+        assert m.iqr == 50
+        assert m.spread == 100
+
+    def test_str_contains_quartiles(self):
+        text = str(StatMeasure.from_samples([1, 2, 3]))
+        assert "n=3" in text
+
+
+class TestArithmetic:
+    def test_scaled(self):
+        m = StatMeasure.from_samples([1, 2, 3]).scaled(10)
+        assert m.median == 20
+        assert m.minimum == 10
+
+    def test_scaled_negative_flips(self):
+        m = StatMeasure.from_samples([1, 2, 3]).scaled(-1)
+        assert m.minimum == -3 and m.maximum == -1
+        assert m.minimum <= m.q1 <= m.median <= m.q3 <= m.maximum
+
+    def test_shifted(self):
+        m = StatMeasure.from_samples([1, 2, 3]).shifted(100)
+        assert m.minimum == 101 and m.maximum == 103
+
+    def test_complement_reverses_order(self):
+        used = StatMeasure.from_samples([10, 50, 90])
+        available = used.complement_of(100)
+        assert available.minimum == 10  # when use was max (90)
+        assert available.maximum == 90
+        assert available.median == 50
+
+    def test_complement_clamps_at_zero(self):
+        used = StatMeasure.from_samples([150, 150])
+        available = used.complement_of(100)
+        assert available.minimum == 0.0
+        assert available.maximum == 0.0
+
+    def test_degraded(self):
+        m = StatMeasure.constant(1.0).degraded(0.5)
+        assert m.accuracy == 0.5
+
+    def test_degraded_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            StatMeasure.constant(1.0).degraded(2.0)
+
+    def test_min_of(self):
+        a = StatMeasure.from_samples([10, 20, 30])
+        b = StatMeasure.from_samples([15, 15, 15])
+        m = StatMeasure.min_of(a, b)
+        assert m.minimum == 10
+        assert m.maximum == 15
+        assert m.minimum <= m.q1 <= m.median <= m.q3 <= m.maximum
+
+    @given(samples_lists, st.floats(min_value=0.1, max_value=100))
+    def test_scaled_property(self, values, factor):
+        base = StatMeasure.from_samples(values)
+        scaled = base.scaled(factor)
+        assert scaled.median == pytest.approx(base.median * factor, rel=1e-9, abs=1e-9)
+        assert scaled.minimum <= scaled.q1 <= scaled.median <= scaled.q3 <= scaled.maximum
+
+    @given(samples_lists)
+    def test_complement_property(self, values):
+        base = StatMeasure.from_samples(values)
+        total = float(np.max(np.abs(values))) * 2 + 1
+        comp = base.complement_of(total)
+        assert comp.minimum <= comp.q1 <= comp.median <= comp.q3 <= comp.maximum

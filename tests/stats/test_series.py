@@ -1,0 +1,84 @@
+"""TimeSeries tests."""
+
+import pytest
+
+from repro.stats import TimeSeries
+from repro.util.errors import ConfigurationError
+
+
+class TestAppend:
+    def test_add_and_latest(self):
+        series = TimeSeries(name="x")
+        series.add(1.0, 10.0)
+        series.add(2.0, 20.0)
+        assert series.latest() == (2.0, 20.0)
+        assert series.latest_value() == 20.0
+        assert len(series) == 2
+
+    def test_time_must_not_decrease(self):
+        series = TimeSeries()
+        series.add(5.0, 1.0)
+        with pytest.raises(ConfigurationError, match="precedes"):
+            series.add(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries()
+        series.add(1.0, 1.0)
+        series.add(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_bounded_capacity(self):
+        series = TimeSeries(capacity=3)
+        for t in range(10):
+            series.add(float(t), float(t))
+        assert len(series) == 3
+        assert series.values().tolist() == [7.0, 8.0, 9.0]
+
+    def test_empty_latest_raises(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            TimeSeries().latest()
+
+
+class TestWindows:
+    @pytest.fixture
+    def series(self):
+        s = TimeSeries()
+        for t in range(10):
+            s.add(float(t), float(t * 10))
+        return s
+
+    def test_window_inclusive(self, series):
+        assert series.window(3.0, 5.0).tolist() == [30.0, 40.0, 50.0]
+
+    def test_window_open_ended(self, series):
+        assert series.window(8.0).tolist() == [80.0, 90.0]
+
+    def test_window_empty(self, series):
+        assert series.window(100.0).size == 0
+
+    def test_times(self, series):
+        assert series.times(7.0).tolist() == [7.0, 8.0, 9.0]
+
+    def test_span(self, series):
+        assert series.span() == 9.0
+
+    def test_span_single_sample(self):
+        s = TimeSeries()
+        s.add(1.0, 1.0)
+        assert s.span() == 0.0
+
+    def test_summarise(self, series):
+        m = series.summarise(0.0)
+        assert m.minimum == 0.0 and m.maximum == 90.0
+        assert m.n_samples == 10
+
+    def test_summarise_empty_window_raises(self, series):
+        with pytest.raises(ConfigurationError, match="no samples"):
+            series.summarise(100.0)
+
+    def test_mean_over(self, series):
+        assert series.mean_over(0.0, 4.0) == pytest.approx(20.0)
+
+    def test_mean_over_empty_raises(self, series):
+        with pytest.raises(ConfigurationError):
+            series.mean_over(50.0, 60.0)

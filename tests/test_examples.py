@@ -1,0 +1,29 @@
+"""Smoke tests: every shipped example runs and prints what it promises."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["remos_flow_info", "remos_get_graph", "bottleneck m-1 -> m-5"],
+    "adaptive_fft.py": ["naive placement is", "network-aware placement"],
+    "airshed_migration.py": ["traffic storm begins", "migrated (iteration", "finished on"],
+    "bandwidth_monitor.py": ["interquartile range", "current (latest sample)"],
+    "function_shipping.py": ["run LOCAL", "run REMOTE", "scenario 3"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    for expected in EXPECTATIONS[script]:
+        assert expected in out, f"{script}: missing {expected!r} in output"
+
+
+def test_every_example_is_covered():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(EXPECTATIONS)

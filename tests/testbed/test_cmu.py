@@ -1,0 +1,107 @@
+"""CMU testbed structure tests (Fig. 3) and the World wrapper."""
+
+import pytest
+
+from repro.core import Flow, Timeframe
+from repro.net import RoutingTable
+from repro.testbed import CMU_HOSTS, CMU_ROUTERS, TRAFFIC_M6_M8, build_cmu_testbed
+from repro.testbed.cmu import build_cmu_topology
+from repro.util import mbps
+from repro.util.errors import ConfigurationError
+
+
+class TestTopology:
+    def test_inventory(self):
+        topo = build_cmu_topology()
+        assert {n.name for n in topo.compute_nodes} == set(CMU_HOSTS)
+        assert {n.name for n in topo.network_nodes} == set(CMU_ROUTERS)
+        # 8 access links + 2 backbone links.
+        assert len(topo.links) == 10
+
+    def test_all_links_100mbps(self):
+        topo = build_cmu_topology()
+        assert all(link.capacity == mbps(100) for link in topo.links)
+
+    def test_within_three_router_hops(self):
+        # "any node can be reached from any other node with at most 3 hops".
+        topo = build_cmu_topology()
+        table = RoutingTable(topo)
+        for src in CMU_HOSTS:
+            for dst in CMU_HOSTS:
+                if src == dst:
+                    continue
+                route = table.route(src, dst)
+                assert len(route.transit_nodes) <= 3
+
+    def test_figure4_traffic_route(self):
+        # m-6 -> timberline -> whiteface -> m-8.
+        topo = build_cmu_topology()
+        route = RoutingTable(topo).route("m-6", "m-8")
+        assert route.node_sequence == ("m-6", "timberline", "whiteface", "m-8")
+
+
+class TestWorld:
+    def test_monitoring_comes_up(self):
+        world = build_cmu_testbed()
+        remos = world.start_monitoring()
+        graph = remos.get_graph(CMU_HOSTS)
+        assert {n.name for n in graph.nodes} >= set(CMU_HOSTS)
+
+    def test_collector_sees_traffic(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        scenario = TRAFFIC_M6_M8()
+        scenario.start(world.net)
+        remos = world.start_monitoring(warmup=5.0)
+        result = remos.flow_info(
+            variable_flows=[Flow("m-4", "m-7")], timeframe=Timeframe.current()
+        )
+        # The timberline->whiteface trunk is 90% occupied.
+        assert result.variable[0].bandwidth.median == pytest.approx(mbps(10), rel=0.05)
+
+    def test_remos_cached(self):
+        world = build_cmu_testbed()
+        world.start_monitoring()
+        assert world.make_remos() is world.make_remos()
+
+    def test_settle_advances_clock(self):
+        world = build_cmu_testbed()
+        world.start_monitoring()
+        before = world.env.now
+        world.settle(10.0)
+        assert world.env.now == before + 10.0
+
+    def test_world_without_collector_rejects_monitoring(self):
+        from repro.testbed.world import World
+
+        world = build_cmu_testbed()
+        bare = World(env=world.env, topology=world.topology, net=world.net)
+        with pytest.raises(ConfigurationError, match="no collector"):
+            bare.start_monitoring()
+
+
+class TestFigure1:
+    def test_fast_router_variant(self):
+        from repro.netsim import FluidNetwork
+        from repro.sim import Engine
+        from repro.testbed import build_figure1_network
+
+        topo = build_figure1_network()
+        net = FluidNetwork(Engine(), topo)
+        flows = [net.open_flow(f"n{i}", f"n{i + 4}") for i in range(1, 5)]
+        # "all nodes can send and receive messages at up to 10Mbps
+        # simultaneously".
+        for flow in flows:
+            assert net.flow_rate(flow) == pytest.approx(mbps(10))
+
+    def test_slow_router_variant(self):
+        from repro.netsim import FluidNetwork
+        from repro.sim import Engine
+        from repro.testbed import build_figure1_network
+
+        topo = build_figure1_network(router_internal_bandwidth="10Mbps")
+        net = FluidNetwork(Engine(), topo)
+        flows = [net.open_flow(f"n{i}", f"n{i + 4}") for i in range(1, 5)]
+        # "the aggregate bandwidth of nodes 1-4 and 5-8 will be limited to
+        # 10Mbps".
+        total = sum(net.flow_rate(flow) for flow in flows)
+        assert total == pytest.approx(mbps(10))

@@ -1,0 +1,89 @@
+"""Traffic scenario tests."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.traffic import TrafficScenario, TrafficSpec
+from repro.traffic.generator import no_traffic
+from repro.util import mbps
+from repro.util.errors import ConfigurationError
+
+
+def make_net():
+    env = Engine()
+    topo = (
+        TopologyBuilder()
+        .hosts(["a", "b", "c"])
+        .router("r")
+        .star("r", ["a", "b", "c"], "100Mbps", "0.1ms")
+        .build()
+    )
+    return env, FluidNetwork(env, topo)
+
+
+def test_start_and_stop():
+    env, net = make_net()
+    scenario = TrafficScenario("t", [TrafficSpec("a", "b", kind="cbr", rate="30Mbps")])
+    scenario.start(net)
+    assert scenario.is_running
+    env.run(until=1.0)
+    assert net.link_load("a--r", "a") == pytest.approx(mbps(30))
+    scenario.stop()
+    assert not scenario.is_running
+    env.run(until=2.0)
+    assert net.link_load("a--r", "a") == 0.0
+
+
+def test_double_start_rejected():
+    env, net = make_net()
+    scenario = TrafficScenario("t", [TrafficSpec("a", "b")])
+    scenario.start(net)
+    with pytest.raises(ConfigurationError, match="already started"):
+        scenario.start(net)
+
+
+def test_multiple_specs():
+    env, net = make_net()
+    scenario = TrafficScenario(
+        "t",
+        [
+            TrafficSpec("a", "b", kind="cbr", rate="10Mbps"),
+            TrafficSpec("c", "b", kind="greedy"),
+        ],
+    )
+    sources = scenario.start(net)
+    assert len(sources) == 2
+    env.run(until=1.0)
+    # Greedy takes what cbr leaves on b's access link.
+    assert net.link_load("b--r", "r") == pytest.approx(mbps(100))
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigurationError, match="unknown traffic kind"):
+        TrafficSpec("a", "b", kind="quantum")
+
+
+def test_no_traffic_scenario():
+    env, net = make_net()
+    scenario = no_traffic()
+    assert scenario.start(net) == []
+    assert "no traffic" in scenario.describe()
+    scenario.stop()
+
+
+def test_describe_lists_streams():
+    scenario = TrafficScenario("x", [TrafficSpec("a", "b", kind="onoff")])
+    assert "a->b (onoff)" in scenario.describe()
+
+
+def test_onoff_spec_deterministic():
+    def run_once():
+        env, net = make_net()
+        scenario = TrafficScenario("t", [TrafficSpec("a", "b", kind="onoff", rate="20Mbps")])
+        scenario.start(net, rng=11)
+        env.run(until=100.0)
+        return net.link_octets("a--r", "a")
+
+    assert run_once() == run_once()

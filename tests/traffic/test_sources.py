@@ -1,0 +1,149 @@
+"""Traffic source behaviour tests."""
+
+import pytest
+
+from repro.net import TopologyBuilder
+from repro.netsim import FluidNetwork
+from repro.sim import Engine
+from repro.traffic import CBRSource, GreedySource, OnOffSource, PoissonTransferSource
+from repro.util import mbps
+
+
+def simple_net():
+    env = Engine()
+    topo = (
+        TopologyBuilder()
+        .hosts(["a", "b"])
+        .router("r")
+        .link("a", "r", "100Mbps", "0.1ms")
+        .link("r", "b", "10Mbps", "0.1ms")
+        .build()
+    )
+    return env, FluidNetwork(env, topo)
+
+
+class TestCBR:
+    def test_runs_between_start_and_stop(self):
+        env, net = simple_net()
+        CBRSource(net, "a", "b", "4Mbps", start=1.0, duration=3.0)
+        env.run(until=0.5)
+        assert net.link_load("r--b", "r") == 0.0
+        env.run(until=2.0)
+        assert net.link_load("r--b", "r") == pytest.approx(mbps(4))
+        env.run(until=5.0)
+        assert net.link_load("r--b", "r") == 0.0
+
+    def test_stop_terminates_early(self):
+        env, net = simple_net()
+        source = CBRSource(net, "a", "b", "4Mbps")
+        env.run(until=1.0)
+        assert net.link_load("r--b", "r") == pytest.approx(mbps(4))
+        source.stop()
+        env.run(until=2.0)
+        assert net.link_load("r--b", "r") == 0.0
+        source.stop()  # idempotent
+
+    def test_infinite_duration_runs_forever(self):
+        env, net = simple_net()
+        CBRSource(net, "a", "b", "4Mbps")
+        env.run(until=1000.0)
+        assert net.link_load("r--b", "r") == pytest.approx(mbps(4))
+
+    def test_rate_string_parsed(self):
+        env, net = simple_net()
+        CBRSource(net, "a", "b", "2.5Mbps")
+        env.run(until=1.0)
+        assert net.link_load("r--b", "r") == pytest.approx(2.5e6)
+
+
+class TestGreedy:
+    def test_takes_bottleneck_capacity(self):
+        env, net = simple_net()
+        GreedySource(net, "a", "b")
+        env.run(until=1.0)
+        assert net.link_load("r--b", "r") == pytest.approx(mbps(10))
+
+    def test_shares_with_other_greedy(self):
+        env, net = simple_net()
+        GreedySource(net, "a", "b")
+        GreedySource(net, "a", "b")
+        env.run(until=1.0)
+        assert net.link_load("r--b", "r") == pytest.approx(mbps(10))
+
+    def test_finite_duration(self):
+        env, net = simple_net()
+        GreedySource(net, "a", "b", duration=2.0)
+        env.run(until=3.0)
+        assert net.link_load("r--b", "r") == 0.0
+        # 10Mbps for 2s = 2.5e6 bytes.
+        assert net.link_octets("r--b", "r") == pytest.approx(2.5e6)
+
+
+class TestOnOff:
+    def test_alternates(self):
+        env, net = simple_net()
+        OnOffSource(net, "a", "b", "8Mbps", mean_on=1.0, mean_off=1.0, rng=0)
+        # Sample load at many instants; both on (8Mb) and off (0) must occur.
+        loads = []
+        for t in range(1, 60):
+            env.run(until=float(t))
+            loads.append(net.link_load("r--b", "r"))
+        assert mbps(8) in [pytest.approx(l) for l in loads if l > 0][:1] or any(
+            abs(l - mbps(8)) < 1 for l in loads
+        )
+        assert any(l == 0.0 for l in loads)
+        assert any(l > 0.0 for l in loads)
+
+    def test_deterministic_per_seed(self):
+        def run_once():
+            env, net = simple_net()
+            OnOffSource(net, "a", "b", "8Mbps", rng=7)
+            env.run(until=50.0)
+            return net.link_octets("r--b", "r")
+
+        assert run_once() == run_once()
+
+    def test_different_seeds_differ(self):
+        def run_once(seed):
+            env, net = simple_net()
+            OnOffSource(net, "a", "b", "8Mbps", rng=seed)
+            env.run(until=50.0)
+            return net.link_octets("r--b", "r")
+
+        assert run_once(1) != run_once(2)
+
+    def test_duration_respected(self):
+        env, net = simple_net()
+        OnOffSource(net, "a", "b", "8Mbps", duration=5.0, rng=0)
+        env.run(until=20.0)
+        octets_at_20 = net.link_octets("r--b", "r")
+        env.run(until=40.0)
+        assert net.link_octets("r--b", "r") == octets_at_20
+
+    def test_long_run_average_near_half_rate(self):
+        # mean_on == mean_off -> duty cycle 0.5.
+        env, net = simple_net()
+        OnOffSource(net, "a", "b", "8Mbps", mean_on=1.0, mean_off=1.0, rng=3)
+        env.run(until=2000.0)
+        average_rate = net.link_octets("r--b", "r") * 8 / 2000.0
+        assert average_rate == pytest.approx(mbps(4), rel=0.15)
+
+
+class TestPoissonTransfers:
+    def test_transfers_happen(self):
+        env, net = simple_net()
+        source = PoissonTransferSource(
+            net, "a", "b", mean_interarrival=0.5, mean_size="100kB", rng=0, duration=20.0
+        )
+        env.run(until=60.0)
+        assert source.transfers_started > 10
+        assert net.link_octets("r--b", "r") > 0
+
+    def test_stop_halts_arrivals(self):
+        env, net = simple_net()
+        source = PoissonTransferSource(net, "a", "b", mean_interarrival=0.5, rng=0)
+        env.run(until=5.0)
+        source.stop()
+        count = source.transfers_started
+        env.run(until=30.0)
+        assert source.transfers_started == count

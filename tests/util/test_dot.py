@@ -1,0 +1,52 @@
+"""DOT export tests."""
+
+from repro.core import Remos, Timeframe
+from repro.net import TopologyBuilder
+from repro.util import mbps
+from repro.util.dot import remos_graph_to_dot, topology_to_dot
+
+from tests.core.conftest import line_topology, measured_view
+
+
+def test_topology_dot_structure():
+    topo = (
+        TopologyBuilder("demo")
+        .router("sw", internal_bandwidth="10Mbps")
+        .hosts(["a", "b"])
+        .star("sw", ["a", "b"], "100Mbps", "1ms")
+        .build()
+    )
+    dot = topology_to_dot(topo)
+    assert dot.startswith('graph "demo" {')
+    assert dot.rstrip().endswith("}")
+    assert '"sw" [shape=box' in dot
+    assert '"a" [shape=ellipse' in dot
+    assert "10Mbps xbar" in dot
+    assert '"a" -- "sw"' in dot
+    assert "100Mbps / 1ms" in dot
+
+
+def test_remos_graph_dot_shows_availability():
+    remos = Remos(measured_view(line_topology(), {("t23", "r2"): mbps(60)}))
+    graph = remos.get_graph(["h1", "h3"], Timeframe.history(30.0))
+    dot = remos_graph_to_dot(graph)
+    assert '"h1" [shape=ellipse, style=bold]' in dot
+    assert '"r1" [shape=box]' in dot
+    # The collapsed backbone names its hidden links and shows the loaded
+    # direction's availability.
+    assert "(2 links)" in dot
+    assert "40Mbps" in dot
+
+
+def test_remos_graph_dot_idle_omits_availability():
+    remos = Remos(measured_view(line_topology(), {}))
+    graph = remos.get_graph(["h1", "h2"], Timeframe.current())
+    dot = remos_graph_to_dot(graph)
+    # At full availability the per-direction annotations are omitted.
+    assert "->:" not in dot
+
+
+def test_dot_quoting():
+    topo = TopologyBuilder('we"ird').hosts(["a", "b"]).link("a", "b").build()
+    dot = topology_to_dot(topo)
+    assert r"we\"ird" in dot

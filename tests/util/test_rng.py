@@ -1,0 +1,32 @@
+"""Deterministic RNG helper tests."""
+
+import numpy as np
+
+from repro.util import make_rng, spawn_rng
+
+
+def test_same_seed_same_stream():
+    a = make_rng(42)
+    b = make_rng(42)
+    assert a.random() == b.random()
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_spawn_produces_independent_streams():
+    children = spawn_rng(make_rng(1), 3)
+    draws = [child.random() for child in children]
+    assert len(set(draws)) == 3
+
+
+def test_spawn_is_deterministic():
+    first = [g.random() for g in spawn_rng(make_rng(5), 4)]
+    second = [g.random() for g in spawn_rng(make_rng(5), 4)]
+    assert first == second
+
+
+def test_spawn_count():
+    assert len(spawn_rng(make_rng(0), 7)) == 7

@@ -1,0 +1,134 @@
+"""Unit parsing/formatting tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    ConfigurationError,
+    bits_to_bytes,
+    bytes_to_bits,
+    format_bandwidth,
+    format_bytes,
+    format_time,
+    gbps,
+    kbps,
+    mbps,
+    parse_bandwidth,
+    parse_bytes,
+    parse_time,
+)
+
+
+class TestBandwidthParsing:
+    def test_bare_number_is_bits_per_second(self):
+        assert parse_bandwidth(1e8) == 1e8
+
+    def test_mbps_string(self):
+        assert parse_bandwidth("100Mbps") == 100e6
+
+    def test_case_insensitive(self):
+        assert parse_bandwidth("100MBPS") == 100e6
+        assert parse_bandwidth("100mbps") == 100e6
+
+    def test_slash_form(self):
+        assert parse_bandwidth("1.5 Gb/s") == 1.5e9
+
+    def test_kbps(self):
+        assert parse_bandwidth("56kbps") == 56e3
+
+    def test_plain_bps(self):
+        assert parse_bandwidth("9600bps") == 9600.0
+
+    def test_scientific_notation(self):
+        assert parse_bandwidth("1e7 bps") == 1e7
+
+    def test_whitespace_tolerated(self):
+        assert parse_bandwidth("  10 Mbps ") == 10e6
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bandwidth("10 parsecs")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bandwidth("fast")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bandwidth(-5)
+
+    def test_helpers_match_parse(self):
+        assert mbps(100) == parse_bandwidth("100Mbps")
+        assert gbps(2) == parse_bandwidth("2Gbps")
+        assert kbps(64) == parse_bandwidth("64kbps")
+
+
+class TestByteParsing:
+    def test_decimal_mb(self):
+        assert parse_bytes("4MB") == 4e6
+
+    def test_binary_mib(self):
+        assert parse_bytes("1MiB") == 1024**2
+
+    def test_bare_number(self):
+        assert parse_bytes(1500) == 1500.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes(-1)
+
+
+class TestTimeParsing:
+    def test_milliseconds(self):
+        assert parse_time("10ms") == pytest.approx(0.010)
+
+    def test_minutes(self):
+        assert parse_time("2min") == 120.0
+
+    def test_bare_seconds(self):
+        assert parse_time(3.5) == 3.5
+
+    def test_microseconds(self):
+        assert parse_time("250us") == pytest.approx(250e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_time(-0.1)
+
+
+class TestConversions:
+    def test_bits_bytes_roundtrip(self):
+        assert bits_to_bytes(bytes_to_bits(123.0)) == 123.0
+
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(8e6) == 1e6
+
+    @given(st.floats(min_value=0, max_value=1e15))
+    def test_roundtrip_property(self, value):
+        assert bytes_to_bits(bits_to_bytes(value)) == pytest.approx(value)
+
+
+class TestFormatting:
+    def test_format_bandwidth(self):
+        assert format_bandwidth(100e6) == "100Mbps"
+        assert format_bandwidth(1.5e9) == "1.5Gbps"
+        assert format_bandwidth(9600) == "9.6kbps"
+        assert format_bandwidth(10) == "10bps"
+
+    def test_format_bytes(self):
+        assert format_bytes(2e6) == "2MB"
+        assert format_bytes(512) == "512B"
+
+    def test_format_time(self):
+        assert format_time(0) == "0s"
+        assert format_time(2.5) == "2.5s"
+        assert format_time(0.0021) == "2.1ms"
+        assert format_time(5e-6) == "5us"
+        assert format_time(3e-9) == "3ns"
+
+    @given(st.floats(min_value=1, max_value=1e12))
+    def test_bandwidth_roundtrips_through_parse(self, value):
+        # Formatting then parsing returns the same magnitude to 3 sig figs.
+        text = format_bandwidth(value)
+        reparsed = parse_bandwidth(text)
+        assert reparsed == pytest.approx(value, rel=1e-2)
