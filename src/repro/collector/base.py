@@ -19,10 +19,22 @@ class NetworkView:
     synthetic cloud abstraction from probing — not necessarily the true
     physical network.  Link capacities/latencies live on the topology;
     utilization series live in the metrics store.
+
+    ``generation`` stamps the view's freshness: collectors bump it once per
+    completed measurement sweep, and the Modeler keys its memoised answers
+    on it — a cached answer is exact for its generation and is never served
+    across generations (see ``docs/PERFORMANCE.md``).  Hand-built views that
+    never bump it are treated as immutable snapshots.
     """
 
     topology: Topology
     metrics: MetricsStore
+    generation: int = 0
+
+    def bump_generation(self) -> int:
+        """Mark one completed collector sweep; returns the new generation."""
+        self.generation += 1
+        return self.generation
 
     def link_use(self, link_name: str, from_node: str) -> TimeSeries:
         """Used-bandwidth series (bits/s) for a link direction."""

@@ -149,7 +149,11 @@ class BenchmarkCollector(Collector):
                 latency=self._latency[host],
                 name=self._link_name(host),
             )
-        return NetworkView(topology=topology, metrics=self.metrics)
+        # Generation counts completed probe sweeps, surviving view rebuilds
+        # so Modeler caches never outlive a sweep.
+        return NetworkView(
+            topology=topology, metrics=self.metrics, generation=self.sweeps_completed
+        )
 
     def _refresh_view(self) -> None:
         # Capacities only ever grow (best observed); rebuild when they do.
@@ -162,3 +166,5 @@ class BenchmarkCollector(Collector):
         )
         if stale:
             self._view = self._build_view()
+        else:
+            view.generation = self.sweeps_completed

@@ -75,4 +75,8 @@ class CollectorMaster(Collector):
                         link.a, link.b, link.capacity, link.latency, name=link.name
                     )
             metrics.merge_from(view.metrics)
-        return NetworkView(topology=merged, metrics=metrics)
+        # Sum of child generations: monotone because every child's own
+        # generation is, so Modeler caches invalidate whenever any child
+        # completed a sweep between refreshes.
+        generation = sum(collector.view().generation for collector in self.collectors)
+        return NetworkView(topology=merged, metrics=metrics, generation=generation)

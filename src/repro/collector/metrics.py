@@ -18,6 +18,7 @@ class MetricsStore:
     def __init__(self, capacity: int = 4096):
         self._capacity = capacity
         self._series: dict[tuple[str, str], TimeSeries] = {}
+        self._latest_time = 0.0
 
     def record(self, link_name: str, from_node: str, time: float, bits_per_second: float) -> None:
         """Append one sample of used bandwidth on a link direction."""
@@ -27,6 +28,17 @@ class MetricsStore:
             series = TimeSeries(self._capacity, name=f"{link_name}:{from_node}->")
             self._series[key] = series
         series.add(time, max(0.0, bits_per_second))
+        if time > self._latest_time:
+            self._latest_time = time
+
+    def latest_timestamp(self) -> float:
+        """Newest sample time across every series, in O(1).
+
+        0.0 before any sample — the Modeler treats that as "no measurement
+        yet", matching an empty scan.  Tracked incrementally so the hot
+        query path never walks the series.
+        """
+        return self._latest_time
 
     def series(self, link_name: str, from_node: str) -> TimeSeries:
         """The series for one direction (raises if never recorded)."""
@@ -67,6 +79,8 @@ class MetricsStore:
         for key, series in other._series.items():
             if prefer_other or key not in self._series:
                 self._series[key] = series
+                if not series.empty:
+                    self._latest_time = max(self._latest_time, series.latest()[0])
 
     def __len__(self) -> int:
         return len(self._series)

@@ -132,6 +132,7 @@ class SNMPCollector(Collector):
                     continue
                 self._record_cpu(node_name, int(raw))
         self.polls_completed += 1
+        view.bump_generation()
 
     def _record_cpu(self, node_name: str, raw: int) -> None:
         now = self.env.now

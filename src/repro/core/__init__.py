@@ -19,6 +19,7 @@ Procedural wrappers :func:`remos_flow_info` and :func:`remos_get_graph`
 mirror the C API's call shapes from the paper.
 """
 
+from repro.core.cachestats import CacheStats
 from repro.core.timeframe import Timeframe, TimeframeKind
 from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, MulticastFlow
 from repro.core.graph import RemosGraph, RemosEdge, RemosNode
@@ -37,6 +38,7 @@ __all__ = [
     "RemosEdge",
     "RemosNode",
     "Modeler",
+    "CacheStats",
     "NodeAnswer",
     "remos_flow_info",
     "remos_get_graph",

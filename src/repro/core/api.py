@@ -19,10 +19,12 @@ of its allocated rate.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Hashable
 
 from repro.collector.base import Collector, NetworkView
+from repro.core.cachestats import CacheStats
 from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, MulticastFlow
 from repro.core.graph import RemosGraph
 from repro.core.modeler import Modeler
@@ -64,11 +66,22 @@ class NodeAnswer:
 
 
 class Remos:
-    """The query interface applications link against."""
+    """The query interface applications link against.
 
-    def __init__(self, source: Collector | NetworkView):
+    The facade keeps one :class:`Modeler` (and its routing table) alive
+    across collector view refreshes: topology is stable between discovery
+    sweeps, so refreshes only invalidate the generation-stamped dynamic
+    caches.  ``cache_stats`` exposes hit/miss/invalidation counters and
+    per-query wall time; ``enable_cache=False`` forces the cold
+    recompute-everything path (for benchmarks and differential tests).
+    See ``docs/PERFORMANCE.md`` for the performance model.
+    """
+
+    def __init__(self, source: Collector | NetworkView, enable_cache: bool = True):
         self._source = source
-        self._modeler_cache: tuple[NetworkView, Modeler] | None = None
+        self._enable_cache = enable_cache
+        self._live_modeler: Modeler | None = None
+        self.cache_stats = CacheStats()
         self.queries_answered = 0
 
     def _current_view(self) -> NetworkView:
@@ -78,11 +91,25 @@ class Remos:
 
     def _modeler(self) -> Modeler:
         view = self._current_view()
-        if self._modeler_cache is not None and self._modeler_cache[0] is view:
-            return self._modeler_cache[1]
-        modeler = Modeler(view, RoutingTable(view.topology))
-        self._modeler_cache = (view, modeler)
+        modeler = self._live_modeler
+        if modeler is None:
+            modeler = Modeler(
+                view,
+                RoutingTable(view.topology),
+                stats=self.cache_stats,
+                enable_cache=self._enable_cache,
+            )
+            self._live_modeler = modeler
+        elif modeler.view is not view:
+            modeler.rebind(view)
         return modeler
+
+    def _begin_query(self) -> float:
+        self.queries_answered += 1
+        return time.perf_counter()
+
+    def _end_query(self, started: float) -> None:
+        self.cache_stats.record_query(time.perf_counter() - started)
 
     # -- topology queries -----------------------------------------------------
 
@@ -95,8 +122,11 @@ class Remos:
         the graph is returned rather than filled in.
         """
         timeframe = timeframe or Timeframe.current()
-        self.queries_answered += 1
-        return self._modeler().logical_graph(list(nodes), timeframe)
+        started = self._begin_query()
+        try:
+            return self._modeler().logical_graph(list(nodes), timeframe)
+        finally:
+            self._end_query(started)
 
     # -- flow queries ------------------------------------------------------------
 
@@ -119,8 +149,19 @@ class Remos:
         independent = list(independent_flows or [])
         if not fixed and not variable and not independent:
             raise QueryError("flow_info requires at least one flow")
-        self.queries_answered += 1
+        started = self._begin_query()
+        try:
+            return self._flow_info(fixed, variable, independent, timeframe)
+        finally:
+            self._end_query(started)
 
+    def _flow_info(
+        self,
+        fixed: list[Flow],
+        variable: list[Flow],
+        independent: list[Flow],
+        timeframe: Timeframe,
+    ) -> FlowInfoResult:
         modeler = self._modeler()
         topology = modeler.view.topology
         for flow in (*fixed, *variable, *independent):
@@ -250,19 +291,24 @@ class Remos:
         """The paper's "simple interface to computation and memory
         resources" (§2): static speed/memory plus measured CPU load."""
         timeframe = timeframe or Timeframe.current()
-        self.queries_answered += 1
-        modeler = self._modeler()
-        node = modeler.view.topology.node(host)
-        if not node.is_compute:
-            raise QueryError(f"node_info is only defined for compute nodes, not {host!r}")
-        load = modeler.cpu_load(host, timeframe)
-        return NodeAnswer(
-            name=host,
-            compute_speed=node.compute_speed,
-            memory_bytes=node.memory_bytes,
-            cpu_load=load,
-            cpu_available=load.complement_of(1.0),
-        )
+        started = self._begin_query()
+        try:
+            modeler = self._modeler()
+            node = modeler.view.topology.node(host)
+            if not node.is_compute:
+                raise QueryError(
+                    f"node_info is only defined for compute nodes, not {host!r}"
+                )
+            load = modeler.cpu_load(host, timeframe)
+            return NodeAnswer(
+                name=host,
+                compute_speed=node.compute_speed,
+                memory_bytes=node.memory_bytes,
+                cpu_load=load,
+                cpu_available=load.complement_of(1.0),
+            )
+        finally:
+            self._end_query(started)
 
     # -- admission / guaranteed-service queries --------------------------------
 
@@ -282,24 +328,27 @@ class Remos:
         timeframe = timeframe or Timeframe.current()
         if not fixed_flows:
             raise QueryError("check_admission requires at least one flow")
-        self.queries_answered += 1
-        modeler = self._modeler()
-        requests = []
-        for index, flow in enumerate(fixed_flows):
-            if isinstance(flow, MulticastFlow):
-                resources = modeler.resources_for_tree(flow.src, list(flow.dsts))
-            else:
-                resources = modeler.resources_for_route(flow.src, flow.dst)
-            requests.append(
-                FlowRequest(
-                    flow_id=flow.label(index, "fixed"),
-                    resources=resources,
-                    requested=flow.requested,
-                    cap=flow.requested,
+        started = self._begin_query()
+        try:
+            modeler = self._modeler()
+            requests = []
+            for index, flow in enumerate(fixed_flows):
+                if isinstance(flow, MulticastFlow):
+                    resources = modeler.resources_for_tree(flow.src, list(flow.dsts))
+                else:
+                    resources = modeler.resources_for_route(flow.src, flow.dst)
+                requests.append(
+                    FlowRequest(
+                        flow_id=flow.label(index, "fixed"),
+                        resources=resources,
+                        requested=flow.requested,
+                        cap=flow.requested,
+                    )
                 )
-            )
-        capacities = modeler.available_capacities(timeframe, quantile="median")
-        return admission_report(capacities, requests)
+            capacities = modeler.available_capacities(timeframe, quantile="median")
+            return admission_report(capacities, requests)
+        finally:
+            self._end_query(started)
 
 
 # -- procedural wrappers mirroring the paper's C-style API ----------------------

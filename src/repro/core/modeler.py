@@ -6,6 +6,13 @@ of the network components, and satisfying flow requests based on the
 logical topology" (§5).  This module implements the first two tasks; flow
 satisfaction lives in :mod:`repro.core.api` on top of the availability
 estimates produced here.
+
+Estimates are memoised under a **generation stamp**: every answer cached
+here is keyed on the view's ``(generation, latest metric timestamp)`` and
+dropped the moment a collector sweep advances either, so a cached answer is
+exact for its generation and never served across generations.  The
+staleness contract and the full performance model are documented in
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.collector.base import NetworkView
+from repro.core.cachestats import CacheStats
 from repro.core.graph import RemosEdge, RemosGraph, RemosNode
 from repro.core.timeframe import Timeframe, TimeframeKind
 from repro.net import LinkDirection, RoutingTable
@@ -25,11 +33,84 @@ UNMEASURED_ACCURACY = 0.25
 
 
 class Modeler:
-    """Annotates topologies and estimates per-direction availability."""
+    """Annotates topologies and estimates per-direction availability.
 
-    def __init__(self, view: NetworkView, routing: RoutingTable | None = None):
+    Parameters
+    ----------
+    view:
+        The collector's current belief about the network.
+    routing:
+        Routes over ``view.topology`` (built on demand if omitted).
+    stats:
+        Shared :class:`CacheStats` counters (Remos passes its own so stats
+        survive view rebinds); a private instance is created if omitted.
+    enable_cache:
+        ``False`` recomputes every estimate from the raw series — the cold
+        path benchmarks and differential tests compare against.
+    """
+
+    def __init__(
+        self,
+        view: NetworkView,
+        routing: RoutingTable | None = None,
+        stats: CacheStats | None = None,
+        enable_cache: bool = True,
+    ):
         self.view = view
         self.routing = routing or RoutingTable(view.topology)
+        self.stats = stats if stats is not None else CacheStats()
+        self.enable_cache = enable_cache
+        self._bandwidth_cache: dict[tuple, StatMeasure] = {}
+        self._cpu_cache: dict[tuple, StatMeasure] = {}
+        self._capacities_cache: dict[tuple, dict[Hashable, float]] = {}
+        self._graph_cache: dict[tuple, RemosGraph] = {}
+        self._cache_stamp = self._view_stamp()
+
+    # -- generation-stamped cache plumbing --------------------------------------
+
+    def _view_stamp(self) -> tuple[int, float]:
+        """The freshness token cached answers are valid for.
+
+        The collector-bumped generation is the primary stamp; the newest
+        metric timestamp (O(1)) rides along so even hand-mutated views that
+        never bump generations cannot serve stale answers.
+        """
+        return (self.view.generation, self.view.metrics.latest_timestamp())
+
+    def _refresh_caches(self, force: bool = False) -> None:
+        """Drop every dynamic cache if the view advanced a generation."""
+        stamp = self._view_stamp()
+        if not force and stamp == self._cache_stamp:
+            return
+        if (
+            self._bandwidth_cache
+            or self._cpu_cache
+            or self._capacities_cache
+            or self._graph_cache
+        ):
+            self.stats.invalidated()
+        self._bandwidth_cache.clear()
+        self._cpu_cache.clear()
+        self._capacities_cache.clear()
+        self._graph_cache.clear()
+        self._cache_stamp = stamp
+
+    def rebind(self, view: NetworkView) -> None:
+        """Adopt a refreshed collector view without rebuilding the world.
+
+        The routing table survives whenever the topology is unchanged —
+        the common case, since collectors mutate metrics in place between
+        discovery sweeps — and all dynamic caches are dropped
+        unconditionally (the new view object may carry an equal generation
+        number yet different data).
+        """
+        if view is self.view:
+            return
+        if not self.routing.is_valid_for(view.topology):
+            self.routing = RoutingTable(view.topology)
+            self.stats.routing_rebuilds += 1
+        self.view = view
+        self._refresh_caches(force=True)
 
     @property
     def now(self) -> float:
@@ -37,15 +118,9 @@ class Modeler:
 
         The Modeler is passive — it cannot read the simulation clock (a
         real Modeler has no oracle either); "now" is the time of the most
-        recent measurement.
+        recent measurement.  O(1): the MetricsStore tracks it incrementally.
         """
-        newest = 0.0
-        metrics = self.view.metrics
-        for link_name, from_node in metrics.keys():
-            series = metrics.series(link_name, from_node)
-            if not series.empty:
-                newest = max(newest, series.latest()[0])
-        return newest
+        return self.view.metrics.latest_timestamp()
 
     # -- availability estimation ------------------------------------------------
 
@@ -53,8 +128,30 @@ class Modeler:
         self, direction: LinkDirection, timeframe: Timeframe
     ) -> StatMeasure:
         """Externally used bandwidth on a link direction for a timeframe."""
+        return self._used_bandwidth(direction, timeframe, None)
+
+    def _used_bandwidth(
+        self, direction: LinkDirection, timeframe: Timeframe, now: float | None
+    ) -> StatMeasure:
+        """Memoised estimate; *now* is hoisted by per-sweep callers."""
         if timeframe.kind is TimeframeKind.STATIC:
             return StatMeasure.constant(0.0)
+        if self.enable_cache:
+            self._refresh_caches()
+            key = (direction.key, timeframe)
+            cached = self._bandwidth_cache.get(key)
+            if cached is not None:
+                self.stats.hit("bandwidth")
+                return cached
+            self.stats.miss("bandwidth")
+        measure = self._compute_used_bandwidth(direction, timeframe, now)
+        if self.enable_cache:
+            self._bandwidth_cache[(direction.key, timeframe)] = measure
+        return measure
+
+    def _compute_used_bandwidth(
+        self, direction: LinkDirection, timeframe: Timeframe, now: float | None
+    ) -> StatMeasure:
         metrics = self.view.metrics
         link_name, from_node = direction.link.name, direction.src
         if not metrics.has_series(link_name, from_node):
@@ -62,7 +159,8 @@ class Modeler:
         series = metrics.series(link_name, from_node)
         if series.empty:
             return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
-        now = self.now
+        if now is None:
+            now = self.now
         if timeframe.kind is TimeframeKind.CURRENT:
             recent = series.window(now - 10 * max(1.0, series.span() / max(1, len(series))), now)
             latest = series.latest_value()
@@ -81,7 +179,12 @@ class Modeler:
         self, direction: LinkDirection, timeframe: Timeframe
     ) -> StatMeasure:
         """Capacity minus external use, as a quartile measure."""
-        used = self.used_bandwidth(direction, timeframe)
+        return self._available_bandwidth(direction, timeframe, None)
+
+    def _available_bandwidth(
+        self, direction: LinkDirection, timeframe: Timeframe, now: float | None
+    ) -> StatMeasure:
+        used = self._used_bandwidth(direction, timeframe, now)
         return used.complement_of(direction.capacity)
 
     def cpu_load(self, host: str, timeframe: Timeframe) -> StatMeasure:
@@ -96,6 +199,20 @@ class Modeler:
             raise QueryError(f"cpu_load is only defined for compute nodes, not {host!r}")
         if timeframe.kind is TimeframeKind.STATIC:
             return StatMeasure.constant(0.0)
+        if self.enable_cache:
+            self._refresh_caches()
+            key = (host, timeframe)
+            cached = self._cpu_cache.get(key)
+            if cached is not None:
+                self.stats.hit("cpu")
+                return cached
+            self.stats.miss("cpu")
+        measure = self._compute_cpu_load(host, timeframe)
+        if self.enable_cache:
+            self._cpu_cache[(host, timeframe)] = measure
+        return measure
+
+    def _compute_cpu_load(self, host: str, timeframe: Timeframe) -> StatMeasure:
         metrics = self.view.metrics
         if not metrics.has_cpu_series(host):
             return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
@@ -122,14 +239,31 @@ class Modeler:
         (``"minimum"``/``"q1"``/``"median"``/``"q3"``/``"maximum"``/
         ``"mean"``); finite node crossbars contribute their static internal
         bandwidth (SNMP exposes no crossbar utilization).
+
+        Memoised per ``(generation, timeframe, quantile)``; the six-quantile
+        sweep ``flow_info`` runs shares one set of per-direction measures
+        through the bandwidth cache.  Callers get their own dict copy.
         """
+        if self.enable_cache:
+            self._refresh_caches()
+            key = (timeframe, quantile)
+            cached = self._capacities_cache.get(key)
+            if cached is not None:
+                self.stats.hit("capacities")
+                return dict(cached)
+            self.stats.miss("capacities")
+        # Hoist "now" out of the per-direction loop: one sweep = one query
+        # evaluation time, regardless of caching.
+        now = self.now
         capacities: dict[Hashable, float] = {}
         for direction in self.view.topology.iter_directions():
-            available = self.available_bandwidth(direction, timeframe)
+            available = self._available_bandwidth(direction, timeframe, now)
             capacities[direction.key] = getattr(available, quantile)
         for node in self.view.topology.nodes:
             if node.internal_bandwidth != float("inf"):
                 capacities[("xbar", node.name)] = node.internal_bandwidth
+        if self.enable_cache:
+            self._capacities_cache[(timeframe, quantile)] = dict(capacities)
         return capacities
 
     def resources_for_route(self, src: str, dst: str) -> tuple[Hashable, ...]:
@@ -169,6 +303,29 @@ class Modeler:
                 raise QueryError(f"get_graph nodes must be compute nodes; {name!r} is not")
         if not nodes:
             raise QueryError("get_graph requires at least one node")
+
+        # Memoised per (generation, sorted nodes, timeframe).  The query
+        # order is part of the answer (RemosGraph.query_nodes), so a hit is
+        # only served when the order matches too; callers must treat the
+        # returned graph as read-only.
+        if self.enable_cache:
+            self._refresh_caches()
+            key = (tuple(sorted(nodes)), timeframe)
+            cached = self._graph_cache.get(key)
+            if cached is not None and cached.query_nodes == list(nodes):
+                self.stats.hit("graph")
+                return cached
+            self.stats.miss("graph")
+        graph = self._compute_logical_graph(nodes, timeframe)
+        if self.enable_cache:
+            self._graph_cache[(tuple(sorted(nodes)), timeframe)] = graph
+        return graph
+
+    def _compute_logical_graph(
+        self, nodes: list[str], timeframe: Timeframe
+    ) -> RemosGraph:
+        topology = self.view.topology
+        now = self.now  # one evaluation time for the whole graph
 
         # Step 1: union of routing paths.
         keep_nodes: set[str] = set(nodes)
@@ -239,7 +396,7 @@ class Modeler:
                     assert len(next_links) == 1  # degree-2 non-anchor
                     link_name = next_links[0]
                 visited_links.update(chain_links)
-                self._add_logical_edge(graph, chain_nodes, chain_links, timeframe)
+                self._add_logical_edge(graph, chain_nodes, chain_links, timeframe, now)
         return graph
 
     def _add_logical_edge(
@@ -248,6 +405,7 @@ class Modeler:
         chain_nodes: list[str],
         chain_links: list[str],
         timeframe: Timeframe,
+        now: float | None = None,
     ) -> None:
         topology = self.view.topology
         start, end = chain_nodes[0], chain_nodes[-1]
@@ -263,7 +421,7 @@ class Modeler:
                     l for l in links if {l.a, l.b} == {a, b}
                 )
                 direction = link.direction(a, b)
-                step = self.available_bandwidth(direction, timeframe)
+                step = self._available_bandwidth(direction, timeframe, now)
                 measure = step if measure is None else StatMeasure.min_of(measure, step)
             assert measure is not None
             available[chain[0]] = measure

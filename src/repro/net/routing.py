@@ -182,6 +182,36 @@ class RoutingTable:
                     )
             self._next_hop[source] = first_hop
 
+    @staticmethod
+    def _topology_signature(topology: Topology) -> tuple:
+        """Structural identity of a topology for route-reuse decisions.
+
+        Two topologies with equal signatures produce identical routing
+        tables *and* identical LinkDirection capacities, so a table built
+        for one is safe to keep for the other.  Capacity is included even
+        though Dijkstra ignores it: cached Route/LinkDirection objects
+        expose it to callers.
+        """
+        nodes = tuple(sorted(topology._nodes))
+        links = tuple(
+            sorted((l.name, l.a, l.b, l.latency, l.capacity) for l in topology.links)
+        )
+        return (nodes, links)
+
+    def is_valid_for(self, topology: Topology) -> bool:
+        """True when this table's routes are exact for *topology*.
+
+        Identity is the O(1) fast path (collectors mutate metrics in place
+        and keep the topology object between discovery sweeps); otherwise
+        the structural signature decides, so a rebuilt-but-identical view
+        (e.g. a re-merge by the collector master) keeps its routes.
+        """
+        if topology is self.topology:
+            return True
+        return self._topology_signature(topology) == self._topology_signature(
+            self.topology
+        )
+
     def next_hop(self, src: str, dst: str) -> LinkDirection:
         """The first directed link on the route from *src* towards *dst*."""
         self.topology.node(src)

@@ -83,3 +83,17 @@ class TestValidation:
         collector.start()
         with pytest.raises(ConfigurationError, match="already started"):
             collector.start()
+
+
+class TestGenerationStamp:
+    def test_generation_counts_probe_sweeps(self, world):
+        env, net, _ = world
+        collector = BenchmarkCollector(net, ["h1", "h4"], probe_interval=2.0)
+        env.run(until=collector.start())
+        first = collector.view().generation
+        assert first == collector.sweeps_completed >= 1
+        env.run(until=env.now + 6.0)
+        # Generation stays monotone across sweeps even if the view object
+        # is rebuilt when a better capacity estimate arrives.
+        assert collector.view().generation > first
+        assert collector.view().generation == collector.sweeps_completed

@@ -64,3 +64,17 @@ def test_double_start_rejected(world):
     master.start()
     with pytest.raises(ConfigurationError, match="already started"):
         master.start()
+
+
+def test_merged_generation_tracks_children(world):
+    env, net, agents = world
+    snmp = SNMPCollector(net, agents, poll_interval=1.0)
+    bench = BenchmarkCollector(net, ["h1", "h4"], probe_interval=2.0)
+    master = CollectorMaster(env, [snmp, bench])
+    env.run(until=master.start())
+    first = master.view().generation
+    assert first == snmp.view().generation + bench.view().generation
+    env.run(until=env.now + 5.0)
+    refreshed = master.refresh()
+    # Children kept sweeping, so the re-merged generation advanced.
+    assert refreshed.generation > first

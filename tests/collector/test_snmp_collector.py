@@ -133,3 +133,14 @@ class TestPolling:
         env.run(until=env.now + 5.0)
         assert collector.client.requests_sent > 0
         assert collector.client.time_spent > 0.0
+
+
+def test_generation_bumps_every_poll(world):
+    env, net, agents = world
+    collector = SNMPCollector(net, agents, poll_interval=1.0)
+    env.run(until=collector.start())
+    view = collector.view()
+    first = view.generation
+    assert first == collector.polls_completed >= 2
+    env.run(until=env.now + 4.0)
+    assert view.generation == collector.polls_completed > first
