@@ -18,6 +18,7 @@ import argparse
 import json
 import sys
 
+from repro import obs
 from repro._version import __version__
 from repro.adapt import select_nodes
 from repro.bench import Table, format_seconds, percent_increase
@@ -62,7 +63,78 @@ def _parse_traffic(spec: str | None) -> TrafficScenario | None:
 def cmd_info(args) -> int:
     print(f"repro {__version__} — reproduction of Remos (HPDC 1998)")
     print("testbed hosts:", ", ".join(CMU_HOSTS))
-    print("commands: info, query, select, table2, table3")
+    print("commands: info, query, select, stats, table2, table3")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Run a warm query workload with observability on; report telemetry."""
+    obs.configure_observability(
+        metrics=True,
+        tracing=True,
+        logging=args.log,
+        log_level="debug" if args.log else "info",
+    )
+    world = build_cmu_testbed(poll_interval=1.0)
+    scenario = _parse_traffic(args.traffic)
+    if scenario:
+        scenario.start(world.net)
+    remos = world.start_monitoring(warmup=args.warmup)
+    hosts = args.hosts.split(",")
+    if len(hosts) < 2:
+        raise ReproError("--hosts needs at least two comma-separated hosts")
+    flows = [
+        Flow(src, dst, name=f"{src}->{dst}")
+        for src in hosts
+        for dst in hosts
+        if src != dst
+    ]
+    timeframe = Timeframe.history(args.warmup)
+    # First pass fills the generation-stamped caches; the rest are the warm
+    # repeated queries an adapting application would issue.
+    for _ in range(max(2, args.repeat)):
+        remos.flow_info(variable_flows=flows, timeframe=timeframe)
+        remos.get_graph(hosts, timeframe)
+
+    telemetry = remos.telemetry()
+    if args.json:
+        print(json.dumps(telemetry, indent=2))
+        return 0
+    if args.prom:
+        print(obs.get_registry().to_prometheus(), end="")
+        return 0
+
+    cache = telemetry["cache"]
+    collector = telemetry["collector"] or {}
+    view = telemetry["view"] or {}
+    table = Table("repro stats — warm query telemetry", ["Metric", "Value"])
+    table.add_row("queries answered", cache["queries"])
+    table.add_row("mean query time", f"{cache['mean_query_time'] * 1e3:.3f} ms")
+    table.add_row("cache hit rate", f"{cache['hit_rate']:.2%}")
+    table.add_row("cache invalidations", cache["invalidations"])
+    table.add_row("collector sweeps", collector.get("sweeps", "n/a"))
+    table.add_row("view generation", view.get("generation", "n/a"))
+    staleness = view.get("staleness_seconds")
+    table.add_row(
+        "view staleness", f"{staleness:.3f} s" if staleness is not None else "n/a"
+    )
+    stages = telemetry["metrics"].get(obs.STAGE_HISTOGRAM, {"series": []})
+    for series in stages["series"]:
+        summary = series["summary"]
+        if summary is None:
+            continue
+        stage = series["labels"].get("stage", "?")
+        table.add_row(
+            f"stage {stage}",
+            f"median {summary['median'] * 1e3:.3f} ms "
+            f"(q1 {summary['q1'] * 1e3:.3f} / q3 {summary['q3'] * 1e3:.3f}, "
+            f"n={series['count']})",
+        )
+    table.print()
+    trace = obs.get_tracer().last_trace("query.flow_info")
+    if trace is not None:
+        print("\nlast flow_info trace:")
+        print(trace.format_tree())
     return 0
 
 
@@ -190,6 +262,26 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--warmup", type=float, default=10.0)
     select.add_argument("--json", action="store_true", help="emit JSON instead of text")
     select.set_defaults(func=cmd_select)
+
+    stats = subparsers.add_parser(
+        "stats", help="run a warm query workload and report pipeline telemetry"
+    )
+    stats.add_argument(
+        "--hosts", default=",".join(CMU_HOSTS), help="comma-separated host list"
+    )
+    stats.add_argument("--traffic", help="competing traffic: src:dst:rateMbps[,...]")
+    stats.add_argument("--warmup", type=float, default=10.0, help="measurement time (s)")
+    stats.add_argument(
+        "--repeat", type=int, default=3, help="warm query repetitions (default 3)"
+    )
+    stats.add_argument("--json", action="store_true", help="emit the full telemetry JSON")
+    stats.add_argument(
+        "--prom", action="store_true", help="emit Prometheus text exposition format"
+    )
+    stats.add_argument(
+        "--log", action="store_true", help="also enable structured debug logging"
+    )
+    stats.set_defaults(func=cmd_stats)
 
     table2 = subparsers.add_parser("table2", help="reproduce Table 2 rows")
     table2.add_argument("--rows", help=f"comma-separated from {list(TABLE2_ROWS)}")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro import obs
 from repro.collector.base import Collector, NetworkView
 from repro.collector.metrics import MetricsStore
 from repro.net import Topology
@@ -28,6 +29,8 @@ from repro.sim import Interrupt
 from repro.util.errors import ConfigurationError
 
 CLOUD_NODE = "cloud"
+
+_log = obs.get_logger("repro.collector.bench")
 
 
 class BenchmarkCollector(Collector):
@@ -102,6 +105,33 @@ class BenchmarkCollector(Collector):
 
     def _sweep(self):
         """Probe every host pair once (sequentially, to avoid self-contention)."""
+        # Detached: probe transfers yield to the engine mid-span (see the
+        # SNMP collector for the rationale).
+        with obs.span("collector.sweep", detached=True) as sp:
+            probes_before = self.probes_sent
+            sim_started = self.env.now
+            yield from self._probe_all_pairs()
+            if sp:
+                sp.set(
+                    collector="benchmark",
+                    generation=self.sweeps_completed,
+                    probes=self.probes_sent - probes_before,
+                    sim_elapsed=self.env.now - sim_started,
+                )
+        obs.inc(
+            "remos_collector_sweeps_total",
+            help="Completed collector measurement sweeps",
+            collector="benchmark",
+        )
+        if _log.enabled_for("debug"):
+            _log.debug(
+                "sweep",
+                sweeps=self.sweeps_completed,
+                probes_sent=self.probes_sent,
+                sim_now=self.env.now,
+            )
+
+    def _probe_all_pairs(self):
         self._pending_use = {host: [] for host in self.hosts}
         for src, dst in itertools.combinations(self.hosts, 2):
             # Latency probe: zero bytes, completes after one path latency.

@@ -13,11 +13,14 @@ precedence on conflicts).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.collector.base import Collector, NetworkView
 from repro.collector.metrics import MetricsStore
 from repro.net import Topology
 from repro.sim import Engine
 from repro.util.errors import CollectorError, ConfigurationError
+
+_log = obs.get_logger("repro.collector.master")
 
 
 class CollectorMaster(Collector):
@@ -79,4 +82,16 @@ class CollectorMaster(Collector):
         # generation is, so Modeler caches invalidate whenever any child
         # completed a sweep between refreshes.
         generation = sum(collector.view().generation for collector in self.collectors)
+        obs.inc(
+            "remos_collector_merges_total",
+            help="View merges performed by the collector master",
+        )
+        if _log.enabled_for("info"):
+            _log.info(
+                "views_merged",
+                collectors=len(self.collectors),
+                nodes=len(merged.nodes),
+                links=len(merged.links),
+                generation=generation,
+            )
         return NetworkView(topology=merged, metrics=metrics, generation=generation)

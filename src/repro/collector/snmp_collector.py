@@ -15,6 +15,7 @@ Counter wrap handling matters: Counter32 wraps every ~5.7 minutes at
 
 from __future__ import annotations
 
+from repro import obs
 from repro.collector.base import Collector, NetworkView
 from repro.collector.discovery import discover
 from repro.collector.metrics import MetricsStore
@@ -22,6 +23,8 @@ from repro.netsim import FluidNetwork
 from repro.sim import Interrupt
 from repro.snmp import SNMPAgent, SNMPClient, mib
 from repro.util.errors import ConfigurationError
+
+_log = obs.get_logger("repro.collector.snmp")
 
 
 class SNMPCollector(Collector):
@@ -66,6 +69,7 @@ class SNMPCollector(Collector):
         self.per_hop_latency = per_hop_latency
         self.metrics = MetricsStore(series_capacity)
         self.polls_completed = 0
+        self.samples_recorded = 0
         self._process = None
         self._managed: list[str] = []
         self._interface_map: dict[str, dict[int, str]] = {}
@@ -97,6 +101,14 @@ class SNMPCollector(Collector):
             self._view = NetworkView(topology=result.topology, metrics=self.metrics)
             self._managed = result.managed_nodes
             self._interface_map = result.interface_map
+            if _log.enabled_for("info"):
+                _log.info(
+                    "discovery_complete",
+                    nodes=len(result.topology.nodes),
+                    links=len(result.topology.links),
+                    managed=len(result.managed_nodes),
+                    sim_now=self.env.now,
+                )
             # Prime the counters, wait one interval, take the first real
             # samples, then declare readiness.
             yield from self._sweep()
@@ -113,26 +125,59 @@ class SNMPCollector(Collector):
         """One pass over every managed node's octet + CPU counters."""
         view = self._view
         assert view is not None
-        for node_name in self._managed:
-            for if_index, link_name in self._interface_map[node_name].items():
-                for column_name, column in (
-                    ("out", mib.IF_OUT_OCTETS),
-                    ("in", mib.IF_IN_OCTETS),
-                ):
+        # Detached span: the sweep yields to the engine between SNMP gets,
+        # so it must not occupy the tracer's current-span slot (queries from
+        # interleaved processes would otherwise nest under it).
+        with obs.span("collector.sweep", detached=True) as sp:
+            samples_before = self.samples_recorded
+            sim_started = self.env.now
+            for node_name in self._managed:
+                for if_index, link_name in self._interface_map[node_name].items():
+                    for column_name, column in (
+                        ("out", mib.IF_OUT_OCTETS),
+                        ("in", mib.IF_IN_OCTETS),
+                    ):
+                        try:
+                            raw = yield from self.client.get(node_name, column.extend(if_index))
+                        except Exception:
+                            continue  # agent died mid-run: skip this sample
+                        self._record(node_name, if_index, link_name, column_name, int(raw))
+                # Managed compute nodes also report CPU busy time.
+                if view.topology.node(node_name).is_compute:
                     try:
-                        raw = yield from self.client.get(node_name, column.extend(if_index))
+                        raw = yield from self.client.get(node_name, mib.HOST_BUSY_CS)
                     except Exception:
-                        continue  # agent died mid-run: skip this sample
-                    self._record(node_name, if_index, link_name, column_name, int(raw))
-            # Managed compute nodes also report CPU busy time.
-            if view.topology.node(node_name).is_compute:
-                try:
-                    raw = yield from self.client.get(node_name, mib.HOST_BUSY_CS)
-                except Exception:
-                    continue
-                self._record_cpu(node_name, int(raw))
-        self.polls_completed += 1
-        view.bump_generation()
+                        continue
+                    self._record_cpu(node_name, int(raw))
+            self.polls_completed += 1
+            generation = view.bump_generation()
+            samples = self.samples_recorded - samples_before
+            if sp:
+                sp.set(
+                    collector="snmp",
+                    generation=generation,
+                    samples=samples,
+                    sim_elapsed=self.env.now - sim_started,
+                )
+        obs.inc(
+            "remos_collector_sweeps_total",
+            help="Completed collector measurement sweeps",
+            collector="snmp",
+        )
+        obs.inc(
+            "remos_collector_samples_total",
+            samples,
+            help="Utilization samples recorded by collectors",
+            collector="snmp",
+        )
+        if _log.enabled_for("debug"):
+            _log.debug(
+                "sweep",
+                polls=self.polls_completed,
+                generation=view.generation,
+                samples=samples,
+                sim_now=self.env.now,
+            )
 
     def _record_cpu(self, node_name: str, raw: int) -> None:
         now = self.env.now
@@ -147,6 +192,7 @@ class SNMPCollector(Collector):
             return
         utilization = (raw - before) / 100.0 / dt
         self.metrics.record_cpu(node_name, now, utilization)
+        self.samples_recorded += 1
 
     def _record(
         self, node_name: str, if_index: int, link_name: str, column_name: str, raw: int
@@ -179,3 +225,4 @@ class SNMPCollector(Collector):
             if from_node in self._managed:
                 return
         self.metrics.record(link_name, from_node, now, bits_per_second)
+        self.samples_recorded += 1

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro import obs
 from repro.collector.base import Collector, NetworkView
 from repro.core.cachestats import CacheStats
 from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, MulticastFlow
@@ -83,6 +84,8 @@ class Remos:
         self._live_modeler: Modeler | None = None
         self.cache_stats = CacheStats()
         self.queries_answered = 0
+        if obs.metrics_enabled():
+            self._publish_gauges()
 
     def _current_view(self) -> NetworkView:
         if isinstance(self._source, Collector):
@@ -108,8 +111,23 @@ class Remos:
         self.queries_answered += 1
         return time.perf_counter()
 
-    def _end_query(self, started: float) -> None:
-        self.cache_stats.record_query(time.perf_counter() - started)
+    def _end_query(self, started: float, kind: str) -> None:
+        elapsed = time.perf_counter() - started
+        self.cache_stats.record_query(elapsed)
+        obs.observe(
+            "remos_query_seconds",
+            elapsed,
+            help="Wall-clock seconds per answered Remos query",
+            query=kind,
+        )
+
+    def _annotate_query_span(self, span, modeler: Modeler, hits: int, misses: int) -> None:
+        """Stamp a query span with the attributes the trace taxonomy promises."""
+        span.set(
+            generation=modeler.view.generation,
+            cache_hits=self.cache_stats.hits - hits,
+            cache_misses=self.cache_stats.misses - misses,
+        )
 
     # -- topology queries -----------------------------------------------------
 
@@ -123,10 +141,18 @@ class Remos:
         """
         timeframe = timeframe or Timeframe.current()
         started = self._begin_query()
-        try:
-            return self._modeler().logical_graph(list(nodes), timeframe)
-        finally:
-            self._end_query(started)
+        with obs.span("query.get_graph") as sp:
+            try:
+                modeler = self._modeler()
+                if sp:
+                    hits, misses = self.cache_stats.hits, self.cache_stats.misses
+                graph = modeler.logical_graph(list(nodes), timeframe)
+                if sp:
+                    self._annotate_query_span(sp, modeler, hits, misses)
+                    sp.set(node_count=len(nodes))
+                return graph
+            finally:
+                self._end_query(started, "get_graph")
 
     # -- flow queries ------------------------------------------------------------
 
@@ -150,10 +176,22 @@ class Remos:
         if not fixed and not variable and not independent:
             raise QueryError("flow_info requires at least one flow")
         started = self._begin_query()
-        try:
-            return self._flow_info(fixed, variable, independent, timeframe)
-        finally:
-            self._end_query(started)
+        with obs.span("query.flow_info") as sp:
+            try:
+                if sp:
+                    hits, misses = self.cache_stats.hits, self.cache_stats.misses
+                result = self._flow_info(fixed, variable, independent, timeframe)
+                if sp:
+                    self._annotate_query_span(sp, self._modeler(), hits, misses)
+                    sp.set(
+                        flow_count=len(fixed) + len(variable) + len(independent),
+                        fixed=len(fixed),
+                        variable=len(variable),
+                        independent=len(independent),
+                    )
+                return result
+            finally:
+                self._end_query(started, "flow_info")
 
     def _flow_info(
         self,
@@ -292,23 +330,29 @@ class Remos:
         resources" (§2): static speed/memory plus measured CPU load."""
         timeframe = timeframe or Timeframe.current()
         started = self._begin_query()
-        try:
-            modeler = self._modeler()
-            node = modeler.view.topology.node(host)
-            if not node.is_compute:
-                raise QueryError(
-                    f"node_info is only defined for compute nodes, not {host!r}"
+        with obs.span("query.node_info") as sp:
+            try:
+                modeler = self._modeler()
+                if sp:
+                    hits, misses = self.cache_stats.hits, self.cache_stats.misses
+                node = modeler.view.topology.node(host)
+                if not node.is_compute:
+                    raise QueryError(
+                        f"node_info is only defined for compute nodes, not {host!r}"
+                    )
+                load = modeler.cpu_load(host, timeframe)
+                if sp:
+                    self._annotate_query_span(sp, modeler, hits, misses)
+                    sp.set(host=host)
+                return NodeAnswer(
+                    name=host,
+                    compute_speed=node.compute_speed,
+                    memory_bytes=node.memory_bytes,
+                    cpu_load=load,
+                    cpu_available=load.complement_of(1.0),
                 )
-            load = modeler.cpu_load(host, timeframe)
-            return NodeAnswer(
-                name=host,
-                compute_speed=node.compute_speed,
-                memory_bytes=node.memory_bytes,
-                cpu_load=load,
-                cpu_available=load.complement_of(1.0),
-            )
-        finally:
-            self._end_query(started)
+            finally:
+                self._end_query(started, "node_info")
 
     # -- admission / guaranteed-service queries --------------------------------
 
@@ -329,26 +373,130 @@ class Remos:
         if not fixed_flows:
             raise QueryError("check_admission requires at least one flow")
         started = self._begin_query()
-        try:
-            modeler = self._modeler()
-            requests = []
-            for index, flow in enumerate(fixed_flows):
-                if isinstance(flow, MulticastFlow):
-                    resources = modeler.resources_for_tree(flow.src, list(flow.dsts))
-                else:
-                    resources = modeler.resources_for_route(flow.src, flow.dst)
-                requests.append(
-                    FlowRequest(
-                        flow_id=flow.label(index, "fixed"),
-                        resources=resources,
-                        requested=flow.requested,
-                        cap=flow.requested,
+        with obs.span("query.check_admission") as sp:
+            try:
+                modeler = self._modeler()
+                if sp:
+                    hits, misses = self.cache_stats.hits, self.cache_stats.misses
+                requests = []
+                for index, flow in enumerate(fixed_flows):
+                    if isinstance(flow, MulticastFlow):
+                        resources = modeler.resources_for_tree(flow.src, list(flow.dsts))
+                    else:
+                        resources = modeler.resources_for_route(flow.src, flow.dst)
+                    requests.append(
+                        FlowRequest(
+                            flow_id=flow.label(index, "fixed"),
+                            resources=resources,
+                            requested=flow.requested,
+                            cap=flow.requested,
+                        )
                     )
-                )
-            capacities = modeler.available_capacities(timeframe, quantile="median")
-            return admission_report(capacities, requests)
-        finally:
-            self._end_query(started)
+                capacities = modeler.available_capacities(timeframe, quantile="median")
+                report = admission_report(capacities, requests)
+                if sp:
+                    self._annotate_query_span(sp, modeler, hits, misses)
+                    sp.set(flow_count=len(fixed_flows))
+                return report
+            finally:
+                self._end_query(started, "check_admission")
+
+    # -- telemetry --------------------------------------------------------------
+
+    @staticmethod
+    def _sweeps_of(collector) -> int | None:
+        for attribute in ("polls_completed", "sweeps_completed"):
+            value = getattr(collector, attribute, None)
+            if value is not None:
+                return int(value)
+        return None
+
+    def _sweep_count(self) -> int | None:
+        """Completed measurement sweeps of the backing collector(s)."""
+        children = getattr(self._source, "collectors", None)
+        if children is not None:  # CollectorMaster: sum over its children
+            return sum(self._sweeps_of(child) or 0 for child in children)
+        return self._sweeps_of(self._source)
+
+    def staleness_seconds(self) -> float | None:
+        """Simulated seconds since the newest measurement, or None.
+
+        None when the source is a static view (no clock to age against) or
+        nothing has been measured yet.
+        """
+        env = getattr(self._source, "env", None)
+        if env is None:
+            return None
+        try:
+            latest = self._current_view().metrics.latest_timestamp()
+        except Exception:
+            return None
+        if latest <= 0.0:
+            return None
+        return max(0.0, env.now - latest)
+
+    def _publish_gauges(self) -> None:
+        """Fold this facade's counters into the global metrics registry.
+
+        Registered as callback gauges read at export time, so the query hot
+        path never pays for them.  With several live Remos instances the
+        most recent publisher wins (see docs/OBSERVABILITY.md).
+        """
+        registry = obs.get_registry()
+        stats = self.cache_stats
+        for name, help_text, read in (
+            ("remos_cache_hits_total", "Memoised lookups served from cache", lambda: float(stats.hits)),
+            ("remos_cache_misses_total", "Memoised lookups that had to compute", lambda: float(stats.misses)),
+            ("remos_cache_hit_rate", "Fraction of memoised lookups served from cache", lambda: stats.hit_rate),
+            ("remos_cache_invalidations_total", "Generation changes that dropped cached entries", lambda: float(stats.invalidations)),
+            ("remos_routing_rebuilds_total", "View refreshes that forced a new routing table", lambda: float(stats.routing_rebuilds)),
+            ("remos_queries_total", "Public Remos queries answered", lambda: float(stats.queries)),
+            ("remos_query_mean_seconds", "Mean wall-clock seconds per answered query", lambda: stats.mean_query_time),
+            ("remos_collector_sweeps", "Completed measurement sweeps of the backing collector", lambda: float(self._sweep_count() or 0)),
+            ("remos_view_staleness_seconds", "Simulated seconds since the newest measurement", lambda: self.staleness_seconds() or 0.0),
+        ):
+            registry.gauge(name, help=help_text).set_function(read)
+
+    def telemetry(self) -> dict:
+        """One combined, JSON-able observability snapshot for this facade.
+
+        Folds the query cache (`CacheStats`), view freshness/staleness,
+        collector sweep counts, and — when observability is enabled — the
+        global metrics registry (per-stage latency quartiles included) into
+        a single report.  ``repro stats`` is a thin shell around this.
+        """
+        if obs.metrics_enabled():
+            self._publish_gauges()
+        try:
+            view = self._current_view()
+        except Exception:  # collector not ready yet
+            view = None
+        env = getattr(self._source, "env", None)
+        view_info = None
+        if view is not None:
+            view_info = {
+                "generation": view.generation,
+                "nodes": len(view.topology.nodes),
+                "links": len(view.topology.links),
+                "latest_timestamp": view.metrics.latest_timestamp(),
+                "staleness_seconds": self.staleness_seconds(),
+            }
+        collector_info = None
+        if isinstance(self._source, Collector):
+            collector_info = {
+                "type": type(self._source).__name__,
+                "sweeps": self._sweep_count(),
+                "sim_now": env.now if env is not None else None,
+                "sim_events": getattr(env, "events_processed", None),
+            }
+        return {
+            "queries_answered": self.queries_answered,
+            "cache": self.cache_stats.to_dict(),
+            "view": view_info,
+            "collector": collector_info,
+            "observability_enabled": obs.observability_enabled(),
+            "metrics": obs.get_registry().to_dict(),
+        }
 
 
 # -- procedural wrappers mirroring the paper's C-style API ----------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro import obs
 from repro.collector.base import NetworkView
 from repro.core.cachestats import CacheStats
 from repro.core.graph import RemosEdge, RemosGraph, RemosNode
@@ -30,6 +31,8 @@ from repro.util.errors import QueryError
 # Accuracy attached to availability claims about directions nobody has
 # measured (assumed idle): low, but not zero — the topology is known.
 UNMEASURED_ACCURACY = 0.25
+
+_log = obs.get_logger("repro.core.modeler")
 
 
 class Modeler:
@@ -89,6 +92,21 @@ class Modeler:
             or self._graph_cache
         ):
             self.stats.invalidated()
+            obs.inc(
+                "remos_cache_invalidations_by_cause_total",
+                help="Cache-dropping events by cause",
+                cause="rebind" if force else "generation",
+            )
+            if _log.enabled_for("debug"):
+                _log.debug(
+                    "cache_invalidated",
+                    old_stamp=self._cache_stamp,
+                    new_stamp=stamp,
+                    entries=len(self._bandwidth_cache)
+                    + len(self._cpu_cache)
+                    + len(self._capacities_cache)
+                    + len(self._graph_cache),
+                )
         self._bandwidth_cache.clear()
         self._cpu_cache.clear()
         self._capacities_cache.clear()
@@ -106,11 +124,22 @@ class Modeler:
         """
         if view is self.view:
             return
-        if not self.routing.is_valid_for(view.topology):
-            self.routing = RoutingTable(view.topology)
-            self.stats.routing_rebuilds += 1
-        self.view = view
-        self._refresh_caches(force=True)
+        with obs.span("modeler.refresh") as sp:
+            rebuilt = not self.routing.is_valid_for(view.topology)
+            if rebuilt:
+                self.routing = RoutingTable(view.topology)
+                self.stats.routing_rebuilds += 1
+            self.view = view
+            self._refresh_caches(force=True)
+            if sp:
+                sp.set(generation=view.generation, routing_rebuilt=rebuilt)
+        if _log.enabled_for("info"):
+            _log.info(
+                "view_rebound",
+                generation=view.generation,
+                routing_rebuilt=rebuilt,
+                nodes=len(view.topology.nodes),
+            )
 
     @property
     def now(self) -> float:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
+from repro import obs
 from repro.fairshare.maxmin import Demand, MaxMinResult, weighted_max_min
 from repro.util.errors import ConfigurationError
 
@@ -92,7 +93,23 @@ def allocate_three_stage(
     fixed = fixed or []
     variable = variable or []
     independent = independent or []
+    with obs.span("fairshare.allocate") as sp:
+        if sp:
+            sp.set(
+                fixed=len(fixed),
+                variable=len(variable),
+                independent=len(independent),
+                resources=len(capacities),
+            )
+        return _allocate_three_stage(capacities, fixed, variable, independent)
 
+
+def _allocate_three_stage(
+    capacities: dict[Hashable, float],
+    fixed: list[FlowRequest],
+    variable: list[FlowRequest],
+    independent: list[FlowRequest],
+) -> StagedAllocation:
     all_ids = [f.flow_id for f in fixed + variable + independent]
     if len(set(all_ids)) != len(all_ids):
         raise ConfigurationError("flow_ids must be unique across all flow classes")

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.net.topology import Link, LinkDirection, Topology
 from repro.util.errors import TopologyError
 
@@ -146,6 +147,20 @@ class RoutingTable:
         return link.latency + 1e-9
 
     def _build(self) -> None:
+        with obs.span("routing.build") as sp:
+            self._build_tables()
+            if sp:
+                sp.set(
+                    nodes=len(self.topology._nodes),
+                    links=len(self.topology.links),
+                    weight=self.weight,
+                )
+        obs.inc(
+            "remos_routing_builds_total",
+            help="All-pairs routing table constructions",
+        )
+
+    def _build_tables(self) -> None:
         # Dijkstra from every node.  Topologies here are small (tens to a
         # few hundred nodes); clarity beats asymptotics.
         import heapq

@@ -1,0 +1,163 @@
+"""repro.obs — the observability layer: metrics, tracing, structured logs.
+
+One switchboard for the whole pipeline.  Everything is **off by default**
+and the disabled fast path costs one module-global check per call site, so
+un-instrumented behaviour (and benchmark numbers) are unchanged until a
+user opts in::
+
+    from repro import obs
+
+    obs.configure_observability()            # turn everything on
+    remos.flow_info(...)                     # now traced + measured
+    print(obs.get_registry().to_prometheus())
+    print(obs.get_tracer().last_trace().format_tree())
+
+Instrumented call sites use three verbs:
+
+* ``obs.span("query.flow_info")`` — a context manager timing one pipeline
+  stage; yields ``None`` when tracing is off, so attribute recording is
+  guarded by a plain ``if sp:``;
+* ``obs.inc("remos_collector_sweeps_total", collector="snmp")`` — bump a
+  counter (no-op when metrics are off);
+* ``obs.get_logger(__name__).info("sweep", generation=3)`` — a structured
+  log line (no-op unless logging is on).
+
+See ``docs/OBSERVABILITY.md`` for the metric-name and span taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.obs.log import StructLogger, configure_logging, get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import NOOP_SPAN, STAGE_HISTOGRAM, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "StructLogger",
+    "STAGE_HISTOGRAM",
+    "NOOP_SPAN",
+    "configure_observability",
+    "reset_observability",
+    "observability_enabled",
+    "metrics_enabled",
+    "tracing_enabled",
+    "get_registry",
+    "get_tracer",
+    "get_logger",
+    "span",
+    "inc",
+    "observe",
+]
+
+
+class _State:
+    """Process-global observability state (flags + live backends)."""
+
+    __slots__ = ("metrics_on", "tracing_on", "registry", "tracer")
+
+    def __init__(self):
+        self.metrics_on = False
+        self.tracing_on = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(registry=self.registry)
+
+
+_state = _State()
+
+
+def configure_observability(
+    enabled: bool = True,
+    *,
+    metrics: bool | None = None,
+    tracing: bool | None = None,
+    logging: bool | None = None,
+    log_level: str = "info",
+    log_format: str = "kv",
+    log_stream: IO[str] | None = None,
+    log_timestamps: bool = True,
+    max_traces: int = 64,
+) -> None:
+    """Single entry point switching the three facilities on (or off).
+
+    *enabled* is the master default; ``metrics`` / ``tracing`` /
+    ``logging`` override it individually.  Existing registry contents and
+    retained traces survive reconfiguration (use
+    :func:`reset_observability` for a clean slate).
+    """
+    _state.metrics_on = enabled if metrics is None else metrics
+    _state.tracing_on = enabled if tracing is None else tracing
+    _state.tracer.traces = type(_state.tracer.traces)(
+        _state.tracer.traces, maxlen=max_traces
+    )
+    configure_logging(
+        enabled=(enabled if logging is None else logging),
+        level=log_level,
+        format=log_format,
+        stream=log_stream,
+        timestamps=log_timestamps,
+    )
+
+
+def reset_observability() -> None:
+    """Back to the pristine disabled state with empty backends (tests)."""
+    from repro.obs.log import _CONFIG
+
+    _state.metrics_on = False
+    _state.tracing_on = False
+    _state.registry = MetricsRegistry()
+    _state.tracer = Tracer(registry=_state.registry)
+    _CONFIG.set_defaults()
+
+
+def observability_enabled() -> bool:
+    """True when metrics or tracing are on (logging is independent)."""
+    return _state.metrics_on or _state.tracing_on
+
+
+def metrics_enabled() -> bool:
+    return _state.metrics_on
+
+
+def tracing_enabled() -> bool:
+    return _state.tracing_on
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (readable even while disabled)."""
+    return _state.registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (readable even while disabled)."""
+    return _state.tracer
+
+
+# -- hot-path verbs used by instrumented call sites -----------------------------
+
+
+def span(name: str, root: bool = False, detached: bool = False):
+    """A timing span, or the shared no-op when tracing is off."""
+    if not _state.tracing_on:
+        return NOOP_SPAN
+    return _state.tracer.span(name, root=root, detached=detached)
+
+
+def inc(name: str, amount: float = 1.0, help: str = "", **labels) -> None:
+    """Bump a counter (created on first use); no-op when metrics are off."""
+    if not _state.metrics_on:
+        return
+    _state.registry.counter(name, labels=labels or None, help=help).inc(amount)
+
+
+def observe(name: str, value: float, help: str = "", **labels) -> None:
+    """Record a histogram observation; no-op when metrics are off."""
+    if not _state.metrics_on:
+        return
+    _state.registry.histogram(name, labels=labels or None, help=help).observe(value)

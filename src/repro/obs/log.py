@@ -1,0 +1,126 @@
+"""Structured logging: key=value or JSON lines, disabled by default.
+
+``get_logger(name)`` returns a :class:`StructLogger` whose methods take an
+*event* name plus arbitrary keyword fields::
+
+    log = get_logger("repro.collector.snmp")
+    log.info("sweep", polls=3, generation=3, samples=42)
+
+    # kv format  -> level=info logger=repro.collector.snmp event=sweep \
+    #               polls=3 generation=3 samples=42
+    # json format-> {"level": "info", "logger": ..., "event": "sweep", ...}
+
+Logging is **off** until :func:`repro.obs.configure_observability` turns it
+on; the disabled path is a single attribute check per call.  Loggers are
+plain views over the module-global :class:`LogConfig`, so a logger created
+at import time picks up any later reconfiguration.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO
+
+from repro.util.errors import ConfigurationError
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class LogConfig:
+    """Mutable global logging configuration (one instance per process)."""
+
+    __slots__ = ("enabled", "threshold", "format", "stream", "timestamps")
+
+    def __init__(self):
+        self.set_defaults()
+
+    def set_defaults(self) -> None:
+        self.enabled = False
+        self.threshold = LEVELS["info"]
+        self.format = "kv"
+        self.stream: IO[str] | None = None  # None -> sys.stderr at emit time
+        self.timestamps = True
+
+
+_CONFIG = LogConfig()
+
+
+def configure_logging(
+    enabled: bool = True,
+    level: str = "info",
+    format: str = "kv",
+    stream: IO[str] | None = None,
+    timestamps: bool = True,
+) -> None:
+    """(Re)configure the global logger; called by ``configure_observability``."""
+    if level not in LEVELS:
+        raise ConfigurationError(f"unknown log level {level!r}; choose from {list(LEVELS)}")
+    if format not in ("kv", "json"):
+        raise ConfigurationError(f"unknown log format {format!r}; choose 'kv' or 'json'")
+    _CONFIG.enabled = enabled
+    _CONFIG.threshold = LEVELS[level]
+    _CONFIG.format = format
+    _CONFIG.stream = stream
+    _CONFIG.timestamps = timestamps
+
+
+def _format_value(value) -> str:
+    """One kv-format value: floats compactly, awkward strings quoted."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if text == "" or any(c in text for c in (" ", "=", '"', "\n")):
+        return json.dumps(text)
+    return text
+
+
+class StructLogger:
+    """A named emitter of structured log lines (cheap when disabled)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        config = _CONFIG
+        stream = config.stream if config.stream is not None else sys.stderr
+        if config.format == "json":
+            record: dict = {"level": level, "logger": self.name, "event": event}
+            if config.timestamps:
+                record["ts"] = round(time.time(), 6)
+            record.update(fields)
+            stream.write(json.dumps(record, default=str) + "\n")
+            return
+        parts = [f"level={level}", f"logger={self.name}", f"event={_format_value(event)}"]
+        if config.timestamps:
+            parts.insert(0, f"ts={time.time():.6f}")
+        parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+        stream.write(" ".join(parts) + "\n")
+
+    def debug(self, event: str, **fields) -> None:
+        if _CONFIG.enabled and _CONFIG.threshold <= 10:
+            self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        if _CONFIG.enabled and _CONFIG.threshold <= 20:
+            self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        if _CONFIG.enabled and _CONFIG.threshold <= 30:
+            self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        if _CONFIG.enabled and _CONFIG.threshold <= 40:
+            self._emit("error", event, fields)
+
+    def enabled_for(self, level: str) -> bool:
+        """True when a call at *level* would emit (guard expensive fields)."""
+        return _CONFIG.enabled and _CONFIG.threshold <= LEVELS[level]
+
+
+def get_logger(name: str) -> StructLogger:
+    """A structured logger for *name* (conventionally the module path)."""
+    return StructLogger(name)

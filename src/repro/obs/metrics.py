@@ -1,0 +1,299 @@
+"""The metrics registry: counters, gauges, and quartile histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments, each
+optionally distinguished by a fixed label set (Prometheus-style).  Three
+instrument kinds cover everything the pipeline reports:
+
+* :class:`Counter` — a monotonically increasing total (sweeps completed,
+  cache hits);
+* :class:`Gauge` — a point-in-time value, settable directly or lazily via a
+  callback read at export time (staleness, live hit rate);
+* :class:`Histogram` — a bounded sample reservoir summarised as the paper's
+  own five-number quartile measure (:class:`~repro.stats.StatMeasure`), so
+  per-stage latencies are reported in exactly the statistical language
+  Remos answers queries in.
+
+The registry exports as plain dicts (JSON) and as the Prometheus text
+exposition format (counters/gauges verbatim, histograms as summaries with
+``quantile`` labels).  Everything is stdlib + the existing stats layer; no
+external metrics client is required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.stats import StatMeasure
+from repro.util.errors import ConfigurationError
+
+#: Immutable, hashable form of a label set: sorted (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str] | None) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value: backslash, double-quote, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a HELP line: backslash and newline (quotes are legal there)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_labels(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative: counters never go down)."""
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"labels": dict(self.labels), "value": self._value}
+
+
+class Gauge:
+    """A point-in-time value, set directly or read from a callback."""
+
+    __slots__ = ("name", "labels", "_value", "_fn")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read the gauge lazily from *fn* at export time (last caller wins)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """A bounded reservoir of observations summarised as quartiles.
+
+    The newest ``max_samples`` observations are kept (older ones slide
+    out), so the summary tracks recent behaviour without unbounded memory.
+    ``count`` and ``sum`` cover *every* observation ever made, matching
+    Prometheus summary semantics.
+    """
+
+    __slots__ = ("name", "labels", "max_samples", "_samples", "_count", "_sum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey = (), max_samples: int = 2048):
+        if max_samples <= 0:
+            raise ConfigurationError("histogram needs a positive sample bound")
+        self.name = name
+        self.labels = labels
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._count += 1
+        self._sum += value
+        samples = self._samples
+        samples.append(float(value))
+        if len(samples) > self.max_samples:
+            # Drop the oldest half in one go: O(1) amortised per observe.
+            del samples[: len(samples) // 2]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def summary(self) -> StatMeasure | None:
+        """Quartile summary of the retained samples (None when empty)."""
+        if not self._samples:
+            return None
+        return StatMeasure.from_samples(self._samples)
+
+    def snapshot(self) -> dict:
+        measure = self.summary()
+        return {
+            "labels": dict(self.labels),
+            "count": self._count,
+            "sum": self._sum,
+            "summary": measure.to_dict() if measure is not None else None,
+        }
+
+
+#: Quantiles exported for histograms, as (prometheus quantile, attribute).
+_EXPORT_QUANTILES = (
+    ("0", "minimum"),
+    ("0.25", "q1"),
+    ("0.5", "median"),
+    ("0.75", "q3"),
+    ("1", "maximum"),
+)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument, with JSON/Prometheus export.
+
+    Instruments are identified by ``(name, labels)``; asking twice returns
+    the same object, and asking for an existing name with a different
+    *kind* is an error (one name = one kind, as in Prometheus).
+    """
+
+    def __init__(self):
+        self._instruments: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+        self._help: dict[str, str] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, str] | None, help: str, **kwargs):
+        key = (name, _label_key(labels))
+        known = self._kinds.get(name)
+        if known is not None and known != cls.kind:
+            raise ConfigurationError(
+                f"metric {name!r} is already registered as a {known}"
+            )
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+            self._kinds[name] = cls.kind
+            if help:
+                self._help[name] = help
+        return instrument
+
+    def counter(
+        self, name: str, labels: dict[str, str] | None = None, help: str = ""
+    ) -> Counter:
+        return self._get(Counter, name, labels, help)
+
+    def gauge(
+        self, name: str, labels: dict[str, str] | None = None, help: str = ""
+    ) -> Gauge:
+        return self._get(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict[str, str] | None = None,
+        help: str = "",
+        max_samples: int = 2048,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, help, max_samples=max_samples)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def reset(self) -> None:
+        """Forget every instrument (tests / between benchmark phases)."""
+        self._instruments.clear()
+        self._help.clear()
+        self._kinds.clear()
+
+    # -- export -----------------------------------------------------------------
+
+    def _by_name(self) -> dict[str, list[Counter | Gauge | Histogram]]:
+        grouped: dict[str, list] = {}
+        for (name, _), instrument in sorted(
+            self._instruments.items(), key=lambda item: item[0]
+        ):
+            grouped.setdefault(name, []).append(instrument)
+        return grouped
+
+    def to_dict(self) -> dict:
+        """Plain-data form: ``{name: {type, help, series: [...]}}``."""
+        result: dict[str, dict] = {}
+        for name, instruments in self._by_name().items():
+            result[name] = {
+                "type": self._kinds[name],
+                "help": self._help.get(name, ""),
+                "series": [instrument.snapshot() for instrument in instruments],
+            }
+        return result
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (histograms as summaries)."""
+        lines: list[str] = []
+        for name, instruments in self._by_name().items():
+            kind = self._kinds[name]
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {'summary' if kind == 'histogram' else kind}")
+            for instrument in instruments:
+                if isinstance(instrument, Histogram):
+                    measure = instrument.summary()
+                    if measure is not None:
+                        for quantile, attribute in _EXPORT_QUANTILES:
+                            labels = _format_labels(
+                                instrument.labels, (("quantile", quantile),)
+                            )
+                            value = getattr(measure, attribute)
+                            lines.append(f"{name}{labels} {_format_value(value)}")
+                    labels = _format_labels(instrument.labels)
+                    lines.append(f"{name}_sum{labels} {_format_value(instrument.sum)}")
+                    lines.append(f"{name}_count{labels} {instrument.count}")
+                else:
+                    labels = _format_labels(instrument.labels)
+                    lines.append(f"{name}{labels} {_format_value(instrument.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")

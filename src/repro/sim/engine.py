@@ -10,9 +10,12 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator
 
+from repro import obs
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.util.errors import SimulationError
+
+_log = obs.get_logger("repro.sim.engine")
 
 
 class Engine:
@@ -32,6 +35,7 @@ class Engine:
         self._now = float(start)
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        self.events_processed = 0
         self.strict = strict
         self._active_process: Process | None = None
         # Keep every live process reachable.  A process waiting forever on
@@ -69,6 +73,7 @@ class Engine:
             raise SimulationError("no scheduled events")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         event._run_callbacks()
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -79,6 +84,23 @@ class Engine:
         * ``until=<Event>`` — run until that event has been processed and
           return its value (raising if it failed).
         """
+        if _log.enabled_for("debug"):
+            return self._run_logged(until)
+        return self._run(until)
+
+    def _run_logged(self, until: float | Event | None) -> Any:
+        events_before, started = self.events_processed, self._now
+        try:
+            return self._run(until)
+        finally:
+            _log.debug(
+                "run",
+                events=self.events_processed - events_before,
+                sim_from=started,
+                sim_to=self._now,
+            )
+
+    def _run(self, until: float | Event | None = None) -> Any:
         if isinstance(until, Event):
             stop_event = until
             while not stop_event.processed:

@@ -1,0 +1,12 @@
+"""Shared fixtures: every obs test starts and ends with pristine state."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    obs.reset_observability()
+    yield
+    obs.reset_observability()

@@ -1,0 +1,107 @@
+"""Structured logging: formats, level filtering, and the disabled default."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.util.errors import ConfigurationError
+
+
+def capture(**config) -> io.StringIO:
+    """Enable logging into a StringIO and return it."""
+    stream = io.StringIO()
+    obs.configure_observability(
+        metrics=False, tracing=False, logging=True, log_stream=stream, **config
+    )
+    return stream
+
+
+class TestDisabledDefault:
+    def test_no_output_until_configured(self):
+        stream = io.StringIO()
+        # Point the stream anyway: even a captured logger must stay silent.
+        obs.configure_observability(
+            enabled=False, logging=False, log_stream=stream
+        )
+        log = obs.get_logger("repro.test")
+        log.error("should_not_appear", value=1)
+        assert stream.getvalue() == ""
+
+    def test_enabled_for_guard(self):
+        log = obs.get_logger("repro.test")
+        assert not log.enabled_for("error")
+        capture(log_level="info")
+        assert log.enabled_for("info")
+        assert not log.enabled_for("debug")
+
+
+class TestKvFormat:
+    def test_line_shape(self):
+        stream = capture(log_level="debug", log_timestamps=False)
+        obs.get_logger("repro.collector.snmp").info("sweep", polls=3, generation=2)
+        assert stream.getvalue() == (
+            "level=info logger=repro.collector.snmp event=sweep polls=3 generation=2\n"
+        )
+
+    def test_timestamps_lead_the_line(self):
+        stream = capture()
+        obs.get_logger("repro.test").info("tick")
+        assert stream.getvalue().startswith("ts=")
+
+    def test_awkward_strings_are_quoted(self):
+        stream = capture(log_timestamps=False)
+        obs.get_logger("repro.test").info("note", msg='two words "quoted"')
+        assert 'msg="two words \\"quoted\\""' in stream.getvalue()
+
+    def test_floats_are_compact(self):
+        stream = capture(log_timestamps=False)
+        obs.get_logger("repro.test").info("tick", elapsed=0.123456789)
+        assert "elapsed=0.123457" in stream.getvalue()
+
+
+class TestJsonFormat:
+    def test_lines_are_json_objects(self):
+        stream = capture(log_format="json", log_timestamps=False)
+        obs.get_logger("repro.core.modeler").info(
+            "view_rebound", generation=5, routing_rebuilt=False
+        )
+        record = json.loads(stream.getvalue())
+        assert record == {
+            "level": "info",
+            "logger": "repro.core.modeler",
+            "event": "view_rebound",
+            "generation": 5,
+            "routing_rebuilt": False,
+        }
+
+    def test_non_serialisable_fields_fall_back_to_str(self):
+        stream = capture(log_format="json", log_timestamps=False)
+        obs.get_logger("repro.test").info("obj", thing=object())
+        record = json.loads(stream.getvalue())
+        assert record["thing"].startswith("<object object")
+
+
+class TestLevelFiltering:
+    def test_below_threshold_is_dropped(self):
+        stream = capture(log_level="warning", log_timestamps=False)
+        log = obs.get_logger("repro.test")
+        log.debug("dropped")
+        log.info("dropped")
+        log.warning("kept")
+        log.error("kept")
+        levels = [line.split()[0] for line in stream.getvalue().splitlines()]
+        assert levels == ["level=warning", "level=error"]
+
+    def test_invalid_level_and_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            obs.configure_observability(logging=True, log_level="verbose")
+        with pytest.raises(ConfigurationError):
+            obs.configure_observability(logging=True, log_format="xml")
+
+    def test_loggers_track_reconfiguration(self):
+        log = obs.get_logger("repro.test")  # created while disabled
+        stream = capture(log_timestamps=False)
+        log.info("now_visible")
+        assert "event=now_visible" in stream.getvalue()

@@ -1,0 +1,148 @@
+"""Counter/gauge/histogram semantics and the two export formats."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.util.errors import ConfigurationError
+
+
+class TestCounter:
+    def test_monotone_increase(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sweeps_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("sweeps_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", labels={"k": "v"}) is not registry.counter("a")
+        assert registry.counter("a", labels={"k": "v"}) is registry.counter(
+            "a", labels={"k": "v"}
+        )
+
+    def test_one_name_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+    def test_callback_read_at_export_time(self):
+        registry = MetricsRegistry()
+        state = {"v": 1.0}
+        gauge = registry.gauge("live")
+        gauge.set_function(lambda: state["v"])
+        assert gauge.value == 1.0
+        state["v"] = 7.0
+        assert gauge.value == 7.0  # lazily re-read, not a snapshot
+        assert "live 7.0" in registry.to_prometheus()
+
+    def test_set_overrides_callback(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set_function(lambda: 99.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_summary_is_quartile_measure(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary.minimum == 1.0 and summary.maximum == 100.0
+        assert summary.q1 < summary.median < summary.q3
+        assert histogram.count == 100
+        assert histogram.sum == pytest.approx(5050.0)
+
+    def test_empty_summary_is_none(self):
+        assert MetricsRegistry().histogram("empty").summary() is None
+
+    def test_bounded_reservoir_keeps_recent_but_counts_all(self):
+        histogram = MetricsRegistry().histogram("h", max_samples=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.sum == pytest.approx(sum(range(100)))
+        # The retained window slid forward: old samples no longer dominate.
+        assert histogram.summary().minimum >= 50.0
+
+
+class TestJsonExport:
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"kind": "x"}, help="a counter").inc(2)
+        registry.histogram("h").observe(1.0)
+        data = registry.to_dict()
+        assert data["c"]["type"] == "counter"
+        assert data["c"]["help"] == "a counter"
+        assert data["c"]["series"] == [{"labels": {"kind": "x"}, "value": 2.0}]
+        assert data["h"]["series"][0]["summary"]["median"] == 1.0
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("sweeps_total", help="sweeps done").inc(3)
+        registry.gauge("depth", labels={"site": "cmu"}).set(2.0)
+        text = registry.to_prometheus()
+        assert "# HELP sweeps_total sweeps done" in text
+        assert "# TYPE sweeps_total counter" in text
+        assert "sweeps_total 3.0" in text
+        assert 'depth{site="cmu"} 2.0' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exports_as_summary_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", labels={"stage": "q"})
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert "# TYPE lat summary" in text
+        assert 'lat{stage="q",quantile="0.5"} 2.5' in text
+        assert 'lat_sum{stage="q"} 10.0' in text
+        assert 'lat_count{stage="q"} 4' in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"path": 'a"b\\c\nd'}).inc()
+        line = [l for l in registry.to_prometheus().splitlines() if l.startswith("c{")][0]
+        # Raw specials must appear escaped: \" for quote, \\ for backslash,
+        # literal backslash-n (not a real newline) for the newline.
+        assert line == 'c{path="a\\"b\\\\c\\nd"} 1.0'
+        assert "\n" not in line
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="two\nlines with \\ slash").inc()
+        text = registry.to_prometheus()
+        assert "# HELP c two\\nlines with \\\\ slash" in text
+
+    def test_non_finite_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(math.inf)
+        assert "g +Inf" in registry.to_prometheus()
+
+    def test_reset_forgets_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.to_prometheus() == ""

@@ -1,0 +1,174 @@
+"""Span nesting, timing, detachment, retention, and the no-op path."""
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NOOP_SPAN, STAGE_HISTOGRAM, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by a fixed tick."""
+
+    def __init__(self, tick: float = 1.0):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSpanNesting:
+    def test_child_inherits_trace_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("query.flow_info") as root:
+            with tracer.span("fairshare.allocate") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+                assert tracer.current_span is child
+            assert tracer.current_span is root
+        assert tracer.current_span is None
+        assert root.children() == [child]
+        assert child.children() == []
+
+    def test_finish_order_children_before_root(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        trace = tracer.last_trace("outer")
+        assert [span.name for span in trace.spans] == ["a", "b", "outer"]
+        assert [child.name for child in trace.children()] == ["a", "b"]
+
+    def test_sequential_roots_get_fresh_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        ids = [trace.trace_id for trace in tracer.traces]
+        assert len(set(ids)) == 2
+
+    def test_root_flag_forces_new_trace_inside_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", root=True) as inner:
+                assert inner.trace_id != outer.trace_id
+                assert inner.parent_id is None
+
+    def test_detached_span_does_not_capture_interleaved_spans(self):
+        # Models a collector sweep that yields to the engine mid-span: a
+        # query traced while the sweep span is open must not nest under it.
+        tracer = Tracer()
+        sweep = tracer.span("collector.sweep", detached=True)
+        sweep.__enter__()
+        assert tracer.current_span is None
+        with tracer.span("query.flow_info") as query:
+            assert query.parent_id is None
+            assert query.trace_id != sweep.trace_id
+        sweep.__exit__(None, None, None)
+        assert {trace.name for trace in tracer.traces} == {
+            "collector.sweep",
+            "query.flow_info",
+        }
+
+    def test_error_recorded_and_nesting_restored(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.current_span is None
+        assert tracer.last_trace("failing").error == "ValueError: boom"
+
+
+class TestSpanTiming:
+    def test_duration_from_clock(self):
+        clock = FakeClock(tick=0.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("stage") as span:
+            clock.advance(2.5)
+        assert span.duration == 2.5
+
+    def test_finish_is_idempotent(self):
+        clock = FakeClock(tick=0.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("stage") as span:
+            clock.advance(1.0)
+        clock.advance(10.0)
+        span.finish()
+        assert span.duration == 1.0
+        assert tracer.spans_finished == 1
+
+    def test_durations_feed_stage_histogram(self):
+        registry = MetricsRegistry()
+        clock = FakeClock(tick=0.0)
+        tracer = Tracer(registry=registry, clock=clock)
+        for seconds in (1.0, 3.0):
+            with tracer.span("routing.build"):
+                clock.advance(seconds)
+        histogram = registry.histogram(STAGE_HISTOGRAM, labels={"stage": "routing.build"})
+        assert histogram.count == 2
+        assert histogram.sum == 4.0
+
+
+class TestAttributesAndExport:
+    def test_set_accumulates_attributes(self):
+        tracer = Tracer()
+        with tracer.span("q") as span:
+            span.set(generation=3)
+            span.set(flow_count=12)
+        assert span.attributes == {"generation": 3, "flow_count": 12}
+
+    def test_tree_and_format_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            outer.set(generation=1)
+            with tracer.span("inner"):
+                pass
+        tree = outer.tree()
+        assert tree["name"] == "outer"
+        assert [node["name"] for node in tree["children"]] == ["inner"]
+        rendered = outer.format_tree()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("outer ") and "[generation=1]" in lines[0]
+        assert lines[1].startswith("  inner ")
+
+    def test_trace_retention_is_bounded(self):
+        tracer = Tracer(max_traces=3)
+        for index in range(10):
+            with tracer.span(f"t{index}"):
+                pass
+        assert [trace.name for trace in tracer.traces] == ["t7", "t8", "t9"]
+        assert tracer.last_trace().name == "t9"
+        assert tracer.last_trace("t8").name == "t8"
+        assert tracer.last_trace("t0") is None
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_noop(self):
+        assert not obs.tracing_enabled()
+        assert obs.span("query.flow_info") is NOOP_SPAN
+        with obs.span("query.flow_info") as sp:
+            assert sp is None  # call sites guard with `if sp:`
+        assert len(obs.get_tracer().traces) == 0
+
+    def test_disabled_metrics_verbs_record_nothing(self):
+        obs.inc("remos_collector_sweeps_total", collector="snmp")
+        obs.observe("remos_query_seconds", 0.1, query="flow_info")
+        assert len(obs.get_registry()) == 0
+
+    def test_enabled_span_is_real_and_retained(self):
+        obs.configure_observability(metrics=False, tracing=True, logging=False)
+        with obs.span("query.get_graph") as sp:
+            assert sp is not None
+            sp.set(node_count=4)
+        trace = obs.get_tracer().last_trace("query.get_graph")
+        assert trace is not None
+        assert trace.attributes["node_count"] == 4
