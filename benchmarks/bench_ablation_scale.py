@@ -2,34 +2,65 @@
 
 "We are also looking into the problem of dealing with very large
 networks, where multiple collectors will have to collaborate."  We sweep
-the network size (balanced router trees with 8..64 hosts) and measure:
+the network size (balanced router trees with 8..256 hosts) and measure:
 
 * SNMP discovery cost (requests to map the topology),
 * per-sweep polling cost (requests per counter sweep),
-* wall time of one ``get_graph`` over all hosts + distance matrix,
+* the query-engine workload an adaptive application actually issues: a
+  ``get_graph`` over a handful of spread-out hosts plus a batched
+  flow-scenario sweep, with the lazy routing-build count and max-min
+  iteration count alongside the wall times,
+* (up to 64 hosts) the legacy all-hosts ``get_graph`` + full distance
+  matrix — the distance matrix is cubic in queried hosts, which is an
+  application-side cost, so the large sizes stick to the few-node
+  workload the engine optimisations target,
 
-then show the multi-collector answer: two collectors each covering half
-of a 32-host network discover in parallel and merge, reducing
-time-to-ready versus one collector walking everything.
+then two head-to-heads:
+
+* the §5 multi-collector answer — two collectors each covering half of a
+  32-host network discover in parallel and merge, reducing time-to-ready
+  versus one collector walking everything;
+* the scalable-query-engine speedup — the 256-host few-node selection
+  sweep (``get_graph`` over the pool + greedy flow-aware selection via
+  ``flow_info_batch``) against the frozen pre-rewrite kernels in
+  :mod:`benchmarks._reference` (eager all-pairs routing, full-capacity
+  staged max-min per candidate per quantile).  Both engines must pick
+  the same cluster; the new one must be at least 3x faster.
+
+``test_scale_report`` renders the paper-style table and writes the
+machine-readable trajectory to ``BENCH_scale.json`` at the repo root.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
+from repro.adapt import select_nodes_flow_aware
 from repro.bench import Table
-from repro.collector import CollectorMaster, SNMPCollector
-from repro.core import Remos, Timeframe
+from repro.collector import CollectorMaster, MetricsStore, SNMPCollector
+from repro.collector.base import NetworkView
+from repro.core import Flow, FlowQuery, Remos, Timeframe
+from repro.core.modeler import Modeler
+from repro.fairshare import Demand, FlowRequest, MaxMinProblem
 from repro.net import TopologyBuilder
 from repro.netsim import FluidNetwork
 from repro.sim import Engine
 from repro.snmp import SNMPAgent
 
 from benchmarks._experiments import emit
+from benchmarks._reference import ReferenceRoutingTable, reference_allocate_three_stage
 
 _results: dict = {}
+
+SWEEP_SIZES = [8, 16, 32, 64, 128, 256]
+#: Above this size the all-hosts get_graph + distance matrix (cubic in the
+#: queried host count) dwarfs everything else; see the module docstring.
+ALL_HOSTS_GRAPH_LIMIT = 64
+_LEVELS = ("minimum", "q1", "median", "q3", "maximum", "mean")
 
 
 def build_tree(n_hosts: int, hosts_per_router: int = 4):
@@ -52,6 +83,13 @@ def build_tree(n_hosts: int, hosts_per_router: int = 4):
     return builder.build(), hosts
 
 
+def spread_hosts(hosts: list[str], count: int) -> list[str]:
+    """*count* hosts spread evenly across the tree (distinct leaf routers)."""
+    n = len(hosts)
+    picks = sorted({i * (n - 1) // (count - 1) for i in range(count)})
+    return [hosts[i] for i in picks]
+
+
 def scale_point(n_hosts: int) -> dict:
     topology, hosts = build_tree(n_hosts)
     env = Engine()
@@ -69,34 +107,173 @@ def scale_point(n_hosts: int) -> dict:
     sweep_requests = collector.client.requests_sent - before_requests
 
     remos = Remos(collector)
+    query_hosts = spread_hosts(hosts, min(5, n_hosts))
+    timeframe = Timeframe.current()
+
+    # The few-node application workload the engine optimisations target.
     t0 = time.perf_counter()
-    graph = remos.get_graph(hosts, Timeframe.current())
-    graph.distance_matrix(hosts)
-    graph_wall = time.perf_counter() - t0
-    return {
+    graph = remos.get_graph(query_hosts, timeframe)
+    graph.distance_matrix(query_hosts)
+    query_graph_wall = time.perf_counter() - t0
+    modeler = remos._modeler()
+    source_builds = modeler.routing.source_builds
+
+    scenarios = [
+        FlowQuery(
+            variable=[
+                Flow(src, dst, requested=1.0, name=f"{src}->{dst}")
+                for src in query_hosts
+                for dst in query_hosts
+                if src != dst and src != left_out and dst != left_out
+            ],
+            name=f"without-{left_out}",
+        )
+        for left_out in query_hosts
+    ]
+    t0 = time.perf_counter()
+    remos.flow_info_batch(scenarios, timeframe)
+    flow_batch_wall = time.perf_counter() - t0
+
+    # Max-min filling steps for the all-to-all allocation at median load.
+    demands = [
+        Demand(f"{src}->{dst}", modeler.resources_for_route(src, dst))
+        for src in query_hosts
+        for dst in query_hosts
+        if src != dst
+    ]
+    capacities = modeler.available_capacities(timeframe, quantile="median")
+    iterations = MaxMinProblem(demands).solve(capacities).iterations
+
+    result = {
         "hosts": n_hosts,
         "discovery_requests": discovery_requests,
         "sweep_requests": sweep_requests,
-        "graph_wall_ms": graph_wall * 1e3,
-        "logical_nodes": len(graph.nodes),
+        "query_graph_ms": query_graph_wall * 1e3,
+        "routing_source_builds": source_builds,
+        "flow_batch_ms": flow_batch_wall * 1e3,
+        "maxmin_iterations": iterations,
+        "graph_all_hosts_ms": None,
+        "logical_nodes": None,
     }
+    if n_hosts <= ALL_HOSTS_GRAPH_LIMIT:
+        t0 = time.perf_counter()
+        graph = remos.get_graph(hosts, timeframe)
+        graph.distance_matrix(hosts)
+        result["graph_all_hosts_ms"] = (time.perf_counter() - t0) * 1e3
+        result["logical_nodes"] = len(graph.nodes)
+    return result
 
 
-@pytest.mark.parametrize("n_hosts", [8, 16, 32, 64], ids=lambda n: f"hosts{n}")
+@pytest.mark.parametrize("n_hosts", SWEEP_SIZES, ids=lambda n: f"hosts{n}")
 def test_scale_point(benchmark, n_hosts):
     result = benchmark.pedantic(lambda: scale_point(n_hosts), rounds=1, iterations=1)
     _results[n_hosts] = result
     # Collection cost grows linearly-ish with interfaces, not explosively.
     assert result["sweep_requests"] < 10 * n_hosts
+    # The few-node query must stay lazy: sources built are bounded by the
+    # queried hosts plus the routers between them (at most ~11 for a
+    # 5-host query on this tree), never the whole node set.
+    assert result["routing_source_builds"] <= 20
 
 
 def test_costs_scale_linearly(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if len(_results) < 4:
+    if 8 not in _results or 64 not in _results:
         pytest.skip("scale points did not run")
     small, large = _results[8], _results[64]
     ratio = large["sweep_requests"] / small["sweep_requests"]
     assert ratio < 12  # 8x hosts => ~8x sweeps, no quadratic blowup
+
+
+def reference_selection_sweep(topology, view, pool, k, timeframe):
+    """The pre-rewrite engine answering the same selection question.
+
+    Eager all-pairs routing at construction, then per candidate per
+    quantile a fresh staged max-min over the *full* capacity dict — the
+    one-query-at-a-time cost profile the batch API replaced.  Returns the
+    selected cluster (for the equivalence assertion).
+    """
+    inf = float("inf")
+    routing = ReferenceRoutingTable(topology)
+    modeler = Modeler(view, routing)
+    modeler.logical_graph(list(pool), timeframe).distance_matrix(list(pool))
+    snapshots = {
+        level: modeler.available_capacities(timeframe, quantile=level)
+        for level in _LEVELS
+    }
+
+    def resources(src, dst):
+        route = routing.route(src, dst)
+        keys = [hop.key for hop in route.hops]
+        for name in route.node_sequence:
+            if topology.node(name).internal_bandwidth != inf:
+                keys.append(("xbar", name))
+        return tuple(keys)
+
+    cluster = [pool[0]]
+    while len(cluster) < k:
+        candidates = [host for host in pool if host not in cluster]
+        best_host, best_score = None, float("-inf")
+        for candidate in candidates:
+            group = cluster + [candidate]
+            requests = [
+                FlowRequest(flow_id=f"{s}->{d}", resources=resources(s, d), requested=1.0)
+                for s in group
+                for d in group
+                if s != d
+            ]
+            rates_by_level = {}
+            for level in _LEVELS:
+                rates, _, _, _ = reference_allocate_three_stage(
+                    snapshots[level], variable=requests
+                )
+                rates_by_level[level] = rates
+            score = min(rates_by_level["median"].values())
+            if score > best_score + 1e-15:
+                best_host, best_score = candidate, score
+        cluster.append(best_host)
+    return cluster
+
+
+def test_engine_speedup_at_256_hosts(benchmark):
+    """Few-node get_graph + selection sweep: new engine vs frozen kernels."""
+    topology, hosts = build_tree(256)
+    pool = spread_hosts(hosts, 8)
+    timeframe = Timeframe.static()
+    k = 4
+
+    def experiment():
+        view = NetworkView(topology=topology, metrics=MetricsStore())
+        t0 = time.perf_counter()
+        remos = Remos(view)
+        remos.get_graph(pool, timeframe).distance_matrix(pool)
+        selected = select_nodes_flow_aware(remos, pool, k, pool[0], timeframe)
+        engine_wall = time.perf_counter() - t0
+
+        reference_view = NetworkView(topology=topology, metrics=MetricsStore())
+        t0 = time.perf_counter()
+        reference_cluster = reference_selection_sweep(
+            topology, reference_view, pool, k, timeframe
+        )
+        reference_wall = time.perf_counter() - t0
+        return selected, reference_cluster, engine_wall, reference_wall
+
+    selected, reference_cluster, engine_wall, reference_wall = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    # Same answer, much faster.
+    assert selected.hosts == reference_cluster
+    speedup = reference_wall / engine_wall
+    _results["speedup"] = {
+        "hosts": 256,
+        "pool": pool,
+        "k": k,
+        "selected": selected.hosts,
+        "engine_ms": engine_wall * 1e3,
+        "reference_ms": reference_wall * 1e3,
+        "speedup": speedup,
+    }
+    assert speedup >= 3.0
 
 
 def test_two_collectors_split_the_work(benchmark):
@@ -143,15 +320,25 @@ def test_scale_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     table = Table(
         "Ablation H - scaling with network size (two-level router tree)",
-        ["Hosts", "discovery reqs", "reqs/sweep", "get_graph+matrix (ms)", "logical nodes"],
+        [
+            "Hosts", "discovery reqs", "reqs/sweep", "5-node graph (ms)",
+            "src builds", "flow batch (ms)", "maxmin iters", "all-hosts graph (ms)",
+        ],
     )
-    for n_hosts in (8, 16, 32, 64):
-        if n_hosts in _results:
-            r = _results[n_hosts]
-            table.add_row(
-                n_hosts, r["discovery_requests"], r["sweep_requests"],
-                f"{r['graph_wall_ms']:.1f}", r["logical_nodes"],
-            )
+    sweep = []
+    for n_hosts in SWEEP_SIZES:
+        if n_hosts not in _results:
+            continue
+        r = _results[n_hosts]
+        sweep.append(r)
+        all_hosts_ms = (
+            f"{r['graph_all_hosts_ms']:.1f}" if r["graph_all_hosts_ms"] is not None else "-"
+        )
+        table.add_row(
+            n_hosts, r["discovery_requests"], r["sweep_requests"],
+            f"{r['query_graph_ms']:.1f}", r["routing_source_builds"],
+            f"{r['flow_batch_ms']:.1f}", r["maxmin_iterations"], all_hosts_ms,
+        )
     text = table.render()
     if "collab" in _results:
         solo_ready, master_ready, merged_nodes = _results["collab"]
@@ -160,4 +347,21 @@ def test_scale_report(benchmark):
             f"two collaborating collectors {master_ready:.1f}s "
             f"(merged view: {merged_nodes} nodes)"
         )
+    if "speedup" in _results:
+        s = _results["speedup"]
+        text += (
+            f"\n256-host selection sweep: optimised engine {s['engine_ms']:.1f}ms vs "
+            f"pre-rewrite kernels {s['reference_ms']:.1f}ms "
+            f"({s['speedup']:.1f}x, same cluster {s['selected']})"
+        )
     emit("\n" + text)
+
+    if sweep:
+        payload = {
+            "benchmark": "bench_ablation_scale",
+            "topology": "balanced two-level router tree, 4 hosts per leaf",
+            "sweep": sweep,
+            "engine_speedup": _results.get("speedup"),
+        }
+        out = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -26,6 +26,7 @@ from repro.adapt.selection import (
     minimum_nodes,
     select_nodes,
     select_nodes_compute_aware,
+    select_nodes_flow_aware,
     select_nodes_for_program,
 )
 from repro.adapt.policies import MigrationPolicy
@@ -42,6 +43,7 @@ __all__ = [
     "select_nodes_for_program",
     "minimum_nodes",
     "select_nodes_compute_aware",
+    "select_nodes_flow_aware",
     "MigrationPolicy",
     "AdaptationModule",
     "DepthAdapter",

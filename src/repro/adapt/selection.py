@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.adapt.clustering import cluster_cost, greedy_cluster
 from repro.adapt.distance import communication_distances
-from repro.core import Remos, Timeframe
+from repro.core import Flow, FlowQuery, Remos, Timeframe
 from repro.net import Topology
 from repro.util.errors import ConfigurationError
 
@@ -80,6 +80,80 @@ def select_nodes_compute_aware(
         matrix[index, index] = 0.0
     cluster = greedy_cluster(names, matrix, start, k)
     return SelectionResult(hosts=cluster, cost=cluster_cost(names, matrix, cluster))
+
+
+def _all_to_all_flows(hosts: list[str]) -> tuple[Flow, ...]:
+    """One variable flow per ordered host pair (all-to-all traffic)."""
+    return tuple(
+        Flow(src, dst, requested=1.0, name=f"{src}->{dst}")
+        for src in hosts
+        for dst in hosts
+        if src != dst
+    )
+
+
+def select_nodes_flow_aware(
+    remos: Remos,
+    pool: list[str],
+    k: int,
+    start: str,
+    timeframe: Timeframe | None = None,
+) -> SelectionResult:
+    """Greedy node selection scored by actual max-min flow allocations.
+
+    Where :func:`select_nodes` ranks candidates by pairwise *distances*
+    read off the logical graph, this variant asks the flow engine directly:
+    each growth step poses one :meth:`Remos.flow_info_batch` scenario per
+    candidate — all-to-all variable flows among ``cluster + [candidate]``
+    — and admits the candidate whose scenario's **worst** median allocated
+    bandwidth is highest.  Shared bottlenecks among the prospective
+    cluster's own flows are therefore accounted for exactly, which the
+    distance matrix (independent pairwise estimates) cannot do.
+
+    Cost reported is the sum over unordered host pairs of ``1 / median
+    allocated bandwidth`` in the final cluster's scenario, comparable in
+    spirit (not in scale) to :func:`select_nodes`'s distance cost.
+    Deterministic: ties are broken by pool order.
+    """
+    timeframe = timeframe or Timeframe.current()
+    pool = list(pool)
+    if start not in pool:
+        raise ConfigurationError(f"start node {start!r} not in candidate pool")
+    if not 1 <= k <= len(pool):
+        raise ConfigurationError(f"cluster size {k} out of range 1..{len(pool)}")
+
+    cluster = [start]
+    final_result = None
+    while len(cluster) < k:
+        candidates = [host for host in pool if host not in cluster]
+        scenarios = [
+            FlowQuery(variable=_all_to_all_flows(cluster + [candidate]), name=candidate)
+            for candidate in candidates
+        ]
+        results = remos.flow_info_batch(scenarios, timeframe)
+        best_host = None
+        best_result = None
+        best_score = float("-inf")
+        for candidate, result in zip(candidates, results):
+            score = min(answer.bandwidth.median for answer in result.variable)
+            if score > best_score + 1e-15:
+                best_score = score
+                best_host = candidate
+                best_result = result
+        assert best_host is not None
+        cluster.append(best_host)
+        final_result = best_result
+
+    cost = 0.0
+    if final_result is not None:
+        # Fold the two directions of each pair to their worse median.
+        pair_bandwidth: dict[frozenset, float] = {}
+        for answer in final_result.variable:
+            pair = frozenset((answer.flow.src, answer.flow.dst))
+            band = answer.bandwidth.median
+            pair_bandwidth[pair] = min(band, pair_bandwidth.get(pair, float("inf")))
+        cost = sum(1.0 / max(band, 1.0) for band in pair_bandwidth.values())
+    return SelectionResult(hosts=cluster, cost=cost)
 
 
 def minimum_nodes(program, topology: Topology, pool: list[str]) -> int:

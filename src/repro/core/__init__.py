@@ -21,7 +21,7 @@ mirror the C API's call shapes from the paper.
 
 from repro.core.cachestats import CacheStats
 from repro.core.timeframe import Timeframe, TimeframeKind
-from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, MulticastFlow
+from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, FlowQuery, MulticastFlow
 from repro.core.graph import RemosGraph, RemosEdge, RemosNode
 from repro.core.modeler import Modeler
 from repro.core.api import NodeAnswer, Remos, remos_flow_info, remos_get_graph
@@ -32,6 +32,7 @@ __all__ = [
     "MulticastFlow",
     "FlowAnswer",
     "FlowInfoResult",
+    "FlowQuery",
     "Timeframe",
     "TimeframeKind",
     "RemosGraph",

@@ -26,11 +26,11 @@ from typing import Hashable
 from repro import obs
 from repro.collector.base import Collector, NetworkView
 from repro.core.cachestats import CacheStats
-from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, MulticastFlow
+from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, FlowQuery, MulticastFlow
 from repro.core.graph import RemosGraph
 from repro.core.modeler import Modeler
 from repro.core.timeframe import Timeframe
-from repro.fairshare import FlowRequest, admission_report, allocate_three_stage
+from repro.fairshare import FlowRequest, StagedProblem, admission_report
 from repro.net import RoutingTable
 from repro.stats import StatMeasure
 from repro.util.errors import QueryError
@@ -193,6 +193,68 @@ class Remos:
             finally:
                 self._end_query(started, "flow_info")
 
+    def flow_info_batch(
+        self,
+        queries: list[FlowQuery],
+        timeframe: Timeframe | None = None,
+    ) -> list[FlowInfoResult]:
+        """Answer many flow-set scenarios against one network snapshot.
+
+        Each :class:`FlowQuery` scenario is evaluated exactly as a separate
+        :meth:`flow_info` call would be — identical rates, bottlenecks and
+        satisfaction — but the expensive per-query work is shared across
+        the batch: the six per-quantile availability snapshots are computed
+        once, route resolution (and the lazy routing tables beneath it) is
+        reused, and each scenario's allocation runs against only the
+        capacities its flows actually cross.  Scenario sweeps such as the
+        greedy node-selection heuristic in :mod:`repro.adapt` are the
+        intended callers.
+
+        Results are returned in scenario order.  Any invalid scenario
+        raises :class:`QueryError` and discards the whole batch.
+        """
+        timeframe = timeframe or Timeframe.current()
+        scenarios = list(queries)
+        if not scenarios:
+            return []
+        started = self._begin_query()
+        with obs.span("query.flow_info_batch") as sp:
+            try:
+                modeler = self._modeler()
+                if sp:
+                    hits, misses = self.cache_stats.hits, self.cache_stats.misses
+                snapshots = self._capacity_snapshots(modeler, timeframe)
+                results = [
+                    self._evaluate_flow_query(
+                        modeler,
+                        list(scenario.fixed),
+                        list(scenario.variable),
+                        list(scenario.independent),
+                        timeframe,
+                        snapshots,
+                    )
+                    for scenario in scenarios
+                ]
+                if sp:
+                    self._annotate_query_span(sp, modeler, hits, misses)
+                    sp.set(
+                        scenario_count=len(scenarios),
+                        flow_count=sum(len(s.flows) for s in scenarios),
+                    )
+                return results
+            finally:
+                self._end_query(started, "flow_info_batch")
+
+    @staticmethod
+    def _capacity_snapshots(
+        modeler: Modeler, timeframe: Timeframe
+    ) -> dict[str, dict[Hashable, float]]:
+        """One availability snapshot per evaluation quantile."""
+        return {
+            level: modeler.available_capacities(timeframe, quantile=level)
+            for level in (*_LEVELS, "mean")
+        }
+
     def _flow_info(
         self,
         fixed: list[Flow],
@@ -201,6 +263,20 @@ class Remos:
         timeframe: Timeframe,
     ) -> FlowInfoResult:
         modeler = self._modeler()
+        snapshots = self._capacity_snapshots(modeler, timeframe)
+        return self._evaluate_flow_query(
+            modeler, fixed, variable, independent, timeframe, snapshots
+        )
+
+    def _evaluate_flow_query(
+        self,
+        modeler: Modeler,
+        fixed: list[Flow],
+        variable: list[Flow],
+        independent: list[Flow],
+        timeframe: Timeframe,
+        snapshots: dict[str, dict[Hashable, float]],
+    ) -> FlowInfoResult:
         topology = modeler.view.topology
         for flow in (*fixed, *variable, *independent):
             endpoints = (flow.src, *flow.dsts) if isinstance(flow, MulticastFlow) else (
@@ -238,17 +314,23 @@ class Remos:
         if len(set(all_ids)) != len(all_ids):
             raise QueryError("flow labels must be unique within a query")
 
-        # Evaluate the allocation at each availability quantile.
+        # Evaluate the allocation at each availability quantile.  The
+        # staged problem (demand validation + crossing indices) is prepared
+        # once and solved per level, against only the capacities the
+        # queried flows actually cross — pruning is result-preserving
+        # because uncrossed resources never influence a max-min allocation.
+        problem = StagedProblem(
+            fixed=fixed_requests,
+            variable=variable_requests,
+            independent=independent_requests,
+        )
+        keys = problem.resource_keys()
         rates_by_level: dict[str, dict[Hashable, float]] = {}
         median_allocation = None
         for level in (*_LEVELS, "mean"):
-            capacities = modeler.available_capacities(timeframe, quantile=level)
-            allocation = allocate_three_stage(
-                capacities,
-                fixed=fixed_requests,
-                variable=variable_requests,
-                independent=independent_requests,
-            )
+            full = snapshots[level]
+            capacities = {key: full[key] for key in keys if key in full}
+            allocation = problem.solve(capacities)
             rates_by_level[level] = allocation.rates
             if level == "median":
                 median_allocation = allocation

@@ -79,6 +79,36 @@ class MulticastFlow:
         return self.name or f"{klass}[{index}]:{self.src}->{self.dst}"
 
 
+@dataclass(frozen=True)
+class FlowQuery:
+    """One flow-set scenario inside a :meth:`Remos.flow_info_batch` call.
+
+    A scenario carries the same three flow classes as a single
+    :meth:`Remos.flow_info` query.  Batching scenarios lets the engine
+    share route resolution and the per-quantile availability snapshots
+    across all of them — the answer for each scenario is identical to
+    issuing it through ``flow_info`` alone.
+    """
+
+    fixed: tuple[Flow, ...] = ()
+    variable: tuple[Flow, ...] = ()
+    independent: tuple[Flow, ...] = ()
+    name: str | None = None
+
+    def __init__(self, fixed=(), variable=(), independent=(), name=None):
+        object.__setattr__(self, "fixed", tuple(fixed))
+        object.__setattr__(self, "variable", tuple(variable))
+        object.__setattr__(self, "independent", tuple(independent))
+        object.__setattr__(self, "name", name)
+        if not self.fixed and not self.variable and not self.independent:
+            raise QueryError("a FlowQuery scenario requires at least one flow")
+
+    @property
+    def flows(self) -> tuple[Flow, ...]:
+        """All flows in fixed, variable, independent order."""
+        return (*self.fixed, *self.variable, *self.independent)
+
+
 @dataclass
 class FlowAnswer:
     """Remos's answer for one queried flow.

@@ -67,6 +67,10 @@ class Modeler:
         self._cpu_cache: dict[tuple, StatMeasure] = {}
         self._capacities_cache: dict[tuple, dict[Hashable, float]] = {}
         self._graph_cache: dict[tuple, RemosGraph] = {}
+        # Route → resource-key memo; purely structural (routes + static
+        # crossbar finiteness), so it outlives generations and is dropped
+        # only when the routing table itself is replaced.
+        self._route_resources: dict[tuple[str, str], tuple[Hashable, ...]] = {}
         self._cache_stamp = self._view_stamp()
 
     # -- generation-stamped cache plumbing --------------------------------------
@@ -129,6 +133,7 @@ class Modeler:
             if rebuilt:
                 self.routing = RoutingTable(view.topology)
                 self.stats.routing_rebuilds += 1
+                self._route_resources.clear()
             self.view = view
             self._refresh_caches(force=True)
             if sp:
@@ -296,13 +301,19 @@ class Modeler:
         return capacities
 
     def resources_for_route(self, src: str, dst: str) -> tuple[Hashable, ...]:
-        """Resource keys a flow from *src* to *dst* consumes."""
+        """Resource keys a flow from *src* to *dst* consumes (memoised)."""
+        key = (src, dst)
+        cached = self._route_resources.get(key)
+        if cached is not None:
+            return cached
         route = self.routing.route(src, dst)
         resources: list[Hashable] = [hop.key for hop in route.hops]
         for name in route.node_sequence:
             if self.view.topology.node(name).internal_bandwidth != float("inf"):
                 resources.append(("xbar", name))
-        return tuple(resources)
+        result = tuple(resources)
+        self._route_resources[key] = result
+        return result
 
     def resources_for_tree(self, src: str, dsts: list[str]) -> tuple[Hashable, ...]:
         """Resource keys a multicast flow consumes: each tree link once."""

@@ -20,20 +20,23 @@ Resources are identified by arbitrary hashable keys — directed links, node
 crossbars, anything with a capacity.
 """
 
-from repro.fairshare.maxmin import Demand, MaxMinResult, weighted_max_min
+from repro.fairshare.maxmin import Demand, MaxMinProblem, MaxMinResult, weighted_max_min
 from repro.fairshare.allocator import (
     FlowRequest,
     StagedAllocation,
+    StagedProblem,
     allocate_three_stage,
 )
 from repro.fairshare.admission import admissible, admission_report
 
 __all__ = [
     "Demand",
+    "MaxMinProblem",
     "MaxMinResult",
     "weighted_max_min",
     "FlowRequest",
     "StagedAllocation",
+    "StagedProblem",
     "allocate_three_stage",
     "admissible",
     "admission_report",

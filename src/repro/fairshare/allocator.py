@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro import obs
-from repro.fairshare.maxmin import Demand, MaxMinResult, weighted_max_min
+from repro.fairshare.maxmin import Demand, MaxMinProblem, MaxMinResult
 from repro.util.errors import ConfigurationError
 
 
@@ -61,6 +61,7 @@ class StagedAllocation:
     satisfied: dict[Hashable, bool] = field(default_factory=dict)
     bottlenecks: dict[Hashable, Hashable | None] = field(default_factory=dict)
     residual_capacity: dict[Hashable, float] = field(default_factory=dict)
+    iterations: int = 0
 
     def rate(self, flow_id: Hashable) -> float:
         """Allocated bits/second for *flow_id*."""
@@ -79,6 +80,120 @@ def _merge(result: MaxMinResult, into: StagedAllocation) -> dict[Hashable, float
     return result.residual_capacity
 
 
+class StagedProblem:
+    """A prepared three-stage pipeline, solvable at many load levels.
+
+    One Remos ``flow_info`` query evaluates the identical flow set at six
+    capacity snapshots (five quartile levels plus the mean), and a batched
+    scenario sweep evaluates many flow sets at each.  Preparing the stage
+    :class:`MaxMinProblem` instances once amortises demand validation and
+    the crossing-index build across all those solves; each :meth:`solve`
+    still records its own ``fairshare.allocate`` span.
+    """
+
+    __slots__ = ("fixed", "variable", "independent", "_problems")
+
+    def __init__(
+        self,
+        fixed: list[FlowRequest] | None = None,
+        variable: list[FlowRequest] | None = None,
+        independent: list[FlowRequest] | None = None,
+    ):
+        self.fixed = list(fixed or [])
+        self.variable = list(variable or [])
+        self.independent = list(independent or [])
+
+        all_ids = [f.flow_id for f in self.fixed + self.variable + self.independent]
+        if len(set(all_ids)) != len(all_ids):
+            raise ConfigurationError("flow_ids must be unique across all flow classes")
+
+        # Stage 1: fixed flows.  Equal weights, capped at the request —
+        # max-min among them decides who loses when they cannot all be
+        # satisfied.  Stage 2: variable flows share the remainder
+        # proportionally to their relative requirements.  Stage 3:
+        # independent flows absorb the leftovers.
+        self._problems: list[MaxMinProblem | None] = [
+            MaxMinProblem(
+                Demand(f.flow_id, f.resources, weight=1.0, cap=f.requested)
+                for f in self.fixed
+            )
+            if self.fixed
+            else None,
+            MaxMinProblem(
+                Demand(
+                    f.flow_id,
+                    f.resources,
+                    weight=f.requested if f.requested > 0 else 1.0,
+                    cap=f.cap,
+                )
+                for f in self.variable
+            )
+            if self.variable
+            else None,
+            MaxMinProblem(
+                Demand(f.flow_id, f.resources, weight=1.0, cap=f.cap)
+                for f in self.independent
+            )
+            if self.independent
+            else None,
+        ]
+
+    def resource_keys(self) -> tuple[Hashable, ...]:
+        """Every resource key referenced by any flow in any stage.
+
+        Allocation results depend only on the capacities of crossed
+        resources, so callers may prune capacity snapshots to this set
+        before :meth:`solve` without changing any rate or bottleneck.
+        Returned in deterministic first-reference order.
+        """
+        keys: dict[Hashable, None] = {}
+        for request in self.fixed + self.variable + self.independent:
+            for resource in request.resources:
+                keys.setdefault(resource, None)
+        return tuple(keys)
+
+    def solve(self, capacities: dict[Hashable, float]) -> StagedAllocation:
+        """Run the fixed → variable → independent pipeline on *capacities*."""
+        with obs.span("fairshare.allocate") as sp:
+            if sp:
+                sp.set(
+                    fixed=len(self.fixed),
+                    variable=len(self.variable),
+                    independent=len(self.independent),
+                    resources=len(capacities),
+                )
+            return self._solve(capacities)
+
+    def _solve(self, capacities: dict[Hashable, float]) -> StagedAllocation:
+        allocation = StagedAllocation()
+        current = {key: max(0.0, float(cap)) for key, cap in capacities.items()}
+
+        fixed_problem, variable_problem, independent_problem = self._problems
+
+        if fixed_problem is not None:
+            result = fixed_problem.solve(current)
+            allocation.iterations += result.iterations
+            current = _merge(result, allocation)
+            for request in self.fixed:
+                granted = result.rates[request.flow_id]
+                allocation.satisfied[request.flow_id] = (
+                    granted >= request.requested * (1.0 - 1e-9)
+                )
+
+        if variable_problem is not None:
+            result = variable_problem.solve(current)
+            allocation.iterations += result.iterations
+            current = _merge(result, allocation)
+
+        if independent_problem is not None:
+            result = independent_problem.solve(current)
+            allocation.iterations += result.iterations
+            current = _merge(result, allocation)
+
+        allocation.residual_capacity = current
+        return allocation
+
+
 def allocate_three_stage(
     capacities: dict[Hashable, float],
     fixed: list[FlowRequest] | None = None,
@@ -88,71 +203,8 @@ def allocate_three_stage(
     """Run the fixed → variable → independent allocation pipeline.
 
     *capacities* should already exclude background (external) traffic; the
-    Modeler subtracts measured utilization before calling this.
+    Modeler subtracts measured utilization before calling this.  One-shot
+    wrapper around :class:`StagedProblem`; callers solving the same flow
+    set at several load levels should prepare the problem once.
     """
-    fixed = fixed or []
-    variable = variable or []
-    independent = independent or []
-    with obs.span("fairshare.allocate") as sp:
-        if sp:
-            sp.set(
-                fixed=len(fixed),
-                variable=len(variable),
-                independent=len(independent),
-                resources=len(capacities),
-            )
-        return _allocate_three_stage(capacities, fixed, variable, independent)
-
-
-def _allocate_three_stage(
-    capacities: dict[Hashable, float],
-    fixed: list[FlowRequest],
-    variable: list[FlowRequest],
-    independent: list[FlowRequest],
-) -> StagedAllocation:
-    all_ids = [f.flow_id for f in fixed + variable + independent]
-    if len(set(all_ids)) != len(all_ids):
-        raise ConfigurationError("flow_ids must be unique across all flow classes")
-
-    allocation = StagedAllocation()
-    current = {key: max(0.0, float(cap)) for key, cap in capacities.items()}
-
-    # Stage 1: fixed flows.  Equal weights, capped at the request — max-min
-    # among them decides who loses when they cannot all be satisfied.
-    if fixed:
-        demands = [
-            Demand(f.flow_id, f.resources, weight=1.0, cap=f.requested) for f in fixed
-        ]
-        result = weighted_max_min(demands, current)
-        current = _merge(result, allocation)
-        for request in fixed:
-            granted = result.rates[request.flow_id]
-            allocation.satisfied[request.flow_id] = (
-                granted >= request.requested * (1.0 - 1e-9)
-            )
-
-    # Stage 2: variable flows share the remainder proportionally to their
-    # relative requirements.
-    if variable:
-        demands = [
-            Demand(
-                f.flow_id,
-                f.resources,
-                weight=f.requested if f.requested > 0 else 1.0,
-                cap=f.cap,
-            )
-            for f in variable
-        ]
-        result = weighted_max_min(demands, current)
-        current = _merge(result, allocation)
-
-    # Stage 3: independent flows absorb the leftovers.
-    if independent:
-        demands = [
-            Demand(f.flow_id, f.resources, weight=1.0, cap=f.cap) for f in independent
-        ]
-        result = weighted_max_min(demands, current)
-        current = _merge(result, allocation)
-
-    allocation.residual_capacity = current
-    return allocation
+    return StagedProblem(fixed, variable, independent).solve(capacities)

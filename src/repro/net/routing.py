@@ -1,10 +1,19 @@
 """Static shortest-path routing over a Topology.
 
 The testbed (and 1990s IP networks generally) used static shortest-path
-routes, so the routing table is computed once per topology: Dijkstra with a
+routes, so routes are a pure function of the topology: Dijkstra with a
 configurable edge weight (default: latency, with hop count as tie-break so
 equal-latency networks route by hops).  Routes are deterministic — ties are
 broken by lexicographic node order — which keeps experiments reproducible.
+
+Per-source tables are built **lazily**: asking for a handful of routes over
+a large network only runs Dijkstra from the sources actually touched (the
+endpoints plus the transit nodes walked hop-by-hop), never from all V
+nodes.  Each single-source build is the textbook O(E + V log V) — heap
+entries are bare ``(cost, hop_count, node)`` triples, and the deterministic
+lexicographic-path tie-break is resolved through predecessor chains instead
+of carrying O(V) path tuples in every heap entry.  See
+``docs/PERFORMANCE.md`` for the cost model.
 
 A :class:`Route` records both the directed links traversed and the transit
 nodes, because fair-share allocation charges a flow against every directed
@@ -13,6 +22,7 @@ link *and* every node crossbar on its path.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from repro import obs
@@ -119,7 +129,14 @@ class MulticastTree:
 
 
 class RoutingTable:
-    """All-pairs deterministic shortest-path routes for a topology.
+    """Deterministic shortest-path routes for a topology, built lazily.
+
+    Construction is O(1): the per-source next-hop tables are built on
+    demand, the first time a route from that source (or through that
+    transit node) is requested.  ``source_builds`` counts how many
+    single-source Dijkstra runs the table has paid for — the scale
+    regression tests bound it to prove small queries never trigger
+    all-pairs work.
 
     Parameters
     ----------
@@ -137,7 +154,12 @@ class RoutingTable:
         self.weight = weight
         self._next_hop: dict[str, dict[str, LinkDirection]] = {}
         self._route_cache: dict[tuple[str, str], Route] = {}
-        self._build()
+        self._signature: tuple | None = None
+        self.source_builds = 0
+        obs.inc(
+            "remos_routing_builds_total",
+            help="Routing table constructions (tables fill lazily per source)",
+        )
 
     def _edge_cost(self, link: Link) -> float:
         if self.weight == "hops":
@@ -146,56 +168,105 @@ class RoutingTable:
         # still prefer fewer hops, deterministically.
         return link.latency + 1e-9
 
-    def _build(self) -> None:
-        with obs.span("routing.build") as sp:
-            self._build_tables()
-            if sp:
-                sp.set(
-                    nodes=len(self.topology._nodes),
-                    links=len(self.topology.links),
-                    weight=self.weight,
-                )
-        obs.inc(
-            "remos_routing_builds_total",
-            help="All-pairs routing table constructions",
-        )
-
-    def _build_tables(self) -> None:
-        # Dijkstra from every node.  Topologies here are small (tens to a
-        # few hundred nodes); clarity beats asymptotics.
-        import heapq
-
-        topo = self.topology
-        for source in topo._nodes:
-            first_hop: dict[str, LinkDirection] = {}
-            dist: dict[str, float] = {source: 0.0}
-            # Heap entries carry the candidate first hop; ties are broken by
-            # (hop count, lexicographic node path) so routing is deterministic.
-            # Entries: (cost, hop_count, path, node, first_hop_or_None)
-            heap: list[tuple[float, int, tuple[str, ...], str, LinkDirection | None]] = [
-                (0.0, 0, (source,), source, None)
-            ]
-            settled: set[str] = set()
-            while heap:
-                cost, hops, path, node, hop = heapq.heappop(heap)
-                if node in settled:
-                    continue
-                settled.add(node)
-                if hop is not None:
-                    first_hop[node] = hop
-                for link in topo.links_at(node):
-                    neighbor = link.other(node)
-                    if neighbor in settled:
-                        continue
-                    new_cost = cost + self._edge_cost(link)
-                    if new_cost > dist.get(neighbor, float("inf")) + 1e-15:
-                        continue  # strictly worse; prune
-                    dist[neighbor] = min(new_cost, dist.get(neighbor, float("inf")))
-                    neighbor_hop = hop if hop is not None else link.direction(source, neighbor)
-                    heapq.heappush(
-                        heap, (new_cost, hops + 1, path + (neighbor,), neighbor, neighbor_hop)
+    def _ensure_source(self, source: str) -> dict[str, LinkDirection]:
+        """The next-hop table for *source*, building it on first use."""
+        table = self._next_hop.get(source)
+        if table is None:
+            with obs.span("routing.build") as sp:
+                table = self._build_source(source)
+                if sp:
+                    sp.set(
+                        source=source,
+                        nodes=len(self.topology._nodes),
+                        links=len(self.topology.links),
+                        weight=self.weight,
                     )
-            self._next_hop[source] = first_hop
+            self._next_hop[source] = table
+            self.source_builds += 1
+            obs.inc(
+                "remos_routing_source_builds_total",
+                help="Single-source Dijkstra runs across all routing tables",
+            )
+        return table
+
+    def _build_source(self, source: str) -> dict[str, LinkDirection]:
+        """Single-source Dijkstra with deterministic predecessor selection.
+
+        Heap entries are bare ``(cost, hop_count, node)`` triples.  Among
+        equal-cost candidates the lower hop count wins; among equal-cost
+        equal-hop candidates the predecessor whose source path is
+        lexicographically smallest wins, resolved by walking predecessor
+        chains (paths are materialised only on such exact ties).  This
+        reproduces, choice for choice, the ordering of the original
+        implementation that carried full path tuples in every heap entry.
+        """
+        topo = self.topology
+        dist: dict[str, float] = {source: 0.0}
+        hops: dict[str, int] = {source: 0}
+        pred: dict[str, str | None] = {source: None}
+        first_hop: dict[str, LinkDirection] = {}
+        heap: list[tuple[float, int, str]] = [(0.0, 0, source)]
+        settled: set[str] = set()
+        while heap:
+            cost, hop_count, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            for link in topo.links_at(node):
+                neighbor = link.other(node)
+                if neighbor in settled:
+                    continue
+                new_cost = cost + self._edge_cost(link)
+                new_hops = hop_count + 1
+                old_cost = dist.get(neighbor)
+                if (
+                    old_cost is None
+                    or new_cost < old_cost
+                    or (new_cost == old_cost and new_hops < hops[neighbor])
+                ):
+                    dist[neighbor] = new_cost
+                    hops[neighbor] = new_hops
+                    pred[neighbor] = node
+                    first_hop[neighbor] = (
+                        first_hop[node]
+                        if node != source
+                        else link.direction(source, neighbor)
+                    )
+                    heapq.heappush(heap, (new_cost, new_hops, neighbor))
+                elif (
+                    new_cost == old_cost
+                    and new_hops == hops[neighbor]
+                    and self._path_precedes(node, pred[neighbor], pred)
+                ):
+                    # Exact tie: keep the lexicographically smaller path.
+                    # No re-push needed — the pending heap entry for this
+                    # (cost, hops) label settles the node either way.
+                    pred[neighbor] = node
+                    first_hop[neighbor] = (
+                        first_hop[node]
+                        if node != source
+                        else link.direction(source, neighbor)
+                    )
+        return first_hop
+
+    @staticmethod
+    def _path_precedes(
+        candidate: str, incumbent: str | None, pred: dict[str, str | None]
+    ) -> bool:
+        """True if the source path to *candidate* lexicographically precedes
+        the one to *incumbent* (both chains are settled, hence final)."""
+        if incumbent is None:  # pragma: no cover - source never ties
+            return False
+
+        def chain(node: str | None) -> list[str]:
+            path: list[str] = []
+            while node is not None:
+                path.append(node)
+                node = pred[node]
+            path.reverse()
+            return path
+
+        return chain(candidate) < chain(incumbent)
 
     @staticmethod
     def _topology_signature(topology: Topology) -> tuple:
@@ -213,6 +284,19 @@ class RoutingTable:
         )
         return (nodes, links)
 
+    def topology_signature(self) -> tuple:
+        """This table's own topology signature, computed once and memoised.
+
+        ``is_valid_for`` runs on every query against a refreshed view;
+        re-sorting all links each time made table reuse cost O(E log E)
+        per query.  The memo is safe because a table is only ever valid
+        for the structure it was built from — if the backing topology
+        object were mutated, the table would be stale either way.
+        """
+        if self._signature is None:
+            self._signature = self._topology_signature(self.topology)
+        return self._signature
+
     def is_valid_for(self, topology: Topology) -> bool:
         """True when this table's routes are exact for *topology*.
 
@@ -223,16 +307,14 @@ class RoutingTable:
         """
         if topology is self.topology:
             return True
-        return self._topology_signature(topology) == self._topology_signature(
-            self.topology
-        )
+        return self._topology_signature(topology) == self.topology_signature()
 
     def next_hop(self, src: str, dst: str) -> LinkDirection:
         """The first directed link on the route from *src* towards *dst*."""
         self.topology.node(src)
         self.topology.node(dst)
         try:
-            return self._next_hop[src][dst]
+            return self._ensure_source(src)[dst]
         except KeyError:
             raise TopologyError(f"no route from {src!r} to {dst!r}") from None
 

@@ -1,0 +1,89 @@
+"""select_nodes_flow_aware: greedy selection driven by flow_info_batch."""
+
+import pytest
+
+from repro.adapt import select_nodes_flow_aware
+from repro.collector import MetricsStore
+from repro.collector.base import NetworkView
+from repro.core import Remos, Timeframe
+from repro.net import TopologyBuilder
+from repro.testbed import CMU_HOSTS, TRAFFIC_M6_M8, build_cmu_testbed
+from repro.util.errors import ConfigurationError
+
+
+def two_cluster_remos():
+    """Fast cluster (100Mbps) at router ra, slow cluster (10Mbps) at rb."""
+    builder = TopologyBuilder("two-cluster").router("ra").router("rb")
+    for host in ("a1", "a2", "a3"):
+        builder.host(host).link(host, "ra", "100Mbps", "0.1ms")
+    for host in ("b1", "b2", "b3"):
+        builder.host(host).link(host, "rb", "10Mbps", "0.1ms")
+    builder.link("ra", "rb", "1Gbps", "0.5ms")
+    topology = builder.build()
+    return Remos(NetworkView(topology=topology, metrics=MetricsStore()))
+
+
+POOL = ["a1", "a2", "a3", "b1", "b2", "b3"]
+
+
+class TestStaticSelection:
+    def test_prefers_the_fast_cluster(self):
+        remos = two_cluster_remos()
+        result = select_nodes_flow_aware(
+            remos, POOL, k=3, start="a1", timeframe=Timeframe.static()
+        )
+        assert result.hosts == ["a1", "a2", "a3"]
+        assert result.cost > 0.0
+
+    def test_slow_start_still_picks_fast_partners(self):
+        remos = two_cluster_remos()
+        result = select_nodes_flow_aware(
+            remos, POOL, k=3, start="b1", timeframe=Timeframe.static()
+        )
+        # b1 is pinned, but its partners should come from the fast side:
+        # pairing with another 10Mbps host caps that pair's flows at
+        # 10Mbps in *both* scenarios' worst case; a-side partners keep the
+        # worst pair at b1's own access link only.
+        assert result.hosts[0] == "b1"
+        assert set(result.hosts[1:]) <= {"a1", "a2", "a3"}
+
+    def test_deterministic(self):
+        first = select_nodes_flow_aware(
+            two_cluster_remos(), POOL, k=4, start="a1", timeframe=Timeframe.static()
+        )
+        second = select_nodes_flow_aware(
+            two_cluster_remos(), POOL, k=4, start="a1", timeframe=Timeframe.static()
+        )
+        assert first.hosts == second.hosts
+        assert first.cost == second.cost
+
+    def test_k_of_one_issues_no_flow_queries(self):
+        remos = two_cluster_remos()
+        result = select_nodes_flow_aware(
+            remos, POOL, k=1, start="a2", timeframe=Timeframe.static()
+        )
+        assert result.hosts == ["a2"]
+        assert result.cost == 0.0
+        assert remos.queries_answered == 0
+
+    def test_validation(self):
+        remos = two_cluster_remos()
+        with pytest.raises(ConfigurationError):
+            select_nodes_flow_aware(remos, POOL, k=3, start="zz")
+        with pytest.raises(ConfigurationError):
+            select_nodes_flow_aware(remos, POOL, k=0, start="a1")
+
+
+class TestMeasuredSelection:
+    def test_avoids_loaded_links_on_the_testbed(self):
+        world = build_cmu_testbed(poll_interval=1.0)
+        TRAFFIC_M6_M8().start(world.net)
+        remos = world.start_monitoring(warmup=10.0)
+        result = select_nodes_flow_aware(
+            remos, CMU_HOSTS, k=4, start="m-4", timeframe=Timeframe.history(10.0)
+        )
+        # Same outcome the paper's Fig. 4 selection reaches: stay away
+        # from the m-6 -> m-8 traffic.
+        assert result.hosts[0] == "m-4"
+        assert "m-6" not in result.hosts
+        assert "m-8" not in result.hosts

@@ -1,0 +1,109 @@
+"""flow_info_batch: scenario sweeps must equal one-at-a-time flow_info."""
+
+import pytest
+
+from repro.core import Flow, FlowQuery, MulticastFlow, Remos, Timeframe
+from repro.util import mbps
+from repro.util.errors import QueryError
+
+
+def answers_dict(result):
+    return result.to_dict()
+
+
+class TestBatchEqualsSingles:
+    def test_scenarios_match_individual_queries(self, loaded_remos, loaded_view):
+        timeframe = Timeframe.history(30.0)
+        scenarios = [
+            FlowQuery(variable=[Flow("h1", "h3"), Flow("h2", "h4")]),
+            FlowQuery(
+                fixed=[Flow("h1", "h3", requested=mbps(30))],
+                independent=[Flow("h4", "h2")],
+            ),
+            FlowQuery(variable=[Flow("h3", "h1", requested=3.0), Flow("h4", "h1", requested=9.0)]),
+        ]
+        batched = loaded_remos.flow_info_batch(scenarios, timeframe)
+        assert len(batched) == len(scenarios)
+
+        fresh = Remos(loaded_view)  # independent facade, same view
+        for scenario, batch_result in zip(scenarios, batched):
+            single = fresh.flow_info(
+                fixed_flows=list(scenario.fixed),
+                variable_flows=list(scenario.variable),
+                independent_flows=list(scenario.independent),
+                timeframe=timeframe,
+            )
+            assert answers_dict(batch_result) == answers_dict(single)
+
+    def test_multicast_scenarios_match(self, idle_remos, idle_view):
+        timeframe = Timeframe.history(30.0)
+        scenario = FlowQuery(
+            variable=[MulticastFlow("h1", ("h3", "h4")), Flow("h2", "h3")]
+        )
+        [batched] = idle_remos.flow_info_batch([scenario], timeframe)
+        single = Remos(idle_view).flow_info(
+            variable_flows=list(scenario.variable), timeframe=timeframe
+        )
+        assert answers_dict(batched) == answers_dict(single)
+
+    def test_cold_cache_batch_matches_cached_batch(self, loaded_view):
+        timeframe = Timeframe.history(30.0)
+        scenarios = [
+            FlowQuery(variable=[Flow("h1", "h3")]),
+            FlowQuery(variable=[Flow("h1", "h3"), Flow("h2", "h4"), Flow("h1", "h4")]),
+        ]
+        warm = Remos(loaded_view).flow_info_batch(scenarios, timeframe)
+        cold = Remos(loaded_view, enable_cache=False).flow_info_batch(scenarios, timeframe)
+        assert [answers_dict(r) for r in warm] == [answers_dict(r) for r in cold]
+
+
+class TestBatchSemantics:
+    def test_batch_counts_as_one_query(self, idle_remos):
+        before = idle_remos.queries_answered
+        idle_remos.flow_info_batch(
+            [FlowQuery(variable=[Flow("h1", "h3")]) for _ in range(4)]
+        )
+        assert idle_remos.queries_answered == before + 1
+
+    def test_empty_batch_returns_empty_list(self, idle_remos):
+        before = idle_remos.queries_answered
+        assert idle_remos.flow_info_batch([]) == []
+        assert idle_remos.queries_answered == before
+
+    def test_scenario_requires_flows(self):
+        with pytest.raises(QueryError):
+            FlowQuery()
+
+    def test_invalid_endpoint_discards_batch(self, idle_remos):
+        scenarios = [
+            FlowQuery(variable=[Flow("h1", "h3")]),
+            FlowQuery(variable=[Flow("h1", "nope")]),
+        ]
+        with pytest.raises(QueryError):
+            idle_remos.flow_info_batch(scenarios)
+
+    def test_router_endpoint_rejected(self, idle_remos):
+        with pytest.raises(QueryError):
+            idle_remos.flow_info_batch([FlowQuery(variable=[Flow("h1", "r1")])])
+
+    def test_scenario_names_preserved_in_order(self, idle_remos):
+        scenarios = [
+            FlowQuery(variable=[Flow("h1", "h3")], name="first"),
+            FlowQuery(variable=[Flow("h2", "h4")], name="second"),
+        ]
+        results = idle_remos.flow_info_batch(scenarios)
+        # Results come back in scenario order; answers carry flow labels.
+        assert results[0].variable[0].flow.src == "h1"
+        assert results[1].variable[0].flow.src == "h2"
+
+    def test_shared_bottleneck_within_scenario_only(self, idle_remos):
+        # Two scenarios with the same flow pair must each see the full
+        # capacity: scenarios are alternatives, not simultaneous traffic.
+        results = idle_remos.flow_info_batch(
+            [
+                FlowQuery(variable=[Flow("h1", "h3")]),
+                FlowQuery(variable=[Flow("h1", "h3")]),
+            ]
+        )
+        for result in results:
+            assert result.variable[0].bandwidth.median == pytest.approx(mbps(100))

@@ -1,0 +1,58 @@
+"""Tier-1 perf bound: small queries on big networks stay small.
+
+A 256-host network must not pay all-pairs routing to answer a get_graph
+over 5 nodes — the lazy per-source tables bound the Dijkstra runs to the
+handful of sources the queried routes actually touch.
+"""
+
+from benchmarks.bench_ablation_scale import build_tree
+from repro.collector import MetricsStore
+from repro.collector.base import NetworkView
+from repro.core import Remos, Timeframe
+
+QUERY_HOSTS = ["h0", "h5", "h100", "h200", "h255"]
+
+
+def make_remos(n_hosts: int = 256) -> Remos:
+    topology, _ = build_tree(n_hosts)
+    return Remos(NetworkView(topology=topology, metrics=MetricsStore()))
+
+
+class TestGetGraphRoutingBound:
+    def test_few_node_get_graph_never_triggers_all_pairs(self):
+        remos = make_remos(256)
+        remos.get_graph(QUERY_HOSTS, Timeframe.static())
+        routing = remos._modeler().routing
+        n_nodes = len(routing.topology.nodes)
+        assert n_nodes > 300  # 256 hosts + 64 leaf routers + core
+        # Sources touched: the 5 queried hosts, their leaf routers, and the
+        # core — far below all-pairs over every node.
+        assert routing.source_builds <= 32
+        assert routing.source_builds < n_nodes / 8
+
+    def test_repeat_query_builds_nothing_new(self):
+        remos = make_remos(256)
+        remos.get_graph(QUERY_HOSTS, Timeframe.static())
+        routing = remos._modeler().routing
+        builds = routing.source_builds
+        remos.get_graph(QUERY_HOSTS, Timeframe.static())
+        assert routing.source_builds == builds
+        # A reordered query may promote a host that was only ever a route
+        # destination into a source — at most a couple of new tables, never
+        # a broad rebuild.
+        remos.get_graph(list(reversed(QUERY_HOSTS)), Timeframe.static())
+        assert routing.source_builds <= builds + 2
+
+    def test_flow_query_shares_the_lazy_tables(self):
+        from repro.core import Flow
+
+        remos = make_remos(256)
+        remos.get_graph(QUERY_HOSTS, Timeframe.static())
+        routing = remos._modeler().routing
+        builds = routing.source_builds
+        remos.flow_info(
+            variable_flows=[Flow("h0", "h5"), Flow("h100", "h200")],
+            timeframe=Timeframe.static(),
+        )
+        # Flow queries over already-routed endpoints reuse the same tables.
+        assert routing.source_builds == builds

@@ -257,4 +257,8 @@ def test_scale_invariance(problem, factor):
     scaled = weighted_max_min(scaled_demands, scaled_caps)
     for demand in demands:
         expected = base.rate(demand.flow_id) * factor
-        assert scaled.rate(demand.flow_id) == pytest.approx(expected, rel=1e-6, abs=1e-9)
+        # Scale invariance is exact except at the 1e-9 activity floor: a
+        # cap at the floor is administratively zero on one side of the
+        # scaling and active on the other, off by at most cap * factor
+        # <= 2e-9 with factor <= 2.
+        assert scaled.rate(demand.flow_id) == pytest.approx(expected, rel=1e-6, abs=2.5e-9)

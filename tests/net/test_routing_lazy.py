@@ -1,0 +1,72 @@
+"""Laziness and signature-memo regression tests for RoutingTable."""
+
+from repro.net import Topology, TopologyBuilder
+from repro.net.routing import RoutingTable
+
+
+def star_topology(n_hosts: int) -> Topology:
+    builder = TopologyBuilder("star").router("core")
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    builder.hosts(hosts)
+    for host in hosts:
+        builder.link(host, "core", "100Mbps", "0.1ms")
+    return builder.build()
+
+
+class TestLazyBuilds:
+    def test_construction_builds_nothing(self):
+        table = RoutingTable(star_topology(50))
+        assert table.source_builds == 0
+
+    def test_one_route_builds_only_touched_sources(self):
+        table = RoutingTable(star_topology(50))
+        route = table.route("h0", "h1")
+        # Sources touched: h0 and the transit core ("h1" is never asked
+        # for a next hop) — far from the 51 an eager build would pay for.
+        assert route.node_sequence == ("h0", "core", "h1")
+        assert table.source_builds == 2
+
+    def test_repeated_queries_do_not_rebuild(self):
+        table = RoutingTable(star_topology(50))
+        table.route("h0", "h1")
+        builds = table.source_builds
+        table.route("h0", "h2")  # same sources, new destination
+        table.next_hop("h0", "h3")
+        table.route("h1", "h0")  # h1's table is new; core is already built
+        assert table.source_builds == builds + 1
+
+    def test_routes_between_builds_at_most_all_sources(self):
+        topo = star_topology(8)
+        table = RoutingTable(topo)
+        table.routes_between([f"h{i}" for i in range(8)])
+        assert table.source_builds <= len(topo.nodes)
+
+
+class TestSignatureMemo:
+    def test_own_signature_computed_once(self, monkeypatch):
+        calls = {"n": 0}
+        original = RoutingTable._topology_signature
+
+        def counting(topology):
+            calls["n"] += 1
+            return original(topology)
+
+        monkeypatch.setattr(RoutingTable, "_topology_signature", staticmethod(counting))
+        table = RoutingTable(star_topology(10))
+        other = star_topology(10)  # equal structure, different object
+
+        assert table.is_valid_for(table.topology) is True  # identity: no work
+        assert calls["n"] == 0
+
+        assert table.is_valid_for(other) is True
+        first_round = calls["n"]
+        assert first_round == 2  # one for `other`, one for our own (memoised)
+
+        for _ in range(5):
+            assert table.is_valid_for(other) is True
+        # Only the candidate side pays per call; our own memo holds.
+        assert calls["n"] == first_round + 5
+
+    def test_signature_distinguishes_structures(self):
+        table = RoutingTable(star_topology(10))
+        assert not table.is_valid_for(star_topology(11))

@@ -41,10 +41,11 @@ class TestFlowInfoSpanTree:
         trace = obs.get_tracer().last_trace("query.flow_info")
         assert trace is not None
         child_names = [child.name for child in trace.children()]
-        # The first query constructs the Modeler, whose routing table is
-        # built (Dijkstra) inside the query — then one fair-share
-        # allocation per availability quantile (5 quartiles + mean).
-        assert child_names.count("routing.build") == 1
+        # The first query constructs the Modeler, whose routing table fills
+        # lazily (one per-source Dijkstra span per node the query touches)
+        # inside the query — then one fair-share allocation per
+        # availability quantile (5 quartiles + mean).
+        assert child_names.count("routing.build") >= 1
         assert child_names.count("fairshare.allocate") == 6
 
     def test_warm_query_span_tree_and_attributes(self, remos):
