@@ -15,17 +15,25 @@ Both produce a :class:`NetworkView` (topology + metric series) that the
 Modeler (:mod:`repro.core`) consumes.  A :class:`CollectorMaster` merges
 the views of multiple cooperating collectors ("a large environment may
 require multiple cooperating Collectors").
+
+Each completed sweep is journalled on the view as a :class:`ViewDelta`
+(:class:`DeltaKind` metrics-only vs topology-changed), which drives the
+master's incremental merges and the Modeler's fine-grained cache
+invalidation; see ``docs/PERFORMANCE.md`` for the invalidation model.
 """
 
-from repro.collector.base import Collector, NetworkView
-from repro.collector.metrics import MetricsStore
+from repro.collector.base import Collector, DeltaKind, NetworkView, ViewDelta
+from repro.collector.metrics import CPU_PSEUDO_LINK, MetricsStore
 from repro.collector.snmp_collector import SNMPCollector
 from repro.collector.bench_collector import BenchmarkCollector
 from repro.collector.master import CollectorMaster
 
 __all__ = [
     "Collector",
+    "CPU_PSEUDO_LINK",
+    "DeltaKind",
     "NetworkView",
+    "ViewDelta",
     "MetricsStore",
     "SNMPCollector",
     "BenchmarkCollector",

@@ -75,6 +75,8 @@ class BenchmarkCollector(Collector):
         self._best_throughput: dict[str, float] = {}
         self._latency: dict[str, float] = {}
         self._pending_use: dict[str, list[float]] = {}
+        # Access-link directions the last sweep recorded samples for.
+        self._last_touched: set[tuple[str, str]] = set()
 
     def start(self):
         """Launch probing; returns the 'first sweep done' event."""
@@ -154,6 +156,7 @@ class BenchmarkCollector(Collector):
                 self._pending_use[host].append(throughput)
         self.sweeps_completed += 1
         now = self.env.now
+        self._last_touched = set()
         for host, samples in self._pending_use.items():
             if not samples:
                 continue
@@ -162,12 +165,13 @@ class BenchmarkCollector(Collector):
             # What the probe could not get counts as "in use" on the
             # host's logical access link.
             self.metrics.record(self._link_name(host), host, now, capacity - observed)
+            self._last_touched.add((self._link_name(host), host))
 
     @staticmethod
     def _link_name(host: str) -> str:
         return f"{host}--{CLOUD_NODE}"
 
-    def _build_view(self) -> NetworkView:
+    def _build_topology(self) -> Topology:
         topology = Topology(name="probed-cloud")
         topology.add_network_node(CLOUD_NODE)
         for host in self.hosts:
@@ -179,14 +183,24 @@ class BenchmarkCollector(Collector):
                 latency=self._latency[host],
                 name=self._link_name(host),
             )
+        return topology
+
+    def _build_view(self) -> NetworkView:
         # Generation counts completed probe sweeps, surviving view rebuilds
         # so Modeler caches never outlive a sweep.
         return NetworkView(
-            topology=topology, metrics=self.metrics, generation=self.sweeps_completed
+            topology=self._build_topology(),
+            metrics=self.metrics,
+            generation=self.sweeps_completed,
         )
 
     def _refresh_view(self) -> None:
-        # Capacities only ever grow (best observed); rebuild when they do.
+        # Capacities only ever grow (best observed); when one did, the
+        # cloud abstraction itself changed: swap in a rebuilt topology and
+        # journal a structure change so consumers drop derived state.  A
+        # quiet sweep is journalled as a metrics-only delta over the access
+        # links actually sampled.  Either way the view *object* persists,
+        # letting the master and Modeler apply deltas in place.
         view = self._view
         assert view is not None
         stale = any(
@@ -195,6 +209,7 @@ class BenchmarkCollector(Collector):
             for host in self.hosts
         )
         if stale:
-            self._view = self._build_view()
+            view.topology = self._build_topology()
+            view.record_structure_change(generation=self.sweeps_completed)
         else:
-            view.generation = self.sweeps_completed
+            view.record_sweep(self._last_touched, generation=self.sweeps_completed)

@@ -8,7 +8,21 @@ and merges their views into one topology + metric store for the Modeler.
 Merge rules: nodes are united by name (first collector to report a node
 wins its attributes); links likewise; metric series are adopted from
 whichever collector measured the direction (earlier collectors take
-precedence on conflicts).
+precedence on conflicts).  Precedence is list order in ``collectors`` and
+is asserted by ``tests/collector/test_master.py``.
+
+Since the incremental-view rework the master keeps its merged
+:class:`NetworkView` **persistent across refreshes**: a steady-state
+``refresh()`` reads each child's delta journal and applies only what the
+child sweeps actually touched (adopting new series by reference, advancing
+the merged stamps, journalling one merged delta), instead of rebuilding
+the merged topology and metric store from scratch.  A full re-merge still
+happens — into the *same* view object, stamped as a structure change —
+whenever a child reports a ``TOPOLOGY_CHANGED`` delta, a child's journal
+cannot account for every generation step, or the set of ready children
+changes.  Construct with ``full_rebuild=True`` to restore the legacy
+rebuild-everything behaviour (a fresh view object per refresh); the
+steady-state refresh benchmark uses it as the head-to-head baseline.
 """
 
 from __future__ import annotations
@@ -18,21 +32,60 @@ from repro.collector.base import Collector, NetworkView
 from repro.collector.metrics import MetricsStore
 from repro.net import Topology
 from repro.sim import Engine
-from repro.util.errors import CollectorError, ConfigurationError
+from repro.util.errors import CollectorError, ConfigurationError, TopologyError
 
 _log = obs.get_logger("repro.collector.master")
 
 
 class CollectorMaster(Collector):
-    """Facade over several collectors presenting one merged view."""
+    """Facade over several collectors presenting one merged view.
 
-    def __init__(self, env: Engine, collectors: list[Collector]):
+    Parameters
+    ----------
+    env:
+        The simulation engine the children run on.
+    collectors:
+        Children in precedence order (earlier wins merge conflicts).
+    allow_partial:
+        Default for :meth:`refresh`'s degraded mode: merge the children
+        that are ready and skip (but count) the rest, instead of raising
+        while any child is still unready.
+    full_rebuild:
+        ``True`` restores the legacy behaviour of re-merging everything
+        into a fresh :class:`NetworkView` object on every refresh; kept
+        for the incremental-vs-rebuild head-to-head in
+        ``benchmarks/bench_refresh_cost.py`` and differential tests.
+    """
+
+    def __init__(
+        self,
+        env: Engine,
+        collectors: list[Collector],
+        allow_partial: bool = False,
+        full_rebuild: bool = False,
+    ):
         super().__init__()
         if not collectors:
             raise ConfigurationError("master needs at least one collector")
         self.env = env
         self.collectors = list(collectors)
+        self.allow_partial = allow_partial
+        self.full_rebuild = full_rebuild
         self._started = False
+        # Incremental-merge state: which children the persistent view
+        # covers, the child generation each was last applied at, the child
+        # view object identity seen, and which child owns each metric key.
+        self._merged_children: tuple[int, ...] = ()
+        self._child_generations: dict[int, int] = {}
+        self._child_views: dict[int, NetworkView] = {}
+        self._owner: dict[tuple[str, str], int] = {}
+        # Merged generation = sum of child generations + this offset; the
+        # offset absorbs forced structural bumps so the stamp stays
+        # monotone even when no child advanced.
+        self._generation_offset = 0
+        self.full_merges = 0
+        self.delta_merges = 0
+        self.refreshes_skipped = 0
 
     def start(self):
         """Start every child; returns an event firing when all are ready."""
@@ -44,8 +97,7 @@ class CollectorMaster(Collector):
 
         def waiter(env):
             yield env.all_of(child_events)
-            self._view = self._merge()
-            ready.succeed(self._view)
+            ready.succeed(self.refresh())
 
         self.env.process(waiter(self.env), name="collector-master")
         return ready
@@ -55,43 +107,193 @@ class CollectorMaster(Collector):
         for collector in self.collectors:
             collector.stop()
 
-    def refresh(self) -> NetworkView:
-        """Re-merge child views (call after children kept polling)."""
-        if not all(collector.ready for collector in self.collectors):
+    # -- refresh -----------------------------------------------------------------
+
+    def refresh(self, allow_partial: bool | None = None) -> NetworkView:
+        """Fold the children's latest sweeps into the merged view.
+
+        The default (and the behaviour before degraded mode existed) is to
+        raise :class:`CollectorError` while any child is unready.  With
+        *allow_partial* — per call, or set on the constructor — the master
+        instead merges the children that are ready, counts each skipped
+        child on the ``remos_collector_refresh_skipped_total`` metric, and
+        folds latecomers in (as a structure change) once they come up.
+        At least one child must be ready either way.
+        """
+        allow = self.allow_partial if allow_partial is None else allow_partial
+        ready = tuple(
+            index
+            for index, collector in enumerate(self.collectors)
+            if collector.ready
+        )
+        skipped = [index for index in range(len(self.collectors)) if index not in ready]
+        if skipped and not allow:
             raise CollectorError("cannot refresh: some collectors are not ready")
-        self._view = self._merge()
+        if not ready:
+            raise CollectorError("cannot refresh: no collector is ready")
+        for index in skipped:
+            self.refreshes_skipped += 1
+            obs.inc(
+                "remos_collector_refresh_skipped_total",
+                help="Unready collectors skipped by degraded master refreshes",
+                collector=type(self.collectors[index]).__name__,
+            )
+        if skipped and _log.enabled_for("warning"):
+            _log.warning(
+                "refresh_degraded",
+                ready=len(ready),
+                skipped=len(skipped),
+            )
+
+        if self.full_rebuild or self._view is None:
+            self._view = self._full_merge(ready, into=None)
+        elif not self._apply_deltas(ready):
+            self._full_merge(ready, into=self._view)
         return self._view
 
-    def _merge(self) -> NetworkView:
+    # -- full merge ----------------------------------------------------------------
+
+    def _merged_generation(self, ready: tuple[int, ...]) -> int:
+        return self._generation_offset + sum(
+            self.collectors[index].view().generation for index in ready
+        )
+
+    def _full_merge(
+        self, ready: tuple[int, ...], into: NetworkView | None
+    ) -> NetworkView:
+        """Rebuild topology, metrics and ownership from every ready child.
+
+        With *into* the rebuild lands in that persistent view object and is
+        stamped as a structure change (the merged world may differ
+        arbitrarily); otherwise a fresh view is returned (first merge, or
+        legacy ``full_rebuild`` mode).
+        """
         merged = Topology(name="merged")
         metrics = MetricsStore()
-        for collector in self.collectors:
-            view = collector.view()
+        owner: dict[tuple[str, str], int] = {}
+        for index in ready:
+            view = self.collectors[index].view()
             for node in view.topology.nodes:
                 if not merged.has_node(node.name):
                     merged.add_node(node)
             for link in view.topology.links:
                 try:
                     merged.link(link.name)
-                except Exception:
+                except TopologyError:
                     merged.add_link(
                         link.a, link.b, link.capacity, link.latency, name=link.name
                     )
+            for key in view.metrics.keys():
+                if key not in owner:
+                    owner[key] = index
             metrics.merge_from(view.metrics)
-        # Sum of child generations: monotone because every child's own
-        # generation is, so Modeler caches invalidate whenever any child
-        # completed a sweep between refreshes.
-        generation = sum(collector.view().generation for collector in self.collectors)
+            self._child_generations[index] = view.generation
+            self._child_views[index] = view
+        self._merged_children = ready
+        self._owner = owner
+        # Sum of child generations (+ structural offset): monotone because
+        # every child's own generation is, so Modeler caches invalidate
+        # whenever any child completed a sweep between refreshes.
+        generation = self._merged_generation(ready)
+        self.full_merges += 1
         obs.inc(
             "remos_collector_merges_total",
             help="View merges performed by the collector master",
         )
+        obs.inc(
+            "remos_collector_full_merges_total",
+            help="Master refreshes that re-merged every child view from scratch",
+        )
+        if into is None:
+            result = NetworkView(topology=merged, metrics=metrics, generation=generation)
+        else:
+            # In-place rebuild: consumers holding this view keep it, and the
+            # structure-change record tells them to drop derived state.  The
+            # stamp must advance even if no child swept since the last
+            # refresh, so absorb any shortfall into the offset.
+            if generation <= into.generation:
+                self._generation_offset += into.generation + 1 - generation
+                generation = into.generation + 1
+            into.topology = merged
+            into.metrics = metrics
+            into.record_structure_change(generation=generation)
+            result = into
         if _log.enabled_for("info"):
             _log.info(
                 "views_merged",
-                collectors=len(self.collectors),
+                collectors=len(ready),
                 nodes=len(merged.nodes),
                 links=len(merged.links),
                 generation=generation,
+                in_place=into is not None,
             )
-        return NetworkView(topology=merged, metrics=metrics, generation=generation)
+        return result
+
+    # -- incremental merge ---------------------------------------------------------
+
+    def _apply_deltas(self, ready: tuple[int, ...]) -> bool:
+        """Fold child journals into the persistent view; False => re-merge.
+
+        Only metrics-only chains are applied incrementally.  A structural
+        child delta, a journal the child cannot account for (e.g. a hand
+        bump), a replaced child view object, or a change in the ready set
+        all return False, and the caller falls back to a full in-place
+        re-merge.
+        """
+        view = self._view
+        assert view is not None
+        if ready != self._merged_children:
+            return False
+        chains: dict[int, list] = {}
+        for index in ready:
+            child_view = self.collectors[index].view()
+            if self._child_views.get(index) is not child_view:
+                return False
+            chain = child_view.deltas_since(self._child_generations[index])
+            if chain is None or any(delta.is_structural for delta in chain):
+                return False
+            if chain:
+                chains[index] = chain
+        if not chains:
+            return True  # nothing swept since the last refresh
+        touched_all: set[tuple[str, str]] = set()
+        for index, chain in chains.items():
+            child_metrics = self.collectors[index].view().metrics
+            for delta in chain:
+                touched_all |= delta.touched
+                for key in delta.touched:
+                    holder = self._owner.get(key)
+                    if holder is None or index < holder:
+                        # New direction, or a higher-precedence child began
+                        # measuring one a later child owned: (re-)adopt.
+                        view.metrics.adopt(key, child_metrics.series(*key))
+                        self._owner[key] = index
+            self._child_generations[index] = self.collectors[index].view().generation
+        # Shared series grew in place; advance the O(1) newest stamp — from
+        # the *owning* (merged-visible) series only, never from a shadowed
+        # conflict series, so the merged evaluation clock stays exactly
+        # what a full re-merge would have computed.
+        for key in touched_all:
+            if view.metrics.has_series(*key):
+                series = view.metrics.series(*key)
+                if not series.empty:
+                    view.metrics.bump_latest(series.latest()[0])
+        generation = self._merged_generation(ready)
+        view.record_sweep(touched_all, generation=generation)
+        self.delta_merges += 1
+        obs.inc(
+            "remos_collector_merges_total",
+            help="View merges performed by the collector master",
+        )
+        obs.inc(
+            "remos_collector_delta_merges_total",
+            help="Master refreshes applied as incremental metric deltas",
+        )
+        if _log.enabled_for("debug"):
+            _log.debug(
+                "deltas_applied",
+                children=len(chains),
+                touched=len(touched_all),
+                generation=generation,
+            )
+        return True

@@ -11,6 +11,10 @@ from __future__ import annotations
 from repro.stats import TimeSeries
 from repro.util.errors import CollectorError
 
+#: Reserved pseudo-link name under which CPU series are stored; a metrics
+#: key ``(CPU_PSEUDO_LINK, host)`` is a CPU resource, not a link direction.
+CPU_PSEUDO_LINK = "cpu"
+
 
 class MetricsStore:
     """Per-directed-link utilization series, keyed by (link name, from node)."""
@@ -53,13 +57,45 @@ class MetricsStore:
         """True once at least one sample exists for the direction."""
         return (link_name, from_node) in self._series
 
+    def version(self, link_name: str, from_node: str) -> int:
+        """Monotone per-resource metric stamp for one direction.
+
+        0 while the direction has never been measured; afterwards the
+        underlying series' sample-append counter.  Series objects are
+        shared by reference across merged stores, so every holder reads
+        one consistent stamp in O(1).
+        """
+        series = self._series.get((link_name, from_node))
+        return 0 if series is None else series.version
+
     def keys(self) -> list[tuple[str, str]]:
         """All (link name, from node) directions with measurements."""
         return list(self._series)
 
+    def adopt(self, key: tuple[str, str], series: TimeSeries) -> None:
+        """Adopt *series* (by reference) for *key*, replacing any holder.
+
+        The collector master uses this to apply child deltas under its
+        first-collector-wins precedence rules; :meth:`merge_from` remains
+        the bulk form.
+        """
+        self._series[key] = series
+        if not series.empty:
+            self._latest_time = max(self._latest_time, series.latest()[0])
+
+    def bump_latest(self, time: float) -> None:
+        """Advance the O(1) newest-sample stamp to at least *time*.
+
+        Needed by holders of shared series: a child collector appending to
+        a series this store adopted by reference moves real data without
+        touching this store's incremental maximum.
+        """
+        if time > self._latest_time:
+            self._latest_time = time
+
     # CPU load series reuse the same store under a reserved pseudo-link
     # name, so merging and capacity bounds apply uniformly.
-    _CPU_KEY = "cpu"
+    _CPU_KEY = CPU_PSEUDO_LINK
 
     def record_cpu(self, host: str, time: float, utilization: float) -> None:
         """Append a CPU-utilization sample (0..1) for *host*."""

@@ -75,6 +75,10 @@ class SNMPCollector(Collector):
         self._interface_map: dict[str, dict[int, str]] = {}
         # (node, ifIndex, column) -> (time, raw counter value)
         self._previous: dict[tuple[str, int, str], tuple[float, int]] = {}
+        # Metric-store keys recorded during the sweep in progress; becomes
+        # the sweep's ViewDelta (topology is static after discovery, so
+        # every sweep is metrics-only).
+        self._sweep_touched: set[tuple[str, str]] = set()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -131,6 +135,7 @@ class SNMPCollector(Collector):
         with obs.span("collector.sweep", detached=True) as sp:
             samples_before = self.samples_recorded
             sim_started = self.env.now
+            self._sweep_touched = set()
             for node_name in self._managed:
                 for if_index, link_name in self._interface_map[node_name].items():
                     for column_name, column in (
@@ -150,7 +155,7 @@ class SNMPCollector(Collector):
                         continue
                     self._record_cpu(node_name, int(raw))
             self.polls_completed += 1
-            generation = view.bump_generation()
+            generation = view.record_sweep(self._sweep_touched).generation
             samples = self.samples_recorded - samples_before
             if sp:
                 sp.set(
@@ -192,6 +197,7 @@ class SNMPCollector(Collector):
             return
         utilization = (raw - before) / 100.0 / dt
         self.metrics.record_cpu(node_name, now, utilization)
+        self._sweep_touched.add((MetricsStore._CPU_KEY, node_name))
         self.samples_recorded += 1
 
     def _record(
@@ -225,4 +231,5 @@ class SNMPCollector(Collector):
             if from_node in self._managed:
                 return
         self.metrics.record(link_name, from_node, now, bits_per_second)
+        self._sweep_touched.add((link_name, from_node))
         self.samples_recorded += 1

@@ -105,6 +105,11 @@ class Remos:
             self._live_modeler = modeler
         elif modeler.view is not view:
             modeler.rebind(view)
+        else:
+            # Same view object: collectors since the incremental rework
+            # refresh in place, so an unchanged identity may still hide a
+            # structure change.  O(1) while the structure level is stable.
+            modeler.sync_structure()
         return modeler
 
     def _begin_query(self) -> float:
@@ -558,6 +563,7 @@ class Remos:
         if view is not None:
             view_info = {
                 "generation": view.generation,
+                "structure_generation": view.structure_generation,
                 "nodes": len(view.topology.nodes),
                 "links": len(view.topology.links),
                 "latest_timestamp": view.metrics.latest_timestamp(),

@@ -24,6 +24,12 @@ class CacheStats:
         Memoised-lookup outcomes summed over every cache.
     invalidations:
         Times a generation change (or a view rebind) dropped cached entries.
+    partial_invalidations:
+        Times a metrics-only delta chain let the Modeler evict just the
+        touched entries instead of dropping every cache.
+    entries_evicted:
+        Cache entries removed by those partial invalidations (full drops
+        are not counted here).
     routing_rebuilds:
         Times a view refresh carried a structurally different topology and
         forced a new routing table (0 while topology is stable).
@@ -40,6 +46,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    partial_invalidations: int = 0
+    entries_evicted: int = 0
     routing_rebuilds: int = 0
     queries: int = 0
     query_time: float = 0.0
@@ -60,6 +68,11 @@ class CacheStats:
     def invalidated(self) -> None:
         """Record one cache-dropping event (generation change / rebind)."""
         self.invalidations += 1
+
+    def partially_invalidated(self, evicted: int) -> None:
+        """Record one delta-driven eviction pass removing *evicted* entries."""
+        self.partial_invalidations += 1
+        self.entries_evicted += evicted
 
     def record_query(self, seconds: float) -> None:
         """Account one answered query and its wall-clock cost."""
@@ -87,6 +100,8 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.partial_invalidations = 0
+        self.entries_evicted = 0
         self.routing_rebuilds = 0
         self.queries = 0
         self.query_time = 0.0
@@ -99,6 +114,8 @@ class CacheStats:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "invalidations": self.invalidations,
+            "partial_invalidations": self.partial_invalidations,
+            "entries_evicted": self.entries_evicted,
             "routing_rebuilds": self.routing_rebuilds,
             "queries": self.queries,
             "query_time": self.query_time,

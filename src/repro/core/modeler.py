@@ -8,11 +8,16 @@ satisfaction lives in :mod:`repro.core.api` on top of the availability
 estimates produced here.
 
 Estimates are memoised under a **generation stamp**: every answer cached
-here is keyed on the view's ``(generation, latest metric timestamp)`` and
-dropped the moment a collector sweep advances either, so a cached answer is
-exact for its generation and never served across generations.  The
-staleness contract and the full performance model are documented in
-``docs/PERFORMANCE.md``.
+here is keyed on the view's ``(generation, latest metric timestamp)``, so a
+cached answer is exact for its generation and never served across
+generations.  Invalidation is **fine-grained**: when the view can account
+for a generation step with metrics-only :class:`~repro.collector.ViewDelta`
+entries, only the touched resources are evicted — per-direction estimates
+additionally carry a ``(series version, evaluation time)`` stamp proving
+the summarised window did not move, so untouched entries survive sweeps
+bit-for-bit.  Structural deltas (or journal gaps) fall back to the old
+drop-everything behaviour.  The staleness contract and the full
+performance model are documented in ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from typing import Hashable
 
 from repro import obs
 from repro.collector.base import NetworkView
+from repro.collector.metrics import CPU_PSEUDO_LINK
 from repro.core.cachestats import CacheStats
 from repro.core.graph import RemosEdge, RemosGraph, RemosNode
 from repro.core.timeframe import Timeframe, TimeframeKind
@@ -33,6 +39,35 @@ from repro.util.errors import QueryError
 UNMEASURED_ACCURACY = 0.25
 
 _log = obs.get_logger("repro.core.modeler")
+
+
+class _Entry:
+    """One cached per-resource measure, stamped for incremental validity.
+
+    ``version`` is the backing series' sample-append counter at compute
+    time; ``now_used`` is the evaluation time the summary window was
+    anchored at.  A hit is served only when the version still matches and
+    (for timeframes whose answer depends on "now") the window provably did
+    not move — see ``Modeler._window_unmoved``.
+    """
+
+    __slots__ = ("version", "now_used", "measure")
+
+    def __init__(self, version: int, now_used: float, measure: StatMeasure):
+        self.version = version
+        self.now_used = now_used
+        self.measure = measure
+
+
+class _GraphEntry:
+    """A cached logical graph plus what its annotations depend on."""
+
+    __slots__ = ("graph", "link_names", "now_used")
+
+    def __init__(self, graph: RemosGraph, link_names: frozenset, now_used: float):
+        self.graph = graph
+        self.link_names = link_names
+        self.now_used = now_used
 
 
 class Modeler:
@@ -63,15 +98,19 @@ class Modeler:
         self.routing = routing or RoutingTable(view.topology)
         self.stats = stats if stats is not None else CacheStats()
         self.enable_cache = enable_cache
-        self._bandwidth_cache: dict[tuple, StatMeasure] = {}
-        self._cpu_cache: dict[tuple, StatMeasure] = {}
+        self._bandwidth_cache: dict[tuple, _Entry] = {}
+        self._cpu_cache: dict[tuple, _Entry] = {}
         self._capacities_cache: dict[tuple, dict[Hashable, float]] = {}
-        self._graph_cache: dict[tuple, RemosGraph] = {}
+        self._graph_cache: dict[tuple, _GraphEntry] = {}
         # Route → resource-key memo; purely structural (routes + static
         # crossbar finiteness), so it outlives generations and is dropped
         # only when the routing table itself is replaced.
         self._route_resources: dict[tuple[str, str], tuple[Hashable, ...]] = {}
         self._cache_stamp = self._view_stamp()
+        # Structure level last synchronised against; advancing past it
+        # means the topology changed under us (in place), so routing and
+        # structural memos must be revalidated even with caching disabled.
+        self._seen_structure = view.structure_generation
 
     # -- generation-stamped cache plumbing --------------------------------------
 
@@ -85,10 +124,31 @@ class Modeler:
         return (self.view.generation, self.view.metrics.latest_timestamp())
 
     def _refresh_caches(self, force: bool = False) -> None:
-        """Drop every dynamic cache if the view advanced a generation."""
+        """Synchronise caches with the view's stamps.
+
+        A metrics-only delta chain evicts just the touched entries and
+        patches the whole-world ``capacities`` dicts in place (one pass
+        through the surviving per-direction cache).  Anything the journal
+        cannot vouch for — a structural delta, a gap, a hand bump, a rebind
+        — drops every dynamic cache as before.
+        """
         stamp = self._view_stamp()
         if not force and stamp == self._cache_stamp:
             return
+        chain = None
+        if not force and stamp[0] != self._cache_stamp[0]:
+            chain = self.view.deltas_since(self._cache_stamp[0])
+        if chain is not None and not any(delta.is_structural for delta in chain):
+            # Set the stamp first: the capacity-patching path below may
+            # re-enter via _used_bandwidth, which must see us up to date.
+            self._cache_stamp = stamp
+            self._evict_touched(chain)
+            return
+        self.sync_structure()
+        if chain is not None:
+            cause = "structural"
+        else:
+            cause = "rebind" if force else "generation"
         if (
             self._bandwidth_cache
             or self._cpu_cache
@@ -99,13 +159,14 @@ class Modeler:
             obs.inc(
                 "remos_cache_invalidations_by_cause_total",
                 help="Cache-dropping events by cause",
-                cause="rebind" if force else "generation",
+                cause=cause,
             )
             if _log.enabled_for("debug"):
                 _log.debug(
                     "cache_invalidated",
                     old_stamp=self._cache_stamp,
                     new_stamp=stamp,
+                    cause=cause,
                     entries=len(self._bandwidth_cache)
                     + len(self._cpu_cache)
                     + len(self._capacities_cache)
@@ -116,6 +177,183 @@ class Modeler:
         self._capacities_cache.clear()
         self._graph_cache.clear()
         self._cache_stamp = stamp
+
+    def _evict_touched(self, chain) -> None:
+        """Evict exactly the cache entries a metrics-only chain invalidated."""
+        touched: set[tuple[str, str]] = set()
+        for delta in chain:
+            touched |= delta.touched
+        cpu_hosts = {src for link, src in touched if link == CPU_PSEUDO_LINK}
+        directions = {key for key in touched if key[0] != CPU_PSEUDO_LINK}
+        link_names = {link for link, _ in directions}
+        evicted = 0
+        if directions:
+            for key in [
+                key
+                for key in self._bandwidth_cache
+                if (key[0][0], key[0][1]) in directions
+            ]:
+                del self._bandwidth_cache[key]
+                evicted += 1
+            for key in [
+                key
+                for key, entry in self._graph_cache.items()
+                if entry.link_names & link_names
+            ]:
+                del self._graph_cache[key]
+                evicted += 1
+        if cpu_hosts:
+            for key in [key for key in self._cpu_cache if key[0] in cpu_hosts]:
+                del self._cpu_cache[key]
+                evicted += 1
+        evicted += self._patch_capacities()
+        self.stats.partially_invalidated(evicted)
+        obs.inc(
+            "remos_cache_invalidations_by_cause_total",
+            help="Cache-dropping events by cause",
+            cause="partial",
+        )
+        obs.inc(
+            "remos_cache_entries_evicted_total",
+            evicted,
+            help="Cache entries evicted by delta-driven partial invalidations",
+        )
+        if _log.enabled_for("debug"):
+            _log.debug(
+                "cache_partially_invalidated",
+                touched=len(touched),
+                evicted=evicted,
+                deltas=len(chain),
+            )
+
+    def _patch_capacities(self) -> int:
+        """Repair cached whole-world capacities dicts in place; returns patches.
+
+        A metrics-only sweep changes at most the touched directions plus any
+        untouched direction whose summary window shifted when the evaluation
+        clock advanced — exactly the directions whose bandwidth-cache slot
+        fails validation.  One pass over the directions recomputes those and
+        patches every cached ``(timeframe, quantile)`` dict, so steady-state
+        allocation runs keep hitting the capacities cache instead of
+        re-deriving the whole world from the per-direction entries.
+        """
+        if not self._capacities_cache:
+            return 0
+        by_timeframe: dict[Timeframe, list[str]] = {}
+        for timeframe, quantile in self._capacities_cache:
+            by_timeframe.setdefault(timeframe, []).append(quantile)
+        now = self.now
+        patched = 0
+        for timeframe, quantiles in by_timeframe.items():
+            if timeframe.kind is TimeframeKind.STATIC:
+                continue  # capacity-only: no metric dependence
+            for direction in self.view.topology.iter_directions():
+                entry = self._bandwidth_cache.get((direction.key, timeframe))
+                if entry is not None and (
+                    self._validate_entry(
+                        entry,
+                        direction.link.name,
+                        direction.src,
+                        timeframe,
+                        now,
+                        cpu=False,
+                    )
+                    is not None
+                ):
+                    continue
+                available = self._available_bandwidth(direction, timeframe, now)
+                for quantile in quantiles:
+                    self._capacities_cache[(timeframe, quantile)][
+                        direction.key
+                    ] = getattr(available, quantile)
+                patched += 1
+        return patched
+
+    def sync_structure(self) -> None:
+        """Revalidate routing after an in-place structure change.
+
+        Collectors since the incremental rework mutate the view's topology
+        **in place** (same view object, new ``structure_generation``), so
+        the rebind path never sees them; every routing-dependent entry
+        point calls this instead.  O(1) while the structure level is
+        unchanged.  The routing table is kept when the rebuilt topology is
+        structurally identical (rebased onto the new object), else rebuilt,
+        dropping the route-resource memo with it.
+        """
+        if self.view.structure_generation == self._seen_structure:
+            return
+        if not self.routing.is_valid_for(self.view.topology):
+            self.routing = RoutingTable(self.view.topology)
+            self.stats.routing_rebuilds += 1
+            self._route_resources.clear()
+        elif self.routing.topology is not self.view.topology:
+            self.routing.rebase(self.view.topology)
+        self._seen_structure = self.view.structure_generation
+
+    def _validate_entry(
+        self,
+        entry: _Entry,
+        link_name: str,
+        from_node: str,
+        timeframe: Timeframe,
+        now: float,
+        cpu: bool,
+    ) -> StatMeasure | None:
+        """The cached measure if still exact at *now*, else None.
+
+        Exactness needs two things: the backing series has not grown
+        (version stamp), and — when the evaluation time moved without the
+        series growing, i.e. some *other* resource was swept — this entry's
+        summary window did not shift over any retained sample.  A validated
+        entry is restamped to *now*, keeping later checks O(1).
+        """
+        if entry.version != self.view.metrics.version(link_name, from_node):
+            return None
+        if now != entry.now_used:
+            if not self._window_unmoved(
+                link_name, from_node, timeframe, entry.now_used, now, cpu
+            ):
+                return None
+            entry.now_used = now
+        return entry.measure
+
+    def _window_unmoved(
+        self,
+        link_name: str,
+        from_node: str,
+        timeframe: Timeframe,
+        now_used: float,
+        now: float,
+        cpu: bool,
+    ) -> bool:
+        """True when moving evaluation time ``now_used -> now`` provably
+        leaves the *unchanged* series' summary for *timeframe* intact.
+
+        FUTURE predictions are anchored at "now", so they never survive a
+        time shift.  CURRENT and HISTORY answers depend only on the latest
+        value (unchanged by assumption) and a trailing window's contents;
+        the window's width is fixed given the series (CPU CURRENT uses no
+        window at all), so the summary changes only if a sample ages out —
+        i.e. some retained sample falls in ``[old floor, new floor)``.
+        """
+        kind = timeframe.kind
+        if kind is TimeframeKind.STATIC:
+            return True
+        if kind is TimeframeKind.FUTURE:
+            return False
+        metrics = self.view.metrics
+        if not metrics.has_series(link_name, from_node):
+            return True  # assumed-idle constant; time-independent
+        series = metrics.series(link_name, from_node)
+        if series.empty:
+            return True
+        if kind is TimeframeKind.CURRENT:
+            if cpu:
+                return True  # constant(latest).degraded: no window
+            width = 10 * max(1.0, series.span() / max(1, len(series)))
+        else:  # HISTORY
+            width = timeframe.window
+        return not series.has_sample_in(now_used - width, now - width)
 
     def rebind(self, view: NetworkView) -> None:
         """Adopt a refreshed collector view without rebuilding the world.
@@ -134,7 +372,12 @@ class Modeler:
                 self.routing = RoutingTable(view.topology)
                 self.stats.routing_rebuilds += 1
                 self._route_resources.clear()
+            elif self.routing.topology is not view.topology:
+                # Structurally identical rebuild: keep the table, re-point
+                # it so later validity checks are O(1) identity again.
+                self.routing.rebase(view.topology)
             self.view = view
+            self._seen_structure = view.structure_generation
             self._refresh_caches(force=True)
             if sp:
                 sp.set(generation=view.generation, routing_rebuilt=rebuilt)
@@ -170,17 +413,26 @@ class Modeler:
         """Memoised estimate; *now* is hoisted by per-sweep callers."""
         if timeframe.kind is TimeframeKind.STATIC:
             return StatMeasure.constant(0.0)
+        link_name, from_node = direction.link.name, direction.src
         if self.enable_cache:
             self._refresh_caches()
+            if now is None:
+                now = self.now
             key = (direction.key, timeframe)
-            cached = self._bandwidth_cache.get(key)
-            if cached is not None:
-                self.stats.hit("bandwidth")
-                return cached
+            entry = self._bandwidth_cache.get(key)
+            if entry is not None:
+                measure = self._validate_entry(
+                    entry, link_name, from_node, timeframe, now, cpu=False
+                )
+                if measure is not None:
+                    self.stats.hit("bandwidth")
+                    return measure
             self.stats.miss("bandwidth")
         measure = self._compute_used_bandwidth(direction, timeframe, now)
         if self.enable_cache:
-            self._bandwidth_cache[(direction.key, timeframe)] = measure
+            self._bandwidth_cache[(direction.key, timeframe)] = _Entry(
+                self.view.metrics.version(link_name, from_node), now, measure
+            )
         return measure
 
     def _compute_used_bandwidth(
@@ -235,15 +487,22 @@ class Modeler:
             return StatMeasure.constant(0.0)
         if self.enable_cache:
             self._refresh_caches()
+            now = self.now
             key = (host, timeframe)
-            cached = self._cpu_cache.get(key)
-            if cached is not None:
-                self.stats.hit("cpu")
-                return cached
+            entry = self._cpu_cache.get(key)
+            if entry is not None:
+                measure = self._validate_entry(
+                    entry, CPU_PSEUDO_LINK, host, timeframe, now, cpu=True
+                )
+                if measure is not None:
+                    self.stats.hit("cpu")
+                    return measure
             self.stats.miss("cpu")
         measure = self._compute_cpu_load(host, timeframe)
         if self.enable_cache:
-            self._cpu_cache[(host, timeframe)] = measure
+            self._cpu_cache[(host, timeframe)] = _Entry(
+                self.view.metrics.version(CPU_PSEUDO_LINK, host), self.now, measure
+            )
         return measure
 
     def _compute_cpu_load(self, host: str, timeframe: Timeframe) -> StatMeasure:
@@ -274,9 +533,11 @@ class Modeler:
         ``"mean"``); finite node crossbars contribute their static internal
         bandwidth (SNMP exposes no crossbar utilization).
 
-        Memoised per ``(generation, timeframe, quantile)``; the six-quantile
-        sweep ``flow_info`` runs shares one set of per-direction measures
-        through the bandwidth cache.  Callers get their own dict copy.
+        Memoised per ``(timeframe, quantile)``; the six-quantile sweep
+        ``flow_info`` runs shares one set of per-direction measures through
+        the bandwidth cache, and the dicts survive metrics-only sweeps —
+        ``_patch_capacities`` repairs just the stale slots.  Callers get
+        their own dict copy.
         """
         if self.enable_cache:
             self._refresh_caches()
@@ -302,6 +563,7 @@ class Modeler:
 
     def resources_for_route(self, src: str, dst: str) -> tuple[Hashable, ...]:
         """Resource keys a flow from *src* to *dst* consumes (memoised)."""
+        self.sync_structure()
         key = (src, dst)
         cached = self._route_resources.get(key)
         if cached is not None:
@@ -317,6 +579,7 @@ class Modeler:
 
     def resources_for_tree(self, src: str, dsts: list[str]) -> tuple[Hashable, ...]:
         """Resource keys a multicast flow consumes: each tree link once."""
+        self.sync_structure()
         tree = self.routing.multicast_tree(src, list(dsts))
         resources: list[Hashable] = [hop.key for hop in tree.hops]
         for name in tree.nodes:
@@ -335,6 +598,7 @@ class Modeler:
            element-wise min along the chain);
         3. annotate everything for *timeframe*.
         """
+        self.sync_structure()
         topology = self.view.topology
         for name in nodes:
             if not topology.has_node(name):
@@ -347,19 +611,46 @@ class Modeler:
         # Memoised per (generation, sorted nodes, timeframe).  The query
         # order is part of the answer (RemosGraph.query_nodes), so a hit is
         # only served when the order matches too; callers must treat the
-        # returned graph as read-only.
+        # returned graph as read-only.  Partial invalidation already
+        # evicted graphs over touched links; a hit whose evaluation time
+        # moved (other resources swept) must still prove each annotated
+        # direction's window did not shift.
         if self.enable_cache:
             self._refresh_caches()
+            now = self.now
             key = (tuple(sorted(nodes)), timeframe)
-            cached = self._graph_cache.get(key)
-            if cached is not None and cached.query_nodes == list(nodes):
-                self.stats.hit("graph")
-                return cached
+            entry = self._graph_cache.get(key)
+            if entry is not None and entry.graph.query_nodes == list(nodes):
+                if self._validate_graph(entry, timeframe, now):
+                    self.stats.hit("graph")
+                    return entry.graph
             self.stats.miss("graph")
         graph = self._compute_logical_graph(nodes, timeframe)
         if self.enable_cache:
-            self._graph_cache[(tuple(sorted(nodes)), timeframe)] = graph
+            link_names = frozenset(
+                name for edge in graph.edges for name in edge.physical_links
+            )
+            self._graph_cache[(tuple(sorted(nodes)), timeframe)] = _GraphEntry(
+                graph, link_names, self.now
+            )
         return graph
+
+    def _validate_graph(
+        self, entry: _GraphEntry, timeframe: Timeframe, now: float
+    ) -> bool:
+        """True while the cached graph's annotations are exact at *now*."""
+        if now == entry.now_used:
+            return True
+        topology = self.view.topology
+        for name in entry.link_names:
+            link = topology.link(name)
+            for src in (link.a, link.b):
+                if not self._window_unmoved(
+                    name, src, timeframe, entry.now_used, now, cpu=False
+                ):
+                    return False
+        entry.now_used = now
+        return True
 
     def _compute_logical_graph(
         self, nodes: list[str], timeframe: Timeframe

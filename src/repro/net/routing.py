@@ -309,6 +309,19 @@ class RoutingTable:
             return True
         return self._topology_signature(topology) == self.topology_signature()
 
+    def rebase(self, topology: Topology) -> None:
+        """Re-point the table at a structurally identical topology object.
+
+        After the collector master re-merges **in place**, the view holds a
+        rebuilt-but-identical ``Topology``; rebasing restores the O(1)
+        identity fast path in :meth:`is_valid_for` for every later check.
+        Only call after ``is_valid_for(topology)`` returned True — routes,
+        the memoised signature, and cached ``LinkDirection`` objects stay
+        as built, which is exact precisely because the structures (names,
+        endpoints, latencies, capacities) are equal.
+        """
+        self.topology = topology
+
     def next_hop(self, src: str, dst: str) -> LinkDirection:
         """The first directed link on the route from *src* towards *dst*."""
         self.topology.node(src)

@@ -21,9 +21,22 @@ class TimeSeries:
         self.name = name
         self._buffer: RingBuffer[tuple[float, float]] = RingBuffer(capacity)
         self._last_time = -float("inf")
+        self._version = 0
 
     def __len__(self) -> int:
         return len(self._buffer)
+
+    @property
+    def version(self) -> int:
+        """Samples ever appended (monotone; survives ring-buffer eviction).
+
+        The Modeler stamps per-resource cache entries with this counter, so
+        a cached estimate is valid exactly while the series it summarised
+        has not grown.  Shared series objects (the collector master adopts
+        child series by reference) carry one counter visible to every
+        holder.
+        """
+        return self._version
 
     @property
     def empty(self) -> bool:
@@ -37,6 +50,7 @@ class TimeSeries:
                 f"series {self.name!r}: sample time {time} precedes {self._last_time}"
             )
         self._last_time = time
+        self._version += 1
         self._buffer.append((time, float(value)))
 
     def latest(self) -> tuple[float, float]:
@@ -64,6 +78,22 @@ class TimeSeries:
     def values(self) -> np.ndarray:
         """Every retained value, oldest first."""
         return np.array([v for _, v in self._buffer], dtype=float)
+
+    def has_sample_in(self, since: float, before: float) -> bool:
+        """True if any retained sample falls in the half-open ``[since, before)``.
+
+        The Modeler's incremental cache asks this to decide whether moving a
+        summary window forward in time changed its contents (samples ageing
+        out of the old window live in exactly this interval).  Samples are
+        stored oldest-first, so the scan stops at the first time >= *before*
+        — O(aged-out prefix), not O(len).
+        """
+        for t, _ in self._buffer:
+            if t >= before:
+                return False
+            if t >= since:
+                return True
+        return False
 
     def span(self) -> float:
         """Time covered by retained samples."""

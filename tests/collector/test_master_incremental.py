@@ -1,0 +1,192 @@
+"""Incremental master merges: precedence, delta application, degraded mode.
+
+The master's contract since the incremental-view rework: steady-state
+refreshes apply child deltas into a **persistent** merged view without
+changing what any merge would have answered — first-collector-wins
+precedence included — and anything the journals cannot vouch for falls
+back to a full in-place re-merge.
+"""
+
+import pytest
+
+from repro.collector import Collector, CollectorMaster, MetricsStore
+from repro.collector.base import NetworkView
+from repro.net import Topology
+from repro.util import mbps
+from repro.util.errors import CollectorError
+
+
+class ScriptedCollector(Collector):
+    """A collector whose view the test drives by hand (never started)."""
+
+    def __init__(self, view: NetworkView | None = None):
+        super().__init__()
+        self._view = view
+
+    def make_ready(self, view: NetworkView) -> None:
+        self._view = view
+
+    def start(self):  # pragma: no cover - scripted collectors are hand-driven
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        pass
+
+
+def star_view(
+    speed: float = 1e8,
+    capacity: float = mbps(100),
+    load: float | None = None,
+    samples: int = 5,
+) -> NetworkView:
+    """h1,h2 -- r1; optionally *samples* flat *load* samples on l1 from h1."""
+    topo = Topology(name="star")
+    topo.add_compute_node("h1", compute_speed=speed)
+    topo.add_compute_node("h2")
+    topo.add_network_node("r1")
+    topo.add_link("h1", "r1", capacity, 1e-4, name="l1")
+    topo.add_link("h2", "r1", mbps(100), 1e-4, name="l2")
+    metrics = MetricsStore()
+    if load is not None:
+        for i in range(samples):
+            metrics.record("l1", "h1", float(i), load)
+    return NetworkView(topology=topo, metrics=metrics)
+
+
+def master_over(*views: NetworkView, **kwargs) -> CollectorMaster:
+    master = CollectorMaster(None, [ScriptedCollector(v) for v in views], **kwargs)
+    return master
+
+
+class TestMergePrecedence:
+    def test_first_collector_wins_node_attributes(self):
+        fast, slow = star_view(speed=5e8), star_view(speed=1e8)
+        assert master_over(fast, slow).refresh().topology.node("h1").compute_speed == 5e8
+        assert master_over(slow, fast).refresh().topology.node("h1").compute_speed == 1e8
+
+    def test_first_collector_wins_link_attributes(self):
+        wide, narrow = star_view(capacity=mbps(200)), star_view(capacity=mbps(50))
+        assert master_over(wide, narrow).refresh().topology.link("l1").capacity == mbps(200)
+        assert master_over(narrow, wide).refresh().topology.link("l1").capacity == mbps(50)
+
+    def test_first_collector_wins_series_conflicts(self):
+        heavy, light = star_view(load=mbps(80)), star_view(load=mbps(10))
+        merged = master_over(heavy, light).refresh()
+        assert merged.metrics.series("l1", "h1") is heavy.metrics.series("l1", "h1")
+        merged = master_over(light, heavy).refresh()
+        assert merged.metrics.series("l1", "h1") is light.metrics.series("l1", "h1")
+
+    def test_precedence_reasserts_on_delta_merge(self):
+        # Only the lower-precedence child has measured l1:h1 at merge time…
+        first, second = star_view(), star_view(load=mbps(10))
+        master = master_over(first, second)
+        merged = master.refresh()
+        assert merged.metrics.series("l1", "h1") is second.metrics.series("l1", "h1")
+        # …until the higher-precedence child starts measuring it: the delta
+        # merge must re-adopt, exactly as a full re-merge would.
+        first.metrics.record("l1", "h1", 10.0, mbps(90))
+        first.record_sweep({("l1", "h1")})
+        merged = master.refresh()
+        assert master.delta_merges == 1
+        assert merged.metrics.series("l1", "h1") is first.metrics.series("l1", "h1")
+
+
+class TestDeltaMerges:
+    def test_steady_state_refresh_is_delta_merge(self):
+        child = star_view(load=mbps(20))
+        master = master_over(child)
+        merged = master.refresh()
+        child.metrics.record("l1", "h1", 10.0, mbps(40))
+        child.record_sweep({("l1", "h1")})
+        refreshed = master.refresh()
+        assert refreshed is merged  # persistent view object
+        assert (master.full_merges, master.delta_merges) == (1, 1)
+        assert refreshed.generation == child.generation
+        assert refreshed.metrics.latest_timestamp() == 10.0
+
+    def test_quiet_refresh_changes_nothing(self):
+        child = star_view(load=mbps(20))
+        master = master_over(child)
+        merged = master.refresh()
+        generation = merged.generation
+        assert master.refresh() is merged
+        assert merged.generation == generation
+        assert (master.full_merges, master.delta_merges) == (1, 0)
+
+    def test_journal_gap_falls_back_to_full_in_place_merge(self):
+        child = star_view(load=mbps(20))
+        master = master_over(child)
+        merged = master.refresh()
+        structure_before = merged.structure_generation
+        child.metrics.record("l1", "h1", 10.0, mbps(40))
+        child.bump_generation()  # no journal entry: the step is opaque
+        refreshed = master.refresh()
+        assert refreshed is merged
+        assert master.full_merges == 2 and master.delta_merges == 0
+        # The fallback is stamped structural: consumers must drop everything.
+        assert refreshed.structure_generation > structure_before
+
+    def test_structural_child_delta_forces_full_remerge(self):
+        child = star_view(load=mbps(20))
+        master = master_over(child)
+        merged = master.refresh()
+        topo = child.topology
+        topo.add_compute_node("h3")
+        topo.add_link("h3", "r1", mbps(100), 1e-4, name="l3")
+        child.record_structure_change()
+        refreshed = master.refresh()
+        assert refreshed is merged
+        assert master.full_merges == 2
+        assert refreshed.topology.has_node("h3")
+
+    def test_merged_generation_stays_monotone_across_fallbacks(self):
+        child = star_view(load=mbps(20))
+        master = master_over(child)
+        seen = [master.refresh().generation]
+        for time, bump in ((10.0, "sweep"), (11.0, "gap"), (12.0, "sweep")):
+            child.metrics.record("l1", "h1", time, mbps(30))
+            if bump == "sweep":
+                child.record_sweep({("l1", "h1")})
+            else:
+                child.bump_generation()
+            seen.append(master.refresh().generation)
+        assert seen == sorted(set(seen))
+
+
+class TestDegradedMode:
+    def test_unready_child_raises_by_default(self):
+        master = CollectorMaster(None, [ScriptedCollector(star_view()), ScriptedCollector()])
+        with pytest.raises(CollectorError, match="not ready"):
+            master.refresh()
+
+    def test_allow_partial_merges_ready_children_and_counts_skips(self):
+        late = ScriptedCollector()
+        master = CollectorMaster(None, [ScriptedCollector(star_view()), late])
+        merged = master.refresh(allow_partial=True)
+        assert master.refreshes_skipped == 1
+        assert merged.topology.has_node("h1") and not merged.topology.has_node("h9")
+        # The latecomer joins on the next refresh (ready set changed, so the
+        # master re-merges) without disturbing the persistent view object.
+        other = Topology(name="late")
+        other.add_compute_node("h9")
+        other.add_network_node("r1")
+        other.add_link("h9", "r1", mbps(100), 1e-4, name="l9")
+        late.make_ready(NetworkView(topology=other, metrics=MetricsStore()))
+        refreshed = master.refresh(allow_partial=True)
+        assert refreshed is merged
+        assert refreshed.topology.has_node("h9")
+        assert master.refreshes_skipped == 1
+
+    def test_constructor_default_allows_partial(self):
+        master = CollectorMaster(
+            None,
+            [ScriptedCollector(star_view()), ScriptedCollector()],
+            allow_partial=True,
+        )
+        assert master.refresh().topology.has_node("h1")
+        assert master.refreshes_skipped == 1
+
+    def test_no_ready_collector_raises_even_when_partial(self):
+        master = CollectorMaster(None, [ScriptedCollector(), ScriptedCollector()])
+        with pytest.raises(CollectorError, match="no collector is ready"):
+            master.refresh(allow_partial=True)
