@@ -1,0 +1,140 @@
+"""Concurrent query throughput: reader threads against a live sweeper.
+
+The deployment shape the snapshot rework exists for: one
+:class:`~repro.service.RemosService` sweeping aggressively (every sweep is
+a full poll touching every link direction, so every publish invalidates
+the dynamic caches) while N application threads issue flow queries.
+
+Python's GIL means raw thread parallelism buys nothing for this
+CPU-bound work — the win must come from **coalescing**: concurrent
+flow_info requests drain into one ``flow_info_batch`` per leader pass, so
+the expensive per-epoch work (the six per-quantile availability snapshots
+over the whole 64-host tree) is paid once per batch instead of once per
+request.  A single reader pays it on nearly every query, because the
+sweeper publishes a fresh epoch far more often than one thread can
+query.
+
+Gate: best concurrent throughput (4 or 8 readers) must be at least
+``GATE``x the single-reader throughput on the same stack.  Results land
+in ``BENCH_concurrency.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.core import Flow, Timeframe
+from repro.service import RemosService
+from repro.testbed import World
+
+from benchmarks._experiments import emit
+from benchmarks.bench_ablation_scale import build_tree, spread_hosts
+
+N_HOSTS = 64
+WARMUP_S = 20.0
+PHASE_WALL_S = 1.5
+THREAD_COUNTS = (1, 4, 8)
+GATE = 2.0
+
+
+def _make_service() -> tuple[RemosService, list[Flow], Timeframe]:
+    topology, hosts = build_tree(N_HOSTS)
+    world = World.from_topology(topology, poll_interval=1.0)
+    service = RemosService.from_world(
+        world, sweep_interval=0.002, sim_step=1.0, max_batch=8
+    )
+    service.start(warmup=WARMUP_S)
+    query_hosts = spread_hosts(hosts, 4)
+    flows = [
+        Flow(query_hosts[0], query_hosts[2]),
+        Flow(query_hosts[1], query_hosts[3]),
+    ]
+    return service, flows, Timeframe.history(10.0)
+
+
+def _run_phase(readers: int) -> dict:
+    """Fixed-wall-duration throughput at *readers* query threads."""
+    service, flows, timeframe = _make_service()
+    try:
+        # One untimed query per thread count to settle imports/caches.
+        service.flow_info(variable_flows=flows, timeframe=timeframe)
+        counts = [0] * readers
+        deadline = time.perf_counter() + PHASE_WALL_S
+
+        def reader(slot: int) -> None:
+            while time.perf_counter() < deadline:
+                service.flow_info(variable_flows=flows, timeframe=timeframe)
+                counts[slot] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,)) for slot in range(readers)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        total = sum(counts)
+        return {
+            "readers": readers,
+            "queries": total,
+            "elapsed_s": elapsed,
+            "throughput_qps": total / elapsed,
+            "publishes": service.publishes,
+            "batches": service.batches_executed,
+            "mean_batch": (
+                service.queries_batched / service.batches_executed
+                if service.batches_executed
+                else 0.0
+            ),
+        }
+    finally:
+        service.stop()
+
+
+def test_concurrent_throughput_scales(benchmark):
+    def experiment():
+        return [_run_phase(readers) for readers in THREAD_COUNTS]
+
+    phases = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    by_readers = {phase["readers"]: phase for phase in phases}
+    tp1 = by_readers[1]["throughput_qps"]
+    best_concurrent = max(
+        phase["throughput_qps"] for phase in phases if phase["readers"] > 1
+    )
+    scaling = best_concurrent / tp1
+
+    lines = [
+        f"Concurrent flow_info throughput, {N_HOSTS} hosts, live sweeper "
+        f"(every sweep touches every direction), {PHASE_WALL_S}s per phase:"
+    ]
+    for phase in phases:
+        lines.append(
+            f"  {phase['readers']} reader(s): {phase['throughput_qps']:8.1f} q/s "
+            f"({phase['queries']} queries, {phase['publishes']} publishes, "
+            f"mean batch {phase['mean_batch']:.2f})"
+        )
+    lines.append(f"  concurrent/single scaling {scaling:8.2f}x (gate: >= {GATE}x)")
+    emit("\n".join(lines))
+
+    payload = {
+        "benchmark": "bench_concurrent_queries",
+        "hosts": N_HOSTS,
+        "phase_wall_s": PHASE_WALL_S,
+        "phases": phases,
+        "single_thread_qps": tp1,
+        "best_concurrent_qps": best_concurrent,
+        "scaling": scaling,
+        "gate": GATE,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_concurrency.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Every phase must really have run against a moving writer.
+    for phase in phases:
+        assert phase["publishes"] > 1, "sweeper never published during a phase"
+    assert scaling >= GATE

@@ -63,7 +63,7 @@ def _parse_traffic(spec: str | None) -> TrafficScenario | None:
 def cmd_info(args) -> int:
     print(f"repro {__version__} — reproduction of Remos (HPDC 1998)")
     print("testbed hosts:", ", ".join(CMU_HOSTS))
-    print("commands: info, query, select, stats, table2, table3")
+    print("commands: info, query, select, serve, stats, table2, table3")
     return 0
 
 
@@ -236,6 +236,52 @@ def cmd_table3(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the concurrent query service over the testbed, fronted by HTTP."""
+    import threading
+    import time as _time
+
+    from repro.service import RemosService, serve_http
+
+    obs.configure_observability(
+        metrics=True, tracing=False, logging=args.log, log_level="info"
+    )
+    world = build_cmu_testbed(poll_interval=args.poll_interval)
+    scenario = _parse_traffic(args.traffic)
+    if scenario:
+        scenario.start(world.net)
+    service = RemosService.from_world(
+        world,
+        sweep_interval=args.sweep_interval,
+        sim_step=args.sim_step,
+        workers=args.workers,
+    )
+    service.start(warmup=args.warmup)
+    server = serve_http(service, host=args.host, port=args.port)
+    address = server.server_address
+    print(f"remos service listening on http://{address[0]}:{address[1]}")
+    print("endpoints: /healthz /metrics /telemetry /graph?nodes=a,b /node/<host> POST /flow_info")
+    try:
+        if args.duration is not None:
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            _time.sleep(args.duration)
+            server.shutdown()
+            thread.join()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+        print(
+            f"served {service.remos.queries_answered} queries over "
+            f"{service.sweeps} sweeps ({service.publishes} snapshots published)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Remos reproduction (HPDC 1998) experiment runner"
@@ -282,6 +328,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--log", action="store_true", help="also enable structured debug logging"
     )
     stats.set_defaults(func=cmd_stats)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the concurrent query service over HTTP"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = any free)")
+    serve.add_argument(
+        "--poll-interval", type=float, default=1.0, help="collector poll interval (sim s)"
+    )
+    serve.add_argument(
+        "--sweep-interval",
+        type=float,
+        default=0.02,
+        help="wall seconds between sweeper iterations",
+    )
+    serve.add_argument(
+        "--sim-step", type=float, default=1.0, help="simulated seconds per sweep"
+    )
+    serve.add_argument("--warmup", type=float, default=10.0, help="measurement time (s)")
+    serve.add_argument("--traffic", help="competing traffic: src:dst:rateMbps[,...]")
+    serve.add_argument("--workers", type=int, default=4, help="query thread-pool size")
+    serve.add_argument(
+        "--duration", type=float, default=None, help="auto-stop after N wall seconds"
+    )
+    serve.add_argument("--log", action="store_true", help="structured logging to stderr")
+    serve.set_defaults(func=cmd_serve)
 
     table2 = subparsers.add_parser("table2", help="reproduce Table 2 rows")
     table2.add_argument("--rows", help=f"comma-separated from {list(TABLE2_ROWS)}")

@@ -76,6 +76,11 @@ class NetworkView:
     actually invalidated.  Hand-built views may keep calling
     :meth:`bump_generation` — the resulting journal gap makes consumers
     fall back to the old drop-everything behaviour, never to staleness.
+
+    Snapshot publication (``repro.core.snapshot``) builds an immutable copy
+    of a live view and calls :meth:`freeze` on it: every later attribute
+    assignment or stamp advance raises, so published epochs can be shared
+    across reader threads without locks (see ``docs/CONCURRENCY.md``).
     """
 
     topology: Topology
@@ -86,6 +91,30 @@ class NetworkView:
         default_factory=lambda: deque(maxlen=JOURNAL_DEPTH), repr=False, compare=False
     )
 
+    def __setattr__(self, name, value):
+        if getattr(self, "_frozen", False):
+            raise CollectorError(
+                f"cannot set {name!r}: this NetworkView is frozen (published "
+                "in a snapshot); mutate the live collector view instead"
+            )
+        object.__setattr__(self, name, value)
+
+    def freeze(self) -> None:
+        """Make this view immutable (called once, at snapshot publication)."""
+        object.__setattr__(self, "_frozen", True)
+
+    @property
+    def frozen(self) -> bool:
+        """True once published inside a snapshot."""
+        return getattr(self, "_frozen", False)
+
+    def _assert_mutable(self) -> None:
+        if getattr(self, "_frozen", False):
+            raise CollectorError(
+                "cannot advance stamps on a frozen NetworkView (published "
+                "in a snapshot); sweeps belong on the live collector view"
+            )
+
     def bump_generation(self) -> int:
         """Mark one completed collector sweep; returns the new generation.
 
@@ -94,6 +123,7 @@ class NetworkView:
         views.  Collectors that can enumerate what they touched should use
         :meth:`record_sweep` instead.
         """
+        self._assert_mutable()
         self.generation += 1
         return self.generation
 
@@ -108,6 +138,7 @@ class NetworkView:
         stamps merged views with the sum of child generations).  Returns
         the journal entry.
         """
+        self._assert_mutable()
         base = self.generation
         self.generation = base + 1 if generation is None else generation
         delta = ViewDelta(
@@ -124,6 +155,7 @@ class NetworkView:
 
         Bumps both stamp levels and journals a ``TOPOLOGY_CHANGED`` delta.
         """
+        self._assert_mutable()
         base = self.generation
         self.generation = base + 1 if generation is None else generation
         self.structure_generation += 1

@@ -23,9 +23,58 @@ class MetricsStore:
         self._capacity = capacity
         self._series: dict[tuple[str, str], TimeSeries] = {}
         self._latest_time = 0.0
+        self._frozen = False
+
+    @property
+    def frozen(self) -> bool:
+        """True for immutable stores published inside a snapshot."""
+        return self._frozen
+
+    def _assert_mutable(self) -> None:
+        if self._frozen:
+            raise CollectorError(
+                "metrics store is frozen (published in a snapshot); "
+                "record against the live collector view instead"
+            )
+
+    def frozen_clone(
+        self,
+        cache: "dict[tuple[str, str], tuple[TimeSeries, int, TimeSeries]] | None" = None,
+    ) -> "MetricsStore":
+        """An immutable store holding frozen clones of every series.
+
+        *cache* is the publisher's copy-on-write memo, keyed by direction:
+        ``{key: (source series, version at clone time, frozen clone)}``.
+        A series whose identity and version are unchanged since the last
+        publication reuses the prior frozen clone, so a sparse sweep clones
+        only the series it touched.  The strong reference to the source
+        series makes the identity check sound (no ``id()`` reuse).  The
+        memo is updated in place.
+        """
+        clone = MetricsStore(self._capacity)
+        series_map: dict[tuple[str, str], TimeSeries] = {}
+        for key, series in self._series.items():
+            if cache is not None:
+                entry = cache.get(key)
+                if (
+                    entry is not None
+                    and entry[0] is series
+                    and entry[1] == series.version
+                ):
+                    series_map[key] = entry[2]
+                    continue
+            frozen = series.frozen_clone()
+            series_map[key] = frozen
+            if cache is not None:
+                cache[key] = (series, series.version, frozen)
+        clone._series = series_map
+        clone._latest_time = self._latest_time
+        clone._frozen = True
+        return clone
 
     def record(self, link_name: str, from_node: str, time: float, bits_per_second: float) -> None:
         """Append one sample of used bandwidth on a link direction."""
+        self._assert_mutable()
         key = (link_name, from_node)
         series = self._series.get(key)
         if series is None:
@@ -79,6 +128,7 @@ class MetricsStore:
         first-collector-wins precedence rules; :meth:`merge_from` remains
         the bulk form.
         """
+        self._assert_mutable()
         self._series[key] = series
         if not series.empty:
             self._latest_time = max(self._latest_time, series.latest()[0])
@@ -90,6 +140,7 @@ class MetricsStore:
         a series this store adopted by reference moves real data without
         touching this store's incremental maximum.
         """
+        self._assert_mutable()
         if time > self._latest_time:
             self._latest_time = time
 
@@ -112,6 +163,7 @@ class MetricsStore:
     def merge_from(self, other: "MetricsStore", prefer_other: bool = False) -> None:
         """Adopt *other*'s series for directions we lack (or always, if
         *prefer_other*).  Used by the collector master."""
+        self._assert_mutable()
         for key, series in other._series.items():
             if prefer_other or key not in self._series:
                 self._series[key] = series

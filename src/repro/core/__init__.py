@@ -24,10 +24,13 @@ from repro.core.timeframe import Timeframe, TimeframeKind
 from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, FlowQuery, MulticastFlow
 from repro.core.graph import RemosGraph, RemosEdge, RemosNode
 from repro.core.modeler import Modeler
+from repro.core.snapshot import Snapshot, SnapshotPublisher
 from repro.core.api import NodeAnswer, Remos, remos_flow_info, remos_get_graph
 
 __all__ = [
     "Remos",
+    "Snapshot",
+    "SnapshotPublisher",
     "Flow",
     "MulticastFlow",
     "FlowAnswer",

@@ -19,7 +19,9 @@ of its allocated rate.
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Hashable
 
@@ -29,11 +31,11 @@ from repro.core.cachestats import CacheStats
 from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, FlowQuery, MulticastFlow
 from repro.core.graph import RemosGraph
 from repro.core.modeler import Modeler
+from repro.core.snapshot import Snapshot, SnapshotPublisher
 from repro.core.timeframe import Timeframe
 from repro.fairshare import FlowRequest, StagedProblem, admission_report
-from repro.net import RoutingTable
 from repro.stats import StatMeasure
-from repro.util.errors import QueryError
+from repro.util.errors import CollectorError, QueryError
 
 # Quantiles at which flow allocations are evaluated, pessimistic first.
 _LEVELS = ("minimum", "q1", "median", "q3", "maximum")
@@ -69,21 +71,40 @@ class NodeAnswer:
 class Remos:
     """The query interface applications link against.
 
-    The facade keeps one :class:`Modeler` (and its routing table) alive
-    across collector view refreshes: topology is stable between discovery
-    sweeps, so refreshes only invalidate the generation-stamped dynamic
-    caches.  ``cache_stats`` exposes hit/miss/invalidation counters and
-    per-query wall time; ``enable_cache=False`` forces the cold
-    recompute-everything path (for benchmarks and differential tests).
-    See ``docs/PERFORMANCE.md`` for the performance model.
+    Every query runs against an immutable published
+    :class:`~repro.core.snapshot.Snapshot` — a frozen view plus the
+    per-epoch :class:`Modeler` memoising its capacities and routes.  With
+    ``auto_publish=True`` (the default, matching classic single-threaded
+    use) each query first asks the publisher to refresh, so answers track
+    the live collector exactly as before; cached state carries across
+    epochs through :meth:`Modeler.fork`, so topology-stable refreshes keep
+    their routing table and journal-vouched refreshes keep their dynamic
+    caches.  With ``auto_publish=False`` (service mode) queries *only*
+    read the current snapshot — publication is the sweeper thread's job —
+    which makes every query method safe to call from any number of reader
+    threads concurrently (see ``docs/CONCURRENCY.md``).
+
+    ``cache_stats`` exposes hit/miss/invalidation counters and per-query
+    wall time; ``enable_cache=False`` forces the cold recompute-everything
+    path (for benchmarks and differential tests).  See
+    ``docs/PERFORMANCE.md`` for the performance model.
     """
 
-    def __init__(self, source: Collector | NetworkView, enable_cache: bool = True):
+    def __init__(
+        self,
+        source: Collector | NetworkView,
+        enable_cache: bool = True,
+        auto_publish: bool = True,
+    ):
         self._source = source
         self._enable_cache = enable_cache
-        self._live_modeler: Modeler | None = None
+        self._auto_publish = auto_publish
         self.cache_stats = CacheStats()
+        self._publisher = SnapshotPublisher(
+            source, enable_cache=enable_cache, stats=self.cache_stats
+        )
         self.queries_answered = 0
+        self._query_count_lock = threading.Lock()
         if obs.metrics_enabled():
             self._publish_gauges()
 
@@ -92,28 +113,47 @@ class Remos:
             return self._source.view()
         return self._source
 
-    def _modeler(self) -> Modeler:
-        view = self._current_view()
-        modeler = self._live_modeler
-        if modeler is None:
-            modeler = Modeler(
-                view,
-                RoutingTable(view.topology),
-                stats=self.cache_stats,
-                enable_cache=self._enable_cache,
+    @property
+    def publisher(self) -> SnapshotPublisher:
+        """The snapshot publisher backing this facade."""
+        return self._publisher
+
+    def publish(self) -> Snapshot:
+        """Publish a snapshot of the live view if it moved (writer-side).
+
+        The service's sweeper calls this after each simulation step; in
+        ``auto_publish`` mode queries call it implicitly.
+        """
+        return self._publisher.refresh()
+
+    def snapshot(self) -> Snapshot:
+        """The snapshot the next query would run against.
+
+        In ``auto_publish`` mode this refreshes first; in service mode it
+        returns the current epoch (raising
+        :class:`~repro.util.errors.CollectorError` before the first
+        publication).
+        """
+        return self._snapshot()
+
+    def _snapshot(self) -> Snapshot:
+        if self._auto_publish:
+            return self._publisher.refresh()
+        snapshot = self._publisher.current()
+        if snapshot is None:
+            raise CollectorError(
+                "no snapshot published yet; start the service (or call "
+                "publish()) before querying"
             )
-            self._live_modeler = modeler
-        elif modeler.view is not view:
-            modeler.rebind(view)
-        else:
-            # Same view object: collectors since the incremental rework
-            # refresh in place, so an unchanged identity may still hide a
-            # structure change.  O(1) while the structure level is stable.
-            modeler.sync_structure()
-        return modeler
+        return snapshot
+
+    def _modeler(self) -> Modeler:
+        """The current snapshot's modeler (one per published epoch)."""
+        return self._snapshot().modeler
 
     def _begin_query(self) -> float:
-        self.queries_answered += 1
+        with self._query_count_lock:
+            self.queries_answered += 1
         return time.perf_counter()
 
     def _end_query(self, started: float, kind: str) -> None:
@@ -183,11 +223,18 @@ class Remos:
         started = self._begin_query()
         with obs.span("query.flow_info") as sp:
             try:
+                # Grab the snapshot's modeler once and use it throughout:
+                # a sweep publishing a new epoch mid-query must not split
+                # the answer across generations.
+                modeler = self._modeler()
                 if sp:
                     hits, misses = self.cache_stats.hits, self.cache_stats.misses
-                result = self._flow_info(fixed, variable, independent, timeframe)
+                snapshots = self._capacity_snapshots(modeler, timeframe)
+                result = self._evaluate_flow_query(
+                    modeler, fixed, variable, independent, timeframe, snapshots
+                )
                 if sp:
-                    self._annotate_query_span(sp, self._modeler(), hits, misses)
+                    self._annotate_query_span(sp, modeler, hits, misses)
                     sp.set(
                         flow_count=len(fixed) + len(variable) + len(independent),
                         fixed=len(fixed),
@@ -259,19 +306,6 @@ class Remos:
             level: modeler.available_capacities(timeframe, quantile=level)
             for level in (*_LEVELS, "mean")
         }
-
-    def _flow_info(
-        self,
-        fixed: list[Flow],
-        variable: list[Flow],
-        independent: list[Flow],
-        timeframe: Timeframe,
-    ) -> FlowInfoResult:
-        modeler = self._modeler()
-        snapshots = self._capacity_snapshots(modeler, timeframe)
-        return self._evaluate_flow_query(
-            modeler, fixed, variable, independent, timeframe, snapshots
-        )
 
     def _evaluate_flow_query(
         self,
@@ -505,19 +539,25 @@ class Remos:
             return sum(self._sweeps_of(child) or 0 for child in children)
         return self._sweeps_of(self._source)
 
+    def _ready(self) -> bool:
+        """True once the source can hand out a view (always, for static)."""
+        if isinstance(self._source, Collector):
+            return self._source.ready
+        return True
+
     def staleness_seconds(self) -> float | None:
         """Simulated seconds since the newest measurement, or None.
 
-        None when the source is a static view (no clock to age against) or
-        nothing has been measured yet.
+        None — never an exception — when the source is a static view (no
+        clock to age against), the collector has not completed its first
+        sweep, or nothing has been measured yet.  A freshly constructed
+        facade therefore reports None cleanly instead of tripping over the
+        collector's not-ready error.
         """
         env = getattr(self._source, "env", None)
-        if env is None:
+        if env is None or not self._ready():
             return None
-        try:
-            latest = self._current_view().metrics.latest_timestamp()
-        except Exception:
-            return None
+        latest = self._current_view().metrics.latest_timestamp()
         if latest <= 0.0:
             return None
         return max(0.0, env.now - latest)
@@ -526,38 +566,54 @@ class Remos:
         """Fold this facade's counters into the global metrics registry.
 
         Registered as callback gauges read at export time, so the query hot
-        path never pays for them.  With several live Remos instances the
-        most recent publisher wins (see docs/OBSERVABILITY.md).
+        path never pays for them.  The callbacks hold only a weak reference
+        to this facade: constructing Remos repeatedly (tests, benchmarks)
+        re-registers the same gauge names without chaining dead instances
+        alive, and a collected facade's gauges read 0 until the next
+        construction takes the names over (most recent publisher wins; see
+        docs/OBSERVABILITY.md).
         """
         registry = obs.get_registry()
-        stats = self.cache_stats
-        for name, help_text, read in (
-            ("remos_cache_hits_total", "Memoised lookups served from cache", lambda: float(stats.hits)),
-            ("remos_cache_misses_total", "Memoised lookups that had to compute", lambda: float(stats.misses)),
-            ("remos_cache_hit_rate", "Fraction of memoised lookups served from cache", lambda: stats.hit_rate),
-            ("remos_cache_invalidations_total", "Generation changes that dropped cached entries", lambda: float(stats.invalidations)),
-            ("remos_routing_rebuilds_total", "View refreshes that forced a new routing table", lambda: float(stats.routing_rebuilds)),
-            ("remos_queries_total", "Public Remos queries answered", lambda: float(stats.queries)),
-            ("remos_query_mean_seconds", "Mean wall-clock seconds per answered query", lambda: stats.mean_query_time),
-            ("remos_collector_sweeps", "Completed measurement sweeps of the backing collector", lambda: float(self._sweep_count() or 0)),
-            ("remos_view_staleness_seconds", "Simulated seconds since the newest measurement", lambda: self.staleness_seconds() or 0.0),
+        ref = weakref.ref(self)
+
+        def reader(fn):
+            def read() -> float:
+                remos = ref()
+                if remos is None:
+                    return 0.0
+                return fn(remos)
+
+            return read
+
+        for name, help_text, fn in (
+            ("remos_cache_hits_total", "Memoised lookups served from cache", lambda r: float(r.cache_stats.hits)),
+            ("remos_cache_misses_total", "Memoised lookups that had to compute", lambda r: float(r.cache_stats.misses)),
+            ("remos_cache_hit_rate", "Fraction of memoised lookups served from cache", lambda r: r.cache_stats.hit_rate),
+            ("remos_cache_invalidations_total", "Generation changes that dropped cached entries", lambda r: float(r.cache_stats.invalidations)),
+            ("remos_routing_rebuilds_total", "View refreshes that forced a new routing table", lambda r: float(r.cache_stats.routing_rebuilds)),
+            ("remos_queries_total", "Public Remos queries answered", lambda r: float(r.cache_stats.queries)),
+            ("remos_query_mean_seconds", "Mean wall-clock seconds per answered query", lambda r: r.cache_stats.mean_query_time),
+            ("remos_collector_sweeps", "Completed measurement sweeps of the backing collector", lambda r: float(r._sweep_count() or 0)),
+            ("remos_view_staleness_seconds", "Simulated seconds since the newest measurement", lambda r: r.staleness_seconds() or 0.0),
+            ("remos_snapshot_epoch", "Epoch counter of the current published snapshot", lambda r: float(r._publisher.epoch)),
         ):
-            registry.gauge(name, help=help_text).set_function(read)
+            registry.gauge(name, help=help_text).set_function(reader(fn))
 
     def telemetry(self) -> dict:
         """One combined, JSON-able observability snapshot for this facade.
 
         Folds the query cache (`CacheStats`), view freshness/staleness,
-        collector sweep counts, and — when observability is enabled — the
-        global metrics registry (per-stage latency quartiles included) into
-        a single report.  ``repro stats`` is a thin shell around this.
+        snapshot epoch info, collector sweep counts, and — when
+        observability is enabled — the global metrics registry (per-stage
+        latency quartiles included) into a single report.  Reports cleanly
+        on a freshly constructed facade: ``status`` is ``"no sweep yet"``
+        and the view/snapshot sections are None until the collector's
+        first sweep completes.  ``repro stats`` is a thin shell around
+        this.
         """
         if obs.metrics_enabled():
             self._publish_gauges()
-        try:
-            view = self._current_view()
-        except Exception:  # collector not ready yet
-            view = None
+        view = self._current_view() if self._ready() else None
         env = getattr(self._source, "env", None)
         view_info = None
         if view is not None:
@@ -577,10 +633,13 @@ class Remos:
                 "sim_now": env.now if env is not None else None,
                 "sim_events": getattr(env, "events_processed", None),
             }
+        current = self._publisher.current()
         return {
+            "status": "ok" if view is not None else "no sweep yet",
             "queries_answered": self.queries_answered,
             "cache": self.cache_stats.to_dict(),
             "view": view_info,
+            "snapshot": None if current is None else current.to_dict(),
             "collector": collector_info,
             "observability_enabled": obs.observability_enabled(),
             "metrics": obs.get_registry().to_dict(),

@@ -11,6 +11,7 @@ for how to read the counters.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -52,32 +53,43 @@ class CacheStats:
     queries: int = 0
     query_time: float = 0.0
     per_cache: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Guards the read-modify-write increments: one CacheStats is shared by
+    #: every reader thread querying the same facade.  ~100ns per record —
+    #: invisible next to any memoised lookup.
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # -- recording (called by Modeler / Remos) ---------------------------------
 
     def hit(self, cache: str) -> None:
         """Record a lookup served from *cache*."""
-        self.hits += 1
-        self._bucket(cache)["hits"] += 1
+        with self.lock:
+            self.hits += 1
+            self._bucket(cache)["hits"] += 1
 
     def miss(self, cache: str) -> None:
         """Record a lookup *cache* had to compute."""
-        self.misses += 1
-        self._bucket(cache)["misses"] += 1
+        with self.lock:
+            self.misses += 1
+            self._bucket(cache)["misses"] += 1
 
     def invalidated(self) -> None:
         """Record one cache-dropping event (generation change / rebind)."""
-        self.invalidations += 1
+        with self.lock:
+            self.invalidations += 1
 
     def partially_invalidated(self, evicted: int) -> None:
         """Record one delta-driven eviction pass removing *evicted* entries."""
-        self.partial_invalidations += 1
-        self.entries_evicted += evicted
+        with self.lock:
+            self.partial_invalidations += 1
+            self.entries_evicted += evicted
 
     def record_query(self, seconds: float) -> None:
         """Account one answered query and its wall-clock cost."""
-        self.queries += 1
-        self.query_time += seconds
+        with self.lock:
+            self.queries += 1
+            self.query_time += seconds
 
     def _bucket(self, cache: str) -> dict[str, int]:
         return self.per_cache.setdefault(cache, {"hits": 0, "misses": 0})
@@ -97,15 +109,16 @@ class CacheStats:
 
     def reset(self) -> None:
         """Zero every counter (e.g. between benchmark phases)."""
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.partial_invalidations = 0
-        self.entries_evicted = 0
-        self.routing_rebuilds = 0
-        self.queries = 0
-        self.query_time = 0.0
-        self.per_cache.clear()
+        with self.lock:
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
+            self.partial_invalidations = 0
+            self.entries_evicted = 0
+            self.routing_rebuilds = 0
+            self.queries = 0
+            self.query_time = 0.0
+            self.per_cache.clear()
 
     def to_dict(self) -> dict:
         """Plain-data form for JSON export / benchmark reports."""

@@ -389,6 +389,97 @@ class Modeler:
                 nodes=len(view.topology.nodes),
             )
 
+    def fork(self, view: NetworkView) -> "Modeler":
+        """A successor Modeler bound to *view*, inheriting warm caches.
+
+        Snapshot publication calls this **writer-side**: the previous
+        epoch's Modeler stays untouched (readers may still be traversing
+        it) while the child adopts its memoised state against the freshly
+        frozen *view*.  Semantics mirror :meth:`rebind` + the incremental
+        eviction a first query used to perform, moved before publication:
+
+        * the routing table (and the structural route-resource memo) is
+          **shared** with the parent when the topology is structurally
+          unchanged — rebased for the O(1) identity fast path — and rebuilt
+          (counting ``stats.routing_rebuilds``) otherwise;
+        * per-entry cache wrappers are **copied** (the immutable measures
+          and graphs inside are shared): entry revalidation restamps
+          ``now_used`` in place, and two epochs evaluate at different
+          "now"s, so wrappers must never be shared across snapshots;
+        * when *view*'s journal can vouch for the step as metrics-only,
+          the copied caches are reconciled immediately (same partial
+          eviction + capacity patching as before); otherwise the child
+          starts cold, exactly like the legacy rebind.
+
+        Readers of the published child therefore only ever *fill* caches —
+        no eviction, no restamping hazards — because a frozen view's stamp
+        never moves again.
+        """
+        child = Modeler.__new__(Modeler)
+        child.view = view
+        child.stats = self.stats
+        child.enable_cache = self.enable_cache
+        if self.routing.is_valid_for(view.topology):
+            child.routing = self.routing
+            if self.routing.topology is not view.topology:
+                self.routing.rebase(view.topology)
+            # Shared on purpose: purely structural, identical for both
+            # epochs, and concurrent fills insert identical tuples.
+            child._route_resources = self._route_resources
+        else:
+            child.routing = RoutingTable(view.topology)
+            self.stats.routing_rebuilds += 1
+            child._route_resources = {}
+        child._seen_structure = view.structure_generation
+        child._cache_stamp = self._cache_stamp
+
+        stamp = (view.generation, view.metrics.latest_timestamp())
+        carry = self.enable_cache and stamp == self._cache_stamp
+        chain = None
+        if self.enable_cache and not carry and stamp[0] != self._cache_stamp[0]:
+            chain = view.deltas_since(self._cache_stamp[0])
+            carry = chain is not None and not any(d.is_structural for d in chain)
+        if carry:
+            child._bandwidth_cache = {
+                key: _Entry(entry.version, entry.now_used, entry.measure)
+                for key, entry in self._bandwidth_cache.items()
+            }
+            child._cpu_cache = {
+                key: _Entry(entry.version, entry.now_used, entry.measure)
+                for key, entry in self._cpu_cache.items()
+            }
+            child._capacities_cache = {
+                key: dict(capacities)
+                for key, capacities in self._capacities_cache.items()
+            }
+            child._graph_cache = {
+                key: _GraphEntry(entry.graph, entry.link_names, entry.now_used)
+                for key, entry in self._graph_cache.items()
+            }
+            # Reconcile against the frozen stamps now, so the partial
+            # eviction (and its stats) happens before publication.
+            child._refresh_caches()
+        else:
+            child._bandwidth_cache = {}
+            child._cpu_cache = {}
+            child._capacities_cache = {}
+            child._graph_cache = {}
+            child._cache_stamp = stamp
+            if (
+                self._bandwidth_cache
+                or self._cpu_cache
+                or self._capacities_cache
+                or self._graph_cache
+            ):
+                cause = "structural" if chain is not None else "generation"
+                self.stats.invalidated()
+                obs.inc(
+                    "remos_cache_invalidations_by_cause_total",
+                    help="Cache-dropping events by cause",
+                    cause=cause,
+                )
+        return child
+
     @property
     def now(self) -> float:
         """Query-evaluation time: the newest timestamp the metrics contain.

@@ -23,6 +23,7 @@ link *and* every node crossbar on its path.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass
 
 from repro import obs
@@ -156,6 +157,11 @@ class RoutingTable:
         self._route_cache: dict[tuple[str, str], Route] = {}
         self._signature: tuple | None = None
         self.source_builds = 0
+        # Serialises lazy per-source Dijkstra builds: snapshot readers
+        # share one routing table per epoch, and a torn build must never
+        # be visible.  The route()/next-hop fast paths stay lock-free —
+        # concurrent fills insert identical values.
+        self._build_lock = threading.Lock()
         obs.inc(
             "remos_routing_builds_total",
             help="Routing table constructions (tables fill lazily per source)",
@@ -169,9 +175,19 @@ class RoutingTable:
         return link.latency + 1e-9
 
     def _ensure_source(self, source: str) -> dict[str, LinkDirection]:
-        """The next-hop table for *source*, building it on first use."""
+        """The next-hop table for *source*, building it on first use.
+
+        Double-checked locking: the common hit is one lock-free dict read;
+        a miss re-checks under the build lock so concurrent readers run
+        each Dijkstra once and only ever see a finished table.
+        """
         table = self._next_hop.get(source)
-        if table is None:
+        if table is not None:
+            return table
+        with self._build_lock:
+            table = self._next_hop.get(source)
+            if table is not None:
+                return table
             with obs.span("routing.build") as sp:
                 table = self._build_source(source)
                 if sp:

@@ -22,6 +22,7 @@ external metrics client is required.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Callable
 
 from repro.stats import StatMeasure
@@ -64,9 +65,9 @@ def _format_value(value: float) -> str:
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.  Increments are thread-safe."""
 
-    __slots__ = ("name", "labels", "_value")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
     kind = "counter"
 
@@ -74,12 +75,14 @@ class Counter:
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add *amount* (must be non-negative: counters never go down)."""
         if amount < 0:
             raise ConfigurationError(f"counter {self.name!r} cannot decrease")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -90,9 +93,15 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value, set directly or read from a callback."""
+    """A point-in-time value, set directly or read from a callback.
 
-    __slots__ = ("name", "labels", "_value", "_fn")
+    Increments are thread-safe.  Callback reads are guarded: a callback
+    that raises (e.g. one registered by a facade whose collector is gone)
+    degrades to the last directly-set value instead of breaking the whole
+    export.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_fn", "_lock")
 
     kind = "gauge"
 
@@ -101,16 +110,19 @@ class Gauge:
         self.labels = labels
         self._value = 0.0
         self._fn: Callable[[], float] | None = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self._fn = None
         self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     def set_function(self, fn: Callable[[], float]) -> None:
         """Read the gauge lazily from *fn* at export time (last caller wins)."""
@@ -118,8 +130,12 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        if self._fn is not None:
-            return float(self._fn())
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                return self._value
         return self._value
 
     def snapshot(self) -> dict:
@@ -135,7 +151,7 @@ class Histogram:
     Prometheus summary semantics.
     """
 
-    __slots__ = ("name", "labels", "max_samples", "_samples", "_count", "_sum")
+    __slots__ = ("name", "labels", "max_samples", "_samples", "_count", "_sum", "_lock")
 
     kind = "histogram"
 
@@ -148,16 +164,18 @@ class Histogram:
         self._samples: list[float] = []
         self._count = 0
         self._sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self._count += 1
-        self._sum += value
-        samples = self._samples
-        samples.append(float(value))
-        if len(samples) > self.max_samples:
-            # Drop the oldest half in one go: O(1) amortised per observe.
-            del samples[: len(samples) // 2]
+        """Record one observation (thread-safe)."""
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            samples = self._samples
+            samples.append(float(value))
+            if len(samples) > self.max_samples:
+                # Drop the oldest half in one go: O(1) amortised per observe.
+                del samples[: len(samples) // 2]
 
     @property
     def count(self) -> int:
@@ -169,9 +187,11 @@ class Histogram:
 
     def summary(self) -> StatMeasure | None:
         """Quartile summary of the retained samples (None when empty)."""
-        if not self._samples:
-            return None
-        return StatMeasure.from_samples(self._samples)
+        with self._lock:
+            if not self._samples:
+                return None
+            samples = list(self._samples)
+        return StatMeasure.from_samples(samples)
 
     def snapshot(self) -> dict:
         measure = self.summary()
@@ -205,22 +225,27 @@ class MetricsRegistry:
         self._instruments: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
         self._help: dict[str, str] = {}
         self._kinds: dict[str, str] = {}
+        # Get-or-create must be atomic: two threads asking for the same
+        # (name, labels) must receive the same instrument, never two
+        # instruments racing on the registry dict.
+        self._lock = threading.RLock()
 
     def _get(self, cls, name: str, labels: dict[str, str] | None, help: str, **kwargs):
         key = (name, _label_key(labels))
-        known = self._kinds.get(name)
-        if known is not None and known != cls.kind:
-            raise ConfigurationError(
-                f"metric {name!r} is already registered as a {known}"
-            )
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = cls(name, key[1], **kwargs)
-            self._instruments[key] = instrument
-            self._kinds[name] = cls.kind
-            if help:
-                self._help[name] = help
-        return instrument
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is not None and known != cls.kind:
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as a {known}"
+                )
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], **kwargs)
+                self._instruments[key] = instrument
+                self._kinds[name] = cls.kind
+                if help:
+                    self._help[name] = help
+            return instrument
 
     def counter(
         self, name: str, labels: dict[str, str] | None = None, help: str = ""
@@ -246,17 +271,18 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Forget every instrument (tests / between benchmark phases)."""
-        self._instruments.clear()
-        self._help.clear()
-        self._kinds.clear()
+        with self._lock:
+            self._instruments.clear()
+            self._help.clear()
+            self._kinds.clear()
 
     # -- export -----------------------------------------------------------------
 
     def _by_name(self) -> dict[str, list[Counter | Gauge | Histogram]]:
+        with self._lock:
+            items = sorted(self._instruments.items(), key=lambda item: item[0])
         grouped: dict[str, list] = {}
-        for (name, _), instrument in sorted(
-            self._instruments.items(), key=lambda item: item[0]
-        ):
+        for (name, _), instrument in items:
             grouped.setdefault(name, []).append(instrument)
         return grouped
 
@@ -265,7 +291,7 @@ class MetricsRegistry:
         result: dict[str, dict] = {}
         for name, instruments in self._by_name().items():
             result[name] = {
-                "type": self._kinds[name],
+                "type": self._kinds.get(name, instruments[0].kind),
                 "help": self._help.get(name, ""),
                 "series": [instrument.snapshot() for instrument in instruments],
             }
@@ -275,7 +301,7 @@ class MetricsRegistry:
         """The Prometheus text exposition format (histograms as summaries)."""
         lines: list[str] = []
         for name, instruments in self._by_name().items():
-            kind = self._kinds[name]
+            kind = self._kinds.get(name, instruments[0].kind)
             help_text = self._help.get(name)
             if help_text:
                 lines.append(f"# HELP {name} {_escape_help(help_text)}")

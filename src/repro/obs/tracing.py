@@ -12,15 +12,18 @@ feeds every span's duration into a per-stage latency histogram
 (``remos_stage_seconds{stage=...}``) — that is where the per-stage quartile
 summaries in ``repro stats`` come from.
 
-The simulation is single-threaded and every instrumented query runs
-synchronously within one engine step, so the "current span" is a plain
-attribute, not a contextvar.  The one instrumented stage that *does* yield
-to the engine mid-span (``collector.sweep``) is opened ``detached`` so it
-never corrupts the nesting of spans opened by interleaved processes.
+Every instrumented query runs synchronously on the thread that issued it,
+so the "current span" is **thread-local**: each reader thread of the
+concurrent query service nests its own spans without observing anyone
+else's (see ``docs/CONCURRENCY.md``).  The one instrumented stage that
+yields to the simulation engine mid-span (``collector.sweep``) is opened
+``detached`` so it never corrupts the nesting of spans opened by
+interleaved processes.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 
@@ -187,12 +190,22 @@ class Tracer:
     ):
         self._registry = registry
         self._clock = clock
-        self._current: Span | None = None
+        # Span nesting is per reader thread; ids and retention are global.
+        self._local = threading.local()
+        self._seq_lock = threading.Lock()
         self._trace_seq = 0
         self._span_seq = 0
         self.traces: deque[Span] = deque(maxlen=max_traces)
         self.spans_finished = 0
         self._stage_histograms: dict[str, Histogram] = {}
+
+    @property
+    def _current(self) -> Span | None:
+        return getattr(self._local, "span", None)
+
+    @_current.setter
+    def _current(self, span: "Span | None") -> None:
+        self._local.span = span
 
     def span(self, name: str, root: bool = False, detached: bool = False) -> Span:
         """Open a span (use as a context manager).
@@ -204,17 +217,19 @@ class Tracer:
         Detached spans are always trace roots.
         """
         parent = None if (root or detached) else self._current
-        if parent is None:
-            self._trace_seq += 1
-            trace_id = f"q-{self._trace_seq:06d}"
-        else:
-            trace_id = parent.trace_id
-        self._span_seq += 1
+        with self._seq_lock:
+            if parent is None:
+                self._trace_seq += 1
+                trace_id = f"q-{self._trace_seq:06d}"
+            else:
+                trace_id = parent.trace_id
+            self._span_seq += 1
+            span_id = f"s-{self._span_seq:06d}"
         return Span(
             tracer=self,
             name=name,
             trace_id=trace_id,
-            span_id=f"s-{self._span_seq:06d}",
+            span_id=span_id,
             parent_id=parent.span_id if parent is not None else None,
             root=parent._root if parent is not None else None,
             detached=detached,
@@ -227,18 +242,19 @@ class Tracer:
 
     def _finished(self, span: Span) -> None:
         span._root.spans.append(span)
-        self.spans_finished += 1
-        if span.is_root:
-            self.traces.append(span)
-        if self._registry is not None:
+        with self._seq_lock:
+            self.spans_finished += 1
+            if span.is_root:
+                self.traces.append(span)
             histogram = self._stage_histograms.get(span.name)
-            if histogram is None:
+            if histogram is None and self._registry is not None:
                 histogram = self._registry.histogram(
                     STAGE_HISTOGRAM,
                     labels={"stage": span.name},
                     help="Wall-clock seconds per pipeline stage (span durations)",
                 )
                 self._stage_histograms[span.name] = histogram
+        if histogram is not None:
             histogram.observe(span.duration)
 
     def last_trace(self, name: str | None = None) -> Span | None:

@@ -1,0 +1,324 @@
+"""RemosService: the sweep scheduler and thread-safe query front end."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro import obs
+from repro.collector import Collector, CollectorMaster
+from repro.core import Flow, FlowInfoResult, FlowQuery, Remos, Timeframe
+from repro.core.snapshot import Snapshot
+from repro.sim import Engine
+from repro.util.errors import ConfigurationError, QueryError
+
+_log = obs.get_logger("repro.service")
+
+
+class _Pending:
+    """One waiting flow_info request inside the coalescing queue."""
+
+    __slots__ = ("query", "timeframe", "result", "error", "done")
+
+    def __init__(self, query: FlowQuery, timeframe: Timeframe):
+        self.query = query
+        self.timeframe = timeframe
+        self.result: FlowInfoResult | None = None
+        self.error: BaseException | None = None
+        self.done = False
+
+    def outcome(self) -> FlowInfoResult:
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+class RemosService:
+    """A snapshot-isolated Remos query service over one collector stack.
+
+    One background **sweeper** thread owns every mutation: it steps the
+    simulation engine, refreshes the collector master (when there is one),
+    and publishes each completed sweep as an immutable snapshot.  Query
+    methods are safe to call from any number of threads; each runs against
+    the snapshot current at its start (``remos.snapshot()`` exposes it for
+    differential testing).
+
+    Parameters
+    ----------
+    collector:
+        The collector (or :class:`CollectorMaster`) to serve queries from.
+    env:
+        The simulation engine the sweeper advances.  Only the sweeper
+        thread may run it.
+    sweep_interval:
+        Wall-clock seconds between sweeper iterations.
+    sim_step:
+        Simulated seconds advanced per sweeper iteration.
+    max_batch:
+        Most flow_info requests answered by one coalesced batch.
+    workers:
+        Thread-pool size for :meth:`flow_info_async`.
+    """
+
+    def __init__(
+        self,
+        collector: Collector,
+        env: Engine,
+        sweep_interval: float = 0.02,
+        sim_step: float = 1.0,
+        max_batch: int = 8,
+        workers: int = 4,
+    ):
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        self._collector = collector
+        self._env = env
+        self._sweep_interval = sweep_interval
+        self._sim_step = sim_step
+        self._max_batch = max_batch
+        self._workers = workers
+        #: Queries never publish: the sweeper is the single writer.
+        self.remos = Remos(collector, auto_publish=False)
+        self._stop_event = threading.Event()
+        self._sweeper: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._started = False
+        # Coalescing state, all guarded by _cond.
+        self._cond = threading.Condition()
+        self._queue: dict[Timeframe, list[_Pending]] = {}
+        self._leader_busy = False
+        # Service counters (leader/sweeper-only writers).
+        self.sweeps = 0
+        self.publishes = 0
+        self.batches_executed = 0
+        self.queries_batched = 0
+        self.sweep_errors = 0
+
+    @classmethod
+    def from_world(cls, world, **kwargs) -> "RemosService":
+        """Build a service over a testbed :class:`~repro.testbed.World`."""
+        if world.collector is None:
+            raise ConfigurationError("world has no collector")
+        return cls(world.collector, world.env, **kwargs)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, warmup: float = 0.0) -> "RemosService":
+        """Run the collector to readiness (+ *warmup* simulated seconds),
+        publish the first snapshot, and start the sweeper thread."""
+        if self._started:
+            return self
+        self._started = True
+        if not self._collector.ready:
+            ready = self._collector.start()
+            self._env.run(until=ready)
+        if warmup > 0:
+            self._env.run(until=self._env.now + warmup)
+        if isinstance(self._collector, CollectorMaster):
+            self._collector.refresh(allow_partial=True)
+        self.remos.publish()
+        self.publishes = self.remos.publisher.publishes
+        self._publish_service_gauges()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="remos-query"
+        )
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop, name="remos-sweeper", daemon=True
+        )
+        self._sweeper.start()
+        _log.info("service_started", sweep_interval=self._sweep_interval)
+        return self
+
+    def stop(self) -> None:
+        """Stop the sweeper and the collector (idempotent)."""
+        if not self._started:
+            return
+        self._stop_event.set()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=5.0)
+            self._sweeper = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._collector.stop()
+        self._started = False
+        self._stop_event = threading.Event()
+        _log.info("service_stopped", sweeps=self.sweeps, publishes=self.publishes)
+
+    def __enter__(self) -> "RemosService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def running(self) -> bool:
+        return self._started
+
+    def _sweep_loop(self) -> None:
+        """The single writer: advance, merge, publish, repeat."""
+        while not self._stop_event.wait(self._sweep_interval):
+            try:
+                self._env.run(until=self._env.now + self._sim_step)
+                if isinstance(self._collector, CollectorMaster):
+                    self._collector.refresh(allow_partial=True)
+                self.remos.publish()
+                self.sweeps += 1
+                self.publishes = self.remos.publisher.publishes
+                obs.inc(
+                    "remos_service_sweeps_total",
+                    help="Sweeper iterations completed by the query service",
+                )
+            except Exception as exc:
+                # Keep serving the last good snapshot; a broken sweep must
+                # never take the readers down.
+                self.sweep_errors += 1
+                _log.error("sweep_failed", error=f"{type(exc).__name__}: {exc}")
+
+    def _publish_service_gauges(self) -> None:
+        registry = obs.get_registry()
+        if not obs.metrics_enabled():
+            return
+        publisher = self.remos.publisher
+        registry.gauge(
+            "remos_snapshot_age_seconds",
+            help="Wall-clock seconds since the current snapshot was published",
+        ).set_function(
+            lambda: (
+                0.0
+                if publisher.current() is None
+                else publisher.current().age_seconds()
+            )
+        )
+
+    # -- queries (reader side) ---------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """The snapshot queries are currently answered from."""
+        return self.remos.snapshot()
+
+    def flow_info(
+        self,
+        fixed_flows: list[Flow] | None = None,
+        variable_flows: list[Flow] | None = None,
+        independent_flows: list[Flow] | None = None,
+        timeframe: Timeframe | None = None,
+    ) -> FlowInfoResult:
+        """A flow query, coalesced with concurrent ones when possible.
+
+        Requests sharing a timeframe that arrive while another is being
+        answered are drained by one leader into a single
+        :meth:`~repro.core.api.Remos.flow_info_batch` call — identical
+        answers, shared per-epoch work.  A solitary request degenerates to
+        a batch of one.
+        """
+        timeframe = timeframe or Timeframe.current()
+        query = FlowQuery(
+            fixed=tuple(fixed_flows or ()),
+            variable=tuple(variable_flows or ()),
+            independent=tuple(independent_flows or ()),
+        )
+        pending = _Pending(query, timeframe)
+        with self._cond:
+            self._queue.setdefault(timeframe, []).append(pending)
+        while True:
+            with self._cond:
+                while not pending.done and self._leader_busy:
+                    self._cond.wait(timeout=0.5)
+                if pending.done:
+                    return pending.outcome()
+                self._leader_busy = True
+                group = self._queue.get(pending.timeframe, [])
+                take = group[: self._max_batch]
+                rest = group[self._max_batch :]
+                if rest:
+                    self._queue[pending.timeframe] = rest
+                else:
+                    self._queue.pop(pending.timeframe, None)
+            try:
+                if take:
+                    self._execute_group(take)
+            finally:
+                with self._cond:
+                    self._leader_busy = False
+                    self._cond.notify_all()
+            if pending.done:
+                return pending.outcome()
+
+    def _execute_group(self, group: list[_Pending]) -> None:
+        """Answer one drained group with a single batched query."""
+        timeframe = group[0].timeframe
+        try:
+            results = self.remos.flow_info_batch(
+                [p.query for p in group], timeframe
+            )
+        except QueryError:
+            # One invalid scenario poisons a whole batch; retry each
+            # request alone so the error lands only where it belongs.
+            for p in group:
+                try:
+                    p.result = self.remos.flow_info_batch([p.query], timeframe)[0]
+                except BaseException as exc:
+                    p.error = exc
+                p.done = True
+        except BaseException as exc:
+            for p in group:
+                p.error = exc
+                p.done = True
+        else:
+            for p, result in zip(group, results):
+                p.result = result
+                p.done = True
+        self.batches_executed += 1
+        self.queries_batched += len(group)
+        obs.inc(
+            "remos_service_batches_total",
+            help="Coalesced flow_info batches executed by the query service",
+        )
+        obs.inc(
+            "remos_service_batched_queries_total",
+            amount=len(group),
+            help="flow_info requests answered through coalesced batches",
+        )
+
+    def flow_info_async(self, **kwargs) -> Future:
+        """Submit :meth:`flow_info` to the service's thread pool."""
+        if self._executor is None:
+            raise ConfigurationError("service is not running; call start() first")
+        return self._executor.submit(self.flow_info, **kwargs)
+
+    def get_graph(self, nodes: list[str], timeframe: Timeframe | None = None):
+        """Delegate to :meth:`Remos.get_graph` (snapshot-isolated)."""
+        return self.remos.get_graph(nodes, timeframe)
+
+    def node_info(self, host: str, timeframe: Timeframe | None = None):
+        """Delegate to :meth:`Remos.node_info` (snapshot-isolated)."""
+        return self.remos.node_info(host, timeframe)
+
+    def check_admission(self, fixed_flows: list[Flow], timeframe: Timeframe | None = None):
+        """Delegate to :meth:`Remos.check_admission` (snapshot-isolated)."""
+        return self.remos.check_admission(fixed_flows, timeframe)
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """The facade's telemetry plus a service section."""
+        report = self.remos.telemetry()
+        report["service"] = {
+            "running": self.running,
+            "sweeps": self.sweeps,
+            "sweep_errors": self.sweep_errors,
+            "publishes": self.publishes,
+            "batches_executed": self.batches_executed,
+            "queries_batched": self.queries_batched,
+            "sweep_interval": self._sweep_interval,
+            "sim_step": self._sim_step,
+            "max_batch": self._max_batch,
+        }
+        return report
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition of the global registry."""
+        return obs.get_registry().to_prometheus()

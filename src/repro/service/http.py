@@ -1,0 +1,177 @@
+"""Stdlib HTTP front end for :class:`~repro.service.RemosService`.
+
+One thread per connection (``ThreadingHTTPServer``); every handler is a
+thin JSON shim over the service's thread-safe query methods, so the
+snapshot-isolation guarantees apply verbatim to HTTP clients.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness plus the current snapshot epoch.
+``GET /metrics``
+    Prometheus text exposition of the global registry.
+``GET /telemetry``
+    The combined telemetry report as JSON.
+``GET /graph?nodes=a,b,c``
+    ``remos_get_graph`` over the named nodes.
+``GET /node/<host>``
+    ``node_info`` for one compute host.
+``POST /flow_info``
+    Body: ``{"fixed": [...], "variable": [...], "independent": [...],
+    "timeframe": {...}}`` where each flow is ``{"src", "dst",
+    "requested"?, "cap"?, "name"?}`` and the timeframe is ``{"kind":
+    "static"|"current"|"history"|"future", "window"?, "horizon"?,
+    "predictor"?}`` (defaults to current).  The Python kwarg spellings
+    ``fixed_flows``/``variable_flows``/``independent_flows`` are
+    accepted as aliases.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core import Flow, Timeframe
+from repro.util.errors import ReproError
+
+
+def _parse_flow(spec: dict) -> Flow:
+    if not isinstance(spec, dict) or "src" not in spec or "dst" not in spec:
+        raise ReproError(f"flow spec needs src and dst: {spec!r}")
+    return Flow(
+        src=spec["src"],
+        dst=spec["dst"],
+        requested=float(spec.get("requested", 1.0)),
+        cap=float(spec.get("cap", float("inf"))),
+        name=spec.get("name"),
+    )
+
+
+def _parse_timeframe(spec: dict | None) -> Timeframe:
+    if not spec:
+        return Timeframe.current()
+    kind = spec.get("kind", "current")
+    if kind == "static":
+        return Timeframe.static()
+    if kind == "current":
+        return Timeframe.current()
+    if kind == "history":
+        if "window" not in spec:
+            raise ReproError('history timeframe needs a "window" (seconds)')
+        return Timeframe.history(float(spec["window"]))
+    if kind == "future":
+        if "horizon" not in spec:
+            raise ReproError('future timeframe needs a "horizon" (seconds)')
+        return Timeframe.future(
+            float(spec["horizon"]),
+            predictor=spec.get("predictor", "ewma"),
+            window=float(spec.get("window", 60.0)),
+        )
+    raise ReproError(f"unknown timeframe kind {kind!r}")
+
+
+def make_handler(service) -> type[BaseHTTPRequestHandler]:
+    """A request-handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # Quiet by default; the service has structured logging of its own.
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass
+
+        def _send(self, status: int, body: str, content_type: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(self, status: int, data) -> None:
+            self._send(status, json.dumps(data, indent=2), "application/json")
+
+        def _send_error_json(self, status: int, error: BaseException) -> None:
+            self._send_json(
+                status, {"error": f"{type(error).__name__}: {error}"}
+            )
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib signature
+            url = urlparse(self.path)
+            try:
+                if url.path == "/healthz":
+                    snapshot = service.remos.publisher.current()
+                    self._send_json(
+                        200,
+                        {
+                            "status": "ok" if service.running else "stopped",
+                            "epoch": 0 if snapshot is None else snapshot.epoch,
+                        },
+                    )
+                elif url.path == "/metrics":
+                    self._send(
+                        200,
+                        service.metrics_text(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                elif url.path == "/telemetry":
+                    self._send_json(200, service.telemetry())
+                elif url.path == "/graph":
+                    params = parse_qs(url.query)
+                    nodes = [
+                        name
+                        for chunk in params.get("nodes", [])
+                        for name in chunk.split(",")
+                        if name
+                    ]
+                    graph = service.get_graph(nodes)
+                    self._send_json(200, graph.to_dict())
+                elif url.path.startswith("/node/"):
+                    host = url.path[len("/node/") :]
+                    answer = service.node_info(host)
+                    self._send_json(200, answer.to_dict())
+                else:
+                    self._send_json(404, {"error": f"no such path {url.path!r}"})
+            except ReproError as error:
+                self._send_error_json(400, error)
+            except Exception as error:  # defensive: keep the server alive
+                self._send_error_json(500, error)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib signature
+            url = urlparse(self.path)
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length) if length else b"{}"
+                body = json.loads(raw.decode("utf-8") or "{}")
+                if url.path == "/flow_info":
+                    # Accept both the short key and the Python kwarg name
+                    # ("variable" / "variable_flows", etc.).
+                    def flows(key: str) -> list[Flow]:
+                        specs = body.get(key, body.get(f"{key}_flows", []))
+                        return [_parse_flow(f) for f in specs]
+
+                    result = service.flow_info(
+                        fixed_flows=flows("fixed"),
+                        variable_flows=flows("variable"),
+                        independent_flows=flows("independent"),
+                        timeframe=_parse_timeframe(body.get("timeframe")),
+                    )
+                    self._send_json(200, result.to_dict())
+                else:
+                    self._send_json(404, {"error": f"no such path {url.path!r}"})
+            except (ReproError, ValueError, KeyError) as error:
+                self._send_error_json(400, error)
+            except Exception as error:  # defensive: keep the server alive
+                self._send_error_json(500, error)
+
+    return Handler
+
+
+def serve_http(service, host: str = "127.0.0.1", port: int = 8080) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server over *service* (port 0 picks a free one).
+
+    Returns the server without blocking; call ``serve_forever()`` (or run
+    it from a thread) and ``shutdown()`` / ``server_close()`` to stop.
+    """
+    return ThreadingHTTPServer((host, port), make_handler(service))

@@ -22,6 +22,7 @@ class TimeSeries:
         self._buffer: RingBuffer[tuple[float, float]] = RingBuffer(capacity)
         self._last_time = -float("inf")
         self._version = 0
+        self._frozen = False
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -43,8 +44,35 @@ class TimeSeries:
         """True if no samples recorded yet."""
         return len(self._buffer) == 0
 
+    @property
+    def frozen(self) -> bool:
+        """True for immutable clones published inside a snapshot."""
+        return self._frozen
+
+    def frozen_clone(self) -> "TimeSeries":
+        """An immutable copy with identical samples and version stamp.
+
+        Published snapshots hold these: readers see exactly the data the
+        writer assembled, and the live collector can keep appending to the
+        source series without the snapshot ever observing it.  The version
+        counter is preserved so cached estimates stamped against the source
+        validate identically against the clone.
+        """
+        clone = TimeSeries.__new__(TimeSeries)
+        clone.name = self.name
+        clone._buffer = self._buffer.copy()
+        clone._last_time = self._last_time
+        clone._version = self._version
+        clone._frozen = True
+        return clone
+
     def add(self, time: float, value: float) -> None:
         """Append a sample; times must be non-decreasing."""
+        if self._frozen:
+            raise ConfigurationError(
+                f"series {self.name!r} is frozen (published in a snapshot); "
+                "append to the live collector series instead"
+            )
         if time < self._last_time:
             raise ConfigurationError(
                 f"series {self.name!r}: sample time {time} precedes {self._last_time}"

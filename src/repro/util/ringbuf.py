@@ -83,6 +83,18 @@ class RingBuffer(Generic[T]):
             raise IndexError("ring buffer is empty")
         return self[0]
 
+    def copy(self) -> "RingBuffer[T]":
+        """A shallow copy (same items, independent storage).
+
+        Snapshot publication clones the bounded series backing a frozen
+        view with this; O(capacity) slot copy, no per-item work.
+        """
+        clone: RingBuffer[T] = RingBuffer(self._capacity)
+        clone._items = list(self._items)
+        clone._start = self._start
+        clone._count = self._count
+        return clone
+
     def clear(self) -> None:
         """Drop every item."""
         self._items = [None] * self._capacity

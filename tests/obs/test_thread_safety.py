@@ -1,0 +1,155 @@
+"""Thread-safety of the observability layer under the concurrent service.
+
+Counters/histograms must not lose increments under contention, the
+registry's get-or-create must hand every thread the same instrument, span
+nesting must stay per-thread, and repeated Remos construction must not
+make the registry resurrect or double-count dead facades.
+"""
+
+import gc
+import threading
+
+from repro import obs
+from repro.core import Remos
+from repro.obs.metrics import MetricsRegistry
+from repro.testbed import World
+from tests.core.conftest import line_topology
+
+
+class TestInstrumentContention:
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(5000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8 * 5000
+
+    def test_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", max_samples=128)
+        threads = [
+            threading.Thread(
+                target=lambda: [histogram.observe(1.0) for _ in range(3000)]
+            )
+            for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert histogram.count == 6 * 3000
+        assert histogram.sum == float(6 * 3000)
+        assert histogram.summary().median == 1.0
+
+    def test_get_or_create_returns_one_instrument(self):
+        registry = MetricsRegistry()
+        seen: list = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("race_total"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(instrument) for instrument in seen}) == 1
+        assert len(registry) == 1
+
+    def test_gauge_callback_failure_degrades_to_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(7.0)
+
+        def broken() -> float:
+            raise RuntimeError("backing object is gone")
+
+        gauge.set_function(broken)
+        assert gauge.value == 7.0  # export survives, falls back
+        assert "g 7.0" in registry.to_prometheus()
+
+
+class TestTracerThreadIsolation:
+    def test_span_nesting_is_per_thread(self):
+        obs.reset_observability()
+        obs.configure_observability(metrics=False, tracing=True, logging=False)
+        try:
+            tracer = obs.get_tracer()
+            entered = threading.Event()
+            release = threading.Event()
+            parent_ids: dict[str, str | None] = {}
+
+            def holder():
+                with obs.span("thread.a"):
+                    entered.set()
+                    release.wait(timeout=5)
+
+            def interloper():
+                entered.wait(timeout=5)
+                with obs.span("thread.b") as sp:
+                    parent_ids["b"] = sp.parent_id
+                release.set()
+
+            threads = [
+                threading.Thread(target=holder),
+                threading.Thread(target=interloper),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # Thread B's span must be a root, not a child of thread A's
+            # concurrently-open span.
+            assert parent_ids["b"] is None
+            assert tracer.spans_finished == 2
+        finally:
+            obs.reset_observability()
+
+
+class TestGaugeLifecycle:
+    def test_repeated_remos_construction_does_not_resurrect_gauges(self):
+        obs.reset_observability()
+        obs.configure_observability(metrics=True, tracing=False, logging=False)
+        try:
+            registry = obs.get_registry()
+            for _ in range(3):
+                world = World.from_topology(line_topology(), poll_interval=1.0)
+                remos = world.start_monitoring(warmup=2.0)
+                remos.get_graph(["h1", "h3"])
+            # The latest facade owns the gauge names.
+            queries = registry.gauge("remos_queries_total").value
+            assert queries == 1.0
+            # Dropping every facade leaves the gauges readable (0.0 via the
+            # dead weak reference), never raising and never re-counting.
+            del world, remos
+            gc.collect()
+            assert registry.gauge("remos_queries_total").value == 0.0
+            assert "remos_queries_total 0.0" in registry.to_prometheus()
+        finally:
+            obs.reset_observability()
+
+    def test_one_registration_per_gauge_name(self):
+        obs.reset_observability()
+        obs.configure_observability(metrics=True, tracing=False, logging=False)
+        try:
+            registry = obs.get_registry()
+            view_world = World.from_topology(line_topology(), poll_interval=1.0)
+            view_world.start_monitoring(warmup=1.0)
+            before = len(registry)
+            # Re-constructing facades re-registers the same names: the
+            # instrument count must not grow.
+            Remos(view_world.collector)
+            Remos(view_world.collector)
+            assert len(registry) == before
+        finally:
+            obs.reset_observability()
