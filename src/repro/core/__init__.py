@@ -20,14 +20,18 @@ mirror the C API's call shapes from the paper.
 """
 
 from repro.core.cachestats import CacheStats
+from repro.core.collapse import CollapseTree
 from repro.core.timeframe import Timeframe, TimeframeKind
 from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, FlowQuery, MulticastFlow
 from repro.core.graph import RemosGraph, RemosEdge, RemosNode
-from repro.core.modeler import Modeler
+from repro.core.modeler import AUTO_COLLAPSE_THRESHOLD, CapacityView, Modeler
 from repro.core.snapshot import Snapshot, SnapshotPublisher
 from repro.core.api import NodeAnswer, Remos, remos_flow_info, remos_get_graph
 
 __all__ = [
+    "AUTO_COLLAPSE_THRESHOLD",
+    "CapacityView",
+    "CollapseTree",
     "Remos",
     "Snapshot",
     "SnapshotPublisher",

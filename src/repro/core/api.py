@@ -30,7 +30,7 @@ from repro.collector.base import Collector, NetworkView
 from repro.core.cachestats import CacheStats
 from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, FlowQuery, MulticastFlow
 from repro.core.graph import RemosGraph
-from repro.core.modeler import Modeler
+from repro.core.modeler import CapacityView, Modeler
 from repro.core.snapshot import Snapshot, SnapshotPublisher
 from repro.core.timeframe import Timeframe
 from repro.fairshare import FlowRequest, StagedProblem, admission_report
@@ -177,12 +177,19 @@ class Remos:
     # -- topology queries -----------------------------------------------------
 
     def get_graph(
-        self, nodes: list[str], timeframe: Timeframe | None = None
+        self,
+        nodes: list[str],
+        timeframe: Timeframe | None = None,
+        collapse: str = "auto",
     ) -> RemosGraph:
         """The logical topology relevant to connecting *nodes* (§4.3).
 
         Matches the paper's ``remos_get_graph(nodes, graph, timeframe)``;
-        the graph is returned rather than filled in.
+        the graph is returned rather than filled in.  *collapse* selects
+        the collapse algorithm on hierarchical topologies — ``"auto"``
+        (default: flat below the threshold, hierarchical above), ``"flat"``
+        or ``"hier"``; see ``docs/TOPOLOGIES.md``.  The returned graph's
+        ``collapse`` attribute names the path taken.
         """
         timeframe = timeframe or Timeframe.current()
         started = self._begin_query()
@@ -191,10 +198,10 @@ class Remos:
                 modeler = self._modeler()
                 if sp:
                     hits, misses = self.cache_stats.hits, self.cache_stats.misses
-                graph = modeler.logical_graph(list(nodes), timeframe)
+                graph = modeler.logical_graph(list(nodes), timeframe, collapse)
                 if sp:
                     self._annotate_query_span(sp, modeler, hits, misses)
-                    sp.set(node_count=len(nodes))
+                    sp.set(node_count=len(nodes), collapse=graph.collapse)
                 return graph
             finally:
                 self._end_query(started, "get_graph")
@@ -300,8 +307,29 @@ class Remos:
     @staticmethod
     def _capacity_snapshots(
         modeler: Modeler, timeframe: Timeframe
+    ) -> dict[str, CapacityView]:
+        """One lazy availability view per evaluation quantile.
+
+        The views compute only the resources the queried flows cross —
+        values bit-identical to the eager whole-network dicts of
+        :meth:`_capacity_snapshots_full` (the pruning argument: uncrossed
+        resources never influence a max-min allocation), at a cost that
+        scales with the flows instead of the network.
+        """
+        return {
+            level: modeler.capacity_view(timeframe, quantile=level)
+            for level in (*_LEVELS, "mean")
+        }
+
+    @staticmethod
+    def _capacity_snapshots_full(
+        modeler: Modeler, timeframe: Timeframe
     ) -> dict[str, dict[Hashable, float]]:
-        """One availability snapshot per evaluation quantile."""
+        """Eager whole-network snapshots: the flat baseline.
+
+        The differential suite and the scale benchmark evaluate flow
+        queries against these to prove the lazy views answer-preserving.
+        """
         return {
             level: modeler.available_capacities(timeframe, quantile=level)
             for level in (*_LEVELS, "mean")
@@ -314,7 +342,7 @@ class Remos:
         variable: list[Flow],
         independent: list[Flow],
         timeframe: Timeframe,
-        snapshots: dict[str, dict[Hashable, float]],
+        snapshots: "dict[str, CapacityView] | dict[str, dict[Hashable, float]]",
     ) -> FlowInfoResult:
         topology = modeler.view.topology
         for flow in (*fixed, *variable, *independent):
@@ -513,7 +541,10 @@ class Remos:
                             cap=flow.requested,
                         )
                     )
-                capacities = modeler.available_capacities(timeframe, quantile="median")
+                # Lazy view: admission only reads the resources the
+                # requests cross, so the check stays flow-sized on
+                # arbitrarily large networks.
+                capacities = modeler.capacity_view(timeframe, quantile="median")
                 report = admission_report(capacities, requests)
                 if sp:
                     self._annotate_query_span(sp, modeler, hits, misses)
@@ -650,10 +681,13 @@ class Remos:
 
 
 def remos_get_graph(
-    remos: Remos, nodes: list[str], timeframe: Timeframe | None = None
+    remos: Remos,
+    nodes: list[str],
+    timeframe: Timeframe | None = None,
+    collapse: str = "auto",
 ) -> RemosGraph:
     """``remos_get_graph(nodes, graph, timeframe)`` — returns the graph."""
-    return remos.get_graph(nodes, timeframe)
+    return remos.get_graph(nodes, timeframe, collapse)
 
 
 def remos_flow_info(

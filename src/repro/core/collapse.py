@@ -1,0 +1,192 @@
+"""The per-epoch collapse tree behind hierarchical logical graphs.
+
+A :class:`CollapseTree` classifies every physical link of a hierarchical
+topology once — *access* links (host to its ToR group) and *bundles* (all
+links between a group and its parent group) — and precomputes the static
+roll-ups (bundle capacity = sum of members, latency = min).  The Modeler
+then answers a ``remos_get_graph`` over thousands of hosts by expanding
+only the queried hosts' access links plus the bundles up to the queried
+set's common ancestor, instead of walking the full physical graph; dynamic
+availability is rolled up per bundle at query time (element-wise min over
+member directions, the same conservative rule chain collapse uses).
+
+Lifecycle mirrors :class:`~repro.net.routing.RoutingTable`: built lazily
+per structure, kept across metrics-only sweeps, shared by reference when a
+snapshot epoch forks with the topology structurally unchanged (the tree is
+immutable apart from the ``rebase`` pointer swap), and rebuilt on a
+structural change.  See ``docs/TOPOLOGIES.md``.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.net import RoutingTable, Topology
+from repro.net.hierarchy import Hierarchy
+from repro.util.errors import TopologyError
+
+
+class _Access:
+    """A host's attachment: its access link names and the ToR switch."""
+
+    __slots__ = ("links", "switch", "group")
+
+    def __init__(self, links: tuple[str, ...], switch: str, group: str):
+        self.links = links
+        self.switch = switch
+        self.group = group
+
+
+class CollapseTree:
+    """Link classification + static roll-ups for one (topology, hierarchy).
+
+    Construction is O(V + E) and raises :class:`TopologyError` when the
+    links do not fit the hierarchy (a switch outside every group, links
+    between non-adjacent groups, intra-group links, a group with no uplink
+    to its parent, ...) — the Modeler's ``auto`` collapse mode treats that
+    as "no hierarchy" and falls back to the flat path.
+    """
+
+    def __init__(self, topology: Topology, hierarchy: Hierarchy):
+        self.topology = topology
+        self.hierarchy = hierarchy
+        # The hint object the tree was derived from (None if inferred);
+        # validity requires the candidate topology to carry the same hint.
+        self._hint = topology.hierarchy
+        self._signature: tuple | None = None
+        self.access: dict[str, _Access] = {}
+        #: (child group id, parent group id) -> ((link name, child end,
+        #: parent end), ...) for every physical link in the bundle.
+        self.bundles: dict[tuple[str, str], tuple[tuple[str, str, str], ...]] = {}
+        self.bundle_capacity: dict[tuple[str, str], float] = {}
+        self.bundle_latency: dict[tuple[str, str], float] = {}
+        self._classify()
+        obs.inc(
+            "remos_collapse_builds_total",
+            help="Collapse-tree constructions (kept across metrics-only sweeps)",
+        )
+
+    # -- construction ---------------------------------------------------------
+
+    def _classify(self) -> None:
+        topology, hierarchy = self.topology, self.hierarchy
+        member_group = hierarchy.member_group
+        host_group = hierarchy.host_group
+        access_links: dict[str, list[str]] = {}
+        access_switch: dict[str, str] = {}
+        bundles: dict[tuple[str, str], list[tuple[str, str, str]]] = {}
+        for link in topology.links:
+            a_compute = topology.node(link.a).is_compute
+            b_compute = topology.node(link.b).is_compute
+            if a_compute and b_compute:
+                raise TopologyError(
+                    f"link {link.name!r} connects two hosts; hierarchies have "
+                    "no host-host links"
+                )
+            if a_compute or b_compute:
+                host, switch = (link.a, link.b) if a_compute else (link.b, link.a)
+                gid = host_group.get(host)
+                if gid is None:
+                    raise TopologyError(f"host {host!r} is not placed in the hierarchy")
+                if member_group.get(switch) != gid:
+                    raise TopologyError(
+                        f"host {host!r} attaches to {switch!r}, which is not in "
+                        f"its group {gid!r}"
+                    )
+                seen = access_switch.setdefault(host, switch)
+                if seen != switch:
+                    raise TopologyError(
+                        f"host {host!r} attaches to both {seen!r} and {switch!r}; "
+                        "hierarchical hosts are single-homed"
+                    )
+                access_links.setdefault(host, []).append(link.name)
+                continue
+            ga, gb = member_group.get(link.a), member_group.get(link.b)
+            if ga is None or gb is None:
+                missing = link.a if ga is None else link.b
+                raise TopologyError(
+                    f"switch {missing!r} belongs to no hierarchy group"
+                )
+            if ga == gb:
+                raise TopologyError(
+                    f"link {link.name!r} runs inside group {ga!r}; intra-group "
+                    "links cannot be collapsed"
+                )
+            if hierarchy.groups[ga].parent == gb:
+                bundles.setdefault((ga, gb), []).append((link.name, link.a, link.b))
+            elif hierarchy.groups[gb].parent == ga:
+                bundles.setdefault((gb, ga), []).append((link.name, link.b, link.a))
+            else:
+                raise TopologyError(
+                    f"link {link.name!r} connects non-adjacent groups "
+                    f"{ga!r} and {gb!r}"
+                )
+        for host in topology.compute_nodes:
+            if host.name not in access_links:
+                if host.name in host_group:
+                    raise TopologyError(f"host {host.name!r} has no access link")
+                raise TopologyError(f"host {host.name!r} is not placed in the hierarchy")
+        for gid, group in hierarchy.groups.items():
+            if group.parent is not None and (gid, group.parent) not in bundles:
+                raise TopologyError(
+                    f"group {gid!r} has no uplink bundle to its parent "
+                    f"{group.parent!r}"
+                )
+        for host, names in access_links.items():
+            self.access[host] = _Access(
+                tuple(names), access_switch[host], host_group[host]
+            )
+        for key, members in bundles.items():
+            self.bundles[key] = tuple(members)
+            self.bundle_capacity[key] = sum(
+                topology.link(name).capacity for name, _, _ in members
+            )
+            self.bundle_latency[key] = min(
+                topology.link(name).latency for name, _, _ in members
+            )
+
+    # -- epoch validity (mirrors RoutingTable) --------------------------------
+
+    def signature(self) -> tuple:
+        """Structural signature of the topology this tree was built from."""
+        if self._signature is None:
+            self._signature = RoutingTable._topology_signature(self.topology)
+        return self._signature
+
+    def is_valid_for(self, topology: Topology) -> bool:
+        """True when this tree is exact for *topology*.
+
+        Requires the same hierarchy hint object (an in-place re-merge keeps
+        it; attaching a different hierarchy is a semantic change even if
+        the links are identical) plus structural identity — the identity
+        fast path first, the signature otherwise.
+        """
+        if topology.hierarchy is not self._hint:
+            return False
+        if topology is self.topology:
+            return True
+        return RoutingTable._topology_signature(topology) == self.signature()
+
+    def rebase(self, topology: Topology) -> None:
+        """Re-point at a structurally identical topology object.
+
+        Only call after :meth:`is_valid_for` returned True; every stored
+        link name and roll-up resolves identically against the new object.
+        """
+        self.topology = topology
+
+    def node_name(self, group_id: str) -> str:
+        """The logical-graph name for a group.
+
+        Singleton groups keep the member switch's physical name (queries
+        over them stay exact); multi-member groups become ``agg:<id>``.
+        """
+        group = self.hierarchy.groups[group_id]
+        if len(group.members) == 1:
+            return group.members[0]
+        return f"agg:{group_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CollapseTree: {len(self.access)} hosts, "
+            f"{len(self.bundles)} bundles, depth {self.hierarchy.depth}>"
+        )

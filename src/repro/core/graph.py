@@ -24,13 +24,23 @@ from repro.util.errors import QueryError
 
 @dataclass(frozen=True)
 class RemosNode:
-    """A node of the logical topology."""
+    """A node of the logical topology.
+
+    Under hierarchical collapse a node may be an *aggregate*: one logical
+    node standing in for ``member_count`` physical switches (a pod's
+    aggregation tier, the core).  Aggregates are named ``agg:<group>``;
+    their ``internal_bandwidth`` is the sum over members.  Physical nodes
+    (including singleton groups, which keep their physical name) have
+    ``aggregate=False`` and ``member_count=1``.
+    """
 
     name: str
     kind: NodeKind
     internal_bandwidth: float = float("inf")
     compute_speed: float = 0.0
     memory_bytes: float = 0.0
+    aggregate: bool = False
+    member_count: int = 1
 
     @property
     def is_compute(self) -> bool:
@@ -78,6 +88,9 @@ class RemosGraph:
 
     def __init__(self, query_nodes: list[str]):
         self.query_nodes = list(query_nodes)
+        #: Which collapse produced this graph: ``"flat"`` (chain collapse
+        #: only, every node physical) or ``"hier"`` (aggregate nodes).
+        self.collapse = "flat"
         self._nodes: dict[str, RemosNode] = {}
         self._edges: dict[str, RemosEdge] = {}
         self._adjacency: dict[str, list[str]] = {}
@@ -230,6 +243,7 @@ class RemosGraph:
         """Plain-data form for JSON export."""
         return {
             "query_nodes": list(self.query_nodes),
+            "collapse": self.collapse,
             "nodes": [
                 {
                     "name": n.name,
@@ -241,6 +255,8 @@ class RemosGraph:
                     ),
                     "compute_speed": n.compute_speed,
                     "memory_bytes": n.memory_bytes,
+                    "aggregate": n.aggregate,
+                    "member_count": n.member_count,
                 }
                 for n in self.nodes
             ],

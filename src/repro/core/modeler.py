@@ -28,15 +28,22 @@ from repro import obs
 from repro.collector.base import NetworkView
 from repro.collector.metrics import CPU_PSEUDO_LINK
 from repro.core.cachestats import CacheStats
+from repro.core.collapse import CollapseTree
 from repro.core.graph import RemosEdge, RemosGraph, RemosNode
 from repro.core.timeframe import Timeframe, TimeframeKind
-from repro.net import LinkDirection, RoutingTable
+from repro.net import Hierarchy, LinkDirection, NodeKind, RoutingTable
 from repro.stats import StatMeasure, make_predictor
-from repro.util.errors import QueryError
+from repro.util.errors import QueryError, TopologyError
 
 # Accuracy attached to availability claims about directions nobody has
 # measured (assumed idle): low, but not zero — the topology is known.
 UNMEASURED_ACCURACY = 0.25
+
+# ``logical_graph(collapse="auto")`` switches from the flat (exact) path to
+# the hierarchical one above this many queried nodes — below it the flat
+# graph is cheap and strictly more detailed, and every pre-hierarchy query
+# keeps its byte-identical answer.
+AUTO_COLLAPSE_THRESHOLD = 64
 
 _log = obs.get_logger("repro.core.modeler")
 
@@ -107,6 +114,12 @@ class Modeler:
         # only when the routing table itself is replaced.
         self._route_resources: dict[tuple[str, str], tuple[Hashable, ...]] = {}
         self._cache_stamp = self._view_stamp()
+        # Collapse tree for hierarchical graph queries: built lazily per
+        # structure, kept across metrics-only sweeps.  ``_no_hierarchy``
+        # memoises a failed build per structure level so auto-mode queries
+        # on non-hierarchical topologies pay the inference attempt once.
+        self._collapse: CollapseTree | None = None
+        self._no_hierarchy: tuple[int, str] | None = None
         # Structure level last synchronised against; advancing past it
         # means the topology changed under us (in place), so routing and
         # structural memos must be revalidated even with caching disabled.
@@ -288,7 +301,18 @@ class Modeler:
             self._route_resources.clear()
         elif self.routing.topology is not self.view.topology:
             self.routing.rebase(self.view.topology)
+        self._sync_collapse()
         self._seen_structure = self.view.structure_generation
+
+    def _sync_collapse(self) -> None:
+        """Keep or drop the collapse tree after a (possible) structure change."""
+        self._no_hierarchy = None
+        if self._collapse is None:
+            return
+        if not self._collapse.is_valid_for(self.view.topology):
+            self._collapse = None
+        elif self._collapse.topology is not self.view.topology:
+            self._collapse.rebase(self.view.topology)
 
     def _validate_entry(
         self,
@@ -377,6 +401,7 @@ class Modeler:
                 # it so later validity checks are O(1) identity again.
                 self.routing.rebase(view.topology)
             self.view = view
+            self._sync_collapse()
             self._seen_structure = view.structure_generation
             self._refresh_caches(force=True)
             if sp:
@@ -430,6 +455,15 @@ class Modeler:
             child.routing = RoutingTable(view.topology)
             self.stats.routing_rebuilds += 1
             child._route_resources = {}
+        # The collapse tree is likewise shared when still valid: immutable
+        # per-epoch state apart from the rebase pointer swap, so readers of
+        # both epochs can traverse it concurrently.
+        child._collapse = None
+        child._no_hierarchy = None
+        if self._collapse is not None and self._collapse.is_valid_for(view.topology):
+            if self._collapse.topology is not view.topology:
+                self._collapse.rebase(view.topology)
+            child._collapse = self._collapse
         child._seen_structure = view.structure_generation
         child._cache_stamp = self._cache_stamp
 
@@ -652,6 +686,18 @@ class Modeler:
             self._capacities_cache[(timeframe, quantile)] = dict(capacities)
         return capacities
 
+    def capacity_view(self, timeframe: Timeframe, quantile: str = "median") -> "CapacityView":
+        """A lazy view of :meth:`available_capacities` for one quantile.
+
+        Flow and admission queries only ever read the resources their
+        flows cross; the view computes exactly those on demand — values
+        bit-identical to the eager whole-network dict — so per-query cost
+        scales with the flows, not with the network (see
+        ``docs/TOPOLOGIES.md``).  When the eager dict happens to be warm
+        in the capacities cache it is served directly.
+        """
+        return CapacityView(self, timeframe, quantile)
+
     def resources_for_route(self, src: str, dst: str) -> tuple[Hashable, ...]:
         """Resource keys a flow from *src* to *dst* consumes (memoised)."""
         self.sync_structure()
@@ -680,15 +726,56 @@ class Modeler:
 
     # -- logical topology ----------------------------------------------------------
 
-    def logical_graph(self, nodes: list[str], timeframe: Timeframe) -> RemosGraph:
+    def collapse_tree(self) -> CollapseTree:
+        """The hierarchical collapse tree for the current structure.
+
+        Built lazily from the topology's attached hierarchy (or one
+        inferred from its shape), kept across metrics-only sweeps and
+        shared across snapshot epochs like the routing table.  Raises
+        :class:`TopologyError` when the topology is not hierarchical; the
+        failure is memoised per structure level so repeated auto-mode
+        queries pay the inference attempt once.
+        """
+        self.sync_structure()
+        if self._collapse is not None:
+            return self._collapse
+        structure = self.view.structure_generation
+        if self._no_hierarchy is not None and self._no_hierarchy[0] == structure:
+            raise TopologyError(self._no_hierarchy[1])
+        topology = self.view.topology
+        try:
+            hierarchy = topology.hierarchy or Hierarchy.infer(topology)
+            tree = CollapseTree(topology, hierarchy)
+        except TopologyError as exc:
+            self._no_hierarchy = (structure, str(exc))
+            raise
+        self._collapse = tree
+        return tree
+
+    def logical_graph(
+        self, nodes: list[str], timeframe: Timeframe, collapse: str = "auto"
+    ) -> RemosGraph:
         """Build the pruned + collapsed logical topology for *nodes*.
+
+        The flat path (the original algorithm):
 
         1. keep only nodes/links on routes among the queried nodes;
         2. collapse chains through degree-2 network nodes into single
            logical links (capacity = min, latency = sum, availability =
            element-wise min along the chain);
         3. annotate everything for *timeframe*.
+
+        The hierarchical path rolls whole switch groups up into aggregate
+        nodes via the collapse tree instead (see
+        :meth:`_compute_hier_graph`).  *collapse* selects between them:
+        ``"flat"`` / ``"hier"`` force a path (``"hier"`` raises
+        :class:`QueryError` on non-hierarchical topologies); ``"auto"``
+        (default) uses the hierarchy only above
+        ``AUTO_COLLAPSE_THRESHOLD`` queried nodes, so small queries keep
+        their byte-identical flat answers.
         """
+        if collapse not in ("auto", "flat", "hier"):
+            raise QueryError(f"unknown collapse mode {collapse!r}")
         self.sync_structure()
         topology = self.view.topology
         for name in nodes:
@@ -698,30 +785,46 @@ class Modeler:
                 raise QueryError(f"get_graph nodes must be compute nodes; {name!r} is not")
         if not nodes:
             raise QueryError("get_graph requires at least one node")
+        mode = "flat"
+        if collapse == "hier":
+            try:
+                self.collapse_tree()
+            except TopologyError as exc:
+                raise QueryError(f"hierarchical collapse unavailable: {exc}") from None
+            mode = "hier"
+        elif collapse == "auto" and len(nodes) > AUTO_COLLAPSE_THRESHOLD:
+            try:
+                self.collapse_tree()
+                mode = "hier"
+            except TopologyError:
+                mode = "flat"
 
-        # Memoised per (generation, sorted nodes, timeframe).  The query
-        # order is part of the answer (RemosGraph.query_nodes), so a hit is
-        # only served when the order matches too; callers must treat the
-        # returned graph as read-only.  Partial invalidation already
+        # Memoised per (generation, sorted nodes, timeframe, mode).  The
+        # query order is part of the answer (RemosGraph.query_nodes), so a
+        # hit is only served when the order matches too; callers must treat
+        # the returned graph as read-only.  Partial invalidation already
         # evicted graphs over touched links; a hit whose evaluation time
         # moved (other resources swept) must still prove each annotated
         # direction's window did not shift.
         if self.enable_cache:
             self._refresh_caches()
             now = self.now
-            key = (tuple(sorted(nodes)), timeframe)
+            key = (tuple(sorted(nodes)), timeframe, mode)
             entry = self._graph_cache.get(key)
             if entry is not None and entry.graph.query_nodes == list(nodes):
                 if self._validate_graph(entry, timeframe, now):
                     self.stats.hit("graph")
                     return entry.graph
             self.stats.miss("graph")
-        graph = self._compute_logical_graph(nodes, timeframe)
+        if mode == "hier":
+            graph = self._compute_hier_graph(nodes, timeframe)
+        else:
+            graph = self._compute_logical_graph(nodes, timeframe)
         if self.enable_cache:
             link_names = frozenset(
                 name for edge in graph.edges for name in edge.physical_links
             )
-            self._graph_cache[(tuple(sorted(nodes)), timeframe)] = _GraphEntry(
+            self._graph_cache[(tuple(sorted(nodes)), timeframe, mode)] = _GraphEntry(
                 graph, link_names, self.now
             )
         return graph
@@ -861,3 +964,234 @@ class Modeler:
                 physical_links=tuple(chain_links),
             )
         )
+
+    def _compute_hier_graph(
+        self, nodes: list[str], timeframe: Timeframe
+    ) -> RemosGraph:
+        """The multi-resolution logical graph driven by the collapse tree.
+
+        Queried hosts and their ToR groups appear exactly; above them only
+        the groups up to the queried set's lowest common ancestor appear,
+        each as one node (the member switch itself for singleton groups,
+        an ``agg:<group>`` aggregate otherwise) joined by bundle edges
+        (capacity = sum of member links, latency = min, availability =
+        element-wise min over member directions — the conservative
+        single-flow roll-up).  Cost is O(queried hosts + bundle members on
+        their ancestor paths), independent of total host count.
+        """
+        tree = self.collapse_tree()
+        hierarchy = tree.hierarchy
+        topology = self.view.topology
+        now = self.now
+        by_tor: dict[str, list[str]] = {}
+        for name in nodes:
+            gid = hierarchy.host_group.get(name)
+            if gid is None:  # pragma: no cover - collapse_tree places all hosts
+                raise QueryError(f"host {name!r} is not placed in the hierarchy")
+            by_tor.setdefault(gid, []).append(name)
+        # Groups to expand: each queried ToR's ancestor chain, truncated at
+        # the first level every chain shares (the LCA).  A single-ToR query
+        # therefore shows just that ToR; a cross-pod query shows the pods
+        # and the core.
+        paths = [hierarchy.path_from(gid) for gid in sorted(by_tor)]
+        if len(paths) == 1:
+            cut = 0
+        else:
+            cut = next(
+                i for i in range(len(paths[0])) if len({p[i] for p in paths}) == 1
+            )
+        included: list[str] = []
+        seen: set[str] = set()
+        for path in paths:
+            for gid in path[: cut + 1]:
+                if gid not in seen:
+                    seen.add(gid)
+                    included.append(gid)
+        graph = RemosGraph(list(nodes))
+        graph.collapse = "hier"
+        for name in sorted(set(nodes)):
+            node = topology.node(name)
+            graph.add_node(
+                RemosNode(
+                    name=name,
+                    kind=node.kind,
+                    internal_bandwidth=node.internal_bandwidth,
+                    compute_speed=node.compute_speed,
+                    memory_bytes=node.memory_bytes,
+                )
+            )
+        node_names: dict[str, str] = {}
+        for gid in included:
+            group = hierarchy.groups[gid]
+            label = tree.node_name(gid)
+            node_names[gid] = label
+            if len(group.members) == 1:
+                member = topology.node(group.members[0])
+                graph.add_node(
+                    RemosNode(
+                        name=label,
+                        kind=member.kind,
+                        internal_bandwidth=member.internal_bandwidth,
+                        compute_speed=member.compute_speed,
+                        memory_bytes=member.memory_bytes,
+                    )
+                )
+            else:
+                # Parallel crossbars sum (any infinite member keeps it inf).
+                internal = sum(
+                    topology.node(m).internal_bandwidth for m in group.members
+                )
+                graph.add_node(
+                    RemosNode(
+                        name=label,
+                        kind=NodeKind.NETWORK,
+                        internal_bandwidth=internal,
+                        aggregate=True,
+                        member_count=len(group.members),
+                    )
+                )
+        # Access links stay physical: exact names, capacities, availability.
+        for gid in sorted(by_tor):
+            tor_label = node_names[gid]
+            for host in sorted(set(by_tor[gid])):
+                access = tree.access[host]
+                for link_name in access.links:
+                    link = topology.link(link_name)
+                    outbound = link.direction(host, access.switch)
+                    inbound = link.direction(access.switch, host)
+                    graph.add_edge(
+                        RemosEdge(
+                            name=link_name,
+                            a=host,
+                            b=tor_label,
+                            capacity=link.capacity,
+                            latency=link.latency,
+                            available={
+                                host: self._available_bandwidth(
+                                    outbound, timeframe, now
+                                ),
+                                tor_label: self._available_bandwidth(
+                                    inbound, timeframe, now
+                                ),
+                            },
+                            physical_links=(link_name,),
+                        )
+                    )
+        for gid in included:
+            parent = hierarchy.groups[gid].parent
+            if parent is None or parent not in node_names:
+                continue
+            self._add_bundle_edge(graph, tree, gid, parent, node_names, timeframe, now)
+        return graph
+
+    def _add_bundle_edge(
+        self,
+        graph: RemosGraph,
+        tree: CollapseTree,
+        child: str,
+        parent: str,
+        node_names: dict[str, str],
+        timeframe: Timeframe,
+        now: float,
+    ) -> None:
+        """One logical edge rolling up every physical link child -> parent."""
+        topology = self.view.topology
+        members = tree.bundles[(child, parent)]
+        child_label, parent_label = node_names[child], node_names[parent]
+        up: StatMeasure | None = None
+        down: StatMeasure | None = None
+        for link_name, child_end, parent_end in members:
+            link = topology.link(link_name)
+            u = self._available_bandwidth(
+                link.direction(child_end, parent_end), timeframe, now
+            )
+            d = self._available_bandwidth(
+                link.direction(parent_end, child_end), timeframe, now
+            )
+            up = u if up is None else StatMeasure.min_of(up, u)
+            down = d if down is None else StatMeasure.min_of(down, d)
+        assert up is not None and down is not None
+        name = members[0][0] if len(members) == 1 else f"{child_label}~{parent_label}"
+        graph.add_edge(
+            RemosEdge(
+                name=name,
+                a=child_label,
+                b=parent_label,
+                capacity=tree.bundle_capacity[(child, parent)],
+                latency=tree.bundle_latency[(child, parent)],
+                available={child_label: up, parent_label: down},
+                physical_links=tuple(member[0] for member in members),
+            )
+        )
+
+
+class CapacityView:
+    """Lazy stand-in for one ``available_capacities(timeframe, quantile)`` dict.
+
+    Supports exactly the read protocol the allocation paths use (``in``,
+    ``[]``, ``.get``); each value is computed on first access from the same
+    memoised per-direction estimates the eager dict would read, so every
+    value served is bit-identical to the eager dict's entry for that key.
+    Absent keys stay absent: infinite crossbars are not materialised, and
+    unknown resources miss exactly like a dict.  When the eager dict is
+    already warm in the capacities cache it is served directly.
+
+    A view is a per-query object: it pins the evaluation time at
+    construction (one query, one "now") and must not be kept across sweeps.
+    """
+
+    __slots__ = ("_modeler", "_timeframe", "_quantile", "_now", "_memo", "_full")
+
+    def __init__(self, modeler: Modeler, timeframe: Timeframe, quantile: str):
+        self._modeler = modeler
+        self._timeframe = timeframe
+        self._quantile = quantile
+        self._full: dict[Hashable, float] | None = None
+        if modeler.enable_cache:
+            modeler._refresh_caches()
+            self._full = modeler._capacities_cache.get((timeframe, quantile))
+        self._now = modeler.now
+        self._memo: dict[Hashable, float] = {}
+
+    def __getitem__(self, key: Hashable) -> float:
+        if self._full is not None:
+            return self._full[key]
+        memo = self._memo
+        if key in memo:
+            return memo[key]
+        value = self._compute(key)  # raises KeyError when absent
+        memo[key] = value
+        return value
+
+    def _compute(self, key: Hashable) -> float:
+        topology = self._modeler.view.topology
+        try:
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "xbar":
+                bandwidth = topology.node(key[1]).internal_bandwidth
+                if bandwidth == float("inf"):
+                    raise KeyError(key)  # the eager dict omits infinite crossbars
+                return bandwidth
+            link_name, src, dst = key  # type: ignore[misc]
+            direction = topology.link(link_name).direction(src, dst)
+        except (TopologyError, TypeError, ValueError):
+            raise KeyError(key) from None
+        measure = self._modeler._available_bandwidth(
+            direction, self._timeframe, self._now
+        )
+        return getattr(measure, self._quantile)
+
+    def get(self, key: Hashable, default=None):
+        """Dict-style lookup with a default, as ``admission_report`` uses."""
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: Hashable) -> bool:
+        if self._full is not None:
+            return key in self._full
+        try:
+            self[key]
+            return True
+        except KeyError:
+            return False

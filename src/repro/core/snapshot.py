@@ -19,8 +19,14 @@ The protocol (documented in full in ``docs/CONCURRENCY.md``):
   (collectors replace topology objects, never mutate them structurally in
   place), copies the delta journal, freezes the view, and forks the
   previous epoch's Modeler so delta-driven cache eviction happens *before*
-  publication.  The finished snapshot is installed with one attribute
-  store — atomic under the GIL — so readers switch epochs all-or-nothing.
+  publication.  Purely structural state — the routing table and the
+  hierarchical :class:`~repro.core.collapse.CollapseTree` — is immutable
+  per epoch and therefore *shared by reference* across forks while the
+  topology is structurally unchanged (sharing is its copy-on-write: a
+  structural change builds a fresh tree for the new epoch while the old
+  epoch keeps traversing its own).  The finished snapshot is installed
+  with one attribute store — atomic under the GIL — so readers switch
+  epochs all-or-nothing.
 
 * **Reader side** — :meth:`SnapshotPublisher.current` is lock-free: grab
   the snapshot once per query and use it for everything (topology, routes,

@@ -12,8 +12,9 @@ bandwidth of 10 Mbps" scenario is modelled.
 """
 
 from repro.net.topology import Link, LinkDirection, Node, NodeKind, Topology
+from repro.net.hierarchy import HierGroup, Hierarchy
 from repro.net.routing import MulticastTree, Route, RoutingTable
-from repro.net.builder import TopologyBuilder, topology_from_spec
+from repro.net.builder import TopologyBuilder, fat_tree, leaf_spine, topology_from_spec
 
 __all__ = [
     "Node",
@@ -21,9 +22,13 @@ __all__ = [
     "Link",
     "LinkDirection",
     "Topology",
+    "Hierarchy",
+    "HierGroup",
     "Route",
     "MulticastTree",
     "RoutingTable",
     "TopologyBuilder",
     "topology_from_spec",
+    "fat_tree",
+    "leaf_spine",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from repro.net.hierarchy import LEVEL_CORE, LEVEL_POD, LEVEL_TOR, HierGroup, Hierarchy
 from repro.net.topology import Topology
 from repro.util.errors import ConfigurationError
 
@@ -125,6 +126,109 @@ class TopologyBuilder:
         if validate:
             self._topology.validate()
         return self._topology
+
+
+def fat_tree(
+    k: int,
+    *,
+    host_capacity: float | str = "1Gbps",
+    link_capacity: float | str = "10Gbps",
+    host_latency: float | str = "5us",
+    link_latency: float | str = "10us",
+    compute_speed: float = 1e8,
+    name: str | None = None,
+) -> Topology:
+    """A k-ary fat-tree (Al-Fares-style) with an attached hierarchy.
+
+    *k* even: ``k`` pods of ``k/2`` edge and ``k/2`` aggregation switches,
+    ``(k/2)^2`` core switches, ``k/2`` hosts per edge switch — ``k^3/4``
+    hosts total (``k=8`` → 128, ``k=16`` → 1024, ``k=32`` → 8192).  Every
+    edge switch uplinks to every aggregation switch in its pod; aggregation
+    switch ``j`` uplinks to cores ``[j*k/2, (j+1)*k/2)``.  The attached
+    :class:`~repro.net.hierarchy.Hierarchy` groups each pod's aggregation
+    switches and the core tier, and selects the deterministic hash (ECMP)
+    routing tie-break so equal-cost uplinks share load.
+    """
+    if k < 2 or k % 2:
+        raise ConfigurationError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    builder = TopologyBuilder(name or f"fattree-k{k}")
+    cores = [f"core{i}" for i in range(half * half)]
+    for core in cores:
+        builder.router(core)
+    groups: list[HierGroup] = [HierGroup("core", LEVEL_CORE, tuple(cores), None)]
+    host_group: dict[str, str] = {}
+    for p in range(k):
+        pod = f"pod{p}"
+        aggs = [f"p{p}-a{j}" for j in range(half)]
+        groups.append(HierGroup(pod, LEVEL_POD, tuple(aggs), "core"))
+        for j, agg in enumerate(aggs):
+            builder.router(agg)
+            for core in cores[j * half : (j + 1) * half]:
+                builder.link(agg, core, link_capacity, link_latency)
+        for j in range(half):
+            edge = f"p{p}-e{j}"
+            builder.router(edge)
+            groups.append(HierGroup(edge, LEVEL_TOR, (edge,), pod))
+            for agg in aggs:
+                builder.link(edge, agg, link_capacity, link_latency)
+            for m in range(half):
+                host = f"{edge}-h{m}"
+                builder.host(host, compute_speed=compute_speed)
+                builder.link(host, edge, host_capacity, host_latency)
+                host_group[host] = edge
+    topology = builder.build()
+    topology.hierarchy = Hierarchy(groups, host_group, tie_break="hash")
+    return topology
+
+
+def leaf_spine(
+    leaves: int,
+    spines: int,
+    hosts_per_leaf: int,
+    *,
+    host_capacity: float | str = "1Gbps",
+    link_capacity: float | str = "10Gbps",
+    host_latency: float | str = "5us",
+    link_latency: float | str = "10us",
+    compute_speed: float = 1e8,
+    name: str | None = None,
+) -> Topology:
+    """A two-tier leaf-spine fabric with an attached hierarchy.
+
+    Every leaf switch uplinks to every spine switch (*spines* equal-cost
+    uplinks per leaf) and serves *hosts_per_leaf* hosts — ``leaves *
+    hosts_per_leaf`` hosts total.  The attached hierarchy collapses the
+    spine tier into one group and, as with :func:`fat_tree`, selects the
+    hash (ECMP) routing tie-break.
+    """
+    if leaves < 1 or spines < 1 or hosts_per_leaf < 1:
+        raise ConfigurationError(
+            f"leaf_spine needs positive dimensions, got "
+            f"{leaves}x{spines}x{hosts_per_leaf}"
+        )
+    builder = TopologyBuilder(name or f"leafspine-{leaves}x{spines}")
+    spine_names = [f"spine{i}" for i in range(spines)]
+    for spine in spine_names:
+        builder.router(spine)
+    groups: list[HierGroup] = [
+        HierGroup("spine", LEVEL_POD, tuple(spine_names), None)
+    ]
+    host_group: dict[str, str] = {}
+    for j in range(leaves):
+        leaf = f"leaf{j}"
+        builder.router(leaf)
+        groups.append(HierGroup(leaf, LEVEL_TOR, (leaf,), "spine"))
+        for spine in spine_names:
+            builder.link(leaf, spine, link_capacity, link_latency)
+        for m in range(hosts_per_leaf):
+            host = f"{leaf}-h{m}"
+            builder.host(host, compute_speed=compute_speed)
+            builder.link(host, leaf, host_capacity, host_latency)
+            host_group[host] = leaf
+    topology = builder.build()
+    topology.hierarchy = Hierarchy(groups, host_group, tie_break="hash")
+    return topology
 
 
 def topology_from_spec(spec: dict[str, Any]) -> Topology:

@@ -1,0 +1,263 @@
+"""Hierarchical grouping of switches for logical-graph collapse.
+
+Data-center fabrics are trees-of-bundles: hosts hang off leaf (ToR)
+switches, leaves uplink into pods (or directly into a spine), pods uplink
+into a core.  A :class:`Hierarchy` names that structure explicitly — every
+switch belongs to exactly one group, groups form a tree by ``parent``
+pointers — so the Modeler can roll whole pods up into single aggregate
+nodes instead of walking thousands of physical links per query (see
+``docs/TOPOLOGIES.md``).
+
+A hierarchy travels *with* a topology (``Topology.hierarchy``): the
+generators in :mod:`repro.net.builder` attach one at construction time,
+and :meth:`Hierarchy.infer` recovers one from an SNMP-discovered topology
+whose shape happens to be hierarchical.  Inference never changes routing
+(``tie_break`` stays ``"lexicographic"``); only generator-built fabrics
+opt into the hash-based ECMP tie-break.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.topology import Topology
+
+#: Levels used by generators and inference: hosts sit below level 1.
+LEVEL_TOR = 1
+LEVEL_POD = 2
+LEVEL_CORE = 3
+
+
+@dataclass(frozen=True)
+class HierGroup:
+    """One node of the collapse tree: a named set of switches.
+
+    ``level`` counts switch tiers above the hosts (1 = ToR/leaf, 2 =
+    pod/spine, 3 = core).  ``parent`` is the id of the group one level up,
+    or ``None`` for the root.  A singleton group (one member) collapses to
+    the member switch itself — queries over it stay exact.
+    """
+
+    id: str
+    level: int
+    members: tuple[str, ...]
+    parent: str | None
+
+
+class Hierarchy:
+    """An explicit switch-group tree over a topology.
+
+    Parameters
+    ----------
+    groups:
+        Every :class:`HierGroup`, keyed or iterable; each switch may appear
+        in exactly one group, parents must exist one level up, and exactly
+        one group is the root (``parent is None``).
+    host_group:
+        Maps every host name to the id of its level-1 (ToR) group.
+    tie_break:
+        Routing tie-break hint carried to :class:`~repro.net.routing.RoutingTable`:
+        ``"lexicographic"`` (reproducible 1990s-style single path, the
+        default) or ``"hash"`` (deterministic ECMP-style spreading over
+        equal-cost paths, used by the data-center generators).
+    """
+
+    def __init__(
+        self,
+        groups: "list[HierGroup] | dict[str, HierGroup]",
+        host_group: dict[str, str],
+        tie_break: str = "lexicographic",
+    ):
+        if tie_break not in ("lexicographic", "hash"):
+            raise TopologyError(f"unknown tie_break {tie_break!r}")
+        if isinstance(groups, dict):
+            groups = list(groups.values())
+        self.groups: dict[str, HierGroup] = {}
+        for group in groups:
+            if group.id in self.groups:
+                raise TopologyError(f"duplicate hierarchy group id {group.id!r}")
+            if not group.members:
+                raise TopologyError(f"hierarchy group {group.id!r} has no members")
+            self.groups[group.id] = group
+        self.member_group: dict[str, str] = {}
+        roots: list[str] = []
+        for group in self.groups.values():
+            for member in group.members:
+                if member in self.member_group:
+                    raise TopologyError(
+                        f"switch {member!r} belongs to two hierarchy groups"
+                    )
+                self.member_group[member] = group.id
+            if group.parent is None:
+                roots.append(group.id)
+            else:
+                parent = self.groups.get(group.parent)
+                if parent is None:
+                    raise TopologyError(
+                        f"group {group.id!r} names unknown parent {group.parent!r}"
+                    )
+                if parent.level != group.level + 1:
+                    raise TopologyError(
+                        f"group {group.id!r} (level {group.level}) has parent "
+                        f"{group.parent!r} at level {parent.level}, expected "
+                        f"{group.level + 1}"
+                    )
+        if len(roots) != 1:
+            raise TopologyError(
+                f"hierarchy must have exactly one root group, got {sorted(roots)}"
+            )
+        self.root_id = roots[0]
+        self.host_group = dict(host_group)
+        for host, gid in self.host_group.items():
+            group = self.groups.get(gid)
+            if group is None:
+                raise TopologyError(f"host {host!r} names unknown group {gid!r}")
+            if group.level != LEVEL_TOR:
+                raise TopologyError(
+                    f"host {host!r} must attach to a level-1 group, "
+                    f"got {gid!r} at level {group.level}"
+                )
+        self.tie_break = tie_break
+        self._paths: dict[str, tuple[str, ...]] = {}
+
+    @property
+    def depth(self) -> int:
+        """Number of switch tiers (the root group's level)."""
+        return self.groups[self.root_id].level
+
+    def path_from(self, group_id: str) -> tuple[str, ...]:
+        """Ancestor chain from *group_id* up to and including the root."""
+        cached = self._paths.get(group_id)
+        if cached is not None:
+            return cached
+        path: list[str] = []
+        current: str | None = group_id
+        while current is not None:
+            path.append(current)
+            current = self.groups[current].parent
+        result = tuple(path)
+        self._paths[group_id] = result
+        return result
+
+    @classmethod
+    def infer(cls, topology: "Topology") -> "Hierarchy":
+        """Recover a hierarchy from a topology's shape, if it has one.
+
+        Switches are tiered by hop distance from the nearest host (1 = ToR,
+        2 = pod/spine, 3 = core); pods are the connected components of the
+        ToR+aggregation subgraph.  Raises :class:`TopologyError` when the
+        shape is not hierarchical (multi-homed hosts, more than three
+        switch tiers, a flat multi-ToR fabric with no upper tier, ...).
+        The inferred hierarchy keeps ``tie_break="lexicographic"`` so it
+        never changes existing routes.
+        """
+        hosts = [n.name for n in topology.compute_nodes]
+        switches = [n.name for n in topology.network_nodes]
+        if not hosts or not switches:
+            raise TopologyError("hierarchy needs both hosts and switches")
+        host_set = set(hosts)
+        # Multi-source BFS from the hosts; never expand *through* a host.
+        dist: dict[str, int] = {h: 0 for h in hosts}
+        queue: deque[str] = deque(hosts)
+        while queue:
+            node = queue.popleft()
+            d = dist[node]
+            if d > 0 and node in host_set:  # pragma: no cover - defensive
+                continue
+            for neighbor in topology.neighbors(node):
+                if neighbor not in dist:
+                    dist[neighbor] = d + 1
+                    if neighbor not in host_set:
+                        queue.append(neighbor)
+        tiers: dict[int, list[str]] = {1: [], 2: [], 3: []}
+        for switch in switches:
+            tier = dist.get(switch)
+            if tier is None:
+                raise TopologyError(f"switch {switch!r} is unreachable from hosts")
+            if tier > LEVEL_CORE:
+                raise TopologyError(
+                    f"switch {switch!r} sits {tier} tiers above the hosts; "
+                    "hierarchies support at most three"
+                )
+            tiers[tier].append(switch)
+        tors, uppers, cores = tiers[1], tiers[2], tiers[3]
+        host_group: dict[str, str] = {}
+        for host in hosts:
+            attached = {n for n in topology.neighbors(host) if n not in host_set}
+            if len(attached) != 1:
+                raise TopologyError(
+                    f"host {host!r} attaches to {len(attached)} switches; "
+                    "hierarchical hosts are single-homed"
+                )
+            (tor,) = attached
+            if tor not in tiers[1]:  # pragma: no cover - defensive
+                raise TopologyError(f"host {host!r} attaches to non-ToR {tor!r}")
+            host_group[host] = tor
+        groups: list[HierGroup] = []
+        taken = set(switches)
+
+        def fresh(candidate: str) -> str:
+            while candidate in taken:
+                candidate = "@" + candidate
+            taken.add(candidate)
+            return candidate
+
+        if cores:
+            # Pods: connected components of the ToR+aggregation subgraph.
+            pod_of: dict[str, int] = {}
+            middle = set(tors) | set(uppers)
+            components: list[list[str]] = []
+            for start in sorted(middle):
+                if start in pod_of:
+                    continue
+                component: list[str] = []
+                stack = [start]
+                pod_of[start] = len(components)
+                while stack:
+                    node = stack.pop()
+                    component.append(node)
+                    for neighbor in topology.neighbors(node):
+                        if neighbor in middle and neighbor not in pod_of:
+                            pod_of[neighbor] = len(components)
+                            stack.append(neighbor)
+                components.append(sorted(component))
+            upper_set = set(uppers)
+            pod_ids = [fresh(f"pod-{i}") for i in range(len(components))]
+            core_id = fresh("core")
+            for pod_id, component in zip(pod_ids, components):
+                pod_members = tuple(n for n in component if n in upper_set)
+                if not pod_members:
+                    raise TopologyError(
+                        f"ToRs {component} reach the core with no aggregation "
+                        "tier in between"
+                    )
+                groups.append(HierGroup(pod_id, LEVEL_POD, pod_members, core_id))
+                for tor in component:
+                    if tor not in upper_set:
+                        groups.append(HierGroup(tor, LEVEL_TOR, (tor,), pod_id))
+            groups.append(HierGroup(core_id, LEVEL_CORE, tuple(sorted(cores)), None))
+        elif uppers:
+            # Two switch tiers: every ToR parents into one spine group.
+            spine_id = fresh("spine")
+            groups.append(HierGroup(spine_id, LEVEL_POD, tuple(sorted(uppers)), None))
+            for tor in tors:
+                groups.append(HierGroup(tor, LEVEL_TOR, (tor,), spine_id))
+        else:
+            if len(tors) != 1:
+                raise TopologyError(
+                    f"{len(tors)} ToR switches with no upper tier form a flat "
+                    "fabric, not a hierarchy"
+                )
+            groups.append(HierGroup(tors[0], LEVEL_TOR, (tors[0],), None))
+        return cls(groups, host_group, tie_break="lexicographic")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Hierarchy: {len(self.groups)} groups, depth {self.depth}, "
+            f"{len(self.host_group)} hosts, tie_break={self.tie_break!r}>"
+        )

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import zlib
 from dataclasses import dataclass
 
 from repro import obs
@@ -146,13 +147,34 @@ class RoutingTable:
     weight:
         ``"latency"`` (default) weights each link by its latency and breaks
         ties by hop count; ``"hops"`` uses pure hop count.
+    tie_break:
+        How exact (cost, hops) ties between predecessors are resolved.
+        ``"lexicographic"`` keeps the lexicographically smallest path — the
+        historical single-path behaviour.  ``"hash"`` keeps the predecessor
+        with the smallest CRC32 of ``source|node|predecessor``: a
+        deterministic stand-in for ECMP flow hashing that spreads
+        different (source, destination) pairs across equal-cost uplinks
+        while every repeated query still takes the same path.  ``None``
+        (default) follows the topology's hierarchy hint
+        (``topology.hierarchy.tie_break``), falling back to lexicographic.
     """
 
-    def __init__(self, topology: Topology, weight: str = "latency"):
+    def __init__(
+        self,
+        topology: Topology,
+        weight: str = "latency",
+        tie_break: str | None = None,
+    ):
         if weight not in ("latency", "hops"):
             raise TopologyError(f"unknown routing weight {weight!r}")
+        self._explicit_tie_break = tie_break is not None
+        if tie_break is None:
+            tie_break = self._hinted_tie_break(topology)
+        if tie_break not in ("lexicographic", "hash"):
+            raise TopologyError(f"unknown routing tie_break {tie_break!r}")
         self.topology = topology
         self.weight = weight
+        self.tie_break = tie_break
         self._next_hop: dict[str, dict[str, LinkDirection]] = {}
         self._route_cache: dict[tuple[str, str], Route] = {}
         self._signature: tuple | None = None
@@ -196,6 +218,7 @@ class RoutingTable:
                         nodes=len(self.topology._nodes),
                         links=len(self.topology.links),
                         weight=self.weight,
+                        tie_break=self.tie_break,
                     )
             self._next_hop[source] = table
             self.source_builds += 1
@@ -252,9 +275,10 @@ class RoutingTable:
                 elif (
                     new_cost == old_cost
                     and new_hops == hops[neighbor]
-                    and self._path_precedes(node, pred[neighbor], pred)
+                    and self._tie_prefers(source, node, pred[neighbor], neighbor, pred)
                 ):
-                    # Exact tie: keep the lexicographically smaller path.
+                    # Exact tie: keep the preferred predecessor (smallest
+                    # path lexicographically, or smallest ECMP hash key).
                     # No re-push needed — the pending heap entry for this
                     # (cost, hops) label settles the node either way.
                     pred[neighbor] = node
@@ -264,6 +288,45 @@ class RoutingTable:
                         else link.direction(source, neighbor)
                     )
         return first_hop
+
+    def _tie_prefers(
+        self,
+        source: str,
+        candidate: str,
+        incumbent: str | None,
+        neighbor: str,
+        pred: dict[str, str | None],
+    ) -> bool:
+        """True if *candidate* should replace *incumbent* as predecessor.
+
+        Every predecessor carrying the same exact (cost, hops) label
+        settles before *neighbor* does (edge costs are strictly positive),
+        so whichever rule runs here sees the complete candidate set and the
+        winner is independent of settle order.
+        """
+        if incumbent is None:  # pragma: no cover - source never ties
+            return False
+        if self.tie_break == "hash":
+            return self._ecmp_key(source, neighbor, candidate) < self._ecmp_key(
+                source, neighbor, incumbent
+            )
+        return self._path_precedes(candidate, incumbent, pred)
+
+    @staticmethod
+    def _ecmp_key(source: str, neighbor: str, predecessor: str) -> tuple[int, str]:
+        """Deterministic ECMP ranking of a candidate predecessor.
+
+        CRC32 rather than ``hash()``: Python string hashing is randomised
+        per process, and routes must reproduce across runs and machines.
+        """
+        digest = zlib.crc32(f"{source}|{neighbor}|{predecessor}".encode())
+        return (digest, predecessor)
+
+    @staticmethod
+    def _hinted_tie_break(topology: Topology) -> str:
+        """The tie-break a topology's hierarchy asks for (default lexicographic)."""
+        hierarchy = getattr(topology, "hierarchy", None)
+        return "lexicographic" if hierarchy is None else hierarchy.tie_break
 
     @staticmethod
     def _path_precedes(
@@ -319,8 +382,16 @@ class RoutingTable:
         Identity is the O(1) fast path (collectors mutate metrics in place
         and keep the topology object between discovery sweeps); otherwise
         the structural signature decides, so a rebuilt-but-identical view
-        (e.g. a re-merge by the collector master) keeps its routes.
+        (e.g. a re-merge by the collector master) keeps its routes.  A
+        hint-derived table additionally requires *topology* to hint the
+        same tie-break — hash-routed fabrics must not inherit
+        lexicographic routes or vice versa.  (Explicitly requested
+        tie-breaks are the caller's choice and stay valid regardless.)
         """
+        if not self._explicit_tie_break and self.tie_break != self._hinted_tie_break(
+            topology
+        ):
+            return False
         if topology is self.topology:
             return True
         return self._topology_signature(topology) == self.topology_signature()

@@ -8,12 +8,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import networkx as nx
 
 from repro.util.errors import TopologyError
 from repro.util.units import parse_bandwidth, parse_time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.hierarchy import Hierarchy
 
 
 class NodeKind(enum.Enum):
@@ -157,6 +160,10 @@ class Topology:
     _nodes: dict[str, Node] = field(default_factory=dict)
     _links: dict[str, Link] = field(default_factory=dict)
     _adjacency: dict[str, list[str]] = field(default_factory=dict)
+    #: Optional switch-group tree for hierarchical logical collapse (and
+    #: the ECMP tie-break hint).  Structural advice only — never consulted
+    #: by the container itself, so it does not participate in equality.
+    hierarchy: "Hierarchy | None" = field(default=None, compare=False, repr=False)
 
     # -- construction --------------------------------------------------------
 

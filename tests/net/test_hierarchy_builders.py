@@ -1,0 +1,293 @@
+"""Data-center generators, Hierarchy validation/inference, ECMP tie-break."""
+
+import pytest
+
+from repro.net import (
+    Hierarchy,
+    HierGroup,
+    RoutingTable,
+    TopologyBuilder,
+    fat_tree,
+    leaf_spine,
+)
+from repro.net.hierarchy import LEVEL_CORE, LEVEL_POD, LEVEL_TOR
+from repro.util.errors import ConfigurationError, TopologyError
+
+
+def two_level_tree(leaves: int = 3, hosts_per_leaf: int = 2):
+    """core -- leaf{j} -- h{j}-{m}: the SNMP-discoverable shape."""
+    builder = TopologyBuilder("tree").router("core")
+    for j in range(leaves):
+        leaf = f"leaf{j}"
+        builder.router(leaf).link(leaf, "core", "1Gbps", "0.5ms")
+        for m in range(hosts_per_leaf):
+            host = f"h{j}-{m}"
+            builder.host(host).link(host, leaf, "100Mbps", "0.1ms")
+    return builder.build()
+
+
+class TestFatTree:
+    def test_structure(self):
+        topo = fat_tree(4)
+        hosts = topo.compute_nodes
+        # k=4: 4 cores, 4 pods x (2 agg + 2 edge), 2 hosts per edge.
+        assert len(hosts) == 16
+        assert len(topo.nodes) == 4 + 4 * 4 + 16
+        # 16 host links + 16 edge-agg + 16 agg-core.
+        assert len(topo.links) == 48
+        assert topo.node("core0").is_compute is False
+        assert "p0-a1" in topo.neighbors("p0-e0")
+
+    def test_attached_hierarchy(self):
+        topo = fat_tree(4)
+        hierarchy = topo.hierarchy
+        assert hierarchy is not None
+        assert hierarchy.depth == LEVEL_CORE
+        assert hierarchy.tie_break == "hash"
+        # 8 edge ToRs (singletons) + 4 pods + 1 core group.
+        assert len(hierarchy.groups) == 13
+        assert hierarchy.root_id == "core"
+        assert hierarchy.groups["pod0"].members == ("p0-a0", "p0-a1")
+        assert hierarchy.host_group["p2-e1-h0"] == "p2-e1"
+        assert hierarchy.path_from("p2-e1") == ("p2-e1", "pod2", "core")
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ConfigurationError, match="even"):
+            fat_tree(5)
+        with pytest.raises(ConfigurationError, match="even"):
+            fat_tree(0)
+
+
+class TestLeafSpine:
+    def test_structure(self):
+        topo = leaf_spine(4, 2, 3)
+        assert len(topo.compute_nodes) == 12
+        assert len(topo.nodes) == 12 + 4 + 2
+        # 12 host links + 4 leaves x 2 spines.
+        assert len(topo.links) == 20
+
+    def test_attached_hierarchy(self):
+        topo = leaf_spine(4, 2, 3)
+        hierarchy = topo.hierarchy
+        assert hierarchy.depth == LEVEL_POD
+        assert hierarchy.tie_break == "hash"
+        assert hierarchy.root_id == "spine"
+        assert hierarchy.groups["spine"].members == ("spine0", "spine1")
+        assert hierarchy.groups["leaf1"].members == ("leaf1",)
+        assert hierarchy.host_group["leaf3-h2"] == "leaf3"
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            leaf_spine(0, 2, 3)
+
+
+class TestHierarchyValidation:
+    def test_duplicate_group_id(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            Hierarchy(
+                [
+                    HierGroup("g", LEVEL_TOR, ("s1",), None),
+                    HierGroup("g", LEVEL_TOR, ("s2",), None),
+                ],
+                {},
+            )
+
+    def test_member_in_two_groups(self):
+        with pytest.raises(TopologyError, match="two hierarchy groups"):
+            Hierarchy(
+                [
+                    HierGroup("a", LEVEL_TOR, ("s1",), "up"),
+                    HierGroup("b", LEVEL_TOR, ("s1",), "up"),
+                    HierGroup("up", LEVEL_POD, ("s2",), None),
+                ],
+                {},
+            )
+
+    def test_unknown_parent(self):
+        with pytest.raises(TopologyError, match="unknown parent"):
+            Hierarchy([HierGroup("a", LEVEL_TOR, ("s1",), "ghost")], {})
+
+    def test_parent_must_be_one_level_up(self):
+        with pytest.raises(TopologyError, match="expected 3"):
+            Hierarchy(
+                [
+                    HierGroup("a", LEVEL_POD, ("s1",), "root"),
+                    HierGroup("root", LEVEL_POD + 2, ("s2",), None),
+                ],
+                {},
+            )
+
+    def test_exactly_one_root(self):
+        with pytest.raises(TopologyError, match="exactly one root"):
+            Hierarchy(
+                [
+                    HierGroup("a", LEVEL_TOR, ("s1",), None),
+                    HierGroup("b", LEVEL_TOR, ("s2",), None),
+                ],
+                {},
+            )
+
+    def test_host_must_attach_to_tor_level(self):
+        with pytest.raises(TopologyError, match="level-1"):
+            Hierarchy(
+                [
+                    HierGroup("tor", LEVEL_TOR, ("s1",), "up"),
+                    HierGroup("up", LEVEL_POD, ("s2",), None),
+                ],
+                {"h1": "up"},
+            )
+
+    def test_unknown_tie_break(self):
+        with pytest.raises(TopologyError, match="tie_break"):
+            Hierarchy(
+                [HierGroup("a", LEVEL_TOR, ("s1",), None)], {}, tie_break="random"
+            )
+
+
+class TestInference:
+    def test_two_level_tree(self):
+        topo = two_level_tree()
+        hierarchy = Hierarchy.infer(topo)
+        assert hierarchy.tie_break == "lexicographic"
+        assert hierarchy.depth == LEVEL_POD
+        assert hierarchy.groups[hierarchy.root_id].members == ("core",)
+        assert set(hierarchy.host_group) == {n.name for n in topo.compute_nodes}
+        assert hierarchy.host_group["h2-1"] == "leaf2"
+        # ToRs are singleton groups under the root.
+        assert hierarchy.groups["leaf0"].parent == hierarchy.root_id
+
+    def test_fat_tree_shape_reinferred(self):
+        topo = fat_tree(4)
+        hierarchy = Hierarchy.infer(topo)
+        assert hierarchy.depth == LEVEL_CORE
+        assert len(hierarchy.groups) == 13
+        # Pods found as components match the generator's pods.
+        gid = hierarchy.host_group["p1-e0-h1"]
+        assert hierarchy.groups[gid].members == ("p1-e0",)
+
+    def test_inference_never_changes_routes(self):
+        topo = two_level_tree()
+        before = RoutingTable(topo)
+        topo.hierarchy = Hierarchy.infer(topo)
+        after = RoutingTable(topo)
+        assert after.tie_break == "lexicographic"
+        for src in ("h0-0", "h1-1"):
+            for dst in ("h2-0", "h0-1"):
+                if src != dst:
+                    assert (
+                        before.route(src, dst).node_sequence
+                        == after.route(src, dst).node_sequence
+                    )
+
+    def test_multi_homed_host_refused(self):
+        topo = (
+            TopologyBuilder()
+            .router("r1")
+            .router("r2")
+            .router("up")
+            .host("h")
+            .link("h", "r1", "1Gbps", "1ms")
+            .link("h", "r2", "1Gbps", "1ms")
+            .link("r1", "up", "1Gbps", "1ms")
+            .link("r2", "up", "1Gbps", "1ms")
+            .build()
+        )
+        with pytest.raises(TopologyError, match="single-homed"):
+            Hierarchy.infer(topo)
+
+    def test_flat_multi_tor_fabric_refused(self):
+        topo = (
+            TopologyBuilder()
+            .router("r1")
+            .router("r2")
+            .hosts(["h1", "h2"])
+            .link("h1", "r1", "1Gbps", "1ms")
+            .link("h2", "r2", "1Gbps", "1ms")
+            .link("r1", "r2", "1Gbps", "1ms")
+            .build()
+        )
+        with pytest.raises(TopologyError, match="flat"):
+            Hierarchy.infer(topo)
+
+    def test_too_many_tiers_refused(self):
+        builder = TopologyBuilder().host("h")
+        previous = "h"
+        for i in range(4):
+            switch = f"s{i}"
+            builder.router(switch).link(previous, switch, "1Gbps", "1ms")
+            previous = switch
+        with pytest.raises(TopologyError, match="at most three"):
+            Hierarchy.infer(builder.build())
+
+
+class TestECMPTieBreak:
+    def test_hint_selects_hash(self):
+        topo = leaf_spine(4, 3, 2)
+        table = RoutingTable(topo)
+        assert table.tie_break == "hash"
+
+    def test_spreads_over_spines(self):
+        topo = leaf_spine(8, 4, 2)
+        table = RoutingTable(topo)
+        spines_used = set()
+        for j in range(8):
+            for k in range(8):
+                if j != k:
+                    route = table.route(f"leaf{j}-h0", f"leaf{k}-h0")
+                    spines_used.update(
+                        n for n in route.transit_nodes if n.startswith("spine")
+                    )
+        # Lexicographic would pin every route through spine0.
+        assert len(spines_used) > 1
+
+    def test_lexicographic_pins_one_spine(self):
+        topo = leaf_spine(8, 4, 2)
+        table = RoutingTable(topo, tie_break="lexicographic")
+        spines_used = set()
+        for j in range(8):
+            for k in range(8):
+                if j != k:
+                    route = table.route(f"leaf{j}-h0", f"leaf{k}-h0")
+                    spines_used.update(
+                        n for n in route.transit_nodes if n.startswith("spine")
+                    )
+        assert spines_used == {"spine0"}
+
+    def test_deterministic_across_rebuilds(self):
+        pairs = [("leaf0-h0", "leaf5-h1"), ("leaf3-h0", "leaf1-h1")]
+        first = {
+            pair: RoutingTable(leaf_spine(8, 4, 2)).route(*pair).node_sequence
+            for pair in pairs
+        }
+        second = {
+            pair: RoutingTable(leaf_spine(8, 4, 2)).route(*pair).node_sequence
+            for pair in pairs
+        }
+        assert first == second
+
+    def test_hash_routes_stay_shortest(self):
+        topo = fat_tree(4)
+        hash_table = RoutingTable(topo)
+        lex_table = RoutingTable(topo, tie_break="lexicographic")
+        for src, dst in [
+            ("p0-e0-h0", "p3-e1-h1"),
+            ("p1-e1-h0", "p1-e0-h1"),
+            ("p2-e0-h0", "p2-e0-h1"),
+        ]:
+            hashed = hash_table.route(src, dst)
+            lexed = lex_table.route(src, dst)
+            assert hashed.hop_count == lexed.hop_count
+            assert hashed.latency == pytest.approx(lexed.latency)
+
+    def test_validity_tracks_the_hint(self):
+        hinted = leaf_spine(4, 2, 2)
+        table = RoutingTable(hinted)
+        assert table.is_valid_for(hinted)
+        # A structurally identical fabric with no hierarchy hint resolves
+        # ties differently; the table must not claim validity for it.
+        bare = leaf_spine(4, 2, 2)
+        bare.hierarchy = None
+        assert not table.is_valid_for(bare)
+        # An explicit tie-break was the caller's choice: hint-independent.
+        explicit = RoutingTable(hinted, tie_break="hash")
+        assert explicit.is_valid_for(bare)
