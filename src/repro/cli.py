@@ -63,7 +63,7 @@ def _parse_traffic(spec: str | None) -> TrafficScenario | None:
 def cmd_info(args) -> int:
     print(f"repro {__version__} — reproduction of Remos (HPDC 1998)")
     print("testbed hosts:", ", ".join(CMU_HOSTS))
-    print("commands: info, query, select, serve, stats, table2, table3")
+    print("commands: info, query, select, serve, stats, table2, table3, top")
     return 0
 
 
@@ -243,8 +243,11 @@ def cmd_serve(args) -> int:
 
     from repro.service import RemosService, serve_http
 
+    # Tracing is on by default so slow-query records carry full span trees;
+    # the request path is instrumented anyway, and `repro serve` exists to
+    # be observed.  --no-tracing restores the bare-metal path.
     obs.configure_observability(
-        metrics=True, tracing=False, logging=args.log, log_level="info"
+        metrics=True, tracing=not args.no_tracing, logging=args.log, log_level="info"
     )
     world = build_cmu_testbed(poll_interval=args.poll_interval)
     scenario = _parse_traffic(args.traffic)
@@ -255,12 +258,18 @@ def cmd_serve(args) -> int:
         sweep_interval=args.sweep_interval,
         sim_step=args.sim_step,
         workers=args.workers,
+        slow_query_threshold=args.slow_threshold,
+        max_epoch_age=args.max_epoch_age,
+        max_sweep_seconds=args.max_sweep_seconds,
     )
     service.start(warmup=args.warmup)
     server = serve_http(service, host=args.host, port=args.port)
     address = server.server_address
     print(f"remos service listening on http://{address[0]}:{address[1]}")
-    print("endpoints: /healthz /metrics /telemetry /graph?nodes=a,b /node/<host> POST /flow_info")
+    print(
+        "endpoints: /healthz /metrics /telemetry /graph?nodes=a,b /node/<host> "
+        "POST /flow_info /debug/slow /debug/slo /debug/profile?seconds=N"
+    )
     try:
         if args.duration is not None:
             thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -280,6 +289,182 @@ def cmd_serve(args) -> int:
             f"{service.sweeps} sweeps ({service.publishes} snapshots published)"
         )
     return 0
+
+
+def _fetch(url: str, timeout: float) -> tuple[int, bytes]:
+    """GET *url*, returning (status, body) — error statuses are data here."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        # /healthz answers 503 with a JSON body when degraded; that is a
+        # reading, not a failure.
+        return error.code, error.read()
+
+
+def _top_snapshot(base: str, timeout: float) -> dict:
+    """One poll of /healthz + /metrics + /debug/slow for the dashboard."""
+    from repro.obs import promparse
+
+    status, health_raw = _fetch(f"{base}/healthz", timeout)
+    health = json.loads(health_raw.decode("utf-8"))
+    _, metrics_raw = _fetch(f"{base}/metrics", timeout)
+    families = promparse.parse(metrics_raw.decode("utf-8"))
+    _, slow_raw = _fetch(f"{base}/debug/slow?limit=8", timeout)
+    slow = json.loads(slow_raw.decode("utf-8"))
+
+    def counter_sum(family_name: str, sample_name: str | None = None) -> float:
+        family = families.get(family_name)
+        if family is None:
+            return 0.0
+        wanted = sample_name or family_name
+        return sum(v for name, _, v in family.samples if name == wanted)
+
+    def quantiles(family_name: str) -> dict[str, dict[str, float]]:
+        """Per-label-set quantile rows of a summary family."""
+        family = families.get(family_name)
+        rows: dict[str, dict[str, float]] = {}
+        if family is None:
+            return rows
+        for name, labels, value in family.samples:
+            key = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items()) if k != "quantile"
+            )
+            row = rows.setdefault(key, {})
+            if name == family_name and "quantile" in labels:
+                row[labels["quantile"]] = value
+            elif name == f"{family_name}_count":
+                row["count"] = value
+        return rows
+
+    def gauge(family_name: str, labels: dict | None = None) -> float | None:
+        family = families.get(family_name)
+        return None if family is None else family.value(labels)
+
+    return {
+        "health": health,
+        "http_status": status,
+        "queries_total": counter_sum("remos_query_seconds", "remos_query_seconds_count"),
+        "sweeps_total": counter_sum("remos_service_sweeps_total"),
+        "batches_total": counter_sum("remos_service_batches_total"),
+        "epoch_age": gauge("remos_snapshot_age_seconds"),
+        "hit_rate": gauge("remos_cache_hit_rate"),
+        "query_latency": quantiles("remos_query_seconds"),
+        "http_latency": quantiles("remos_http_request_seconds"),
+        "budget": {
+            labels.get("endpoint", "?"): value
+            for _, labels, value in (
+                families["remos_slo_error_budget_remaining"].samples
+                if "remos_slo_error_budget_remaining" in families
+                else []
+            )
+        },
+        "slow": slow,
+    }
+
+
+def _render_top(base: str, snap: dict, previous: dict | None, elapsed: float) -> str:
+    """One screenful of dashboard text from a `_top_snapshot` poll."""
+    import time as _time
+
+    health = snap["health"]
+    lines = []
+    age = snap["epoch_age"]
+    if age is None:
+        age = health.get("epoch_age_seconds")
+    lines.append(
+        f"remos top — {base} — {_time.strftime('%H:%M:%S')}   "
+        f"health: {health.get('status', '?')} "
+        f"(epoch {health.get('epoch', '?')}"
+        + (f", age {age:.2f}s" if isinstance(age, (int, float)) else "")
+        + ")"
+    )
+    for reason in health.get("reasons", []):
+        lines.append(
+            f"  !! {reason.get('monitor')}: {reason.get('reason', 'unhealthy')}"
+            + (
+                f" (reading {reason['reading']:.3g} > max {reason['maximum']:.3g})"
+                if reason.get("reading") is not None
+                else ""
+            )
+        )
+    if previous is not None and elapsed > 0:
+        qps = (snap["queries_total"] - previous["queries_total"]) / elapsed
+        sps = (snap["sweeps_total"] - previous["sweeps_total"]) / elapsed
+        rates = f"qps {qps:7.2f}   sweeps/s {sps:6.2f}"
+    else:
+        rates = "qps     n/a   sweeps/s    n/a   (first poll)"
+    hit = snap["hit_rate"]
+    lines.append(
+        f"{rates}   queries {snap['queries_total']:.0f}   "
+        f"batches {snap['batches_total']:.0f}"
+        + (f"   cache hit {hit:.1%}" if hit is not None else "")
+    )
+    lines.append("")
+    lines.append("query latency (s):          p50       p75       max     count")
+    for key, row in sorted(snap["query_latency"].items()):
+        label = key.split("=", 1)[-1] or "?"
+        lines.append(
+            f"  {label:<22}{row.get('0.5', 0.0):9.4f} {row.get('0.75', 0.0):9.4f} "
+            f"{row.get('1', 0.0):9.4f} {row.get('count', 0):9.0f}"
+        )
+    if snap["http_latency"]:
+        lines.append("http latency (s):           p50       p75       max     count")
+        for key, row in sorted(snap["http_latency"].items()):
+            label = key.split("=", 1)[-1] or "?"
+            budget = snap["budget"].get(label)
+            budget_text = f"   budget {budget:+.2f}" if budget is not None else ""
+            lines.append(
+                f"  {label:<22}{row.get('0.5', 0.0):9.4f} {row.get('0.75', 0.0):9.4f} "
+                f"{row.get('1', 0.0):9.4f} {row.get('count', 0):9.0f}{budget_text}"
+            )
+    slow = snap["slow"]
+    lines.append("")
+    lines.append(
+        f"slow queries (>{slow.get('threshold_seconds', 0):g}s, "
+        f"{slow.get('recorded', 0)} recorded):"
+    )
+    for record in slow.get("records", [])[:8]:
+        stamp = _time.strftime("%H:%M:%S", _time.localtime(record.get("ts", 0)))
+        trace = record.get("trace_id") or "-"
+        lines.append(
+            f"  {stamp}  {record.get('endpoint', '?'):<10} "
+            f"{record.get('duration', 0):7.3f}s  epoch {record.get('epoch', '?')}  "
+            f"trace {trace[:16]}"
+        )
+    if not slow.get("records"):
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Live one-screen ops dashboard over a running `repro serve`."""
+    import time as _time
+
+    base = args.url.rstrip("/")
+    previous = None
+    last_poll = _time.monotonic()
+    iterations = 0
+    try:
+        while True:
+            snap = _top_snapshot(base, args.timeout)
+            now = _time.monotonic()
+            text = _render_top(base, snap, previous, now - last_poll)
+            previous, last_poll = snap, now
+            if not args.no_clear and iterations > 0:
+                print("\x1b[2J\x1b[H", end="")
+            print(text)
+            iterations += 1
+            if args.iterations and iterations >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as error:
+        raise ReproError(f"cannot reach {base}: {error}") from error
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -353,7 +538,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None, help="auto-stop after N wall seconds"
     )
     serve.add_argument("--log", action="store_true", help="structured logging to stderr")
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable span tracing (slow-query records lose their span trees)",
+    )
+    serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.25,
+        help="slow-query log threshold in seconds (0 records every query)",
+    )
+    serve.add_argument(
+        "--max-epoch-age",
+        type=float,
+        default=10.0,
+        help="freshness SLO: /healthz turns 503 when the epoch is older (s)",
+    )
+    serve.add_argument(
+        "--max-sweep-seconds",
+        type=float,
+        default=5.0,
+        help="freshness SLO: /healthz turns 503 when a sweep takes longer (s)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    top = subparsers.add_parser(
+        "top", help="live one-screen dashboard over a running `repro serve`"
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="base URL of the service"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N polls (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=5.0, help="per-request timeout (s)"
+    )
+    top.add_argument(
+        "--no-clear", action="store_true", help="append screens instead of clearing"
+    )
+    top.set_defaults(func=cmd_top)
 
     table2 = subparsers.add_parser("table2", help="reproduce Table 2 rows")
     table2.add_argument("--rows", help=f"comma-separated from {list(TABLE2_ROWS)}")

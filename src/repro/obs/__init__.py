@@ -29,8 +29,17 @@ from __future__ import annotations
 
 from typing import IO
 
+from repro.obs.context import (
+    TraceContext,
+    bind_context,
+    current_context,
+    parse_traceparent,
+)
 from repro.obs.log import StructLogger, configure_logging, get_logger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import SamplingProfiler, profile
+from repro.obs.slo import FreshnessMonitor, LatencySLO, SLORegistry
+from repro.obs.slowlog import SlowQueryLog
 from repro.obs.tracing import NOOP_SPAN, STAGE_HISTOGRAM, Span, Tracer
 
 __all__ = [
@@ -43,6 +52,17 @@ __all__ = [
     "StructLogger",
     "STAGE_HISTOGRAM",
     "NOOP_SPAN",
+    "TraceContext",
+    "parse_traceparent",
+    "bind_context",
+    "current_context",
+    "current_span",
+    "SlowQueryLog",
+    "SLORegistry",
+    "LatencySLO",
+    "FreshnessMonitor",
+    "SamplingProfiler",
+    "profile",
     "configure_observability",
     "reset_observability",
     "observability_enabled",
@@ -147,6 +167,13 @@ def span(name: str, root: bool = False, detached: bool = False):
     if not _state.tracing_on:
         return NOOP_SPAN
     return _state.tracer.span(name, root=root, detached=detached)
+
+
+def current_span() -> Span | None:
+    """This thread's innermost open span (None when tracing is off)."""
+    if not _state.tracing_on:
+        return None
+    return _state.tracer.current_span
 
 
 def inc(name: str, amount: float = 1.0, help: str = "", **labels) -> None:

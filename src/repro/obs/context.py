@@ -1,0 +1,133 @@
+"""Request-scoped trace context: W3C ``traceparent`` in, out, and through.
+
+A :class:`TraceContext` is the identity of one request as it crosses the
+HTTP boundary: a 128-bit *trace id* shared by every span, log line and
+response header the request produces, plus the 64-bit *span id* of the
+current hop.  The HTTP front end parses the context from an incoming
+``traceparent`` header (or generates a fresh one), **binds** it to the
+handling thread for the duration of the request, and echoes it on the
+response — so a caller can join our spans, slow-query records and log
+lines to its own trace on one id.
+
+While a context is bound:
+
+* :class:`~repro.obs.log.StructLogger` stamps ``trace_id=...`` on every
+  emitted line;
+* the :class:`~repro.obs.tracing.Tracer` roots new traces at the bound
+  trace id instead of minting a sequential one, so the library-level
+  ``query.*`` spans carry the request's id;
+* :class:`~repro.obs.slowlog.SlowQueryLog` records inherit the id.
+
+Binding is **thread-local** (requests are handled synchronously on one
+thread each, like span nesting — see ``docs/CONCURRENCY.md``) and costs
+nothing on un-bound threads: the lookup happens only when a line is
+actually emitted or a trace root is actually opened.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from contextlib import contextmanager
+
+#: ``version-traceid-spanid-flags`` with fixed field widths (W3C level 1).
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+class TraceContext:
+    """One request's trace identity: ``(trace_id, span_id, sampled)``."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    @classmethod
+    def generate(cls) -> "TraceContext":
+        """A fresh context with random (non-zero) W3C-format ids."""
+        return cls(trace_id=_random_hex(16), span_id=_random_hex(8))
+
+    def child(self) -> "TraceContext":
+        """Same trace, new span id — the next hop of this request."""
+        return TraceContext(self.trace_id, _random_hex(8), self.sampled)
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this context."""
+        return f"00-{self.trace_id}-{self.span_id}-{'01' if self.sampled else '00'}"
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+        }
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.sampled == other.sampled
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceContext {self.to_traceparent()}>"
+
+
+def _random_hex(nbytes: int) -> str:
+    """``2 * nbytes`` lowercase hex chars, never all zeros (W3C forbids it)."""
+    while True:
+        value = os.urandom(nbytes).hex()
+        if value.strip("0"):
+            return value
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header value; ``None`` when malformed.
+
+    Strict per the W3C trace-context level-1 grammar: four ``-``-separated
+    lowercase-hex fields of fixed width, version ``ff`` reserved, all-zero
+    trace or span ids invalid.  Unknown (non-``00``) versions are accepted
+    as long as the level-1 prefix parses, as the spec requires.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip())
+    if match is None:
+        return None
+    version, trace_id, span_id, flags = match.groups()
+    if version == "ff":
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return TraceContext(trace_id, span_id, sampled=bool(int(flags, 16) & 0x01))
+
+
+# -- thread-local binding --------------------------------------------------------
+
+_active = threading.local()
+
+
+def current_context() -> TraceContext | None:
+    """The context bound to this thread, if any."""
+    return getattr(_active, "context", None)
+
+
+@contextmanager
+def bind_context(context: TraceContext):
+    """Bind *context* to the calling thread for the ``with`` body.
+
+    Bindings nest (the previous binding is restored on exit), and binding
+    never leaks across threads: each request thread sees only its own.
+    """
+    previous = getattr(_active, "context", None)
+    _active.context = context
+    try:
+        yield context
+    finally:
+        _active.context = previous

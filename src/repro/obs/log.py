@@ -23,6 +23,7 @@ import sys
 import time
 from typing import IO
 
+from repro.obs.context import current_context
 from repro.util.errors import ConfigurationError
 
 LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
@@ -87,6 +88,12 @@ class StructLogger:
     def _emit(self, level: str, event: str, fields: dict) -> None:
         config = _CONFIG
         stream = config.stream if config.stream is not None else sys.stderr
+        # Lines emitted while a request TraceContext is bound to this
+        # thread carry its trace id, so logs join spans and the HTTP
+        # traceparent header on one id.  Only emitted lines pay the lookup.
+        context = current_context()
+        if context is not None and "trace_id" not in fields:
+            fields = {"trace_id": context.trace_id, **fields}
         if config.format == "json":
             record: dict = {"level": level, "logger": self.name, "event": event}
             if config.timestamps:

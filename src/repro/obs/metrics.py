@@ -298,13 +298,19 @@ class MetricsRegistry:
         return result
 
     def to_prometheus(self) -> str:
-        """The Prometheus text exposition format (histograms as summaries)."""
+        """The Prometheus text exposition format (histograms as summaries).
+
+        Audit contract (round-trip-tested against the strict parser in
+        :mod:`repro.obs.promparse`): every family emits exactly one
+        ``# HELP`` and one ``# TYPE`` line, both ahead of its samples,
+        families are contiguous, and label values carry the three legal
+        escapes.
+        """
         lines: list[str] = []
         for name, instruments in self._by_name().items():
             kind = self._kinds.get(name, instruments[0].kind)
-            help_text = self._help.get(name)
-            if help_text:
-                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            help_text = self._help.get(name, "")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}".rstrip())
             lines.append(f"# TYPE {name} {'summary' if kind == 'histogram' else kind}")
             for instrument in instruments:
                 if isinstance(instrument, Histogram):

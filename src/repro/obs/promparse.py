@@ -1,0 +1,220 @@
+"""A strict parser for the Prometheus text exposition format (v0.0.4).
+
+The export audit's other half: :mod:`repro.obs.metrics` *writes* the text
+format, this module *reads it back* pedantically, so a round-trip test can
+prove every family emits ``# HELP``/``# TYPE`` exactly once, label values
+are escaped correctly, and no duplicate series slip out.  ``repro top``
+reuses it to scrape ``/metrics`` without an external client library.
+
+:func:`parse` raises :class:`PromParseError` (with the offending line
+number) on any violation of the subset we emit:
+
+* metric and label names must match the Prometheus grammar;
+* ``# HELP`` and ``# TYPE`` at most once per family, ``# TYPE`` before
+  any of the family's samples, and no samples from a family may appear
+  after another family's samples started (families are contiguous);
+* label values must use only the three legal escapes (``\\\\``, ``\\"``,
+  ``\\n``) and sample values must parse as floats (``+Inf``/``-Inf``/
+  ``NaN`` included);
+* a sample's name must be its family's name, or — for ``summary``
+  families — the family name plus ``_sum``/``_count``;
+* no two samples of a family may carry the same label set.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+#: Suffixes a summary/histogram family may attach to its sample names.
+_FAMILY_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+class PromParseError(ValueError):
+    """A violation of the exposition format, annotated with its line."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+class Family:
+    """One metric family: its metadata and every parsed sample."""
+
+    __slots__ = ("name", "help", "type", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.help: str | None = None
+        self.type: str | None = None
+        #: ``(sample_name, labels, value)`` in exposition order.
+        self.samples: list[tuple[str, dict[str, str], float]] = []
+
+    def value(self, labels: dict[str, str] | None = None) -> float | None:
+        """The value of the sample matching *labels* exactly (None if absent)."""
+        wanted = labels or {}
+        for sample_name, sample_labels, value in self.samples:
+            if sample_name == self.name and sample_labels == wanted:
+                return value
+        return None
+
+
+def _base_family(sample_name: str, families: dict[str, Family]) -> Family | None:
+    """The family a sample line belongs to, honouring summary suffixes."""
+    if sample_name in families:
+        return families[sample_name]
+    for suffix in _FAMILY_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            family = families.get(base)
+            if family is not None and family.type in ("summary", "histogram"):
+                return family
+    return None
+
+
+def _parse_value(text: str, lineno: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PromParseError(lineno, f"unparseable sample value {text!r}") from None
+
+
+def _parse_labels(body: str, lineno: int) -> dict[str, str]:
+    """Parse the inside of ``{...}`` character by character (strict escapes)."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise PromParseError(lineno, f"label without '=' in {body!r}")
+        name = body[i:eq]
+        if not _LABEL_NAME_RE.match(name):
+            raise PromParseError(lineno, f"invalid label name {name!r}")
+        if name in labels:
+            raise PromParseError(lineno, f"duplicate label name {name!r}")
+        if eq + 1 >= n or body[eq + 1] != '"':
+            raise PromParseError(lineno, f"label value for {name!r} not quoted")
+        i = eq + 2
+        chars: list[str] = []
+        while True:
+            if i >= n:
+                raise PromParseError(lineno, f"unterminated label value for {name!r}")
+            c = body[i]
+            if c == "\\":
+                if i + 1 >= n:
+                    raise PromParseError(lineno, "dangling backslash in label value")
+                escape = body[i + 1]
+                if escape == "\\":
+                    chars.append("\\")
+                elif escape == '"':
+                    chars.append('"')
+                elif escape == "n":
+                    chars.append("\n")
+                else:
+                    raise PromParseError(
+                        lineno, f"illegal escape \\{escape} in label value"
+                    )
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            elif c == "\n":
+                raise PromParseError(lineno, "raw newline in label value")
+            else:
+                chars.append(c)
+                i += 1
+        labels[name] = "".join(chars)
+        if i < n:
+            if body[i] != ",":
+                raise PromParseError(lineno, f"expected ',' after label {name!r}")
+            i += 1
+    return labels
+
+
+def parse(text: str) -> dict[str, Family]:
+    """Parse an exposition document into ``{family name: Family}``.
+
+    Raises :class:`PromParseError` on the first violation.
+    """
+    families: dict[str, Family] = {}
+    #: Family whose samples are currently streaming (contiguity check).
+    current: Family | None = None
+    closed: set[str] = set()
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # a plain comment
+            if len(parts) < 3:
+                raise PromParseError(lineno, f"{parts[1]} line without a metric name")
+            keyword, name = parts[1], parts[2]
+            if not _NAME_RE.match(name):
+                raise PromParseError(lineno, f"invalid metric name {name!r}")
+            if name in closed:
+                raise PromParseError(
+                    lineno, f"family {name!r} reopened after its samples ended"
+                )
+            family = families.setdefault(name, Family(name))
+            if keyword == "HELP":
+                if family.help is not None:
+                    raise PromParseError(lineno, f"second HELP line for {name!r}")
+                if family.samples:
+                    raise PromParseError(lineno, f"HELP for {name!r} after its samples")
+                family.help = parts[3] if len(parts) > 3 else ""
+            else:
+                if family.type is not None:
+                    raise PromParseError(lineno, f"second TYPE line for {name!r}")
+                if family.samples:
+                    raise PromParseError(lineno, f"TYPE for {name!r} after its samples")
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _KINDS:
+                    raise PromParseError(lineno, f"unknown TYPE {kind!r} for {name!r}")
+                family.type = kind
+            continue
+        # -- a sample line ---------------------------------------------------
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)\s*$", line)
+        if match is None:
+            raise PromParseError(lineno, f"unparseable sample line {line!r}")
+        sample_name, _, label_body, value_text = match.groups()
+        labels = _parse_labels(label_body, lineno) if label_body else {}
+        value = _parse_value(value_text, lineno)
+        family = _base_family(sample_name, families)
+        if family is None:
+            # An untyped family announced by its first sample.
+            if any(sample_name.endswith(s) for s in _FAMILY_SUFFIXES):
+                raise PromParseError(
+                    lineno,
+                    f"sample {sample_name!r} uses a summary suffix without a "
+                    "TYPE'd base family",
+                )
+            family = families.setdefault(sample_name, Family(sample_name))
+        if family.name in closed:
+            raise PromParseError(
+                lineno, f"family {family.name!r} has non-contiguous samples"
+            )
+        if current is not None and current is not family:
+            closed.add(current.name)
+        current = family
+        key = (sample_name, tuple(sorted(labels.items())))
+        seen = {
+            (existing_name, tuple(sorted(existing_labels.items())))
+            for existing_name, existing_labels, _ in family.samples
+        }
+        if key in seen:
+            raise PromParseError(
+                lineno, f"duplicate series {sample_name}{labels!r}"
+            )
+        family.samples.append((sample_name, labels, value))
+    return families

@@ -1,0 +1,268 @@
+"""Service-level objectives: latency budgets and freshness monitors.
+
+Two complementary kinds of objective, matching how the query service can
+disappoint its callers:
+
+* :class:`LatencySLO` — *"target fraction of requests under a threshold"*
+  per endpoint.  Every recorded request is classified good/bad against the
+  threshold; the **error budget** is the number of bad requests the target
+  still allows.  Budgets are reported (``GET /debug/slo``, gauges) but do
+  not flip health: a latency blip is an alert, not an outage.
+
+* :class:`FreshnessMonitor` — *"a live reading must stay under a
+  maximum"*: snapshot-epoch age and sweep duration.  Remos's whole value
+  is trusting its answers about the network, so a stale epoch **does**
+  flip ``/healthz`` to 503 with a machine-readable reason — serving
+  confidently from minutes-old measurements is worse than refusing.
+
+The :class:`SLORegistry` owns both, feeds the per-endpoint latency
+histograms and budget gauges into the metrics registry via the ``obs``
+verbs (no-ops when metrics are off), and answers the two operational
+questions: :meth:`SLORegistry.health` (healthy? why not?) and
+:meth:`SLORegistry.to_dict` (the full objective report).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.util.errors import ConfigurationError
+
+
+class LatencySLO:
+    """One endpoint's latency objective: *target* of requests ≤ *threshold*.
+
+    ``record`` classifies a request duration; the budget math follows the
+    standard SRE formulation: with N total requests and target t, the
+    error budget is ``(1 - t) * N`` bad requests; ``budget_remaining`` is
+    the fraction of that budget still unspent (1.0 untouched, 0.0
+    exhausted, negative when overdrawn).
+    """
+
+    __slots__ = ("endpoint", "threshold_seconds", "target", "total", "breaches", "_lock")
+
+    def __init__(self, endpoint: str, threshold_seconds: float, target: float = 0.99):
+        if not 0.0 < target <= 1.0:
+            raise ConfigurationError(f"SLO target must be in (0, 1], got {target}")
+        if threshold_seconds <= 0:
+            raise ConfigurationError("SLO latency threshold must be positive")
+        self.endpoint = endpoint
+        self.threshold_seconds = float(threshold_seconds)
+        self.target = float(target)
+        self.total = 0
+        self.breaches = 0
+        self._lock = threading.Lock()
+
+    def record(self, duration: float) -> bool:
+        """Classify one request; returns True when it met the objective."""
+        good = duration <= self.threshold_seconds
+        with self._lock:
+            self.total += 1
+            if not good:
+                self.breaches += 1
+        return good
+
+    @property
+    def allowed_breaches(self) -> float:
+        return (1.0 - self.target) * self.total
+
+    @property
+    def budget_remaining(self) -> float:
+        """Fraction of the error budget unspent (clamped to [-1, 1])."""
+        allowed = self.allowed_breaches
+        if allowed <= 0.0:
+            return 1.0 if self.breaches == 0 else -1.0
+        return max(-1.0, (allowed - self.breaches) / allowed)
+
+    @property
+    def healthy(self) -> bool:
+        return self.breaches <= self.allowed_breaches
+
+    def to_dict(self) -> dict:
+        return {
+            "endpoint": self.endpoint,
+            "threshold_seconds": self.threshold_seconds,
+            "target": self.target,
+            "total": self.total,
+            "breaches": self.breaches,
+            "allowed_breaches": self.allowed_breaches,
+            "budget_remaining": self.budget_remaining,
+            "healthy": self.healthy,
+        }
+
+
+class FreshnessMonitor:
+    """A live reading (via *probe*) that must stay at or under *maximum*.
+
+    ``probe`` returns the current reading in the monitor's unit (seconds
+    for epoch age and sweep duration) or ``None`` when there is no reading
+    yet — a fresh service without a published epoch is *not yet* stale.
+    A probe that raises degrades to "no reading" rather than taking the
+    health endpoint down with it.
+    """
+
+    __slots__ = ("name", "maximum", "reason", "_probe")
+
+    def __init__(
+        self,
+        name: str,
+        maximum: float,
+        probe: Callable[[], float | None],
+        reason: str,
+    ):
+        if maximum <= 0:
+            raise ConfigurationError("monitor maximum must be positive")
+        self.name = name
+        self.maximum = float(maximum)
+        self.reason = reason
+        self._probe = probe
+
+    def check(self) -> dict:
+        """One machine-readable reading: name, value, bound, verdict."""
+        try:
+            reading = self._probe()
+        except Exception:
+            reading = None
+        healthy = reading is None or reading <= self.maximum
+        result = {
+            "monitor": self.name,
+            "reading": reading,
+            "maximum": self.maximum,
+            "healthy": healthy,
+        }
+        if not healthy:
+            result["reason"] = self.reason
+        return result
+
+
+class SLORegistry:
+    """Declared objectives for one service: latency SLOs plus monitors."""
+
+    def __init__(self):
+        self._latency: dict[str, LatencySLO] = {}
+        self._monitors: list[FreshnessMonitor] = []
+        self._lock = threading.Lock()
+
+    # -- declaration -------------------------------------------------------------
+
+    def declare_latency(
+        self, endpoint: str, threshold_seconds: float, target: float = 0.99
+    ) -> LatencySLO:
+        """Declare (or re-declare) the latency objective for *endpoint*."""
+        slo = LatencySLO(endpoint, threshold_seconds, target)
+        with self._lock:
+            self._latency[endpoint] = slo
+        return slo
+
+    def add_monitor(
+        self,
+        name: str,
+        maximum: float,
+        probe: Callable[[], float | None],
+        reason: str,
+    ) -> FreshnessMonitor:
+        """Register a freshness-class monitor that can flip health."""
+        monitor = FreshnessMonitor(name, maximum, probe, reason)
+        with self._lock:
+            self._monitors = [m for m in self._monitors if m.name != name]
+            self._monitors.append(monitor)
+        return monitor
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_request(self, endpoint: str, duration: float) -> None:
+        """Feed one completed request into its endpoint's objective.
+
+        Endpoints without a declared objective get an implicit permissive
+        one (1 s at 99 %) so every endpoint shows up in the report, and
+        every request lands in ``remos_http_request_seconds{endpoint=}``.
+        """
+        slo = self._latency.get(endpoint)
+        if slo is None:
+            with self._lock:
+                slo = self._latency.get(endpoint)
+                if slo is None:
+                    slo = LatencySLO(endpoint, threshold_seconds=1.0, target=0.99)
+                    self._latency[endpoint] = slo
+        good = slo.record(duration)
+        from repro import obs
+
+        obs.observe(
+            "remos_http_request_seconds",
+            duration,
+            help="Wall-clock seconds per HTTP request",
+            endpoint=endpoint,
+        )
+        obs.inc(
+            "remos_slo_requests_total",
+            help="Requests classified against a latency SLO",
+            endpoint=endpoint,
+        )
+        if not good:
+            obs.inc(
+                "remos_slo_breaches_total",
+                help="Requests that missed their latency SLO threshold",
+                endpoint=endpoint,
+            )
+
+    # -- readings ----------------------------------------------------------------
+
+    def health(self) -> tuple[bool, list[dict]]:
+        """(healthy, reasons): the freshness monitors' collective verdict.
+
+        Only monitor breaches appear in *reasons* — latency budgets are
+        reported by :meth:`to_dict` but never flip health.
+        """
+        with self._lock:
+            monitors = list(self._monitors)
+        reasons = [
+            check for check in (monitor.check() for monitor in monitors)
+            if not check["healthy"]
+        ]
+        return (not reasons, reasons)
+
+    def publish_gauges(self) -> None:
+        """Register budget/monitor gauges on the global metrics registry.
+
+        Callback gauges read live at export time, so scraping ``/metrics``
+        always sees the current budget without the request path paying for
+        gauge updates.
+        """
+        from repro import obs
+
+        if not obs.metrics_enabled():
+            return
+        registry = obs.get_registry()
+        with self._lock:
+            latency = dict(self._latency)
+            monitors = list(self._monitors)
+        for endpoint, slo in latency.items():
+            registry.gauge(
+                "remos_slo_error_budget_remaining",
+                labels={"endpoint": endpoint},
+                help="Fraction of the endpoint's latency error budget unspent",
+            ).set_function(lambda s=slo: s.budget_remaining)
+        for monitor in monitors:
+            registry.gauge(
+                "remos_slo_monitor_reading",
+                labels={"monitor": monitor.name},
+                help="Current reading of a freshness-class SLO monitor",
+            ).set_function(
+                lambda m=monitor: (
+                    reading if (reading := m.check()["reading"]) is not None else 0.0
+                )
+            )
+
+    def to_dict(self) -> dict:
+        """The full ``GET /debug/slo`` report."""
+        with self._lock:
+            latency = dict(self._latency)
+            monitors = list(self._monitors)
+        healthy, reasons = self.health()
+        return {
+            "healthy": healthy,
+            "reasons": reasons,
+            "latency": {name: slo.to_dict() for name, slo in sorted(latency.items())},
+            "monitors": [monitor.check() for monitor in monitors],
+        }

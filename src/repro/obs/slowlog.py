@@ -1,0 +1,128 @@
+"""The slow-query log: forensic records for requests over a latency budget.
+
+A :class:`SlowQueryLog` keeps the most recent completed queries whose
+wall-clock duration crossed a threshold, each as a plain-data record
+carrying everything needed to reconstruct the request after the fact *from
+the log alone*:
+
+* identity — the endpoint name, the request's trace id, a wall-clock
+  completion timestamp;
+* the query arguments as given (flow specs, node lists, timeframe);
+* the data the answer was computed from — snapshot epoch, view generation
+  and structure generation;
+* the cache-hit profile of the query (hits/misses deltas);
+* the **full span tree** of the request (when tracing was on), in the
+  nested `Span.tree()` form.
+
+Records live in a bounded ring (oldest evicted first) guarded by one lock;
+the HTTP front end serves them at ``GET /debug/slow`` newest-first.  Every
+admitted record also bumps ``remos_slow_queries_total{endpoint=...}``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+class SlowQueryLog:
+    """A bounded, thread-safe ring of slow-query forensic records.
+
+    Parameters
+    ----------
+    threshold_seconds:
+        Durations at or above this are recorded (0 records everything —
+        useful in tests and when hunting a regression interactively).
+    capacity:
+        Ring size; the oldest record is evicted when full.
+    """
+
+    def __init__(self, threshold_seconds: float = 0.25, capacity: int = 128):
+        self.threshold_seconds = float(threshold_seconds)
+        self.capacity = int(capacity)
+        self._records: deque[dict] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self.observed = 0
+        self.recorded = 0
+
+    def observe(
+        self,
+        endpoint: str,
+        duration: float,
+        *,
+        trace_id: str | None = None,
+        args: dict | None = None,
+        epoch: int | None = None,
+        generation: int | None = None,
+        structure_generation: int | None = None,
+        cache_hits: int | None = None,
+        cache_misses: int | None = None,
+        span_tree: dict | None = None,
+        status: int | None = None,
+        ts: float | None = None,
+    ) -> dict | None:
+        """Record one completed query if it crossed the threshold.
+
+        Returns the record admitted to the ring, or ``None`` when the
+        query was fast enough.  Import of the metrics verb is deferred to
+        the slow path, so observing a fast query costs one comparison.
+        """
+        with self._lock:
+            self.observed += 1
+            if duration < self.threshold_seconds:
+                return None
+            record = {
+                "endpoint": endpoint,
+                "duration": duration,
+                "threshold": self.threshold_seconds,
+                "trace_id": trace_id,
+                "ts": time.time() if ts is None else ts,
+                "args": args or {},
+                "epoch": epoch,
+                "generation": generation,
+                "structure_generation": structure_generation,
+                "cache_hits": cache_hits,
+                "cache_misses": cache_misses,
+                "status": status,
+                "span_tree": span_tree,
+            }
+            self._records.append(record)
+            self.recorded += 1
+        from repro import obs
+
+        obs.inc(
+            "remos_slow_queries_total",
+            help="Completed queries recorded by the slow-query log",
+            endpoint=endpoint,
+        )
+        return record
+
+    def records(self, limit: int | None = None) -> list[dict]:
+        """Retained records, newest first (optionally capped at *limit*)."""
+        with self._lock:
+            newest_first = list(reversed(self._records))
+        if limit is not None:
+            newest_first = newest_first[: max(0, int(limit))]
+        return newest_first
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def to_dict(self, limit: int | None = None) -> dict:
+        """The ``GET /debug/slow`` payload: ring metadata plus records."""
+        return {
+            "threshold_seconds": self.threshold_seconds,
+            "capacity": self.capacity,
+            "observed": self.observed,
+            "recorded": self.recorded,
+            "records": self.records(limit),
+        }
+
+    def reset(self) -> None:
+        """Drop retained records and counts (tests / between experiments)."""
+        with self._lock:
+            self._records.clear()
+            self.observed = 0
+            self.recorded = 0

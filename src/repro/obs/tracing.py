@@ -27,6 +27,7 @@ import threading
 import time
 from collections import deque
 
+from repro.obs.context import current_context
 from repro.obs.metrics import Histogram, MetricsRegistry
 
 #: Name of the per-stage latency histogram fed by finished spans.
@@ -51,6 +52,9 @@ class _NoopSpan:
     def set(self, **attributes) -> None:
         pass
 
+    def add_link(self, trace_id: str, span_id: str, **attributes) -> None:
+        pass
+
 
 NOOP_SPAN = _NoopSpan()
 
@@ -66,6 +70,7 @@ class Span:
         "start",
         "end",
         "attributes",
+        "links",
         "error",
         "_tracer",
         "_prev",
@@ -91,6 +96,9 @@ class Span:
         self.start = 0.0
         self.end: float | None = None
         self.attributes: dict = {}
+        #: Cross-trace references: spans of *other* traces causally tied to
+        #: this one (a coalesced follower linking the leader's batch span).
+        self.links: list[dict] = []
         self.error: str | None = None
         self._tracer = tracer
         self._prev: Span | None = None
@@ -130,6 +138,13 @@ class Span:
         """Attach attributes (generation, flow count, cache hits, …)."""
         self.attributes.update(attributes)
 
+    def add_link(self, trace_id: str, span_id: str, **attributes) -> None:
+        """Reference a span of another trace (OpenTelemetry-style link)."""
+        link = {"trace_id": trace_id, "span_id": span_id}
+        if attributes:
+            link["attributes"] = attributes
+        self.links.append(link)
+
     # -- readings ----------------------------------------------------------------
 
     @property
@@ -148,7 +163,7 @@ class Span:
 
     def to_dict(self) -> dict:
         """Plain-data form for JSON export."""
-        return {
+        node = {
             "name": self.name,
             "trace_id": self.trace_id,
             "span_id": self.span_id,
@@ -157,6 +172,9 @@ class Span:
             "attributes": dict(self.attributes),
             "error": self.error,
         }
+        if self.links:
+            node["links"] = [dict(link) for link in self.links]
+        return node
 
     def tree(self) -> dict:
         """Nested plain-data form rooted at this span."""
@@ -215,12 +233,23 @@ class Tracer:
         current-span slot so code that yields control mid-span (collector
         processes) cannot corrupt the nesting of interleaved traces.
         Detached spans are always trace roots.
+
+        A trace root opened while a request :class:`TraceContext` is bound
+        to the thread (:func:`repro.obs.context.bind_context`) adopts the
+        bound *trace id* instead of minting a sequential ``q-NNNNNN`` one,
+        so every span of the request correlates with its log lines and
+        ``traceparent`` header on one id.  Detached spans never adopt: a
+        collector sweep is not part of whichever request it interleaves.
         """
         parent = None if (root or detached) else self._current
         with self._seq_lock:
             if parent is None:
-                self._trace_seq += 1
-                trace_id = f"q-{self._trace_seq:06d}"
+                bound = None if detached else current_context()
+                if bound is not None:
+                    trace_id = bound.trace_id
+                else:
+                    self._trace_seq += 1
+                    trace_id = f"q-{self._trace_seq:06d}"
             else:
                 trace_id = parent.trace_id
             self._span_seq += 1

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro import obs
 from repro.collector import Collector, CollectorMaster
 from repro.core import Flow, FlowInfoResult, FlowQuery, Remos, Timeframe
 from repro.core.snapshot import Snapshot
+from repro.obs.slo import SLORegistry
+from repro.obs.slowlog import SlowQueryLog
 from repro.sim import Engine
 from repro.util.errors import ConfigurationError, QueryError
 
@@ -18,7 +21,7 @@ _log = obs.get_logger("repro.service")
 class _Pending:
     """One waiting flow_info request inside the coalescing queue."""
 
-    __slots__ = ("query", "timeframe", "result", "error", "done")
+    __slots__ = ("query", "timeframe", "result", "error", "done", "leader_span")
 
     def __init__(self, query: FlowQuery, timeframe: Timeframe):
         self.query = query
@@ -26,6 +29,9 @@ class _Pending:
         self.result: FlowInfoResult | None = None
         self.error: BaseException | None = None
         self.done = False
+        #: ``(trace_id, span_id)`` of the batch span that answered this
+        #: request — followers link it from their own trace.
+        self.leader_span: tuple[str, str] | None = None
 
     def outcome(self) -> FlowInfoResult:
         if self.error is not None:
@@ -59,6 +65,19 @@ class RemosService:
         Most flow_info requests answered by one coalesced batch.
     workers:
         Thread-pool size for :meth:`flow_info_async`.
+    slow_query_threshold:
+        Wall-clock seconds above which a completed query is recorded in
+        the slow-query log (0 records everything; see
+        :class:`~repro.obs.slowlog.SlowQueryLog`).
+    slow_log_capacity:
+        Slow-query ring size.
+    max_epoch_age:
+        Freshness SLO: wall-clock seconds a published epoch may age before
+        :meth:`health` (and HTTP ``/healthz``) reports the service
+        unhealthy with an ``epoch_stale`` reason.
+    max_sweep_seconds:
+        Freshness SLO: the longest a single sweeper iteration may take
+        before health degrades with a ``sweep_slow`` reason.
     """
 
     def __init__(
@@ -69,6 +88,10 @@ class RemosService:
         sim_step: float = 1.0,
         max_batch: int = 8,
         workers: int = 4,
+        slow_query_threshold: float = 0.25,
+        slow_log_capacity: int = 128,
+        max_epoch_age: float = 10.0,
+        max_sweep_seconds: float = 5.0,
     ):
         if max_batch < 1:
             raise ConfigurationError("max_batch must be at least 1")
@@ -94,6 +117,18 @@ class RemosService:
         self.batches_executed = 0
         self.queries_batched = 0
         self.sweep_errors = 0
+        # Request-scoped observability: slow-query forensics + declared SLOs.
+        self.slowlog = SlowQueryLog(
+            threshold_seconds=slow_query_threshold, capacity=slow_log_capacity
+        )
+        self.slos = SLORegistry()
+        self.max_epoch_age = max_epoch_age
+        self.max_sweep_seconds = max_sweep_seconds
+        self.slos.declare_latency("flow_info", threshold_seconds=0.5, target=0.99)
+        self.slos.declare_latency("graph", threshold_seconds=0.5, target=0.99)
+        self.slos.declare_latency("node", threshold_seconds=0.25, target=0.99)
+        self.last_sweep_seconds: float | None = None
+        self.last_sweep_at: float | None = None
 
     @classmethod
     def from_world(cls, world, **kwargs) -> "RemosService":
@@ -120,6 +155,7 @@ class RemosService:
         self.remos.publish()
         self.publishes = self.remos.publisher.publishes
         self._publish_service_gauges()
+        self._register_slo_monitors()
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="remos-query"
         )
@@ -160,6 +196,7 @@ class RemosService:
     def _sweep_loop(self) -> None:
         """The single writer: advance, merge, publish, repeat."""
         while not self._stop_event.wait(self._sweep_interval):
+            started = time.perf_counter()
             try:
                 self._env.run(until=self._env.now + self._sim_step)
                 if isinstance(self._collector, CollectorMaster):
@@ -176,6 +213,40 @@ class RemosService:
                 # never take the readers down.
                 self.sweep_errors += 1
                 _log.error("sweep_failed", error=f"{type(exc).__name__}: {exc}")
+            finally:
+                # Sweep-duration telemetry feeds the freshness SLO monitor:
+                # a sweeper that still runs but takes too long is as much a
+                # staleness risk as one that died.
+                elapsed = time.perf_counter() - started
+                self.last_sweep_seconds = elapsed
+                self.last_sweep_at = time.time()
+                obs.observe(
+                    "remos_sweep_seconds",
+                    elapsed,
+                    help="Wall-clock seconds per sweeper iteration",
+                )
+
+    def _register_slo_monitors(self) -> None:
+        """Declare the freshness monitors health() answers from."""
+        publisher = self.remos.publisher
+
+        def epoch_age() -> float | None:
+            snapshot = publisher.current()
+            return None if snapshot is None else snapshot.age_seconds()
+
+        self.slos.add_monitor(
+            "epoch_age",
+            maximum=self.max_epoch_age,
+            probe=epoch_age,
+            reason="epoch_stale",
+        )
+        self.slos.add_monitor(
+            "sweep_duration",
+            maximum=self.max_sweep_seconds,
+            probe=lambda: self.last_sweep_seconds,
+            reason="sweep_slow",
+        )
+        self.slos.publish_gauges()
 
     def _publish_service_gauges(self) -> None:
         registry = obs.get_registry()
@@ -213,6 +284,15 @@ class RemosService:
         :meth:`~repro.core.api.Remos.flow_info_batch` call — identical
         answers, shared per-epoch work.  A solitary request degenerates to
         a batch of one.
+
+        Request-scoped observability: the whole call (queueing, waiting,
+        leading or following) runs under a ``service.flow_info`` span; a
+        *follower* whose answer was computed by another thread's batch
+        records a **span link** to the leader's ``service.flow_info_batch``
+        span, so the trace explains where the time actually went.  Every
+        completed call feeds the ``flow_info`` latency SLO and — above the
+        slow-query threshold — the slow-query log, with the full span
+        tree, arguments, epoch stamps and cache-hit profile.
         """
         timeframe = timeframe or Timeframe.current()
         query = FlowQuery(
@@ -221,8 +301,44 @@ class RemosService:
             independent=tuple(independent_flows or ()),
         )
         pending = _Pending(query, timeframe)
+        span = obs.span("service.flow_info")
+        stats = self.remos.cache_stats
+        hits, misses = stats.hits, stats.misses
+        started = time.perf_counter()
+        error: BaseException | None = None
+        try:
+            with span as sp:
+                result = self._coalesce(pending)
+                if sp:
+                    sp.set(
+                        flows=len(query.flows),
+                        coalesced=pending.leader_span is not None
+                        and pending.leader_span[0] != sp.trace_id,
+                    )
+                    if (
+                        pending.leader_span is not None
+                        and pending.leader_span[0] != sp.trace_id
+                    ):
+                        sp.add_link(*pending.leader_span, role="coalescing_leader")
+                return result
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            self._finish_query(
+                "flow_info",
+                time.perf_counter() - started,
+                args=self._flow_args(query, timeframe),
+                cache_hits=stats.hits - hits,
+                cache_misses=stats.misses - misses,
+                span=span,
+                error=error,
+            )
+
+    def _coalesce(self, pending: _Pending) -> FlowInfoResult:
+        """The leader/follower protocol: wait, or drain a group and lead."""
         with self._cond:
-            self._queue.setdefault(timeframe, []).append(pending)
+            self._queue.setdefault(pending.timeframe, []).append(pending)
         while True:
             with self._cond:
                 while not pending.done and self._leader_busy:
@@ -247,30 +363,102 @@ class RemosService:
             if pending.done:
                 return pending.outcome()
 
+    @staticmethod
+    def _flow_args(query: FlowQuery, timeframe: Timeframe) -> dict:
+        """The request arguments, JSON-ready, for slow-query forensics."""
+
+        def specs(flows: tuple[Flow, ...]) -> list[dict]:
+            out = []
+            for flow in flows:
+                spec = {"src": flow.src, "dst": flow.dst, "requested": flow.requested}
+                if flow.cap != float("inf"):
+                    spec["cap"] = flow.cap
+                if flow.name:
+                    spec["name"] = flow.name
+                out.append(spec)
+            return out
+
+        return {
+            "fixed": specs(query.fixed),
+            "variable": specs(query.variable),
+            "independent": specs(query.independent),
+            "timeframe": str(timeframe),
+        }
+
+    def _finish_query(
+        self,
+        endpoint: str,
+        duration: float,
+        args: dict,
+        cache_hits: int,
+        cache_misses: int,
+        span,
+        error: BaseException | None,
+    ) -> None:
+        """Feed one completed query into the SLO and the slow-query log."""
+        self.slos.record_request(endpoint, duration)
+        if duration < self.slowlog.threshold_seconds and error is None:
+            self.slowlog.observe(endpoint, duration)  # count it, record nothing
+            return
+        if error is not None:
+            args = {**args, "error": f"{type(error).__name__}: {error}"}
+        snapshot = self.remos.publisher.current()
+        tree = span.tree() if isinstance(span, obs.Span) else None
+        context = obs.current_context()
+        if context is not None:
+            trace_id = context.trace_id
+        elif isinstance(span, obs.Span):
+            trace_id = span.trace_id
+        else:
+            trace_id = None
+        self.slowlog.observe(
+            endpoint,
+            duration,
+            trace_id=trace_id,
+            args=args,
+            epoch=None if snapshot is None else snapshot.epoch,
+            generation=None if snapshot is None else snapshot.generation,
+            structure_generation=(
+                None if snapshot is None else snapshot.structure_generation
+            ),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            span_tree=tree,
+        )
+
     def _execute_group(self, group: list[_Pending]) -> None:
         """Answer one drained group with a single batched query."""
         timeframe = group[0].timeframe
-        try:
-            results = self.remos.flow_info_batch(
-                [p.query for p in group], timeframe
-            )
-        except QueryError:
-            # One invalid scenario poisons a whole batch; retry each
-            # request alone so the error lands only where it belongs.
-            for p in group:
-                try:
-                    p.result = self.remos.flow_info_batch([p.query], timeframe)[0]
-                except BaseException as exc:
+        with obs.span("service.flow_info_batch") as sp:
+            if sp:
+                # Stamp the batch span's identity on every member *before*
+                # executing, so even a poisoned batch leaves followers a
+                # link to the span that tried.
+                sp.set(batch=len(group))
+                identity = (sp.trace_id, sp.span_id)
+                for p in group:
+                    p.leader_span = identity
+            try:
+                results = self.remos.flow_info_batch(
+                    [p.query for p in group], timeframe
+                )
+            except QueryError:
+                # One invalid scenario poisons a whole batch; retry each
+                # request alone so the error lands only where it belongs.
+                for p in group:
+                    try:
+                        p.result = self.remos.flow_info_batch([p.query], timeframe)[0]
+                    except BaseException as exc:
+                        p.error = exc
+                    p.done = True
+            except BaseException as exc:
+                for p in group:
                     p.error = exc
-                p.done = True
-        except BaseException as exc:
-            for p in group:
-                p.error = exc
-                p.done = True
-        else:
-            for p, result in zip(group, results):
-                p.result = result
-                p.done = True
+                    p.done = True
+            else:
+                for p, result in zip(group, results):
+                    p.result = result
+                    p.done = True
         self.batches_executed += 1
         self.queries_batched += len(group)
         obs.inc(
@@ -303,8 +491,35 @@ class RemosService:
 
     # -- telemetry ---------------------------------------------------------------
 
+    def health(self) -> dict:
+        """The machine-readable health verdict behind HTTP ``/healthz``.
+
+        ``status`` is ``"ok"``, ``"degraded"`` (a freshness monitor is
+        blown — serve a 503) or ``"stopped"``; ``reasons`` lists every
+        failing monitor with its reading and bound.
+        """
+        healthy, reasons = self.slos.health()
+        if not self.running:
+            healthy = False
+            reasons = [
+                {"monitor": "service", "healthy": False, "reason": "stopped"}
+            ] + reasons
+            status = "stopped"
+        else:
+            status = "ok" if healthy else "degraded"
+        snapshot = self.remos.publisher.current()
+        return {
+            "status": status,
+            "healthy": healthy,
+            "reasons": reasons,
+            "epoch": 0 if snapshot is None else snapshot.epoch,
+            "epoch_age_seconds": (
+                None if snapshot is None else snapshot.age_seconds()
+            ),
+        }
+
     def telemetry(self) -> dict:
-        """The facade's telemetry plus a service section."""
+        """The facade's telemetry plus service, SLO and slow-log sections."""
         report = self.remos.telemetry()
         report["service"] = {
             "running": self.running,
@@ -316,7 +531,12 @@ class RemosService:
             "sweep_interval": self._sweep_interval,
             "sim_step": self._sim_step,
             "max_batch": self._max_batch,
+            "last_sweep_seconds": self.last_sweep_seconds,
         }
+        report["slo"] = self.slos.to_dict()
+        slowlog = self.slowlog.to_dict(limit=0)
+        slowlog.pop("records")
+        report["slowlog"] = slowlog
         return report
 
     def metrics_text(self) -> str:

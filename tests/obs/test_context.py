@@ -1,0 +1,149 @@
+"""TraceContext: W3C traceparent parsing, generation, and thread binding."""
+
+import io
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.context import TraceContext, bind_context, current_context, parse_traceparent
+
+VALID = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+
+class TestParseTraceparent:
+    def test_valid_header_round_trips(self):
+        ctx = parse_traceparent(VALID)
+        assert ctx is not None
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert ctx.span_id == "00f067aa0ba902b7"
+        assert ctx.sampled is True
+        assert ctx.to_traceparent() == VALID
+
+    def test_unsampled_flag(self):
+        ctx = parse_traceparent(VALID[:-2] + "00")
+        assert ctx is not None and ctx.sampled is False
+        assert ctx.to_traceparent().endswith("-00")
+
+    def test_surrounding_whitespace_tolerated(self):
+        assert parse_traceparent(f"  {VALID}  ") is not None
+
+    def test_unknown_version_accepted(self):
+        assert parse_traceparent("cc" + VALID[2:]) is not None
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "not-a-traceparent",
+            VALID.replace("-", "_"),
+            # version ff is reserved
+            "ff" + VALID[2:],
+            # all-zero trace id / span id are invalid
+            f"00-{'0' * 32}-00f067aa0ba902b7-01",
+            f"00-4bf92f3577b34da6a3ce929d0e0e4736-{'0' * 16}-01",
+            # wrong field widths
+            "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01",
+            # uppercase hex is not valid traceparent
+            VALID.upper(),
+        ],
+    )
+    def test_malformed_headers_return_none(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestGenerate:
+    def test_generated_ids_have_w3c_widths_and_parse_back(self):
+        ctx = TraceContext.generate()
+        assert len(ctx.trace_id) == 32 and len(ctx.span_id) == 16
+        assert parse_traceparent(ctx.to_traceparent()) == ctx
+
+    def test_generated_ids_are_unique(self):
+        ids = {TraceContext.generate().trace_id for _ in range(32)}
+        assert len(ids) == 32
+
+    def test_child_keeps_trace_id_with_new_span_id(self):
+        parent = parse_traceparent(VALID)
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.sampled == parent.sampled
+
+
+class TestBinding:
+    def test_bind_and_restore(self):
+        assert current_context() is None
+        ctx = TraceContext.generate()
+        with bind_context(ctx):
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_bindings_nest(self):
+        outer, inner = TraceContext.generate(), TraceContext.generate()
+        with bind_context(outer):
+            with bind_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+
+    def test_binding_is_thread_local(self):
+        ctx = TraceContext.generate()
+        seen_in_thread = []
+
+        def worker():
+            seen_in_thread.append(current_context())
+
+        with bind_context(ctx):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen_in_thread == [None]
+
+
+class TestIntegration:
+    def test_root_span_adopts_bound_trace_id(self):
+        obs.configure_observability(tracing=True, metrics=False, logging=False)
+        ctx = TraceContext.generate()
+        with bind_context(ctx):
+            with obs.span("query.flow_info") as sp:
+                assert sp.trace_id == ctx.trace_id
+                with obs.span("query.inner") as child:
+                    assert child.trace_id == ctx.trace_id
+
+    def test_detached_span_never_adopts(self):
+        obs.configure_observability(tracing=True, metrics=False, logging=False)
+        with bind_context(TraceContext.generate()):
+            with obs.span("collector.sweep", detached=True) as sp:
+                assert sp.trace_id.startswith("q-")
+
+    def test_unbound_root_span_keeps_sequential_ids(self):
+        obs.configure_observability(tracing=True, metrics=False, logging=False)
+        with obs.span("query.flow_info") as sp:
+            assert sp.trace_id.startswith("q-")
+
+    def test_log_lines_carry_the_bound_trace_id(self):
+        stream = io.StringIO()
+        obs.configure_observability(
+            metrics=False, tracing=False, logging=True,
+            log_stream=stream, log_timestamps=False,
+        )
+        log = obs.get_logger("test")
+        ctx = TraceContext.generate()
+        with bind_context(ctx):
+            log.info("inside")
+        log.info("outside")
+        inside, outside = stream.getvalue().splitlines()
+        assert f"trace_id={ctx.trace_id}" in inside
+        assert "trace_id" not in outside
+
+    def test_explicit_trace_id_field_wins_over_binding(self):
+        stream = io.StringIO()
+        obs.configure_observability(
+            metrics=False, tracing=False, logging=True,
+            log_stream=stream, log_timestamps=False,
+        )
+        with bind_context(TraceContext.generate()):
+            obs.get_logger("test").info("x", trace_id="explicit")
+        assert stream.getvalue().count("trace_id") == 1
+        assert "trace_id=explicit" in stream.getvalue()

@@ -1,0 +1,113 @@
+"""SamplingProfiler: collapsed-stack output from live threads."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import MIN_INTERVAL, SamplingProfiler, profile
+from repro.util.errors import ConfigurationError
+
+
+def busy_wait_marker(stop: threading.Event):
+    while not stop.is_set():
+        time.sleep(0.002)
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval=0.005)
+        profiler.start()
+        assert profiler.start() is profiler  # second start is a no-op
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+        assert profiler.started_at is not None and profiler.stopped_at is not None
+
+    def test_context_manager(self):
+        with SamplingProfiler(interval=0.005) as profiler:
+            assert profiler.running
+        assert not profiler.running
+
+    def test_interval_floor_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SamplingProfiler(interval=MIN_INTERVAL / 10)
+
+    def test_profile_duration_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            profile(0.0)
+
+
+class TestSampling:
+    def test_captures_named_thread_with_full_stack(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=busy_wait_marker, args=(stop,), name="profiled-worker"
+        )
+        worker.start()
+        try:
+            profiler = profile(0.3, interval=0.005)
+        finally:
+            stop.set()
+            worker.join()
+        assert profiler.samples > 10
+        marked = [k for k in profiler.counts() if k.startswith("profiled-worker;")]
+        assert marked, profiler.counts().keys()
+        # root-first folding: the thread's entry point precedes the leaf
+        key = marked[0]
+        assert key.index("busy_wait_marker") > key.index("profiled-worker")
+
+    def test_profiler_never_samples_itself(self):
+        profiler = profile(0.1, interval=0.005)
+        assert not any("repro-profiler" in key for key in profiler.counts())
+
+    def test_collapsed_format(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=busy_wait_marker, args=(stop,), name="fmt-worker"
+        )
+        worker.start()
+        try:
+            profiler = profile(0.2, interval=0.005)
+        finally:
+            stop.set()
+            worker.join()
+        text = profiler.collapsed()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert lines
+        counts = []
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+            counts.append(int(count))
+        assert counts == sorted(counts, reverse=True)  # hottest first
+
+    def test_max_depth_bounds_stack_length(self):
+        def recurse(n, stop):
+            if n > 0:
+                recurse(n - 1, stop)
+            else:
+                stop.wait()
+
+        stop = threading.Event()
+        worker = threading.Thread(target=recurse, args=(100, stop), name="deep")
+        worker.start()
+        try:
+            profiler = SamplingProfiler(interval=0.005, max_depth=8)
+            with profiler:
+                time.sleep(0.1)
+        finally:
+            stop.set()
+            worker.join()
+        deep = [k for k in profiler.counts() if k.startswith("deep;")]
+        assert deep
+        assert all(len(k.split(";")) <= 1 + 8 for k in deep)
+
+    def test_to_dict(self):
+        profiler = profile(0.05, interval=0.005)
+        d = profiler.to_dict()
+        assert d["samples"] == profiler.samples
+        assert d["running"] is False
+        assert d["interval"] == 0.005

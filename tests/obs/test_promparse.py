@@ -1,0 +1,158 @@
+"""Prometheus export audit: strict parser violations + registry round-trip."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.promparse import PromParseError, parse
+
+
+class TestParserAcceptance:
+    def test_simple_counter(self):
+        families = parse(
+            "# HELP requests_total Total requests\n"
+            "# TYPE requests_total counter\n"
+            'requests_total{method="get"} 42.0\n'
+        )
+        family = families["requests_total"]
+        assert family.help == "Total requests"
+        assert family.type == "counter"
+        assert family.value({"method": "get"}) == 42.0
+
+    def test_escaped_label_values_decode(self):
+        families = parse(
+            "# TYPE g gauge\n"
+            'g{path="a\\\\b",msg="say \\"hi\\"",nl="x\\ny"} 1\n'
+        )
+        (_, labels, _), = families["g"].samples
+        assert labels == {"path": "a\\b", "msg": 'say "hi"', "nl": "x\ny"}
+
+    def test_special_float_values(self):
+        families = parse("a 1\nb +Inf\nc -Inf\nd NaN\n")
+        assert families["b"].value() == math.inf
+        assert families["c"].value() == -math.inf
+        assert math.isnan(families["d"].value())
+
+    def test_summary_suffixes_attach_to_base_family(self):
+        families = parse(
+            "# TYPE lat summary\n"
+            'lat{quantile="0.5"} 0.2\n'
+            "lat_sum 1.5\n"
+            "lat_count 7\n"
+        )
+        assert len(families) == 1
+        assert len(families["lat"].samples) == 3
+
+    def test_plain_comments_and_blank_lines_ignored(self):
+        families = parse("\n# just a comment\n\na 1\n")
+        assert families["a"].value() == 1.0
+
+
+class TestParserViolations:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("# HELP a one\n# HELP a two\na 1\n", "second HELP"),
+            ("# TYPE a counter\n# TYPE a counter\na 1\n", "second TYPE"),
+            ("a 1\n# HELP a late\n", "after its samples"),
+            ("a 1\n# TYPE a counter\n", "after its samples"),
+            ("# TYPE a mystery\na 1\n", "unknown TYPE"),
+            ("a 1\nb 2\na 3\n", "non-contiguous"),
+            ('a{x="1"} 1\na{x="1"} 2\n', "duplicate series"),
+            ('a{x="1",x="2"} 1\n', "duplicate label name"),
+            ('a{x="bad\\q"} 1\n', "illegal escape"),
+            ('a{x="unterminated} 1\n', "unterminated"),
+            ("a{x=unquoted} 1\n", "not quoted"),
+            ('a{9bad="v"} 1\n', "invalid label name"),
+            ("a notanumber\n", "unparseable sample value"),
+            ("}{ 1\n", "unparseable sample line"),
+            ("lat_sum 1.0\n", "summary suffix without"),
+            ("# TYPE lat counter\nlat_sum 1.0\n", "summary suffix without"),
+            ("# HELP\n", "without a metric name"),
+        ],
+    )
+    def test_violation_raises_with_line_number(self, text, fragment):
+        with pytest.raises(PromParseError) as excinfo:
+            parse(text)
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.lineno >= 1
+
+    def test_family_reopened_after_close(self):
+        text = "# TYPE a counter\na 1\nb 2\n# TYPE a counter\n"
+        with pytest.raises(PromParseError, match="reopened"):
+            parse(text)
+
+
+class TestRegistryRoundTrip:
+    """The audit itself: everything the registry emits must parse strictly."""
+
+    def test_full_registry_round_trip(self):
+        obs.configure_observability(metrics=True, tracing=False, logging=False)
+        registry = obs.get_registry()
+        registry.counter("remos_sweeps_total", help="Total sweeps").inc(3)
+        registry.counter(
+            "remos_queries_total", labels={"endpoint": "flow_info"}, help="Queries"
+        ).inc()
+        registry.counter(
+            "remos_queries_total", labels={"endpoint": "graph"}
+        ).inc(2)
+        registry.gauge("remos_age_seconds", help="Epoch age").set(1.5)
+        hist = registry.histogram(
+            "remos_query_seconds", labels={"query": "flow_info"}, help="Latency"
+        )
+        for v in (0.1, 0.2, 0.3, 0.4):
+            hist.observe(v)
+
+        families = parse(registry.to_prometheus())
+
+        assert families["remos_sweeps_total"].value() == 3.0
+        assert families["remos_queries_total"].value({"endpoint": "graph"}) == 2.0
+        assert families["remos_age_seconds"].value() == 1.5
+        lat = families["remos_query_seconds"]
+        assert lat.type == "summary"
+        assert lat.value({"query": "flow_info", "quantile": "0.5"}) is not None
+        sums = [s for s in lat.samples if s[0] == "remos_query_seconds_sum"]
+        assert sums and sums[0][2] == pytest.approx(1.0)
+
+    def test_help_and_type_exactly_once_per_family(self):
+        obs.configure_observability(metrics=True, tracing=False, logging=False)
+        registry = obs.get_registry()
+        # several series of one family, registered without help on the second
+        registry.counter("c_total", labels={"k": "a"}, help="C total").inc()
+        registry.counter("c_total", labels={"k": "b"}).inc()
+        registry.gauge("g_no_help").set(1.0)
+        text = registry.to_prometheus()
+        lines = text.splitlines()
+        assert lines.count("# HELP c_total C total") == 1
+        assert lines.count("# TYPE c_total counter") == 1
+        assert sum(line.startswith("# HELP g_no_help") for line in lines) == 1
+        parse(text)  # and the whole document survives the strict parser
+
+    def test_nasty_label_values_survive_round_trip(self):
+        obs.configure_observability(metrics=True, tracing=False, logging=False)
+        registry = obs.get_registry()
+        nasty = 'back\\slash "quoted"\nnewline'
+        registry.counter("nasty_total", labels={"v": nasty}).inc()
+        families = parse(registry.to_prometheus())
+        assert families["nasty_total"].value({"v": nasty}) == 1.0
+
+    def test_live_service_export_parses(self):
+        """The real /metrics document (all families) passes the audit."""
+        obs.configure_observability(metrics=True, tracing=True, logging=False)
+        from repro.service import RemosService
+        from repro.testbed import build_cmu_testbed
+
+        service = RemosService.from_world(
+            build_cmu_testbed(poll_interval=0.5), sweep_interval=0.01, sim_step=0.5
+        )
+        service.start(warmup=2.0)
+        try:
+            from repro.core.flows import Flow
+
+            service.flow_info(variable_flows=[Flow(src="m-1", dst="m-4")])
+            families = parse(obs.get_registry().to_prometheus())
+        finally:
+            service.stop()
+        assert "remos_query_seconds" in families
+        assert "remos_slo_error_budget_remaining" in families

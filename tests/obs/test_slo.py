@@ -1,0 +1,143 @@
+"""SLO subsystem: error-budget math, freshness monitors, health verdicts."""
+
+import pytest
+
+from repro import obs
+from repro.obs.slo import FreshnessMonitor, LatencySLO, SLORegistry
+from repro.util.errors import ConfigurationError
+
+
+class TestLatencySLO:
+    def test_budget_math(self):
+        slo = LatencySLO("flow_info", threshold_seconds=0.5, target=0.75)
+        for _ in range(3):
+            assert slo.record(0.1) is True
+        assert slo.record(2.0) is False
+        # 4 requests at 75% target -> 1 allowed breach, 1 spent
+        assert slo.allowed_breaches == pytest.approx(1.0)
+        assert slo.budget_remaining == pytest.approx(0.0)
+        assert slo.healthy is True
+
+    def test_budget_overdrawn_clamps_at_minus_one(self):
+        slo = LatencySLO("q", threshold_seconds=0.5, target=0.5)
+        for _ in range(4):
+            slo.record(9.0)
+        assert slo.budget_remaining == -1.0
+        assert slo.healthy is False
+
+    def test_untouched_budget_is_one(self):
+        slo = LatencySLO("q", threshold_seconds=0.5)
+        slo.record(0.1)
+        assert slo.budget_remaining == pytest.approx(1.0)
+
+    def test_no_requests_no_breaches_is_healthy(self):
+        slo = LatencySLO("q", threshold_seconds=0.5)
+        assert slo.healthy is True and slo.budget_remaining == 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencySLO("q", threshold_seconds=0.5, target=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencySLO("q", threshold_seconds=0.0)
+
+    def test_to_dict(self):
+        slo = LatencySLO("q", threshold_seconds=0.5, target=0.9)
+        slo.record(1.0)
+        d = slo.to_dict()
+        assert d["endpoint"] == "q" and d["breaches"] == 1 and d["total"] == 1
+
+
+class TestFreshnessMonitor:
+    def test_reading_under_maximum_is_healthy(self):
+        monitor = FreshnessMonitor("epoch_age", 10.0, lambda: 2.0, "epoch_stale")
+        check = monitor.check()
+        assert check["healthy"] is True and "reason" not in check
+        assert check["reading"] == 2.0 and check["maximum"] == 10.0
+
+    def test_breach_carries_machine_readable_reason(self):
+        monitor = FreshnessMonitor("epoch_age", 10.0, lambda: 60.0, "epoch_stale")
+        check = monitor.check()
+        assert check["healthy"] is False and check["reason"] == "epoch_stale"
+
+    def test_no_reading_yet_is_healthy(self):
+        monitor = FreshnessMonitor("sweep", 5.0, lambda: None, "sweep_slow")
+        assert monitor.check()["healthy"] is True
+
+    def test_raising_probe_degrades_to_no_reading(self):
+        def probe():
+            raise RuntimeError("collector gone")
+
+        monitor = FreshnessMonitor("epoch_age", 10.0, probe, "epoch_stale")
+        check = monitor.check()
+        assert check["healthy"] is True and check["reading"] is None
+
+    def test_non_positive_maximum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FreshnessMonitor("m", 0.0, lambda: 1.0, "r")
+
+
+class TestSLORegistry:
+    def test_health_reflects_monitors_not_latency(self):
+        registry = SLORegistry()
+        slo = registry.declare_latency("q", threshold_seconds=0.01, target=0.99)
+        slo.record(9.0)  # budget blown
+        healthy, reasons = registry.health()
+        assert healthy is True and reasons == []  # latency never flips health
+
+        reading = {"value": 1.0}
+        registry.add_monitor("epoch_age", 10.0, lambda: reading["value"], "epoch_stale")
+        assert registry.health() == (True, [])
+        reading["value"] = 99.0
+        healthy, reasons = registry.health()
+        assert healthy is False
+        assert reasons[0]["reason"] == "epoch_stale"
+        assert reasons[0]["reading"] == 99.0
+
+    def test_add_monitor_replaces_by_name(self):
+        registry = SLORegistry()
+        registry.add_monitor("m", 1.0, lambda: 9.0, "first")
+        registry.add_monitor("m", 100.0, lambda: 9.0, "second")
+        assert registry.health() == (True, [])
+        assert len(registry.to_dict()["monitors"]) == 1
+
+    def test_record_request_creates_implicit_slo(self):
+        registry = SLORegistry()
+        registry.record_request("surprise", 0.2)
+        report = registry.to_dict()
+        assert report["latency"]["surprise"]["threshold_seconds"] == 1.0
+        assert report["latency"]["surprise"]["total"] == 1
+
+    def test_record_request_feeds_metrics(self):
+        obs.configure_observability(metrics=True, tracing=False, logging=False)
+        registry = SLORegistry()
+        registry.declare_latency("q", threshold_seconds=0.5)
+        registry.record_request("q", 0.1)
+        registry.record_request("q", 2.0)
+        reg = obs.get_registry()
+        hist = reg.histogram("remos_http_request_seconds", labels={"endpoint": "q"})
+        assert hist.count == 2
+        breaches = reg.counter("remos_slo_breaches_total", labels={"endpoint": "q"})
+        assert breaches.value == 1.0
+
+    def test_publish_gauges_exports_budget_and_monitor_readings(self):
+        obs.configure_observability(metrics=True, tracing=False, logging=False)
+        registry = SLORegistry()
+        slo = registry.declare_latency("q", threshold_seconds=0.5, target=0.5)
+        registry.add_monitor("epoch_age", 10.0, lambda: 3.5, "epoch_stale")
+        registry.publish_gauges()
+        reg = obs.get_registry()
+        budget = reg.gauge("remos_slo_error_budget_remaining", labels={"endpoint": "q"})
+        assert budget.value == 1.0
+        slo.record(9.0)
+        slo.record(9.0)
+        assert budget.value == -1.0  # callback gauge reads live
+        reading = reg.gauge("remos_slo_monitor_reading", labels={"monitor": "epoch_age"})
+        assert reading.value == 3.5
+
+    def test_to_dict_is_the_debug_slo_payload(self):
+        registry = SLORegistry()
+        registry.declare_latency("q", threshold_seconds=0.5)
+        registry.add_monitor("epoch_age", 10.0, lambda: 1.0, "epoch_stale")
+        payload = registry.to_dict()
+        assert payload["healthy"] is True
+        assert set(payload) == {"healthy", "reasons", "latency", "monitors"}

@@ -1,0 +1,96 @@
+"""SlowQueryLog: threshold, ring bounds, forensic completeness."""
+
+from repro import obs
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestThreshold:
+    def test_fast_queries_are_not_recorded(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        assert log.observe("flow_info", 0.1) is None
+        assert len(log) == 0
+        assert log.observed == 1 and log.recorded == 0
+
+    def test_slow_queries_are_recorded(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        record = log.observe("flow_info", 0.9)
+        assert record is not None and record["duration"] == 0.9
+        assert len(log) == 1 and log.recorded == 1
+
+    def test_zero_threshold_records_everything(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        assert log.observe("graph", 0.0) is not None
+
+    def test_exactly_at_threshold_is_recorded(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        assert log.observe("graph", 0.5) is not None
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=3)
+        for i in range(5):
+            log.observe("q", float(i))
+        durations = [r["duration"] for r in log.records()]
+        # newest first, oldest two evicted
+        assert durations == [4.0, 3.0, 2.0]
+        assert log.recorded == 5 and len(log) == 3
+
+    def test_records_limit(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=10)
+        for i in range(5):
+            log.observe("q", float(i))
+        assert [r["duration"] for r in log.records(limit=2)] == [4.0, 3.0]
+
+    def test_reset(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.observe("q", 1.0)
+        log.reset()
+        assert len(log) == 0 and log.observed == 0 and log.recorded == 0
+
+
+class TestForensics:
+    def test_record_carries_everything_needed_to_reconstruct(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        record = log.observe(
+            "flow_info",
+            1.25,
+            trace_id="4bf92f3577b34da6a3ce929d0e0e4736",
+            args={"variable": [{"src": "m-1", "dst": "m-4"}]},
+            epoch=7,
+            generation=41,
+            structure_generation=3,
+            cache_hits=5,
+            cache_misses=2,
+            span_tree={"name": "service.flow_info", "children": []},
+            status=200,
+            ts=1000.0,
+        )
+        assert record["endpoint"] == "flow_info"
+        assert record["trace_id"] == "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert record["args"]["variable"][0]["src"] == "m-1"
+        assert record["epoch"] == 7 and record["generation"] == 41
+        assert record["structure_generation"] == 3
+        assert record["cache_hits"] == 5 and record["cache_misses"] == 2
+        assert record["span_tree"]["name"] == "service.flow_info"
+        assert record["status"] == 200 and record["ts"] == 1000.0
+
+    def test_to_dict_payload_shape(self):
+        log = SlowQueryLog(threshold_seconds=0.1, capacity=8)
+        log.observe("q", 0.05)
+        log.observe("q", 0.5)
+        payload = log.to_dict()
+        assert payload["threshold_seconds"] == 0.1
+        assert payload["capacity"] == 8
+        assert payload["observed"] == 2 and payload["recorded"] == 1
+        assert len(payload["records"]) == 1
+
+    def test_admitted_records_bump_the_counter(self):
+        obs.configure_observability(metrics=True, tracing=False, logging=False)
+        log = SlowQueryLog(threshold_seconds=0.5)
+        log.observe("flow_info", 0.1)
+        log.observe("flow_info", 0.9)
+        counter = obs.get_registry().counter(
+            "remos_slow_queries_total", labels={"endpoint": "flow_info"}
+        )
+        assert counter.value == 1.0

@@ -67,3 +67,53 @@ class TestCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestTop:
+    def test_top_renders_one_screen_against_a_live_server(self, capsys):
+        import threading
+
+        from repro import obs
+        from repro.service import RemosService, serve_http
+        from repro.testbed import build_cmu_testbed
+
+        obs.reset_observability()
+        obs.configure_observability(metrics=True, tracing=True, logging=False)
+        service = RemosService.from_world(
+            build_cmu_testbed(poll_interval=0.5),
+            sweep_interval=0.01,
+            sim_step=0.5,
+            slow_query_threshold=0.0,
+        )
+        service.start(warmup=2.0)
+        server = serve_http(service, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            from repro.core import Flow
+
+            service.flow_info(variable_flows=[Flow(src="m-1", dst="m-4")])
+            code = main(
+                ["top", "--url", base, "--iterations", "2",
+                 "--interval", "0.1", "--no-clear"]
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+            obs.reset_observability()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "remos top" in out
+        assert "health: ok" in out
+        assert "flow_info" in out
+        assert "slow queries" in out
+        assert "sweeps/s" in out  # second poll renders deltas
+
+    def test_top_unreachable_server_exits_with_error(self, capsys):
+        code = main(
+            ["top", "--url", "http://127.0.0.1:1", "--iterations", "1",
+             "--timeout", "0.5"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
