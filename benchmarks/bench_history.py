@@ -38,11 +38,15 @@ BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline.json"
 #: artifact file -> {metric name: path into the json document}.
 #: Paths are dotted key chains; every extracted metric is higher-is-better.
 HEADLINE_METRICS: dict[str, dict[str, str]] = {
-    "BENCH_scale.json": {"engine_speedup": "engine_speedup.speedup"},
+    "BENCH_scale.json": {
+        "engine_speedup": "engine_speedup.speedup",
+        "vectorized_speedup": "vectorized_speedup.speedup",
+    },
     "BENCH_refresh.json": {"speedup": "speedup"},
     "BENCH_concurrency.json": {
         "scaling": "scaling",
         "best_concurrent_qps": "best_concurrent_qps",
+        "worker_scaling": "front_doors.worker_scaling",
     },
     "BENCH_topology.json": {"head_to_head_speedup": "head_to_head.speedup"},
 }

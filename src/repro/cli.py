@@ -237,12 +237,27 @@ def cmd_table3(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the concurrent query service over the testbed, fronted by HTTP."""
+    """Run the concurrent query service over the testbed, fronted by HTTP.
+
+    Three front doors share one application layer: the default asyncio
+    event loop, ``--threaded`` (the legacy thread-per-connection server),
+    and ``--workers N`` (N pre-forked asyncio processes on a shared
+    socket; the parent keeps the single-writer sweeper and broadcasts
+    each published epoch to the workers).
+    """
     import threading
     import time as _time
 
-    from repro.service import RemosService, serve_http
+    from repro.service import (
+        MultiProcessServer,
+        RemosService,
+        serve_aio,
+        serve_http,
+    )
 
+    if args.threaded and args.workers > 0:
+        print("--threaded and --workers are mutually exclusive", file=sys.stderr)
+        return 2
     # Tracing is on by default so slow-query records carry full span trees;
     # the request path is instrumented anyway, and `repro serve` exists to
     # be observed.  --no-tracing restores the bare-metal path.
@@ -257,32 +272,55 @@ def cmd_serve(args) -> int:
         world,
         sweep_interval=args.sweep_interval,
         sim_step=args.sim_step,
-        workers=args.workers,
+        workers=args.threads,
         slow_query_threshold=args.slow_threshold,
         max_epoch_age=args.max_epoch_age,
         max_sweep_seconds=args.max_sweep_seconds,
     )
-    service.start(warmup=args.warmup)
-    server = serve_http(service, host=args.host, port=args.port)
-    address = server.server_address
-    print(f"remos service listening on http://{address[0]}:{address[1]}")
+    threaded_server = None
+    if args.workers > 0:
+        server = MultiProcessServer(
+            service,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            warmup=args.warmup,
+        ).start()
+        address = server.address
+        mode = f"{args.workers} worker processes"
+    elif args.threaded:
+        service.start(warmup=args.warmup)
+        threaded_server = serve_http(service, host=args.host, port=args.port)
+        threading.Thread(
+            target=threaded_server.serve_forever, daemon=True
+        ).start()
+        server = threaded_server
+        address = threaded_server.server_address
+        mode = "threaded"
+    else:
+        service.start(warmup=args.warmup)
+        server = serve_aio(service, host=args.host, port=args.port)
+        address = server.address
+        mode = "asyncio"
+    print(
+        f"remos service listening on http://{address[0]}:{address[1]} ({mode})"
+    )
     print(
         "endpoints: /healthz /metrics /telemetry /graph?nodes=a,b /node/<host> "
         "POST /flow_info /debug/slow /debug/slo /debug/profile?seconds=N"
     )
     try:
-        if args.duration is not None:
-            thread = threading.Thread(target=server.serve_forever, daemon=True)
-            thread.start()
-            _time.sleep(args.duration)
-            server.shutdown()
-            thread.join()
-        else:
-            server.serve_forever()
+        deadline = None if args.duration is None else _time.time() + args.duration
+        while deadline is None or _time.time() < deadline:
+            _time.sleep(0.2)
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        if threaded_server is not None:
+            threaded_server.shutdown()
+            threaded_server.server_close()
+        else:
+            server.stop()
         service.stop()
         print(
             f"served {service.remos.queries_answered} queries over "
@@ -533,7 +571,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--warmup", type=float, default=10.0, help="measurement time (s)")
     serve.add_argument("--traffic", help="competing traffic: src:dst:rateMbps[,...]")
-    serve.add_argument("--workers", type=int, default=4, help="query thread-pool size")
+    serve.add_argument(
+        "--threads", type=int, default=4, help="query thread-pool size per process"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="pre-forked worker processes on a shared socket (0 = single process)",
+    )
+    serve.add_argument(
+        "--threaded",
+        action="store_true",
+        help="use the legacy thread-per-connection server instead of asyncio",
+    )
     serve.add_argument(
         "--duration", type=float, default=None, help="auto-stop after N wall seconds"
     )

@@ -31,9 +31,11 @@ from repro.core.cachestats import CacheStats
 from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, FlowQuery, MulticastFlow
 from repro.core.graph import RemosGraph
 from repro.core.modeler import CapacityView, Modeler
+from repro.core import snaparrays as _snaparrays
 from repro.core.snapshot import Snapshot, SnapshotPublisher
 from repro.core.timeframe import Timeframe
 from repro.fairshare import FlowRequest, StagedProblem, admission_report
+from repro.fairshare import vectorized as _vectorized
 from repro.stats import StatMeasure
 from repro.util.errors import CollectorError, QueryError
 
@@ -237,8 +239,10 @@ class Remos:
                 if sp:
                     hits, misses = self.cache_stats.hits, self.cache_stats.misses
                 snapshots = self._capacity_snapshots(modeler, timeframe)
+                caches = _snaparrays.BatchCaches(modeler, timeframe)
                 result = self._evaluate_flow_query(
-                    modeler, fixed, variable, independent, timeframe, snapshots
+                    modeler, fixed, variable, independent, timeframe, snapshots,
+                    caches,
                 )
                 if sp:
                     self._annotate_query_span(sp, modeler, hits, misses)
@@ -283,6 +287,7 @@ class Remos:
                 if sp:
                     hits, misses = self.cache_stats.hits, self.cache_stats.misses
                 snapshots = self._capacity_snapshots(modeler, timeframe)
+                caches = _snaparrays.BatchCaches(modeler, timeframe)
                 results = [
                     self._evaluate_flow_query(
                         modeler,
@@ -291,6 +296,7 @@ class Remos:
                         list(scenario.independent),
                         timeframe,
                         snapshots,
+                        caches,
                     )
                     for scenario in scenarios
                 ]
@@ -343,7 +349,16 @@ class Remos:
         independent: list[Flow],
         timeframe: Timeframe,
         snapshots: "dict[str, CapacityView] | dict[str, dict[Hashable, float]]",
+        caches: "_snaparrays.BatchCaches | None" = None,
     ) -> FlowInfoResult:
+        # Large all-unicast scenarios run through the array evaluator —
+        # same validation, same staged solve, bit-identical answers
+        # (repro.core.snaparrays); everything else takes the scalar path
+        # below, which doubles as the no-numpy fallback and the oracle.
+        if caches is not None and caches.usable(fixed, variable, independent):
+            return _snaparrays.evaluate_flow_query(
+                modeler, fixed, variable, independent, timeframe, snapshots, caches
+            )
         topology = modeler.view.topology
         for flow in (*fixed, *variable, *independent):
             endpoints = (flow.src, *flow.dsts) if isinstance(flow, MulticastFlow) else (
@@ -630,6 +645,15 @@ class Remos:
         ):
             registry.gauge(name, help=help_text).set_function(reader(fn))
 
+        # Allocation-path gauges: module-global, not per-facade (solve
+        # counters accumulate across every Remos instance in the process).
+        for name, help_text, fn in (
+            ("remos_vectorized", "1 when the numpy allocation kernels are live", lambda: float(_vectorized.vectorization_enabled())),
+            ("remos_vectorized_solves_total", "Max-min solves answered by the array kernel", lambda: float(_vectorized.counters["vectorized_solves"])),
+            ("remos_scalar_solves_total", "Max-min solves answered by the scalar loop", lambda: float(_vectorized.counters["scalar_solves"])),
+        ):
+            registry.gauge(name, help=help_text).set_function(fn)
+
     def telemetry(self) -> dict:
         """One combined, JSON-able observability snapshot for this facade.
 
@@ -673,6 +697,8 @@ class Remos:
             "snapshot": None if current is None else current.to_dict(),
             "collector": collector_info,
             "observability_enabled": obs.observability_enabled(),
+            "vectorized": _vectorized.vectorization_enabled(),
+            "solves": dict(_vectorized.counters),
             "metrics": obs.get_registry().to_dict(),
         }
 

@@ -15,7 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import networkx as nx
-import numpy as np
+
+try:  # numpy is the optional ``repro[fast]`` accelerator
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy smoke test
+    np = None
 
 from repro.net import NodeKind
 from repro.stats import StatMeasure
@@ -219,7 +223,7 @@ class RemosGraph:
 
     def distance_matrix(
         self, hosts: list[str] | None = None, quantile: str = "median"
-    ) -> tuple[list[str], np.ndarray]:
+    ) -> "tuple[list[str], np.ndarray]":
         """All-pairs communication distance for clustering (§7.3).
 
         Distance is the reciprocal of the bottleneck available bandwidth at
@@ -229,14 +233,17 @@ class RemosGraph:
         """
         names = hosts if hosts is not None else [n.name for n in self.compute_nodes]
         size = len(names)
-        matrix = np.zeros((size, size))
+        rows = [[0.0] * size for _ in range(size)]
         for i, src in enumerate(names):
             for j, dst in enumerate(names):
                 if i == j:
                     continue
                 available = self.path_available(src, dst)
                 value = getattr(available, quantile)
-                matrix[i, j] = 1.0 / max(value, 1.0)
+                rows[i][j] = 1.0 / max(value, 1.0)
+        # Nested lists without numpy; the same values either way, so the
+        # clustering caller (which does require numpy) sees no difference.
+        matrix = np.asarray(rows) if np is not None else rows
         return names, matrix
 
     def to_dict(self) -> dict:

@@ -120,6 +120,9 @@ class Modeler:
         # on non-hierarchical topologies pay the inference attempt once.
         self._collapse: CollapseTree | None = None
         self._no_hierarchy: tuple[int, str] | None = None
+        # Per-epoch array materialisation for the vectorized query path
+        # (repro.core.snaparrays); built lazily on first vectorized query.
+        self._snaparrays = None
         # Structure level last synchronised against; advancing past it
         # means the topology changed under us (in place), so routing and
         # structural memos must be revalidated even with caching disabled.
@@ -460,6 +463,9 @@ class Modeler:
         # both epochs can traverse it concurrently.
         child._collapse = None
         child._no_hierarchy = None
+        # Array materialisation is cheap to rebuild and partly dynamic;
+        # each epoch's modeler starts with a fresh one.
+        child._snaparrays = None
         if self._collapse is not None and self._collapse.is_valid_for(view.topology):
             if self._collapse.topology is not view.topology:
                 self._collapse.rebase(view.topology)
@@ -697,6 +703,21 @@ class Modeler:
         in the capacities cache it is served directly.
         """
         return CapacityView(self, timeframe, quantile)
+
+    def snapshot_arrays(self):
+        """The per-epoch :class:`~repro.core.snaparrays.SnapshotArrays`.
+
+        Lazily built (numpy paths only) and revalidated against in-place
+        structural change; a published snapshot's modeler keeps one for
+        its lifetime, shared by all reader threads.
+        """
+        from repro.core.snaparrays import SnapshotArrays
+
+        arrays = self._snaparrays
+        if arrays is None:
+            arrays = self._snaparrays = SnapshotArrays(self)
+        arrays.sync()
+        return arrays
 
     def resources_for_route(self, src: str, dst: str) -> tuple[Hashable, ...]:
         """Resource keys a flow from *src* to *dst* consumes (memoised)."""

@@ -1,0 +1,459 @@
+"""Per-epoch array materialisation for the vectorized query path.
+
+The scalar ``flow_info_batch`` pipeline expands every scenario through
+per-flow Python objects: ``FlowRequest`` → ``Demand`` dataclasses, dict
+prunes of the capacity snapshots, per-hop ``StatMeasure`` churn for the
+answer accuracy, and dict-shaped allocation results.  At 256 hosts the
+allocation *solve* is a minority of the query cost — the expansion around
+it dominates.  This module materialises everything that is constant for
+one published snapshot (or one batch evaluation time) as contiguous
+arrays, and re-expresses the whole scenario evaluation as array kernels:
+
+:class:`SnapshotArrays` (one per :class:`~repro.core.modeler.Modeler`,
+i.e. one per published epoch — snapshots are immutable, so this is
+coherence-free):
+
+* a :class:`~repro.fairshare.vectorized.KeySpace` interning resource keys
+  to dense integer ids, and per-route **incidence rows** (CSR-style id
+  arrays mirroring ``Modeler.resources_for_route`` tuples, built once per
+  route);
+* per-route latency measures and hop counts (structural, shared across
+  every answer that names the route).
+
+:class:`BatchCaches` (one per ``flow_info``/``flow_info_batch`` call —
+one query, one evaluation time, mirroring ``CapacityView``'s pinned
+"now"):
+
+* per-level **capacity vectors** indexed by resource id, gathered lazily
+  from the same ``CapacityView``/dict snapshots the scalar path reads
+  (values bit-identical by construction);
+* a per-direction / per-route **accuracy memo** so the batch pays the
+  ``available_bandwidth`` StatMeasure arithmetic once per direction
+  instead of once per hop × flow × scenario.
+
+:func:`evaluate_flow_query` then mirrors ``Remos._evaluate_flow_query``
+step for step — same validation order, same staged fixed → variable →
+independent chaining, same per-level ``fairshare.allocate`` spans — with
+the filling loop delegated to :func:`repro.fairshare.vectorized.fill`.
+Answers are **bit-identical** to the scalar path (differentially fuzzed
+in ``tests/fairshare/test_vectorized_maxmin.py`` and gated in
+``benchmarks/bench_ablation_scale.py``); the scalar path remains the
+oracle and the no-numpy fallback.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Hashable
+
+from repro import obs
+from repro.core.flows import Flow, FlowAnswer, FlowInfoResult, MulticastFlow
+from repro.core.timeframe import Timeframe
+from repro.fairshare import vectorized as _vectorized
+from repro.fairshare.maxmin import _EPS
+from repro.fairshare.vectorized import HAVE_NUMPY, KeySpace
+from repro.stats import StatMeasure
+from repro.util.errors import QueryError
+
+if HAVE_NUMPY:
+    import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.modeler import Modeler
+
+_LEVELS = ("minimum", "q1", "median", "q3", "maximum")
+
+
+class SnapshotArrays:
+    """Structural array state shared by every query against one epoch.
+
+    Built lazily by :meth:`Modeler.snapshot_arrays`.  Against a published
+    (frozen) snapshot nothing here can go stale; against a live view,
+    :meth:`sync` drops the route-derived state when the topology's
+    structure generation advances — the same contract as the modeler's
+    own ``_route_resources`` memo.
+
+    Thread-safe for concurrent readers: misses take ``_lock`` and insert
+    fully-built values, so lock-free hits only ever observe complete
+    entries (the dict-of-immutables pattern ``docs/CONCURRENCY.md``
+    documents for the route memo).
+    """
+
+    __slots__ = ("_modeler", "_structure", "_lock", "keyspace", "_rows", "_route_static")
+
+    def __init__(self, modeler: "Modeler"):
+        self._modeler = modeler
+        self._structure = modeler.view.structure_generation
+        self._lock = threading.Lock()
+        self.keyspace = KeySpace()
+        #: (src, dst) -> int64 id row mirroring ``resources_for_route``.
+        self._rows: dict[tuple[str, str], "np.ndarray"] = {}
+        #: (src, dst) -> (latency StatMeasure, hop_count); structural.
+        self._route_static: dict[tuple[str, str], tuple[StatMeasure, int]] = {}
+
+    def sync(self) -> None:
+        """Drop route-derived state if the topology changed in place."""
+        structure = self._modeler.view.structure_generation
+        if structure != self._structure:
+            with self._lock:
+                if structure != self._structure:
+                    self._rows = {}
+                    self._route_static = {}
+                    self._structure = structure
+
+    def route_row(self, src: str, dst: str) -> "np.ndarray":
+        """The interned id row for the (src, dst) route."""
+        key = (src, dst)
+        row = self._rows.get(key)
+        if row is None:
+            resources = self._modeler.resources_for_route(src, dst)
+            with self._lock:
+                row = self._rows.get(key)
+                if row is None:
+                    row = self.keyspace.intern_row(resources)
+                    self._rows[key] = row
+        return row
+
+    def route_static(self, src: str, dst: str) -> tuple[StatMeasure, int]:
+        """Shared latency measure + hop count for the (src, dst) route."""
+        key = (src, dst)
+        entry = self._route_static.get(key)
+        if entry is None:
+            route = self._modeler.routing.route(src, dst)
+            with self._lock:
+                entry = self._route_static.get(key)
+                if entry is None:
+                    entry = (StatMeasure.constant(route.latency), route.hop_count)
+                    self._route_static[key] = entry
+        return entry
+
+
+class _LevelCache:
+    """One availability level's capacities as id-indexed arrays.
+
+    ``values[i]``/``present[i]`` mirror ``snapshot[keyspace.keys[i]]`` /
+    ``keyspace.keys[i] in snapshot`` exactly; slots are filled on first
+    gather (``known``) so a batch touches each resource once per level.
+    """
+
+    __slots__ = ("values", "present", "known")
+
+    def __init__(self, capacity: int):
+        self.values = np.zeros(capacity, dtype=np.float64)
+        self.present = np.zeros(capacity, dtype=bool)
+        self.known = np.zeros(capacity, dtype=bool)
+
+    def _grow(self, need: int) -> None:
+        size = max(need, 2 * len(self.values), 16)
+        for name in self.__slots__:
+            old = getattr(self, name)
+            new = np.zeros(size, dtype=old.dtype)
+            new[: len(old)] = old
+            setattr(self, name, new)
+
+    def gather(self, ids: "np.ndarray", keys: list, snapshot) -> tuple:
+        """``(values[ids], present[ids])`` for sorted global *ids*."""
+        if ids.size and int(ids[-1]) >= len(self.values):
+            self._grow(int(ids[-1]) + 1)
+        known = self.known
+        for ident in ids[~known[ids]].tolist():
+            try:
+                self.values[ident] = snapshot[keys[ident]]
+                self.present[ident] = True
+            except KeyError:
+                pass
+            known[ident] = True
+        return self.values[ids], self.present[ids]
+
+
+class BatchCaches:
+    """Dynamic per-call caches: one query (or batch), one evaluation time.
+
+    Never kept across calls — the underlying ``CapacityView`` snapshots
+    pin "now" at construction, and so do these.
+    """
+
+    __slots__ = (
+        "arrays",
+        "valid_endpoints",
+        "_modeler",
+        "_timeframe",
+        "_levels",
+        "_dir_acc",
+        "_route_acc",
+    )
+
+    def __init__(self, modeler: "Modeler", timeframe: Timeframe):
+        self.arrays = (
+            modeler.snapshot_arrays()
+            if HAVE_NUMPY and _vectorized.vectorization_enabled()
+            else None
+        )
+        #: Endpoints already validated as known compute nodes this batch.
+        self.valid_endpoints: set[str] = set()
+        self._modeler = modeler
+        self._timeframe = timeframe
+        self._levels: dict[str, _LevelCache] = {}
+        self._dir_acc: dict[Hashable, float] = {}
+        self._route_acc: dict[tuple[str, str], float] = {}
+
+    def usable(self, fixed: list, variable: list, independent: list) -> bool:
+        """Should this query run through the array evaluator?"""
+        if self.arrays is None:
+            return False
+        total = len(fixed) + len(variable) + len(independent)
+        if not _vectorized._use_vectorized(total):
+            return False
+        return not any(
+            isinstance(flow, MulticastFlow)
+            for flow in (*fixed, *variable, *independent)
+        )
+
+    def level_values(self, level: str, snapshot, ids: "np.ndarray") -> tuple:
+        """Capacity values + presence for *ids* at one availability level."""
+        cache = self._levels.get(level)
+        if cache is None:
+            cache = self._levels[level] = _LevelCache(len(self.arrays.keyspace))
+        return cache.gather(ids, self.arrays.keyspace.keys, snapshot)
+
+    def route_accuracy(self, src: str, dst: str) -> float:
+        """min over the route's directions of the availability accuracy.
+
+        Reads the same ``available_bandwidth`` measures the scalar
+        ``_query_accuracy`` loop reads — each direction once per batch
+        instead of once per crossing flow.
+        """
+        key = (src, dst)
+        accuracy = self._route_acc.get(key)
+        if accuracy is None:
+            accuracy = 1.0
+            dirs = self._dir_acc
+            for hop in self._modeler.routing.route(src, dst).hops:
+                hop_acc = dirs.get(hop.key)
+                if hop_acc is None:
+                    measure = self._modeler.available_bandwidth(hop, self._timeframe)
+                    hop_acc = dirs[hop.key] = measure.accuracy
+                accuracy = min(accuracy, hop_acc)
+            self._route_acc[key] = accuracy
+        return accuracy
+
+
+def evaluate_flow_query(
+    modeler: "Modeler",
+    fixed: list[Flow],
+    variable: list[Flow],
+    independent: list[Flow],
+    timeframe: Timeframe,
+    snapshots,
+    caches: BatchCaches,
+) -> FlowInfoResult:
+    """Array-native mirror of ``Remos._evaluate_flow_query``.
+
+    Same validation, same staged chaining, same spans, bit-identical
+    answers; the caller dispatches here only when
+    :meth:`BatchCaches.usable` said yes (numpy live, unicast flows,
+    problem large enough to win).
+    """
+    topology = modeler.view.topology
+    valid = caches.valid_endpoints
+    for flow in (*fixed, *variable, *independent):
+        for endpoint in (flow.src, flow.dst):
+            if endpoint in valid:
+                continue
+            if not topology.has_node(endpoint):
+                raise QueryError(f"unknown flow endpoint {endpoint!r}")
+            if not topology.node(endpoint).is_compute:
+                raise QueryError(
+                    f"flow endpoints must be compute nodes; {endpoint!r} is not"
+                )
+            valid.add(endpoint)
+
+    arrays = caches.arrays
+    keyspace = arrays.keyspace
+
+    classes = (
+        ("fixed", fixed),
+        ("variable", variable),
+        ("independent", independent),
+    )
+    labels: dict[str, list[str]] = {}
+    rows: dict[str, list] = {}
+    for klass, flows in classes:
+        labels[klass] = [flow.label(index, klass) for index, flow in enumerate(flows)]
+        rows[klass] = [arrays.route_row(flow.src, flow.dst) for flow in flows]
+    all_ids = [*labels["fixed"], *labels["variable"], *labels["independent"]]
+    if len(set(all_ids)) != len(all_ids):
+        raise QueryError("flow labels must be unique within a query")
+
+    # Stage demand columns: the same weight/cap values the FlowRequest →
+    # Demand chain carries (fixed: equal weight capped at the request;
+    # variable: weight = relative requirement; independent: equal weight).
+    stages: list[tuple[str, "_vectorized.DemandArrays"]] = []
+    if fixed:
+        stages.append(
+            (
+                "fixed",
+                _vectorized.DemandArrays.from_columns(
+                    np.ones(len(fixed), dtype=np.float64),
+                    np.fromiter(
+                        (flow.requested for flow in fixed),
+                        dtype=np.float64,
+                        count=len(fixed),
+                    ),
+                    rows["fixed"],
+                    keyspace,
+                ),
+            )
+        )
+    if variable:
+        stages.append(
+            (
+                "variable",
+                _vectorized.DemandArrays.from_columns(
+                    np.fromiter(
+                        (
+                            flow.requested if flow.requested > 0 else 1.0
+                            for flow in variable
+                        ),
+                        dtype=np.float64,
+                        count=len(variable),
+                    ),
+                    np.fromiter(
+                        (flow.cap for flow in variable),
+                        dtype=np.float64,
+                        count=len(variable),
+                    ),
+                    rows["variable"],
+                    keyspace,
+                ),
+            )
+        )
+    if independent:
+        stages.append(
+            (
+                "independent",
+                _vectorized.DemandArrays.from_columns(
+                    np.ones(len(independent), dtype=np.float64),
+                    np.fromiter(
+                        (flow.cap for flow in independent),
+                        dtype=np.float64,
+                        count=len(independent),
+                    ),
+                    rows["independent"],
+                    keyspace,
+                ),
+            )
+        )
+
+    stage_by_class = dict(stages)
+
+    # The union of referenced resource ids (the scalar path's pruned key
+    # set — membership only; allocation results don't depend on order).
+    ref = [stage.res_ids for _, stage in stages]
+    uniq = np.unique(np.concatenate(ref)) if ref else np.empty(0, dtype=np.int64)
+    size = int(uniq[-1]) + 1 if uniq.size else 0
+
+    # Solve every availability level through the staged pipeline.
+    rates: dict[tuple[str, str], "np.ndarray"] = {}
+    median_bottleneck: dict[str, "np.ndarray"] = {}
+    median_satisfied = None
+    for level in (*_LEVELS, "mean"):
+        values, present = caches.level_values(level, snapshots[level], uniq)
+        # Entry clamp, matching the scalar ``max(0.0, float(cap))``
+        # including its NaN semantics (max returns 0.0 for NaN input).
+        clamped = np.maximum(0.0, values)
+        clamped[np.isnan(values)] = 0.0
+        remaining = np.zeros(size, dtype=np.float64)
+        present_g = np.zeros(size, dtype=bool)
+        if uniq.size:
+            remaining[uniq] = np.where(present, clamped, 0.0)
+            present_g[uniq] = present
+        with obs.span("fairshare.allocate") as sp:
+            if sp:
+                sp.set(
+                    fixed=len(fixed),
+                    variable=len(variable),
+                    independent=len(independent),
+                    resources=int(present.sum()),
+                )
+            for klass, stage in stages:
+                local_ids = stage.res_ids
+                local_remaining = remaining[local_ids]
+                local_present = present_g[local_ids]
+                # Saturation thresholds are relative to this stage's
+                # entry-clamped limits — each stage sees capacities net
+                # of the earlier stages' allocations, as in the scalar
+                # fixed → variable → independent chain.
+                thresholds = _EPS * np.maximum(local_remaining, 1.0)
+                stage_rates, bottleneck, _ = _vectorized.fill(
+                    stage, local_remaining, local_present, thresholds
+                )
+                remaining[local_ids] = local_remaining
+                rates[(klass, level)] = stage_rates
+                if level == "median":
+                    median_bottleneck[klass] = bottleneck
+                    if klass == "fixed":
+                        requested = np.fromiter(
+                            (flow.requested for flow in fixed),
+                            dtype=np.float64,
+                            count=len(fixed),
+                        )
+                        median_satisfied = stage_rates >= requested * (1.0 - 1e-9)
+
+    # Overall answer accuracy: worst accuracy among the directions any
+    # queried flow traverses (same running-min the scalar loop computes).
+    accuracy = 1.0
+    for _, flows in classes:
+        for flow in flows:
+            accuracy = min(accuracy, caches.route_accuracy(flow.src, flow.dst))
+
+    def answers(klass: str, flows: list[Flow]) -> list[FlowAnswer]:
+        if not flows:
+            return []
+        level_rates = [rates[(klass, level)] for level in _LEVELS]
+        stack = np.stack(level_rates)
+        if np.isnan(stack).any():  # pragma: no cover - NaN rates are exotic
+            # Python sorted's NaN ordering differs from np.sort's; take
+            # the scalar path's exact per-flow sort in that case.
+            quartile_rows = [
+                sorted(float(column[i]) for column in level_rates)
+                for i in range(len(flows))
+            ]
+        else:
+            # Columnwise ascending sort == per-flow sorted() for NaN-free
+            # floats; .tolist() bulk-converts to Python floats, exactly
+            # the values the scalar answer dicts carry.
+            quartile_rows = np.sort(stack, axis=0).T.tolist()
+        mean_rates = rates[(klass, "mean")].tolist()
+        bottleneck = median_bottleneck[klass].tolist()
+        res_keys = stage_by_class[klass].res_keys
+        klass_labels = labels[klass]
+        fixed_klass = klass == "fixed" and median_satisfied is not None
+        n_levels = len(_LEVELS)
+        measure = StatMeasure.presorted
+        result = []
+        for i, flow in enumerate(flows):
+            bandwidth = measure(
+                quartile_rows[i], mean_rates[i], n_levels, accuracy
+            )
+            latency, hop_count = arrays.route_static(flow.src, flow.dst)
+            r = bottleneck[i]
+            result.append(
+                FlowAnswer(
+                    flow=flow,
+                    label=klass_labels[i],
+                    bandwidth=bandwidth,
+                    latency=latency,
+                    hop_count=hop_count,
+                    satisfied=bool(median_satisfied[i]) if fixed_klass else None,
+                    bottleneck=None if r < 0 else res_keys[r],
+                )
+            )
+        return result
+
+    return FlowInfoResult(
+        timeframe=timeframe,
+        fixed=answers("fixed", fixed),
+        variable=answers("variable", variable),
+        independent=answers("independent", independent),
+    )

@@ -131,30 +131,63 @@ class MaxMinProblem:
     rebuilding the crossing index per level.
     """
 
-    __slots__ = ("demands", "_crossing", "_order", "_positions")
+    __slots__ = (
+        "demands",
+        "_crossing",
+        "_order",
+        "_positions",
+        "_arrays",
+        "_keyspace",
+        "_rows",
+    )
 
-    def __init__(self, demands: Iterable[Demand]):
+    def __init__(self, demands: Iterable[Demand], keyspace=None, rows=None):
+        """*keyspace*/*rows* optionally carry a precomputed route→resource
+        incidence (``repro.core.snaparrays.SnapshotArrays``): *rows* is a
+        list of interned-id arrays aligned with *demands*, ids interned in
+        *keyspace*.  They only feed the vectorized path; the scalar path
+        ignores them."""
         self.demands: list[Demand] = list(demands)
         seen: set[Hashable] = set()
         for demand in self.demands:
             if demand.flow_id in seen:
                 raise ConfigurationError(f"duplicate flow_id {demand.flow_id!r}")
             seen.add(demand.flow_id)
+        if rows is not None and (keyspace is None or len(rows) != len(self.demands)):
+            raise ConfigurationError("resource rows need a keyspace and one row per demand")
+        # Both index forms are built lazily on first use: the crossing
+        # dicts by the scalar path, the incidence arrays by the vectorized
+        # path — a problem solved only one way never builds the other.
+        self._crossing: dict[Hashable, list[Demand]] | None = None
+        self._order: dict[Hashable, int] | None = None
+        self._positions: dict[Hashable, dict[Hashable, int]] | None = None
+        self._arrays = None
+        self._keyspace = keyspace
+        self._rows = rows
 
-        # resource -> demands crossing it, in original demand order, one
-        # entry per occurrence in the demand's resource tuple (so filtered
-        # iteration reproduces the pressure rebuild's float-add sequence).
-        self._crossing: dict[Hashable, list[Demand]] = {}
-        # flow_id -> original position; flow_id -> {resource: first index}.
-        self._order: dict[Hashable, int] = {}
-        self._positions: dict[Hashable, dict[Hashable, int]] = {}
+    def _ensure_index(self) -> None:
+        """Build the scalar path's crossing index (idempotent).
+
+        resource -> demands crossing it, in original demand order, one
+        entry per occurrence in the demand's resource tuple (so filtered
+        iteration reproduces the pressure rebuild's float-add sequence);
+        flow_id -> original position; flow_id -> {resource: first index}.
+        """
+        if self._crossing is not None:
+            return
+        crossing: dict[Hashable, list[Demand]] = {}
+        order: dict[Hashable, int] = {}
+        all_positions: dict[Hashable, dict[Hashable, int]] = {}
         for index, demand in enumerate(self.demands):
-            self._order[demand.flow_id] = index
+            order[demand.flow_id] = index
             positions: dict[Hashable, int] = {}
-            self._positions[demand.flow_id] = positions
+            all_positions[demand.flow_id] = positions
             for pos, resource in enumerate(demand.resources):
-                self._crossing.setdefault(resource, []).append(demand)
+                crossing.setdefault(resource, []).append(demand)
                 positions.setdefault(resource, pos)
+        self._order = order
+        self._positions = all_positions
+        self._crossing = crossing
 
     def _weight_sum(self, resource: Hashable, active: dict[Hashable, Demand]) -> float:
         """Sum active crossers' weights in original demand order."""
@@ -191,7 +224,29 @@ class MaxMinProblem:
         background load subtracted by the caller; negative capacities are
         clamped to zero once at entry, and the clamped value is reused by
         the relative-epsilon saturation test.
+
+        Dispatches to the numpy kernel (:mod:`repro.fairshare.vectorized`)
+        when it is enabled and the problem is large enough to benefit; the
+        two paths are bit-identical (differentially fuzzed), so callers
+        never observe which one answered.
         """
+        if _vectorized._use_vectorized(len(self.demands)):
+            return self.solve_vectorized(capacities)
+        return self.solve_scalar(capacities)
+
+    def solve_vectorized(self, capacities: Mapping[Hashable, float]) -> MaxMinResult:
+        """The numpy filling loop (requires numpy; same answers, bit for bit)."""
+        if self._arrays is None:
+            self._arrays = _vectorized.DemandArrays(
+                self.demands, keyspace=self._keyspace, rows=self._rows
+            )
+        return _vectorized.solve_arrays(self._arrays, self.demands, capacities)
+
+    def solve_scalar(self, capacities: Mapping[Hashable, float]) -> MaxMinResult:
+        """The pure-Python filling loop — the differential oracle and the
+        no-numpy fallback."""
+        self._ensure_index()
+        _vectorized.counters["scalar_solves"] += 1
         result = MaxMinResult()
         remaining = {key: max(0.0, float(cap)) for key, cap in capacities.items()}
         # Clamped capacities, frozen at entry: the saturation threshold is
@@ -332,3 +387,8 @@ def weighted_max_min(
     snapshot.
     """
     return MaxMinProblem(demands).solve(capacities)
+
+
+# Imported last: vectorized.py type-references MaxMinResult from this
+# module, so the import must run after the definitions above.
+from repro.fairshare import vectorized as _vectorized  # noqa: E402

@@ -20,12 +20,28 @@ package is that deployment shape for the reproduction:
   concurrent-throughput win comes from under the GIL.
 
 ``repro serve`` (see :mod:`repro.cli`) exposes the service over HTTP with
-``/metrics`` for Prometheus scraping; :mod:`repro.service.http` holds the
-stdlib server.  The full threading model is documented in
-``docs/CONCURRENCY.md``.
+``/metrics`` for Prometheus scraping.  Two front ends share one
+transport-agnostic application layer (:mod:`repro.service.app`): the
+default asyncio event loop (:mod:`repro.service.aio`) and the legacy
+one-thread-per-connection server (:mod:`repro.service.http`,
+``--threaded``).  ``--workers N`` pre-forks N asyncio workers on a shared
+socket (:mod:`repro.service.workers`); the parent keeps the only sweeper
+and broadcasts each published epoch to the workers.  The full threading
+model is documented in ``docs/CONCURRENCY.md``.
 """
 
-from repro.service.core import RemosService
+from repro.service.aio import AioServer, AsyncHTTPServer, serve_aio
+from repro.service.core import QueryFrontEnd, RemosService
 from repro.service.http import serve_http
+from repro.service.workers import MultiProcessServer, WorkerReplica
 
-__all__ = ["RemosService", "serve_http"]
+__all__ = [
+    "AioServer",
+    "AsyncHTTPServer",
+    "MultiProcessServer",
+    "QueryFrontEnd",
+    "RemosService",
+    "WorkerReplica",
+    "serve_aio",
+    "serve_http",
+]

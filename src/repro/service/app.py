@@ -1,0 +1,323 @@
+"""Transport-agnostic HTTP application layer for the Remos service.
+
+Both front ends — the legacy one-thread-per-connection server in
+:mod:`repro.service.http` and the default asyncio server in
+:mod:`repro.service.aio` — funnel every request through
+:func:`handle_request` here, so the request-scoped observability contract
+from ``docs/OBSERVABILITY.md`` holds identically regardless of transport:
+
+* every request runs under a :class:`~repro.obs.context.TraceContext` —
+  parsed from an incoming W3C ``traceparent`` header or freshly generated
+  — bound (thread-locally) for the duration of the handler, and echoed on
+  **every** response as a ``traceparent`` header;
+* access logs are structured ``http.access`` events (method, path,
+  status, duration, trace id);
+* per-endpoint latencies feed the service's SLO registry; queries over
+  the slow threshold land in the slow-query log with span trees attached;
+* ``/healthz`` answers **503** with machine-readable ``reasons`` when a
+  freshness SLO is blown.
+
+Handlers are synchronous (the service's query methods are thread-safe
+blocking calls); the asyncio front end runs them in a thread-pool
+executor, which is also what makes the thread-local context binding
+correct there — one request handled start-to-finish on one thread.
+
+Endpoints (the docstring of :mod:`repro.service.http` documents the wire
+formats): ``GET /healthz``, ``GET /metrics``, ``GET /telemetry``,
+``GET /debug/slow``, ``GET /debug/slo``, ``GET /debug/profile``,
+``GET /graph?nodes=…``, ``GET /node/<host>``, ``POST /flow_info``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http import HTTPStatus
+from urllib.parse import parse_qs, urlparse
+
+from repro import obs
+from repro.core import Flow, Timeframe
+from repro.obs.profiler import SamplingProfiler
+from repro.util.errors import ReproError
+
+_log = obs.get_logger("repro.service.http")
+
+#: One profile at a time per process: the sampler reads every thread.
+_profile_lock = threading.Lock()
+
+#: Longest profile a request may ask for (seconds).
+MAX_PROFILE_SECONDS = 30.0
+
+
+def _parse_flow(spec: dict) -> Flow:
+    if not isinstance(spec, dict) or "src" not in spec or "dst" not in spec:
+        raise ReproError(f"flow spec needs src and dst: {spec!r}")
+    return Flow(
+        src=spec["src"],
+        dst=spec["dst"],
+        requested=float(spec.get("requested", 1.0)),
+        cap=float(spec.get("cap", float("inf"))),
+        name=spec.get("name"),
+    )
+
+
+def _parse_timeframe(spec: dict | None) -> Timeframe:
+    if not spec:
+        return Timeframe.current()
+    kind = spec.get("kind", "current")
+    if kind == "static":
+        return Timeframe.static()
+    if kind == "current":
+        return Timeframe.current()
+    if kind == "history":
+        if "window" not in spec:
+            raise ReproError('history timeframe needs a "window" (seconds)')
+        return Timeframe.history(float(spec["window"]))
+    if kind == "future":
+        if "horizon" not in spec:
+            raise ReproError('future timeframe needs a "horizon" (seconds)')
+        return Timeframe.future(
+            float(spec["horizon"]),
+            predictor=spec.get("predictor", "ewma"),
+            window=float(spec.get("window", 60.0)),
+        )
+    raise ReproError(f"unknown timeframe kind {kind!r}")
+
+
+def _endpoint_name(method: str, path: str) -> str:
+    """The SLO/metric label for a request path (bounded cardinality)."""
+    if path.startswith("/node/"):
+        return "node"
+    known = {
+        "/healthz": "healthz",
+        "/metrics": "metrics",
+        "/telemetry": "telemetry",
+        "/graph": "graph",
+        "/flow_info": "flow_info",
+        "/debug/slow": "debug_slow",
+        "/debug/slo": "debug_slo",
+        "/debug/profile": "debug_profile",
+    }
+    return known.get(path, "other")
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, as the transports hand it over."""
+
+    method: str
+    target: str  #: the raw request target (path + optional ?query)
+    headers: dict[str, str] = field(default_factory=dict)  #: lower-cased names
+    body: bytes = b""
+    client: str = ""
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """One response for the transports to serialise."""
+
+    status: int
+    body: bytes
+    content_type: str
+    traceparent: str | None = None
+
+    @property
+    def reason(self) -> str:
+        try:
+            return HTTPStatus(self.status).phrase
+        except ValueError:
+            return ""
+
+    @classmethod
+    def text(cls, status: int, body: str, content_type: str) -> "Response":
+        return cls(status, body.encode("utf-8"), content_type)
+
+    @classmethod
+    def json(cls, status: int, data) -> "Response":
+        return cls.text(status, json.dumps(data, indent=2), "application/json")
+
+    @classmethod
+    def error(cls, status: int, error: BaseException) -> "Response":
+        return cls.json(status, {"error": f"{type(error).__name__}: {error}"})
+
+
+def handle_request(service, request: Request) -> Response:
+    """Answer one request: bind a trace, route, settle the SLO accounts.
+
+    Never raises — handler errors become 400 (:class:`ReproError`,
+    ``ValueError``, ``KeyError``) or 500 JSON bodies, and every response
+    (including errors) carries the request's ``traceparent``.
+    """
+    parent = obs.parse_traceparent(request.header("traceparent"))
+    context = parent.child() if parent else obs.TraceContext.generate()
+    started = time.perf_counter()
+    url = urlparse(request.target)
+    endpoint = _endpoint_name(request.method, url.path)
+    with obs.bind_context(context):
+        try:
+            if request.method == "GET":
+                response = _route_get(service, url, request)
+            elif request.method == "POST":
+                response = _route_post(service, url, request)
+            else:
+                response = Response.json(
+                    405, {"error": f"method {request.method} not allowed"}
+                )
+        except ReproError as error:
+            response = Response.error(400, error)
+        except (ValueError, KeyError) as error:
+            response = Response.error(400, error)
+        except Exception as error:  # defensive: keep the server alive
+            response = Response.error(500, error)
+        finally:
+            # flow_info settles its own SLO inside the service (the
+            # coalescing path owns the richer record); everything else is
+            # settled here at the HTTP boundary.
+            if endpoint != "flow_info":
+                service.slos.record_request(
+                    endpoint, time.perf_counter() - started
+                )
+        response.traceparent = context.to_traceparent()
+        _log.info(
+            "http.access",
+            method=request.method,
+            path=request.target,
+            status=response.status,
+            client=request.client,
+            duration=round(time.perf_counter() - started, 6),
+        )
+    return response
+
+
+def _observed_query(service, endpoint: str, args: dict, run) -> Response:
+    """Run a query endpoint under a span; slow-log it if it crawled."""
+    span = obs.span(f"http.{endpoint}")
+    stats = service.remos.cache_stats
+    hits, misses = stats.hits, stats.misses
+    started = time.perf_counter()
+    context = obs.current_context()
+    response: Response | None = None
+    error: BaseException | None = None
+    try:
+        with span:
+            response = run()
+            return response
+    except BaseException as exc:
+        error = exc
+        raise
+    finally:
+        duration = time.perf_counter() - started
+        snapshot = service.remos.publisher.current()
+        if error is not None:
+            args = {**args, "error": f"{type(error).__name__}: {error}"}
+        service.slowlog.observe(
+            endpoint,
+            duration,
+            trace_id=None if context is None else context.trace_id,
+            args=args,
+            epoch=None if snapshot is None else snapshot.epoch,
+            generation=None if snapshot is None else snapshot.generation,
+            structure_generation=(
+                None if snapshot is None else snapshot.structure_generation
+            ),
+            cache_hits=stats.hits - hits,
+            cache_misses=stats.misses - misses,
+            span_tree=span.tree() if isinstance(span, obs.Span) else None,
+            status=None if response is None else response.status,
+        )
+
+
+def _route_get(service, url, request: Request) -> Response:
+    params = parse_qs(url.query)
+    if url.path == "/healthz":
+        health = service.health()
+        return Response.json(200 if health["healthy"] else 503, health)
+    if url.path == "/metrics":
+        return Response.text(
+            200,
+            service.metrics_text(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+    if url.path == "/telemetry":
+        return Response.json(200, service.telemetry())
+    if url.path == "/debug/slow":
+        limit = params.get("limit", [None])[0]
+        return Response.json(
+            200,
+            service.slowlog.to_dict(limit=None if limit is None else int(limit)),
+        )
+    if url.path == "/debug/slo":
+        return Response.json(200, service.slos.to_dict())
+    if url.path == "/debug/profile":
+        return _route_profile(params)
+    if url.path == "/graph":
+        nodes = [
+            name
+            for chunk in params.get("nodes", [])
+            for name in chunk.split(",")
+            if name
+        ]
+        return _observed_query(
+            service,
+            "graph",
+            {"nodes": nodes},
+            lambda: Response.json(200, service.get_graph(nodes).to_dict()),
+        )
+    if url.path.startswith("/node/"):
+        host = url.path[len("/node/") :]
+        return _observed_query(
+            service,
+            "node",
+            {"host": host},
+            lambda: Response.json(200, service.node_info(host).to_dict()),
+        )
+    return Response.json(404, {"error": f"no such path {url.path!r}"})
+
+
+def _route_profile(params: dict) -> Response:
+    """``/debug/profile?seconds=N&interval=S`` — collapsed stacks."""
+    seconds = float(params.get("seconds", ["2"])[0])
+    interval = float(params.get("interval", ["0.01"])[0])
+    if not 0.0 < seconds <= MAX_PROFILE_SECONDS:
+        raise ReproError(
+            f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}], got {seconds:g}"
+        )
+    if not _profile_lock.acquire(blocking=False):
+        return Response.json(409, {"error": "a profile is already running"})
+    try:
+        profiler = SamplingProfiler(interval=interval)
+        with profiler:
+            time.sleep(seconds)
+        _log.info(
+            "profile_complete",
+            seconds=seconds,
+            samples=profiler.samples,
+            stacks=len(profiler.counts()),
+        )
+        return Response.text(200, profiler.collapsed(), "text/plain; charset=utf-8")
+    finally:
+        _profile_lock.release()
+
+
+def _route_post(service, url, request: Request) -> Response:
+    body = json.loads(request.body.decode("utf-8") or "{}")
+    if url.path == "/flow_info":
+        # Accept both the short key and the Python kwarg name
+        # ("variable" / "variable_flows", etc.).
+        def flows(key: str) -> list[Flow]:
+            specs = body.get(key, body.get(f"{key}_flows", []))
+            return [_parse_flow(f) for f in specs]
+
+        result = service.flow_info(
+            fixed_flows=flows("fixed"),
+            variable_flows=flows("variable"),
+            independent_flows=flows("independent"),
+            timeframe=_parse_timeframe(body.get("timeframe")),
+        )
+        return Response.json(200, result.to_dict())
+    return Response.json(404, {"error": f"no such path {url.path!r}"})

@@ -1,4 +1,16 @@
-"""RemosService: the sweep scheduler and thread-safe query front end."""
+"""RemosService: the sweep scheduler and thread-safe query front end.
+
+Two layers live here:
+
+* :class:`QueryFrontEnd` — the *reader* side: snapshot-isolated query
+  methods, the coalescing queue, latency SLOs, the slow-query log,
+  health and telemetry.  It owns no data source of its own — something
+  else must publish snapshots through ``self.remos``.  The multi-process
+  worker replicas (:mod:`repro.service.workers`) subclass it directly.
+* :class:`RemosService` — the full single-process service: a front end
+  plus the background **sweeper** thread that owns every mutation
+  (advance the engine, refresh the collector master, publish).
+"""
 
 from __future__ import annotations
 
@@ -40,27 +52,23 @@ class _Pending:
         return self.result
 
 
-class RemosService:
-    """A snapshot-isolated Remos query service over one collector stack.
+class QueryFrontEnd:
+    """The thread-safe reader side of a Remos service.
 
-    One background **sweeper** thread owns every mutation: it steps the
-    simulation engine, refreshes the collector master (when there is one),
-    and publishes each completed sweep as an immutable snapshot.  Query
-    methods are safe to call from any number of threads; each runs against
-    the snapshot current at its start (``remos.snapshot()`` exposes it for
-    differential testing).
+    Query methods are safe to call from any number of threads; each runs
+    against the snapshot current at its start (``remos.snapshot()``
+    exposes it for differential testing).  Concurrent ``flow_info``
+    requests sharing a timeframe are coalesced into shared batches.
+
+    Subclasses provide the snapshot *source*: :class:`RemosService`
+    publishes from its own sweeper thread, a worker replica publishes
+    epochs received from the parent process.
 
     Parameters
     ----------
-    collector:
-        The collector (or :class:`CollectorMaster`) to serve queries from.
-    env:
-        The simulation engine the sweeper advances.  Only the sweeper
-        thread may run it.
-    sweep_interval:
-        Wall-clock seconds between sweeper iterations.
-    sim_step:
-        Simulated seconds advanced per sweeper iteration.
+    source:
+        The collector the :class:`~repro.core.api.Remos` facade reads
+        network views from.
     max_batch:
         Most flow_info requests answered by one coalesced batch.
     workers:
@@ -76,16 +84,13 @@ class RemosService:
         :meth:`health` (and HTTP ``/healthz``) reports the service
         unhealthy with an ``epoch_stale`` reason.
     max_sweep_seconds:
-        Freshness SLO: the longest a single sweeper iteration may take
-        before health degrades with a ``sweep_slow`` reason.
+        Freshness SLO: the longest a single sweep (or epoch installation)
+        may take before health degrades with a ``sweep_slow`` reason.
     """
 
     def __init__(
         self,
-        collector: Collector,
-        env: Engine,
-        sweep_interval: float = 0.02,
-        sim_step: float = 1.0,
+        source: Collector,
         max_batch: int = 8,
         workers: int = 4,
         slow_query_threshold: float = 0.25,
@@ -95,16 +100,10 @@ class RemosService:
     ):
         if max_batch < 1:
             raise ConfigurationError("max_batch must be at least 1")
-        self._collector = collector
-        self._env = env
-        self._sweep_interval = sweep_interval
-        self._sim_step = sim_step
         self._max_batch = max_batch
         self._workers = workers
-        #: Queries never publish: the sweeper is the single writer.
-        self.remos = Remos(collector, auto_publish=False)
-        self._stop_event = threading.Event()
-        self._sweeper: threading.Thread | None = None
+        #: Queries never publish: the snapshot source is the single writer.
+        self.remos = Remos(source, auto_publish=False)
         self._executor: ThreadPoolExecutor | None = None
         self._started = False
         # Coalescing state, all guarded by _cond.
@@ -129,102 +128,50 @@ class RemosService:
         self.slos.declare_latency("node", threshold_seconds=0.25, target=0.99)
         self.last_sweep_seconds: float | None = None
         self.last_sweep_at: float | None = None
+        # Telemetry-only sweep schedule; RemosService overwrites these.
+        self._sweep_interval: float | None = None
+        self._sim_step: float | None = None
 
-    @classmethod
-    def from_world(cls, world, **kwargs) -> "RemosService":
-        """Build a service over a testbed :class:`~repro.testbed.World`."""
-        if world.collector is None:
-            raise ConfigurationError("world has no collector")
-        return cls(world.collector, world.env, **kwargs)
+    def _activate(self) -> None:
+        """Register gauges/monitors and open the query thread pool.
 
-    # -- lifecycle ---------------------------------------------------------------
-
-    def start(self, warmup: float = 0.0) -> "RemosService":
-        """Run the collector to readiness (+ *warmup* simulated seconds),
-        publish the first snapshot, and start the sweeper thread."""
-        if self._started:
-            return self
-        self._started = True
-        if not self._collector.ready:
-            ready = self._collector.start()
-            self._env.run(until=ready)
-        if warmup > 0:
-            self._env.run(until=self._env.now + warmup)
-        if isinstance(self._collector, CollectorMaster):
-            self._collector.refresh(allow_partial=True)
-        self.remos.publish()
-        self.publishes = self.remos.publisher.publishes
+        Called once by subclasses after the first snapshot exists and —
+        in multi-process mode — strictly *after* any fork, so the worker
+        never inherits a half-built executor.
+        """
         self._publish_service_gauges()
         self._register_slo_monitors()
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="remos-query"
         )
-        self._sweeper = threading.Thread(
-            target=self._sweep_loop, name="remos-sweeper", daemon=True
-        )
-        self._sweeper.start()
-        _log.info("service_started", sweep_interval=self._sweep_interval)
-        return self
+        self._started = True
 
-    def stop(self) -> None:
-        """Stop the sweeper and the collector (idempotent)."""
-        if not self._started:
-            return
-        self._stop_event.set()
-        if self._sweeper is not None:
-            self._sweeper.join(timeout=5.0)
-            self._sweeper = None
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        self._collector.stop()
-        self._started = False
-        self._stop_event = threading.Event()
-        _log.info("service_stopped", sweeps=self.sweeps, publishes=self.publishes)
+    def front_end_config(self) -> dict:
+        """The constructor kwargs that rebuild an equivalent front end.
 
-    def __enter__(self) -> "RemosService":
-        return self.start()
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        self.stop()
-        return False
+        The multi-process front door uses this to give every worker
+        replica the same batching, forensics and freshness settings as
+        the parent service.
+        """
+        return {
+            "max_batch": self._max_batch,
+            "workers": self._workers,
+            "slow_query_threshold": self.slowlog.threshold_seconds,
+            "slow_log_capacity": self.slowlog.capacity,
+            "max_epoch_age": self.max_epoch_age,
+            "max_sweep_seconds": self.max_sweep_seconds,
+        }
 
     @property
     def running(self) -> bool:
         return self._started
 
-    def _sweep_loop(self) -> None:
-        """The single writer: advance, merge, publish, repeat."""
-        while not self._stop_event.wait(self._sweep_interval):
-            started = time.perf_counter()
-            try:
-                self._env.run(until=self._env.now + self._sim_step)
-                if isinstance(self._collector, CollectorMaster):
-                    self._collector.refresh(allow_partial=True)
-                self.remos.publish()
-                self.sweeps += 1
-                self.publishes = self.remos.publisher.publishes
-                obs.inc(
-                    "remos_service_sweeps_total",
-                    help="Sweeper iterations completed by the query service",
-                )
-            except Exception as exc:
-                # Keep serving the last good snapshot; a broken sweep must
-                # never take the readers down.
-                self.sweep_errors += 1
-                _log.error("sweep_failed", error=f"{type(exc).__name__}: {exc}")
-            finally:
-                # Sweep-duration telemetry feeds the freshness SLO monitor:
-                # a sweeper that still runs but takes too long is as much a
-                # staleness risk as one that died.
-                elapsed = time.perf_counter() - started
-                self.last_sweep_seconds = elapsed
-                self.last_sweep_at = time.time()
-                obs.observe(
-                    "remos_sweep_seconds",
-                    elapsed,
-                    help="Wall-clock seconds per sweeper iteration",
-                )
+    def stop(self) -> None:
+        """Close the query thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._started = False
 
     def _register_slo_monitors(self) -> None:
         """Declare the freshness monitors health() answers from."""
@@ -542,3 +489,146 @@ class RemosService:
     def metrics_text(self) -> str:
         """The Prometheus exposition of the global registry."""
         return obs.get_registry().to_prometheus()
+
+
+class RemosService(QueryFrontEnd):
+    """A snapshot-isolated Remos query service over one collector stack.
+
+    One background **sweeper** thread owns every mutation: it steps the
+    simulation engine, refreshes the collector master (when there is one),
+    and publishes each completed sweep as an immutable snapshot.  The
+    reader side — queries, coalescing, SLOs, slow log — is inherited from
+    :class:`QueryFrontEnd`.
+
+    Parameters
+    ----------
+    collector:
+        The collector (or :class:`CollectorMaster`) to serve queries from.
+    env:
+        The simulation engine the sweeper advances.  Only the sweeper
+        thread may run it.
+    sweep_interval:
+        Wall-clock seconds between sweeper iterations.
+    sim_step:
+        Simulated seconds advanced per sweeper iteration.
+    **front_end:
+        Everything :class:`QueryFrontEnd` accepts (``max_batch``,
+        ``workers``, ``slow_query_threshold``, ``slow_log_capacity``,
+        ``max_epoch_age``, ``max_sweep_seconds``).
+    """
+
+    def __init__(
+        self,
+        collector: Collector,
+        env: Engine,
+        sweep_interval: float = 0.02,
+        sim_step: float = 1.0,
+        **front_end,
+    ):
+        super().__init__(collector, **front_end)
+        self._collector = collector
+        self._env = env
+        self._sweep_interval = sweep_interval
+        self._sim_step = sim_step
+        self._stop_event = threading.Event()
+        self._sweeper: threading.Thread | None = None
+        self._prepared = False
+
+    @classmethod
+    def from_world(cls, world, **kwargs) -> "RemosService":
+        """Build a service over a testbed :class:`~repro.testbed.World`."""
+        if world.collector is None:
+            raise ConfigurationError("world has no collector")
+        return cls(world.collector, world.env, **kwargs)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def prepare(self, warmup: float = 0.0) -> "RemosService":
+        """Run the collector to readiness (+ *warmup* simulated seconds)
+        and publish the first snapshot — **without starting any thread**.
+
+        The multi-process front door calls this before forking its
+        workers so the fork happens while the parent is still
+        single-threaded; :meth:`start` finishes the job (idempotently)
+        afterwards.
+        """
+        if self._prepared:
+            return self
+        if not self._collector.ready:
+            ready = self._collector.start()
+            self._env.run(until=ready)
+        if warmup > 0:
+            self._env.run(until=self._env.now + warmup)
+        if isinstance(self._collector, CollectorMaster):
+            self._collector.refresh(allow_partial=True)
+        self.remos.publish()
+        self.publishes = self.remos.publisher.publishes
+        self._prepared = True
+        return self
+
+    def start(self, warmup: float = 0.0) -> "RemosService":
+        """Prepare (if not already), then start the sweeper thread."""
+        if self._started:
+            return self
+        self.prepare(warmup)
+        self._activate()
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop, name="remos-sweeper", daemon=True
+        )
+        self._sweeper.start()
+        _log.info("service_started", sweep_interval=self._sweep_interval)
+        return self
+
+    def stop(self) -> None:
+        """Stop the sweeper and the collector (idempotent)."""
+        if not self._started:
+            return
+        self._stop_event.set()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=5.0)
+            self._sweeper = None
+        super().stop()
+        self._collector.stop()
+        self._stop_event = threading.Event()
+        self._prepared = False
+        _log.info("service_stopped", sweeps=self.sweeps, publishes=self.publishes)
+
+    def __enter__(self) -> "RemosService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def _sweep_loop(self) -> None:
+        """The single writer: advance, merge, publish, repeat."""
+        while not self._stop_event.wait(self._sweep_interval):
+            started = time.perf_counter()
+            try:
+                self._env.run(until=self._env.now + self._sim_step)
+                if isinstance(self._collector, CollectorMaster):
+                    self._collector.refresh(allow_partial=True)
+                self.remos.publish()
+                self.sweeps += 1
+                self.publishes = self.remos.publisher.publishes
+                obs.inc(
+                    "remos_service_sweeps_total",
+                    help="Sweeper iterations completed by the query service",
+                )
+            except Exception as exc:
+                # Keep serving the last good snapshot; a broken sweep must
+                # never take the readers down.
+                self.sweep_errors += 1
+                _log.error("sweep_failed", error=f"{type(exc).__name__}: {exc}")
+            finally:
+                # Sweep-duration telemetry feeds the freshness SLO monitor:
+                # a sweeper that still runs but takes too long is as much a
+                # staleness risk as one that died.
+                elapsed = time.perf_counter() - started
+                self.last_sweep_seconds = elapsed
+                self.last_sweep_at = time.time()
+                obs.observe(
+                    "remos_sweep_seconds",
+                    elapsed,
+                    help="Wall-clock seconds per sweeper iteration",
+                )

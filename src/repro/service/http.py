@@ -1,21 +1,13 @@
-"""Stdlib HTTP front end for :class:`~repro.service.RemosService`.
+"""Legacy threaded HTTP front end for :class:`~repro.service.RemosService`.
 
-One thread per connection (``ThreadingHTTPServer``); every handler is a
-thin JSON shim over the service's thread-safe query methods, so the
-snapshot-isolation guarantees apply verbatim to HTTP clients.
-
-Request-scoped observability (see ``docs/OBSERVABILITY.md``):
-
-* every request runs under a :class:`~repro.obs.context.TraceContext` —
-  parsed from an incoming W3C ``traceparent`` header or freshly generated
-  — bound to the handling thread so spans, log lines and slow-query
-  records all carry the request's trace id, and echoed on **every**
-  response as a ``traceparent`` header;
-* access logs are structured ``http.access`` events through
-  :class:`~repro.obs.log.StructLogger` (method, path, status, duration,
-  trace id), not stdlib stderr lines;
-* per-endpoint latencies feed the service's SLO registry; queries over
-  the slow threshold land in the slow-query log.
+One thread per connection (``ThreadingHTTPServer``); every request is
+delegated to the transport-agnostic application layer in
+:mod:`repro.service.app`, so trace propagation, structured access logs,
+SLO settlement, slow-query forensics and the 503-when-stale health
+contract are identical to the default asyncio front end
+(:mod:`repro.service.aio`).  ``repro serve --threaded`` selects this
+server; it is also the reference implementation the concurrency
+benchmarks compare the asyncio front end against.
 
 Endpoints
 ---------
@@ -26,8 +18,7 @@ Endpoints
 ``GET /metrics``
     Prometheus text exposition of the global registry.
 ``GET /telemetry``
-    The combined telemetry report as JSON (now with SLO + slow-log
-    sections).
+    The combined telemetry report as JSON (with SLO + slow-log sections).
 ``GET /debug/slow``
     The slow-query log, newest first: span tree, args, epoch stamps and
     cache profile per record.  ``?limit=N`` caps the count.
@@ -54,76 +45,19 @@ Endpoints
 
 from __future__ import annotations
 
-import json
-import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlparse
 
 from repro import obs
-from repro.core import Flow, Timeframe
-from repro.obs.profiler import SamplingProfiler
-from repro.util.errors import ReproError
+from repro.service.app import (  # noqa: F401 - re-exported for compatibility
+    MAX_PROFILE_SECONDS,
+    Request,
+    _endpoint_name,
+    _parse_flow,
+    _parse_timeframe,
+    handle_request,
+)
 
 _log = obs.get_logger("repro.service.http")
-
-#: One profile at a time per process: the sampler reads every thread.
-_profile_lock = threading.Lock()
-
-#: Longest profile a request may ask for (seconds).
-MAX_PROFILE_SECONDS = 30.0
-
-
-def _parse_flow(spec: dict) -> Flow:
-    if not isinstance(spec, dict) or "src" not in spec or "dst" not in spec:
-        raise ReproError(f"flow spec needs src and dst: {spec!r}")
-    return Flow(
-        src=spec["src"],
-        dst=spec["dst"],
-        requested=float(spec.get("requested", 1.0)),
-        cap=float(spec.get("cap", float("inf"))),
-        name=spec.get("name"),
-    )
-
-
-def _parse_timeframe(spec: dict | None) -> Timeframe:
-    if not spec:
-        return Timeframe.current()
-    kind = spec.get("kind", "current")
-    if kind == "static":
-        return Timeframe.static()
-    if kind == "current":
-        return Timeframe.current()
-    if kind == "history":
-        if "window" not in spec:
-            raise ReproError('history timeframe needs a "window" (seconds)')
-        return Timeframe.history(float(spec["window"]))
-    if kind == "future":
-        if "horizon" not in spec:
-            raise ReproError('future timeframe needs a "horizon" (seconds)')
-        return Timeframe.future(
-            float(spec["horizon"]),
-            predictor=spec.get("predictor", "ewma"),
-            window=float(spec.get("window", 60.0)),
-        )
-    raise ReproError(f"unknown timeframe kind {kind!r}")
-
-
-def _endpoint_name(method: str, path: str) -> str:
-    """The SLO/metric label for a request path (bounded cardinality)."""
-    if path.startswith("/node/"):
-        return "node"
-    known = {
-        "/healthz": "healthz",
-        "/metrics": "metrics",
-        "/telemetry": "telemetry",
-        "/graph": "graph",
-        "/flow_info": "flow_info",
-        "/debug/slow": "debug_slow",
-        "/debug/slo": "debug_slo",
-        "/debug/profile": "debug_profile",
-    }
-    return known.get(path, "other")
 
 
 def make_handler(service) -> type[BaseHTTPRequestHandler]:
@@ -132,217 +66,33 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
-        # Per-request observability state (set by _dispatch).
-        _trace_ctx = None
-        _started = 0.0
-        _status = 0
-
-        # -- structured access logging ------------------------------------------
-
         def log_request(self, code="-", size="-"):  # noqa: A002 - stdlib signature
-            """Access log as a structured event (trace id auto-stamped)."""
-            fields = {
-                "method": self.command,
-                "path": self.path,
-                "status": int(code) if str(code).isdigit() else code,
-                "client": self.client_address[0],
-            }
-            if self._started:
-                fields["duration"] = round(time.perf_counter() - self._started, 6)
-            _log.info("http.access", **fields)
+            """Quiet: the app layer writes the structured access log."""
 
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             """Anything else the stdlib server wants logged (errors)."""
             _log.warning("http.message", message=format % args)
 
-        # -- response plumbing --------------------------------------------------
-
-        def _send(self, status: int, body: str, content_type: str) -> None:
-            payload = body.encode("utf-8")
-            self._status = status
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(payload)))
-            if self._trace_ctx is not None:
-                self.send_header("traceparent", self._trace_ctx.to_traceparent())
-            self.end_headers()
-            self.wfile.write(payload)
-
-        def _send_json(self, status: int, data) -> None:
-            self._send(status, json.dumps(data, indent=2), "application/json")
-
-        def _send_error_json(self, status: int, error: BaseException) -> None:
-            self._send_json(
-                status, {"error": f"{type(error).__name__}: {error}"}
-            )
-
-        # -- request-scoped dispatch --------------------------------------------
-
-        def _dispatch(self, route) -> None:
-            """Bind a trace context, route, then settle the SLO accounts."""
-            parent = obs.parse_traceparent(self.headers.get("traceparent"))
-            self._trace_ctx = parent.child() if parent else obs.TraceContext.generate()
-            self._started = time.perf_counter()
-            url = urlparse(self.path)
-            endpoint = _endpoint_name(self.command, url.path)
-            with obs.bind_context(self._trace_ctx):
-                try:
-                    route(url)
-                except ReproError as error:
-                    self._send_error_json(400, error)
-                except (ValueError, KeyError) as error:
-                    self._send_error_json(400, error)
-                except Exception as error:  # defensive: keep the server alive
-                    self._send_error_json(500, error)
-                finally:
-                    # flow_info settles its own SLO inside the service (the
-                    # coalescing path owns the richer record); everything
-                    # else is settled here at the HTTP boundary.
-                    if endpoint != "flow_info":
-                        service.slos.record_request(
-                            endpoint, time.perf_counter() - self._started
-                        )
-
-        def do_GET(self) -> None:  # noqa: N802 - stdlib signature
-            self._dispatch(self._route_get)
-
-        def do_POST(self) -> None:  # noqa: N802 - stdlib signature
-            self._dispatch(self._route_post)
-
-        # -- observed query helper ----------------------------------------------
-
-        def _observed_query(self, endpoint: str, args: dict, run) -> None:
-            """Run a query endpoint under a span; slow-log it if it crawled."""
-            span = obs.span(f"http.{endpoint}")
-            stats = service.remos.cache_stats
-            hits, misses = stats.hits, stats.misses
-            started = time.perf_counter()
-            error: BaseException | None = None
-            try:
-                with span:
-                    run()
-            except BaseException as exc:
-                error = exc
-                raise
-            finally:
-                duration = time.perf_counter() - started
-                snapshot = service.remos.publisher.current()
-                if error is not None:
-                    args = {**args, "error": f"{type(error).__name__}: {error}"}
-                service.slowlog.observe(
-                    endpoint,
-                    duration,
-                    trace_id=self._trace_ctx.trace_id,
-                    args=args,
-                    epoch=None if snapshot is None else snapshot.epoch,
-                    generation=None if snapshot is None else snapshot.generation,
-                    structure_generation=(
-                        None if snapshot is None else snapshot.structure_generation
-                    ),
-                    cache_hits=stats.hits - hits,
-                    cache_misses=stats.misses - misses,
-                    span_tree=span.tree() if isinstance(span, obs.Span) else None,
-                    status=self._status or None,
-                )
-
-        # -- routes -------------------------------------------------------------
-
-        def _route_get(self, url) -> None:
-            params = parse_qs(url.query)
-            if url.path == "/healthz":
-                health = service.health()
-                self._send_json(200 if health["healthy"] else 503, health)
-            elif url.path == "/metrics":
-                self._send(
-                    200,
-                    service.metrics_text(),
-                    "text/plain; version=0.0.4; charset=utf-8",
-                )
-            elif url.path == "/telemetry":
-                self._send_json(200, service.telemetry())
-            elif url.path == "/debug/slow":
-                limit = params.get("limit", [None])[0]
-                self._send_json(
-                    200,
-                    service.slowlog.to_dict(
-                        limit=None if limit is None else int(limit)
-                    ),
-                )
-            elif url.path == "/debug/slo":
-                self._send_json(200, service.slos.to_dict())
-            elif url.path == "/debug/profile":
-                self._route_profile(params)
-            elif url.path == "/graph":
-                nodes = [
-                    name
-                    for chunk in params.get("nodes", [])
-                    for name in chunk.split(",")
-                    if name
-                ]
-                self._observed_query(
-                    "graph",
-                    {"nodes": nodes},
-                    lambda: self._send_json(
-                        200, service.get_graph(nodes).to_dict()
-                    ),
-                )
-            elif url.path.startswith("/node/"):
-                host = url.path[len("/node/") :]
-                self._observed_query(
-                    "node",
-                    {"host": host},
-                    lambda: self._send_json(
-                        200, service.node_info(host).to_dict()
-                    ),
-                )
-            else:
-                self._send_json(404, {"error": f"no such path {url.path!r}"})
-
-        def _route_profile(self, params: dict) -> None:
-            """``/debug/profile?seconds=N&interval=S`` — collapsed stacks."""
-            seconds = float(params.get("seconds", ["2"])[0])
-            interval = float(params.get("interval", ["0.01"])[0])
-            if not 0.0 < seconds <= MAX_PROFILE_SECONDS:
-                raise ReproError(
-                    f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}], got {seconds:g}"
-                )
-            if not _profile_lock.acquire(blocking=False):
-                self._send_json(409, {"error": "a profile is already running"})
-                return
-            try:
-                profiler = SamplingProfiler(interval=interval)
-                with profiler:
-                    time.sleep(seconds)
-                _log.info(
-                    "profile_complete",
-                    seconds=seconds,
-                    samples=profiler.samples,
-                    stacks=len(profiler.counts()),
-                )
-                self._send(200, profiler.collapsed(), "text/plain; charset=utf-8")
-            finally:
-                _profile_lock.release()
-
-        def _route_post(self, url) -> None:
+        def _run(self) -> None:
             length = int(self.headers.get("Content-Length", "0"))
-            raw = self.rfile.read(length) if length else b"{}"
-            body = json.loads(raw.decode("utf-8") or "{}")
-            if url.path == "/flow_info":
-                # Accept both the short key and the Python kwarg name
-                # ("variable" / "variable_flows", etc.).
-                def flows(key: str) -> list[Flow]:
-                    specs = body.get(key, body.get(f"{key}_flows", []))
-                    return [_parse_flow(f) for f in specs]
+            request = Request(
+                method=self.command,
+                target=self.path,
+                headers={k.lower(): v for k, v in self.headers.items()},
+                body=self.rfile.read(length) if length else b"",
+                client=self.client_address[0],
+            )
+            response = handle_request(service, request)
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            if response.traceparent is not None:
+                self.send_header("traceparent", response.traceparent)
+            self.end_headers()
+            self.wfile.write(response.body)
 
-                result = service.flow_info(
-                    fixed_flows=flows("fixed"),
-                    variable_flows=flows("variable"),
-                    independent_flows=flows("independent"),
-                    timeframe=_parse_timeframe(body.get("timeframe")),
-                )
-                self._send_json(200, result.to_dict())
-            else:
-                self._send_json(404, {"error": f"no such path {url.path!r}"})
+        do_GET = _run  # noqa: N815 - stdlib dispatch names
+        do_POST = _run  # noqa: N815
 
     return Handler
 

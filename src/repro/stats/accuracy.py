@@ -9,10 +9,17 @@ paper prescribes the *existence* of the measure, not a formula).
 
 from __future__ import annotations
 
-import numpy as np
+import math
+
+try:  # numpy is the optional ``repro[fast]`` accelerator
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy smoke test
+    np = None
+
+from repro.stats.quartiles import percentiles
 
 
-def sample_accuracy(values: np.ndarray) -> float:
+def sample_accuracy(values) -> float:
     """Accuracy in [0, 1] from sample count and coefficient of variation.
 
     * grows with the number of samples (saturating around ~30 samples,
@@ -20,15 +27,25 @@ def sample_accuracy(values: np.ndarray) -> float:
     * shrinks with relative dispersion (IQR/median), since a highly
       variable series pins down the "true" level less well.
     """
-    values = np.asarray(values, dtype=float)
-    n = values.size
-    if n == 0:
-        return 0.0
-    count_term = 1.0 - np.exp(-n / 10.0)
-    if n == 1:
-        return float(0.5 * count_term)
-    q1, median, q3 = np.percentile(values, [25, 50, 75])
+    if np is not None:
+        values = np.asarray(values, dtype=float)
+        n = values.size
+        if n == 0:
+            return 0.0
+        count_term = 1.0 - np.exp(-n / 10.0)
+        if n == 1:
+            return float(0.5 * count_term)
+        q1, median, q3 = np.percentile(values, [25, 50, 75])
+    else:
+        values = [float(v) for v in values]
+        n = len(values)
+        if n == 0:
+            return 0.0
+        count_term = 1.0 - math.exp(-n / 10.0)
+        if n == 1:
+            return float(0.5 * count_term)
+        q1, median, q3 = percentiles(sorted(values), [25, 50, 75])
     scale = max(abs(median), 1e-12)
     dispersion = (q3 - q1) / scale
     dispersion_term = 1.0 / (1.0 + dispersion)
-    return float(np.clip(count_term * dispersion_term, 0.0, 1.0))
+    return min(1.0, max(0.0, float(count_term * dispersion_term)))

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Protocol
 
-import numpy as np
-
 from repro.stats.quartiles import StatMeasure
 from repro.stats.series import TimeSeries
 from repro.util.errors import ConfigurationError

@@ -9,12 +9,34 @@ lower = fewer/noisier samples or a prediction).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Iterable
 
-import numpy as np
+try:  # numpy is the optional ``repro[fast]`` accelerator
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy smoke test
+    np = None
 
 from repro.util.errors import ConfigurationError
+
+
+def percentiles(ordered: "list[float]", percents: Iterable[float]) -> list[float]:
+    """Linear-interpolated percentiles of an already-sorted list.
+
+    The pure-Python twin of ``np.percentile``'s default method, used when
+    numpy is not installed.  Interpolation follows the same
+    ``a + (b - a) * frac`` form so the two paths agree to rounding.
+    """
+    n = len(ordered)
+    results = []
+    for percent in percents:
+        rank = (percent / 100.0) * (n - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        frac = rank - low
+        results.append(ordered[low] + (ordered[high] - ordered[low]) * frac)
+    return results
 
 
 @dataclass(frozen=True)
@@ -46,10 +68,20 @@ class StatMeasure:
         cls, values: Iterable[float], accuracy: float | None = None
     ) -> "StatMeasure":
         """Summarise raw samples; accuracy defaults to a sample-count heuristic."""
-        data = np.asarray(list(values), dtype=float)
-        if data.size == 0:
-            raise ConfigurationError("cannot summarise zero samples")
-        quartiles = np.percentile(data, [0, 25, 50, 75, 100])
+        if np is not None:
+            data = np.asarray(list(values), dtype=float)
+            if data.size == 0:
+                raise ConfigurationError("cannot summarise zero samples")
+            quartiles = np.percentile(data, [0, 25, 50, 75, 100])
+            mean = float(data.mean())
+            count = int(data.size)
+        else:
+            data = [float(v) for v in values]
+            if not data:
+                raise ConfigurationError("cannot summarise zero samples")
+            quartiles = percentiles(sorted(data), [0, 25, 50, 75, 100])
+            mean = sum(data) / len(data)
+            count = len(data)
         if accuracy is None:
             from repro.stats.accuracy import sample_accuracy
 
@@ -60,10 +92,41 @@ class StatMeasure:
             median=float(quartiles[2]),
             q3=float(quartiles[3]),
             maximum=float(quartiles[4]),
-            mean=float(data.mean()),
-            n_samples=int(data.size),
+            mean=mean,
+            n_samples=count,
             accuracy=float(accuracy),
         )
+
+    @classmethod
+    def presorted(
+        cls,
+        quartiles: "tuple[float, float, float, float, float] | list[float]",
+        mean: float,
+        n_samples: int,
+        accuracy: float,
+    ) -> "StatMeasure":
+        """Construct from an already-sorted five-number summary.
+
+        Skips the ``__post_init__`` re-validation: with *quartiles* coming
+        out of a sort the ordering invariant holds by construction (and
+        NaN entries disable the tolerance comparison exactly as they do in
+        the validating path), so this is behaviour-preserving.  The hot
+        answer-assembly loop of the vectorized flow evaluator builds tens
+        of thousands of these per batch.
+        """
+        if not 0.0 <= accuracy <= 1.0:
+            raise ConfigurationError(f"accuracy must be in [0,1], got {accuracy}")
+        self = object.__new__(cls)
+        setattr_ = object.__setattr__
+        setattr_(self, "minimum", quartiles[0])
+        setattr_(self, "q1", quartiles[1])
+        setattr_(self, "median", quartiles[2])
+        setattr_(self, "q3", quartiles[3])
+        setattr_(self, "maximum", quartiles[4])
+        setattr_(self, "mean", mean)
+        setattr_(self, "n_samples", n_samples)
+        setattr_(self, "accuracy", accuracy)
+        return self
 
     @classmethod
     def constant(cls, value: float) -> "StatMeasure":

@@ -7,11 +7,35 @@ buffer so long-running collectors stay bounded.
 
 from __future__ import annotations
 
-import numpy as np
+try:  # numpy is the optional ``repro[fast]`` accelerator
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy smoke test
+    np = None
 
 from repro.stats.quartiles import StatMeasure
 from repro.util.errors import ConfigurationError
 from repro.util.ringbuf import RingBuffer
+
+
+class _FloatVector(list):
+    """No-numpy stand-in for the 1-D arrays ``window()`` etc. return.
+
+    Callers touch only ``.size``, ``.mean()``, iteration and indexing, so a
+    thin list subclass keeps the scalar fallback API-compatible.
+    """
+
+    @property
+    def size(self) -> int:
+        return len(self)
+
+    def mean(self) -> float:
+        return sum(self) / len(self)
+
+
+def _vector(data: "list[float]"):
+    if np is not None:
+        return np.array(data, dtype=float)
+    return _FloatVector(data)
 
 
 class TimeSeries:
@@ -91,21 +115,17 @@ class TimeSeries:
         """Most recent value."""
         return self.latest()[1]
 
-    def window(self, since: float, until: float = float("inf")) -> np.ndarray:
+    def window(self, since: float, until: float = float("inf")):
         """Values with ``since <= t <= until``, oldest first (may be empty)."""
-        return np.array(
-            [v for t, v in self._buffer if since <= t <= until], dtype=float
-        )
+        return _vector([v for t, v in self._buffer if since <= t <= until])
 
-    def times(self, since: float = -float("inf"), until: float = float("inf")) -> np.ndarray:
+    def times(self, since: float = -float("inf"), until: float = float("inf")):
         """Sample times within the window, oldest first."""
-        return np.array(
-            [t for t, _ in self._buffer if since <= t <= until], dtype=float
-        )
+        return _vector([t for t, _ in self._buffer if since <= t <= until])
 
-    def values(self) -> np.ndarray:
+    def values(self):
         """Every retained value, oldest first."""
-        return np.array([v for _, v in self._buffer], dtype=float)
+        return _vector([v for _, v in self._buffer])
 
     def has_sample_in(self, since: float, before: float) -> bool:
         """True if any retained sample falls in the half-open ``[since, before)``.

@@ -1,0 +1,112 @@
+"""The scalar fallback: the query engine must work without numpy.
+
+``numpy`` is the optional ``repro[fast]`` extra.  These tests run a
+subprocess whose import machinery blocks numpy entirely, then drive the
+core query path — stats summaries, topology queries, max-min allocation,
+``flow_info`` — end to end on the pure-Python implementations.  The
+simulator layers (``repro.traffic``, ``repro.adapt``) legitimately
+require numpy and are expected to fail cleanly at *use* time, not at
+import time.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+BLOCK_NUMPY = """
+import sys
+
+class BlockNumpy:
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy is blocked for the fallback test")
+
+sys.meta_path.insert(0, BlockNumpy())
+"""
+
+SCALAR_QUERY_PATH = BLOCK_NUMPY + """
+from repro.collector import MetricsStore
+from repro.collector.base import NetworkView
+from repro.core import Flow, Remos, Timeframe
+from repro.fairshare import Demand, MaxMinProblem, vectorized
+from repro.net import TopologyBuilder
+from repro.stats import StatMeasure, TimeSeries
+
+# Auto-detection must have landed on the scalar path.
+assert not vectorized.HAVE_NUMPY
+
+# Stats: pure-Python quartiles, accuracy, series summaries.
+measure = StatMeasure.from_samples([3.0, 1.0, 2.0, 4.0])
+assert measure.minimum == 1.0 and measure.maximum == 4.0
+assert measure.median == 2.5 and measure.mean == 2.5
+series = TimeSeries(name="t")
+for i in range(10):
+    series.add(float(i), float(i % 4))
+summary = series.summarise(0.0)
+assert summary.n_samples == 10
+assert series.mean_over(0.0) == summary.mean
+
+# Allocation: the scalar kernel answers and the counters say so.
+before = dict(vectorized.counters)
+result = MaxMinProblem(
+    [Demand(flow_id=f"f{i}", resources=("r0",)) for i in range(32)]
+).solve({"r0": 16.0})
+assert abs(result.rates["f0"] - 0.5) < 1e-12
+assert vectorized.counters["scalar_solves"] == before["scalar_solves"] + 1
+assert vectorized.counters["vectorized_solves"] == before["vectorized_solves"]
+
+# Queries: flow_info and the logical graph over a hand-built topology.
+builder = TopologyBuilder("fallback").router("core")
+for i in range(4):
+    host = f"h{i}"
+    builder.host(host).link(host, "core", "100Mbps", "1ms")
+topology = builder.build()
+remos = Remos(NetworkView(topology=topology, metrics=MetricsStore()))
+answer = remos.flow_info(
+    variable_flows=[Flow("h0", "h1"), Flow("h2", "h3")],
+    timeframe=Timeframe.current(),
+)
+assert len(answer.answers) == 2
+assert all(a.bandwidth.median > 0 for a in answer.answers)
+graph = remos.get_graph(["h0", "h1", "h2"], Timeframe.current())
+names, matrix = graph.distance_matrix(["h0", "h1"])
+assert names == ["h0", "h1"]
+assert matrix[0][1] > 0 and matrix[0][0] == 0.0
+
+print("scalar-fallback-ok")
+"""
+
+RNG_FAILS_CLEANLY = BLOCK_NUMPY + """
+from repro.util import make_rng
+from repro.util.errors import ConfigurationError
+
+try:
+    make_rng(0)
+except ConfigurationError as exc:
+    assert "repro[fast]" in str(exc)
+    print("rng-error-ok")
+else:
+    raise SystemExit("make_rng should require numpy")
+"""
+
+
+def run_blocked(code: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, f"stdout={proc.stdout}\nstderr={proc.stderr}"
+    return proc.stdout
+
+
+def test_query_engine_runs_without_numpy():
+    assert "scalar-fallback-ok" in run_blocked(SCALAR_QUERY_PATH)
+
+
+def test_rng_requires_numpy_with_clear_error():
+    assert "rng-error-ok" in run_blocked(RNG_FAILS_CLEANLY)
