@@ -60,6 +60,23 @@ WORKER_GATE = 2.0
 #: The multi-process gate needs real parallelism: with fewer cores the
 #: workers time-slice one CPU and the ratio is informational only.
 WORKER_GATE_MIN_CPUS = 4
+#: Informational floor applied below WORKER_GATE_MIN_CPUS: time-sliced
+#: workers can't scale, but they must stay in the same league as the
+#: threaded door.
+WORKER_FLOOR = 0.5
+
+
+def worker_gate(worker_scaling: float, cpus: int) -> tuple[bool, float, bool]:
+    """Decide the multi-process scaling verdict for a measured ratio.
+
+    Returns ``(enforced, floor, passed)``: with ``cpus`` at or above
+    :data:`WORKER_GATE_MIN_CPUS` the full :data:`WORKER_GATE` applies;
+    below it the gate is informational and only :data:`WORKER_FLOOR`
+    (same-league, not faster) is required.
+    """
+    enforced = cpus >= WORKER_GATE_MIN_CPUS
+    floor = WORKER_GATE if enforced else WORKER_FLOOR
+    return enforced, floor, worker_scaling >= floor
 
 
 def _cpu_count() -> int:
@@ -246,7 +263,7 @@ def test_front_door_throughput(benchmark):
     worker_qps = doors["workers"]["throughput_qps"]
     worker_scaling = worker_qps / threaded_qps
     cpus = _cpu_count()
-    gated = cpus >= WORKER_GATE_MIN_CPUS
+    gated, floor, passed = worker_gate(worker_scaling, cpus)
 
     lines = [
         f"HTTP front doors, {N_HOSTS} hosts, {HTTP_CLIENTS} persistent clients, "
@@ -278,12 +295,10 @@ def test_front_door_throughput(benchmark):
     for phase in doors.values():
         assert phase["errors"] == 0, f"front door {phase['mode']} served errors"
         assert phase["queries"] > 0
-    if gated:
-        assert worker_scaling >= WORKER_GATE
-    else:
-        # One core: four processes time-slice it, so just require the
-        # pre-forked door to stay in the same league as the threaded one.
-        assert worker_scaling >= 0.5
+    assert passed, (
+        f"worker/threaded scaling {worker_scaling:.2f}x below the "
+        f"{'enforced' if gated else 'informational'} floor {floor}x on {cpus} CPUs"
+    )
 
 
 def test_concurrent_throughput_scales(benchmark):

@@ -1,7 +1,8 @@
 """Benchmark history ledger and regression gate.
 
 The gated benchmarks (``bench_ablation_scale``, ``bench_refresh_cost``,
-``bench_concurrent_queries``, ``bench_topology_scale``) each drop a
+``bench_concurrent_queries``, ``bench_topology_scale``,
+``bench_federation``) each drop a
 ``BENCH_*.json`` artifact in the repo root.  This script turns those
 one-off artifacts into a time series and a CI gate:
 
@@ -49,6 +50,7 @@ HEADLINE_METRICS: dict[str, dict[str, str]] = {
         "worker_scaling": "front_doors.worker_scaling",
     },
     "BENCH_topology.json": {"head_to_head_speedup": "head_to_head.speedup"},
+    "BENCH_federation.json": {"cross_cost_flatness": "host_scaling.flatness"},
 }
 
 

@@ -258,18 +258,18 @@ def cmd_serve(args) -> int:
     if args.threaded and args.workers > 0:
         print("--threaded and --workers are mutually exclusive", file=sys.stderr)
         return 2
+    if args.federation > 0 and args.workers > 0:
+        # The multi-process front door replicates one cell's epochs; a
+        # federation has per-shard publishers the replicas can't mirror yet.
+        print("--federation and --workers are mutually exclusive", file=sys.stderr)
+        return 2
     # Tracing is on by default so slow-query records carry full span trees;
     # the request path is instrumented anyway, and `repro serve` exists to
     # be observed.  --no-tracing restores the bare-metal path.
     obs.configure_observability(
         metrics=True, tracing=not args.no_tracing, logging=args.log, log_level="info"
     )
-    world = build_cmu_testbed(poll_interval=args.poll_interval)
-    scenario = _parse_traffic(args.traffic)
-    if scenario:
-        scenario.start(world.net)
-    service = RemosService.from_world(
-        world,
+    front_end = dict(
         sweep_interval=args.sweep_interval,
         sim_step=args.sim_step,
         workers=args.threads,
@@ -277,6 +277,23 @@ def cmd_serve(args) -> int:
         max_epoch_age=args.max_epoch_age,
         max_sweep_seconds=args.max_sweep_seconds,
     )
+    if args.federation > 0:
+        from repro.federation import FederationService, FederationWorld
+
+        world = FederationWorld.build(
+            poll_interval=args.poll_interval,
+            shards=args.federation,
+            leaves=args.fed_leaves,
+            spines=args.fed_spines,
+            hosts_per_leaf=args.fed_hosts_per_leaf,
+        )
+        service = FederationService(world, **front_end)
+    else:
+        world = build_cmu_testbed(poll_interval=args.poll_interval)
+        service = RemosService.from_world(world, **front_end)
+    scenario = _parse_traffic(args.traffic)
+    if scenario:
+        scenario.start(world.net)
     threaded_server = None
     if args.workers > 0:
         server = MultiProcessServer(
@@ -584,6 +601,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--threaded",
         action="store_true",
         help="use the legacy thread-per-connection server instead of asyncio",
+    )
+    serve.add_argument(
+        "--federation",
+        type=int,
+        default=0,
+        help="serve a federated deployment of N shard cells instead of the "
+        "single-cell testbed (0 = single cell)",
+    )
+    serve.add_argument(
+        "--fed-leaves", type=int, default=2, help="leaf switches per shard region"
+    )
+    serve.add_argument(
+        "--fed-spines", type=int, default=2, help="spine switches per shard region"
+    )
+    serve.add_argument(
+        "--fed-hosts-per-leaf", type=int, default=4, help="hosts per leaf switch"
     )
     serve.add_argument(
         "--duration", type=float, default=None, help="auto-stop after N wall seconds"

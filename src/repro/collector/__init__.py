@@ -27,14 +27,17 @@ from repro.collector.metrics import CPU_PSEUDO_LINK, MetricsStore
 from repro.collector.snmp_collector import SNMPCollector
 from repro.collector.bench_collector import BenchmarkCollector
 from repro.collector.master import CollectorMaster
+from repro.collector.cell import Cell, ShardRegistry
 
 __all__ = [
+    "Cell",
     "Collector",
     "CPU_PSEUDO_LINK",
     "DeltaKind",
     "NetworkView",
     "ViewDelta",
     "MetricsStore",
+    "ShardRegistry",
     "SNMPCollector",
     "BenchmarkCollector",
     "CollectorMaster",

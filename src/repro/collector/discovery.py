@@ -33,12 +33,26 @@ class DiscoveryResult:
     """node -> ifIndex -> link name, for the polling loop."""
 
 
-def discover(client: SNMPClient, seeds: list[str], per_hop_latency: float = 0.1e-3):
+def discover(
+    client: SNMPClient,
+    seeds: list[str],
+    per_hop_latency: float = 0.1e-3,
+    scope: "set[str] | frozenset[str] | None" = None,
+):
     """Generator (run in a sim process): BFS discovery from *seeds*.
 
     Returns a :class:`DiscoveryResult`.  Raises CollectorError if no seed
     agent answers.
+
+    *scope*, when given, bounds the walk to a region: nodes outside the
+    set are never visited, and links whose far end lies outside are left
+    unrecorded (and unpolled) — they belong to whichever collector owns
+    the neighbouring region.  This is what lets several scoped collectors
+    share one physical network without double-counting border links: each
+    cell's collector discovers exactly its shard, and a backbone collector
+    scoped to the gateway routers discovers exactly the inter-shard links.
     """
+    scope_set = None if scope is None else set(scope)
     topology = Topology(name="discovered")
     managed: list[str] = []
     interface_map: dict[str, dict[int, str]] = {}
@@ -50,6 +64,8 @@ def discover(client: SNMPClient, seeds: list[str], per_hop_latency: float = 0.1e
         node_name = queue.pop(0)
         if node_name in visited:
             continue
+        if scope_set is not None and node_name not in scope_set:
+            continue  # misconfigured seed pointing outside the region
         visited.add(node_name)
         if node_name not in client.agents:
             continue
@@ -90,6 +106,8 @@ def discover(client: SNMPClient, seeds: list[str], per_hop_latency: float = 0.1e
         for oid, value in neighbors:
             if_index = mib.column_index(oid, mib.IF_NEIGHBOR)
             neighbor_name, link_name = str(value).split("|", 1)
+            if scope_set is not None and neighbor_name not in scope_set:
+                continue  # border link: owned by the neighbouring region
             interface_map[node_name][if_index] = link_name
             capacity = float(speed_by_index.get(if_index, 0) or 0)
             pending_links.setdefault(

@@ -46,6 +46,11 @@ class SNMPCollector(Collector):
     per_hop_latency:
         The constant latency assumed per link (§5: "the Collector
         currently assumes a fixed per-hop delay").
+    scope:
+        Optional set of node names bounding discovery to a region.  A
+        scoped collector is one *cell* of a federation: it sees only the
+        nodes in its scope and the links internal to it, leaving border
+        links to the collector that owns the neighbouring region.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class SNMPCollector(Collector):
         client_host: str | None = None,
         per_hop_latency: float = 0.1e-3,
         series_capacity: int = 4096,
+        scope: "set[str] | frozenset[str] | None" = None,
     ):
         super().__init__()
         if poll_interval <= 0:
@@ -67,6 +73,7 @@ class SNMPCollector(Collector):
         self.seeds = list(seeds) if seeds is not None else sorted(agents)
         self.poll_interval = poll_interval
         self.per_hop_latency = per_hop_latency
+        self.scope = frozenset(scope) if scope is not None else None
         self.metrics = MetricsStore(series_capacity)
         self.polls_completed = 0
         self.samples_recorded = 0
@@ -100,7 +107,10 @@ class SNMPCollector(Collector):
     def _run(self, ready):
         try:
             result = yield from discover(
-                self.client, self.seeds, per_hop_latency=self.per_hop_latency
+                self.client,
+                self.seeds,
+                per_hop_latency=self.per_hop_latency,
+                scope=self.scope,
             )
             self._view = NetworkView(topology=result.topology, metrics=self.metrics)
             self._managed = result.managed_nodes

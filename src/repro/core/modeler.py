@@ -31,7 +31,7 @@ from repro.core.cachestats import CacheStats
 from repro.core.collapse import CollapseTree
 from repro.core.graph import RemosEdge, RemosGraph, RemosNode
 from repro.core.timeframe import Timeframe, TimeframeKind
-from repro.net import Hierarchy, LinkDirection, NodeKind, RoutingTable
+from repro.net import Hierarchy, HierarchyRefusal, LinkDirection, NodeKind, RoutingTable
 from repro.stats import StatMeasure, make_predictor
 from repro.util.errors import QueryError, TopologyError
 
@@ -119,7 +119,11 @@ class Modeler:
         # memoises a failed build per structure level so auto-mode queries
         # on non-hierarchical topologies pay the inference attempt once.
         self._collapse: CollapseTree | None = None
-        self._no_hierarchy: tuple[int, str] | None = None
+        self._no_hierarchy: tuple[int, str, str] | None = None
+        # Structure level the slow-path fallback warning fired at, so the
+        # "whole-network graph went flat" warning is one-time per structure
+        # (the counter keeps counting every fallback query).
+        self._slow_path_warned: int | None = None
         # Per-epoch array materialisation for the vectorized query path
         # (repro.core.snaparrays); built lazily on first vectorized query.
         self._snaparrays = None
@@ -463,6 +467,9 @@ class Modeler:
         # both epochs can traverse it concurrently.
         child._collapse = None
         child._no_hierarchy = None
+        # Carried so the flat-fallback warning stays one-time across epochs
+        # of the same structure.
+        child._slow_path_warned = self._slow_path_warned
         # Array materialisation is cheap to rebuild and partly dynamic;
         # each epoch's modeler starts with a fresh one.
         child._snaparrays = None
@@ -762,19 +769,55 @@ class Modeler:
             return self._collapse
         structure = self.view.structure_generation
         if self._no_hierarchy is not None and self._no_hierarchy[0] == structure:
-            raise TopologyError(self._no_hierarchy[1])
+            _, reason, message = self._no_hierarchy
+            raise HierarchyRefusal(message, reason)
         topology = self.view.topology
         try:
             hierarchy = topology.hierarchy or Hierarchy.infer(topology)
             tree = CollapseTree(topology, hierarchy)
         except TopologyError as exc:
-            self._no_hierarchy = (structure, str(exc))
+            # Memoise the *reason* alongside the message: plain
+            # TopologyErrors (e.g. CollapseTree validation) degrade to the
+            # catch-all code so the re-raise is always a HierarchyRefusal.
+            reason = getattr(exc, "reason", "not-hierarchical")
+            self._no_hierarchy = (structure, reason, str(exc))
             raise
         self._collapse = tree
         return tree
 
+    def _note_slow_path(self, node_count: int, exc: TopologyError) -> None:
+        """Record an auto-mode graph query falling back to the flat path.
+
+        Counts every fallback query (``remos_graph_slow_path_total``,
+        labelled by refusal reason) and emits one structured warning per
+        topology structure — the "whole-network get_graph went flat"
+        regression used to be silent (ROADMAP "Known soft spot").
+        """
+        reason = getattr(exc, "reason", "not-hierarchical")
+        obs.inc(
+            "remos_graph_slow_path_total",
+            help="Whole-network graph queries answered on the flat (non-hierarchical) slow path",
+            reason=reason,
+        )
+        structure = self.view.structure_generation
+        if self._slow_path_warned == structure:
+            return
+        self._slow_path_warned = structure
+        if _log.enabled_for("warning"):
+            _log.warning(
+                "graph_slow_path",
+                nodes=node_count,
+                reason=reason,
+                detail=str(exc),
+                structure_generation=structure,
+            )
+
     def logical_graph(
-        self, nodes: list[str], timeframe: Timeframe, collapse: str = "auto"
+        self,
+        nodes: list[str],
+        timeframe: Timeframe,
+        collapse: str = "auto",
+        include: tuple[str, ...] = (),
     ) -> RemosGraph:
         """Build the pruned + collapsed logical topology for *nodes*.
 
@@ -794,9 +837,17 @@ class Modeler:
         (default) uses the hierarchy only above
         ``AUTO_COLLAPSE_THRESHOLD`` queried nodes, so small queries keep
         their byte-identical flat answers.
+
+        *include* lists extra nodes (any kind — the federation layer
+        passes border gateways) routed into the flat graph as anchors
+        without appearing in ``query_nodes``.  Only the flat path
+        composes this way, so ``include`` requires ``collapse="flat"``.
         """
         if collapse not in ("auto", "flat", "hier"):
             raise QueryError(f"unknown collapse mode {collapse!r}")
+        include = tuple(include)
+        if include and collapse != "flat":
+            raise QueryError("include nodes require collapse='flat'")
         self.sync_structure()
         topology = self.view.topology
         for name in nodes:
@@ -804,6 +855,9 @@ class Modeler:
                 raise QueryError(f"unknown node {name!r} in get_graph query")
             if not topology.node(name).is_compute:
                 raise QueryError(f"get_graph nodes must be compute nodes; {name!r} is not")
+        for name in include:
+            if not topology.has_node(name):
+                raise QueryError(f"unknown include node {name!r} in get_graph query")
         if not nodes:
             raise QueryError("get_graph requires at least one node")
         mode = "flat"
@@ -817,8 +871,9 @@ class Modeler:
             try:
                 self.collapse_tree()
                 mode = "hier"
-            except TopologyError:
+            except TopologyError as exc:
                 mode = "flat"
+                self._note_slow_path(len(nodes), exc)
 
         # Memoised per (generation, sorted nodes, timeframe, mode).  The
         # query order is part of the answer (RemosGraph.query_nodes), so a
@@ -830,7 +885,7 @@ class Modeler:
         if self.enable_cache:
             self._refresh_caches()
             now = self.now
-            key = (tuple(sorted(nodes)), timeframe, mode)
+            key = (tuple(sorted(nodes)), timeframe, mode, include)
             entry = self._graph_cache.get(key)
             if entry is not None and entry.graph.query_nodes == list(nodes):
                 if self._validate_graph(entry, timeframe, now):
@@ -840,14 +895,14 @@ class Modeler:
         if mode == "hier":
             graph = self._compute_hier_graph(nodes, timeframe)
         else:
-            graph = self._compute_logical_graph(nodes, timeframe)
+            graph = self._compute_logical_graph(nodes, timeframe, include)
         if self.enable_cache:
             link_names = frozenset(
                 name for edge in graph.edges for name in edge.physical_links
             )
-            self._graph_cache[(tuple(sorted(nodes)), timeframe, mode)] = _GraphEntry(
-                graph, link_names, self.now
-            )
+            self._graph_cache[
+                (tuple(sorted(nodes)), timeframe, mode, include)
+            ] = _GraphEntry(graph, link_names, self.now)
         return graph
 
     def _validate_graph(
@@ -868,16 +923,20 @@ class Modeler:
         return True
 
     def _compute_logical_graph(
-        self, nodes: list[str], timeframe: Timeframe
+        self, nodes: list[str], timeframe: Timeframe, include: tuple[str, ...] = ()
     ) -> RemosGraph:
         topology = self.view.topology
         now = self.now  # one evaluation time for the whole graph
 
-        # Step 1: union of routing paths.
-        keep_nodes: set[str] = set(nodes)
+        # Step 1: union of routing paths.  ``include`` nodes participate in
+        # the route union and stay visible as anchors, but are not query
+        # nodes of the result.
+        route_nodes = list(nodes) + [n for n in include if n not in nodes]
+        anchor_names = set(route_nodes)
+        keep_nodes: set[str] = set(route_nodes)
         keep_links: set[str] = set()
-        for i, src in enumerate(nodes):
-            for dst in nodes[i + 1:]:
+        for i, src in enumerate(route_nodes):
+            for dst in route_nodes[i + 1:]:
                 route = self.routing.route(src, dst)
                 keep_nodes.update(route.node_sequence)
                 keep_links.update(link.name for link in route.links)
@@ -893,7 +952,7 @@ class Modeler:
 
         def is_anchor(name: str) -> bool:
             node = topology.node(name)
-            if name in nodes or node.is_compute:
+            if name in anchor_names or node.is_compute:
                 return True
             if node.internal_bandwidth != float("inf"):
                 return True  # finite crossbars must stay visible

@@ -1,0 +1,41 @@
+"""Federated Remos: many cells, one query plane.
+
+A federation partitions the network into *cells* (shards), each running
+its own collector and publishing its own frozen epochs
+(:mod:`repro.collector.cell`).  A tree of :class:`Aggregator` nodes
+merges per-cell summary snapshots — inter-shard link bundles plus
+per-shard aggregate capacities — while intra-shard detail stays in the
+leaves.  :class:`FederatedRemos` answers the existing query API over the
+whole federation: intra-shard queries are delegated (bit-identical to a
+single-cell deployment), cross-shard queries compose summary edges with
+on-demand detail from the endpoint-hosting shards only.
+
+See ``docs/FEDERATION.md`` for the cell model, merge semantics and the
+exact-vs-conservative answer ladder.
+"""
+
+from repro.federation.aggregator import Aggregator
+from repro.federation.api import FederatedRemos, FederationCacheStats
+from repro.federation.service import FederationService
+from repro.federation.summary import (
+    CellSummary,
+    FederationSummary,
+    SummaryEdge,
+    summarize_cell,
+)
+from repro.federation.topology import FederationPlan, build_federation
+from repro.federation.world import FederationWorld
+
+__all__ = [
+    "Aggregator",
+    "CellSummary",
+    "FederatedRemos",
+    "FederationCacheStats",
+    "FederationPlan",
+    "FederationService",
+    "FederationSummary",
+    "FederationWorld",
+    "SummaryEdge",
+    "build_federation",
+    "summarize_cell",
+]

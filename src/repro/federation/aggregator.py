@@ -1,0 +1,201 @@
+"""The tree-structured aggregation service.
+
+Each :class:`Aggregator` node merges its children's summary snapshots —
+cells contribute :class:`~repro.federation.summary.CellSummary` records,
+child aggregators contribute their whole folded summary — plus the
+inter-shard link bundles its own backbone cell observes.  Intra-shard
+detail never travels up the tree; a parent knows shard sizes, epochs and
+WAN bundles, nothing more.
+
+Publication follows the snapshot discipline: :meth:`refresh` (single
+writer — the federation sweeper) assembles a new
+:class:`FederationSummary` only when a child epoch moved and installs it
+with one atomic reference store; :meth:`current` is lock-free.  The
+aggregator is duck-compatible with
+:class:`~repro.core.snapshot.SnapshotPublisher` (``current()``, ``epoch``,
+``publishes``, ``refresh()``) so the service front end can treat a
+federation like any other publisher.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro import obs
+from repro.collector.cell import Cell
+from repro.federation.summary import CellSummary, FederationSummary, SummaryEdge, summarize_cell
+from repro.util.errors import ConfigurationError
+
+_log = obs.get_logger("repro.federation.aggregator")
+
+
+class Aggregator:
+    """One node of the aggregation tree.
+
+    Parameters
+    ----------
+    children:
+        Cells (leaves) and/or child aggregators (subtrees).
+    backbone:
+        The cell scoped to this level's border routers; its view supplies
+        the inter-shard link bundles between this node's children.  A
+        leaf-less root summarising a single cell may omit it.
+    name:
+        Aggregator identity; stamps the summaries and owns the edges.
+    """
+
+    def __init__(
+        self,
+        children: Iterable[Union[Cell, "Aggregator"]],
+        backbone: Cell | None = None,
+        name: str = "federation",
+    ):
+        self.name = name
+        self.children = tuple(children)
+        if not self.children:
+            raise ConfigurationError("an aggregator needs at least one child")
+        self.backbone = backbone
+        names = [c.name for c in self.children]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate child names under {name!r}: {names}")
+        self._current: FederationSummary | None = None
+        self._stamp: tuple | None = None
+        self.publishes = 0
+
+    # -- publisher duck-typing ---------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Publication count (0 before the first summary)."""
+        summary = self._current
+        return 0 if summary is None else summary.epoch
+
+    def current(self) -> FederationSummary | None:
+        """The latest published summary (lock-free; None before first)."""
+        return self._current
+
+    # -- tree walking ------------------------------------------------------------
+
+    def leaf_cells(self) -> tuple[Cell, ...]:
+        """Every cell in this subtree, depth-first."""
+        cells: list[Cell] = []
+        for child in self.children:
+            if isinstance(child, Aggregator):
+                cells.extend(child.leaf_cells())
+            else:
+                cells.append(child)
+        return tuple(cells)
+
+    def backbones(self) -> dict[str, Cell]:
+        """Backbone cells by owning aggregator name, whole subtree."""
+        owners: dict[str, Cell] = {}
+        if self.backbone is not None:
+            owners[self.name] = self.backbone
+        for child in self.children:
+            if isinstance(child, Aggregator):
+                owners.update(child.backbones())
+        return owners
+
+    # -- merge -------------------------------------------------------------------
+
+    def _child_stamp(self) -> tuple:
+        parts: list = []
+        for child in self.children:
+            parts.append(child.epoch)
+        parts.append(self.backbone.epoch if self.backbone is not None else 0)
+        return tuple(parts)
+
+    def refresh(self) -> FederationSummary:
+        """Re-merge child summaries if any child epoch moved.
+
+        Single-writer by contract (the federation sweeper); cells that
+        have not published yet are simply absent from the merge, so a
+        federation comes up shard by shard.
+        """
+        stamp = self._child_stamp()
+        current = self._current
+        if current is not None and stamp == self._stamp:
+            return current
+        cells: dict[str, CellSummary] = {}
+        edges: list[SummaryEdge] = []
+        for child in self.children:
+            if isinstance(child, Aggregator):
+                folded = child.refresh()
+                cells.update(folded.cells)
+                edges.extend(folded.edges)
+            elif child.epoch > 0:
+                cells[child.name] = summarize_cell(child)
+        edges.extend(self._backbone_edges(cells))
+        summary = FederationSummary(
+            name=self.name,
+            epoch=self.epoch + 1,
+            cells=cells,
+            edges=tuple(edges),
+        )
+        # The one store readers synchronise on: atomic under the GIL.
+        self._current = summary
+        self._stamp = stamp
+        self.publishes += 1
+        obs.inc(
+            "remos_federation_merges_total",
+            help="Summary merges published by aggregators",
+            aggregator=self.name,
+        )
+        if _log.enabled_for("debug"):
+            _log.debug(
+                "summary_published",
+                aggregator=self.name,
+                epoch=summary.epoch,
+                shards=len(cells),
+                edges=len(summary.edges),
+            )
+        return summary
+
+    def _backbone_edges(self, cells: dict[str, CellSummary]) -> list[SummaryEdge]:
+        """Bundle this level's WAN links by the shard pair they connect.
+
+        Gateways are mapped to shards through the child summaries; links
+        touching a gateway whose cell has not published yet are held back
+        until it does (the merge stays conservative, never partial).
+        """
+        if self.backbone is None or self.backbone.epoch == 0:
+            return []
+        gateway_shard: dict[str, str] = {}
+        for summary in cells.values():
+            for gateway in summary.gateways:
+                gateway_shard[gateway] = summary.shard
+        topology = self.backbone.snapshot().view.topology
+        bundles: dict[tuple[str, str], list] = {}
+        for link in topology.links:
+            shard_a = gateway_shard.get(link.a)
+            shard_b = gateway_shard.get(link.b)
+            if shard_a is None or shard_b is None or shard_a == shard_b:
+                continue
+            if shard_a > shard_b:
+                shard_a, shard_b = shard_b, shard_a
+            bundles.setdefault((shard_a, shard_b), []).append(link)
+        edges: list[SummaryEdge] = []
+        for (shard_a, shard_b), links in sorted(bundles.items()):
+            links.sort(key=lambda link: link.name)
+            first = links[0]
+            gateway_a = first.a if gateway_shard[first.a] == shard_a else first.b
+            gateway_b = first.other(gateway_a)
+            edges.append(
+                SummaryEdge(
+                    a=shard_a,
+                    b=shard_b,
+                    gateway_a=gateway_a,
+                    gateway_b=gateway_b,
+                    members=tuple(link.name for link in links),
+                    capacity=sum(link.capacity for link in links),
+                    latency=min(link.latency for link in links),
+                    owner=self.name,
+                )
+            )
+        return edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Aggregator {self.name!r} children={len(self.children)} "
+            f"epoch={self.epoch}>"
+        )

@@ -1,0 +1,172 @@
+"""Deterministic multi-shard topologies for federation tests and benches.
+
+:func:`build_federation` lays out ``shards`` identical leaf-spine regions
+joined by a WAN of gateway-to-gateway links.  The layout is chosen so the
+federated query plane and a single-cell oracle over the same wires agree
+wherever exactness is claimed:
+
+* every node name carries its shard prefix (``s3-leaf1-h2``), so shard
+  membership is readable and name-based routing tie-breaks sort the same
+  way in a cell's view and in the oracle's merged view;
+* each shard has exactly **one** gateway, attached to exactly **one**
+  spine (``spine0``), so the host-to-gateway segment of every cross-shard
+  route is tie-free — the composed segment equals the oracle's route
+  prefix/suffix by construction;
+* no hierarchy is attached: discovered regional views have none either,
+  so both query planes route with the lexicographic tie-break.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net import Topology
+from repro.net.builder import TopologyBuilder
+from repro.util.errors import ConfigurationError
+from repro.util.units import parse_bandwidth
+
+
+@dataclass(frozen=True)
+class FederationPlan:
+    """A built federation topology plus the partition metadata.
+
+    ``regions`` maps each shard to its full node scope (hosts, switches
+    and the gateway) — exactly what the shard's scoped collector should be
+    given; the gateway set is the backbone collector's scope.
+    """
+
+    name: str
+    topology: Topology
+    shards: tuple[str, ...]
+    regions: dict[str, frozenset[str]]
+    gateways: dict[str, str]
+    hosts: dict[str, tuple[str, ...]]
+    wan_links: tuple[str, ...]
+
+    @property
+    def host_count(self) -> int:
+        return sum(len(names) for names in self.hosts.values())
+
+    def region_routers(self, shard: str) -> tuple[str, ...]:
+        """The switch names (including the gateway) of one region."""
+        hosts = set(self.hosts[shard])
+        return tuple(
+            sorted(name for name in self.regions[shard] if name not in hosts)
+        )
+
+
+def build_federation(
+    shards: int = 4,
+    leaves: int = 2,
+    spines: int = 2,
+    hosts_per_leaf: int = 4,
+    *,
+    host_capacity: "float | str" = "1Gbps",
+    fabric_capacity: "float | str" = "10Gbps",
+    wan_capacity: "float | str" = "2Gbps",
+    wan: str = "mesh",
+    wan_members: int = 1,
+    rng: "random.Random | None" = None,
+    jitter: float = 0.3,
+    name: str | None = None,
+) -> FederationPlan:
+    """Build ``shards`` leaf-spine regions joined by a gateway WAN.
+
+    ``wan="mesh"`` links every gateway pair directly (cross-shard routes
+    are single summary hops); ``wan="ring"`` links neighbours only, so
+    queries between non-adjacent shards transit intermediate gateways.
+    ``wan_members`` lays parallel links per connected pair — the summary
+    plane bundles them into one edge.  With *rng*, every link capacity is
+    scaled by a deterministic factor in ``[1-jitter, 1+jitter]`` so
+    differential suites exercise non-uniform bottlenecks.
+    """
+    if shards < 2:
+        raise ConfigurationError(f"a federation needs at least 2 shards, got {shards}")
+    if leaves < 1 or spines < 1 or hosts_per_leaf < 1:
+        raise ConfigurationError(
+            f"regions need positive dimensions, got {leaves}x{spines}x{hosts_per_leaf}"
+        )
+    if wan not in ("mesh", "ring"):
+        raise ConfigurationError(f"unknown wan layout {wan!r}")
+    if wan_members < 1:
+        raise ConfigurationError("wan_members must be positive")
+
+    def scaled(capacity: "float | str") -> float:
+        value = parse_bandwidth(capacity) if isinstance(capacity, str) else capacity
+        if rng is None:
+            return value
+        return value * (1.0 + jitter * (2.0 * rng.random() - 1.0))
+
+    builder = TopologyBuilder(
+        name or f"federation-{shards}x{leaves}x{spines}x{hosts_per_leaf}"
+    )
+    shard_names = tuple(f"s{i}" for i in range(shards))
+    regions: dict[str, frozenset[str]] = {}
+    gateways: dict[str, str] = {}
+    hosts: dict[str, tuple[str, ...]] = {}
+    for shard in shard_names:
+        region: list[str] = []
+        spine_names = [f"{shard}-spine{k}" for k in range(spines)]
+        for spine in spine_names:
+            builder.router(spine)
+            region.append(spine)
+        shard_hosts: list[str] = []
+        for j in range(leaves):
+            leaf = f"{shard}-leaf{j}"
+            builder.router(leaf)
+            region.append(leaf)
+            for spine in spine_names:
+                builder.link(leaf, spine, scaled(fabric_capacity))
+            for m in range(hosts_per_leaf):
+                host = f"{leaf}-h{m}"
+                builder.host(host)
+                builder.link(host, leaf, scaled(host_capacity))
+                region.append(host)
+                shard_hosts.append(host)
+        gateway = f"{shard}-gw"
+        builder.router(gateway)
+        builder.link(gateway, spine_names[0], scaled(fabric_capacity))
+        region.append(gateway)
+        gateways[shard] = gateway
+        regions[shard] = frozenset(region)
+        hosts[shard] = tuple(shard_hosts)
+
+    if wan == "mesh":
+        pairs = [
+            (shard_names[i], shard_names[j])
+            for i in range(shards)
+            for j in range(i + 1, shards)
+        ]
+    else:
+        pairs = sorted(
+            {
+                tuple(sorted((shard_names[i], shard_names[(i + 1) % shards])))
+                for i in range(shards)
+            }
+        )
+    wan_links: list[str] = []
+    for shard_a, shard_b in pairs:
+        for member in range(wan_members):
+            link_name = f"wan:{shard_a}|{shard_b}"
+            if wan_members > 1:
+                link_name = f"{link_name}/{member}"
+            builder.link(
+                gateways[shard_a],
+                gateways[shard_b],
+                scaled(wan_capacity),
+                "1ms",
+                name=link_name,
+            )
+            wan_links.append(link_name)
+
+    topology = builder.build()
+    return FederationPlan(
+        name=topology.name,
+        topology=topology,
+        shards=shard_names,
+        regions=regions,
+        gateways=gateways,
+        hosts=hosts,
+        wan_links=tuple(wan_links),
+    )

@@ -12,7 +12,7 @@ bandwidth of 10 Mbps" scenario is modelled.
 """
 
 from repro.net.topology import Link, LinkDirection, Node, NodeKind, Topology
-from repro.net.hierarchy import HierGroup, Hierarchy
+from repro.net.hierarchy import HierGroup, Hierarchy, HierarchyRefusal
 from repro.net.routing import MulticastTree, Route, RoutingTable
 from repro.net.builder import TopologyBuilder, fat_tree, leaf_spine, topology_from_spec
 
@@ -23,6 +23,7 @@ __all__ = [
     "LinkDirection",
     "Topology",
     "Hierarchy",
+    "HierarchyRefusal",
     "HierGroup",
     "Route",
     "MulticastTree",

@@ -33,6 +33,33 @@ LEVEL_POD = 2
 LEVEL_CORE = 3
 
 
+class HierarchyRefusal(TopologyError):
+    """``Hierarchy.infer`` declined: the topology's shape is not a tree.
+
+    Carries a machine-readable ``reason`` code alongside the human
+    message, so the Modeler's memoised failure (and the slow-path
+    fallback counter/warning built on it) can say *why* hierarchical
+    collapse is unavailable instead of silently degrading.  Reason codes:
+
+    ``no-hosts-or-switches``
+        The topology lacks one of the two node populations entirely.
+    ``unreachable-switch``
+        A switch has no path from any host.
+    ``too-many-tiers``
+        A switch sits more than three hop-tiers above the hosts.
+    ``multi-homed-host``
+        A host attaches to zero or several switches.
+    ``tor-reaches-core-directly``
+        A ToR component touches the core with no aggregation tier.
+    ``flat-multi-tor``
+        Several ToRs and nothing above them: a flat fabric.
+    """
+
+    def __init__(self, message: str, reason: str):
+        super().__init__(message)
+        self.reason = reason
+
+
 @dataclass(frozen=True)
 class HierGroup:
     """One node of the collapse tree: a named set of switches.
@@ -150,16 +177,20 @@ class Hierarchy:
 
         Switches are tiered by hop distance from the nearest host (1 = ToR,
         2 = pod/spine, 3 = core); pods are the connected components of the
-        ToR+aggregation subgraph.  Raises :class:`TopologyError` when the
-        shape is not hierarchical (multi-homed hosts, more than three
-        switch tiers, a flat multi-ToR fabric with no upper tier, ...).
-        The inferred hierarchy keeps ``tie_break="lexicographic"`` so it
-        never changes existing routes.
+        ToR+aggregation subgraph.  Raises :class:`HierarchyRefusal` (a
+        :class:`TopologyError` carrying a ``reason`` code) when the shape
+        is not hierarchical (multi-homed hosts, more than three switch
+        tiers, a flat multi-ToR fabric with no upper tier, ...).  The
+        inferred hierarchy keeps ``tie_break="lexicographic"`` so it never
+        changes existing routes.
         """
         hosts = [n.name for n in topology.compute_nodes]
         switches = [n.name for n in topology.network_nodes]
         if not hosts or not switches:
-            raise TopologyError("hierarchy needs both hosts and switches")
+            raise HierarchyRefusal(
+                "hierarchy needs both hosts and switches",
+                reason="no-hosts-or-switches",
+            )
         host_set = set(hosts)
         # Multi-source BFS from the hosts; never expand *through* a host.
         dist: dict[str, int] = {h: 0 for h in hosts}
@@ -178,11 +209,15 @@ class Hierarchy:
         for switch in switches:
             tier = dist.get(switch)
             if tier is None:
-                raise TopologyError(f"switch {switch!r} is unreachable from hosts")
+                raise HierarchyRefusal(
+                    f"switch {switch!r} is unreachable from hosts",
+                    reason="unreachable-switch",
+                )
             if tier > LEVEL_CORE:
-                raise TopologyError(
+                raise HierarchyRefusal(
                     f"switch {switch!r} sits {tier} tiers above the hosts; "
-                    "hierarchies support at most three"
+                    "hierarchies support at most three",
+                    reason="too-many-tiers",
                 )
             tiers[tier].append(switch)
         tors, uppers, cores = tiers[1], tiers[2], tiers[3]
@@ -190,9 +225,10 @@ class Hierarchy:
         for host in hosts:
             attached = {n for n in topology.neighbors(host) if n not in host_set}
             if len(attached) != 1:
-                raise TopologyError(
+                raise HierarchyRefusal(
                     f"host {host!r} attaches to {len(attached)} switches; "
-                    "hierarchical hosts are single-homed"
+                    "hierarchical hosts are single-homed",
+                    reason="multi-homed-host",
                 )
             (tor,) = attached
             if tor not in tiers[1]:  # pragma: no cover - defensive
@@ -232,9 +268,10 @@ class Hierarchy:
             for pod_id, component in zip(pod_ids, components):
                 pod_members = tuple(n for n in component if n in upper_set)
                 if not pod_members:
-                    raise TopologyError(
+                    raise HierarchyRefusal(
                         f"ToRs {component} reach the core with no aggregation "
-                        "tier in between"
+                        "tier in between",
+                        reason="tor-reaches-core-directly",
                     )
                 groups.append(HierGroup(pod_id, LEVEL_POD, pod_members, core_id))
                 for tor in component:
@@ -249,9 +286,10 @@ class Hierarchy:
                 groups.append(HierGroup(tor, LEVEL_TOR, (tor,), spine_id))
         else:
             if len(tors) != 1:
-                raise TopologyError(
+                raise HierarchyRefusal(
                     f"{len(tors)} ToR switches with no upper tier form a flat "
-                    "fabric, not a hierarchy"
+                    "fabric, not a hierarchy",
+                    reason="flat-multi-tor",
                 )
             groups.append(HierGroup(tors[0], LEVEL_TOR, (tors[0],), None))
         return cls(groups, host_group, tie_break="lexicographic")

@@ -61,6 +61,7 @@ class SlowQueryLog:
         span_tree: dict | None = None,
         status: int | None = None,
         ts: float | None = None,
+        shard: str | None = None,
     ) -> dict | None:
         """Record one completed query if it crossed the threshold.
 
@@ -86,6 +87,9 @@ class SlowQueryLog:
                 "cache_misses": cache_misses,
                 "status": status,
                 "span_tree": span_tree,
+                # Which federation shard answered (None outside federations;
+                # "cross" for queries composed across shards).
+                "shard": shard,
             }
             self._records.append(record)
             self.recorded += 1

@@ -19,7 +19,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro import obs
-from repro.collector import Collector, CollectorMaster
+from repro.collector import Cell, Collector, CollectorMaster
 from repro.core import Flow, FlowInfoResult, FlowQuery, Remos, Timeframe
 from repro.core.snapshot import Snapshot
 from repro.obs.slo import SLORegistry
@@ -67,8 +67,12 @@ class QueryFrontEnd:
     Parameters
     ----------
     source:
-        The collector the :class:`~repro.core.api.Remos` facade reads
-        network views from.
+        Where answers come from: a :class:`Collector` (wrapped in a fresh
+        Remos facade), a :class:`~repro.collector.cell.Cell` (its own
+        facade is used, so the cell's epochs are the service's epochs), or
+        any already-built facade exposing ``flow_info_batch`` — a
+        :class:`~repro.core.api.Remos` or a
+        :class:`~repro.federation.api.FederatedRemos`.
     max_batch:
         Most flow_info requests answered by one coalesced batch.
     workers:
@@ -103,7 +107,12 @@ class QueryFrontEnd:
         self._max_batch = max_batch
         self._workers = workers
         #: Queries never publish: the snapshot source is the single writer.
-        self.remos = Remos(source, auto_publish=False)
+        if isinstance(source, Cell):
+            self.remos = source.remos
+        elif hasattr(source, "flow_info_batch") and hasattr(source, "publisher"):
+            self.remos = source  # an already-built (possibly federated) facade
+        else:
+            self.remos = Remos(source, auto_publish=False)
         self._executor: ThreadPoolExecutor | None = None
         self._started = False
         # Coalescing state, all guarded by _cond.
@@ -248,6 +257,7 @@ class QueryFrontEnd:
             independent=tuple(independent_flows or ()),
         )
         pending = _Pending(query, timeframe)
+        shard = self._shard_of_query(query)
         span = obs.span("service.flow_info")
         stats = self.remos.cache_stats
         hits, misses = stats.hits, stats.misses
@@ -262,6 +272,8 @@ class QueryFrontEnd:
                         coalesced=pending.leader_span is not None
                         and pending.leader_span[0] != sp.trace_id,
                     )
+                    if shard is not None:
+                        sp.set(shard=shard)
                     if (
                         pending.leader_span is not None
                         and pending.leader_span[0] != sp.trace_id
@@ -280,6 +292,7 @@ class QueryFrontEnd:
                 cache_misses=stats.misses - misses,
                 span=span,
                 error=error,
+                shard=shard,
             )
 
     def _coalesce(self, pending: _Pending) -> FlowInfoResult:
@@ -309,6 +322,22 @@ class QueryFrontEnd:
                     self._cond.notify_all()
             if pending.done:
                 return pending.outcome()
+
+    def _shard_of_query(self, query: FlowQuery) -> str | None:
+        """The shard a flow query lands on, for span/slowlog stamping.
+
+        None outside federations (the facade has no shard routing);
+        ``"cross"`` when the endpoints span shards or are unknown (the
+        query itself will raise the precise error).
+        """
+        home_shard = getattr(self.remos, "home_shard", None)
+        if home_shard is None:
+            return None
+        endpoints = []
+        for flow in query.flows:
+            endpoints.append(flow.src)
+            endpoints.extend(flow.dsts if hasattr(flow, "dsts") else (flow.dst,))
+        return home_shard(endpoints) or "cross"
 
     @staticmethod
     def _flow_args(query: FlowQuery, timeframe: Timeframe) -> dict:
@@ -341,6 +370,7 @@ class QueryFrontEnd:
         cache_misses: int,
         span,
         error: BaseException | None,
+        shard: str | None = None,
     ) -> None:
         """Feed one completed query into the SLO and the slow-query log."""
         self.slos.record_request(endpoint, duration)
@@ -371,6 +401,7 @@ class QueryFrontEnd:
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             span_tree=tree,
+            shard=shard,
         )
 
     def _execute_group(self, group: list[_Pending]) -> None:
@@ -503,7 +534,10 @@ class RemosService(QueryFrontEnd):
     Parameters
     ----------
     collector:
-        The collector (or :class:`CollectorMaster`) to serve queries from.
+        The collector (or :class:`CollectorMaster`) to serve queries from,
+        or an already-wrapped :class:`~repro.collector.cell.Cell`.  A bare
+        collector is wrapped in ``Cell("root", ...)`` — a single-cell
+        deployment is just a federation of one.
     env:
         The simulation engine the sweeper advances.  Only the sweeper
         thread may run it.
@@ -525,8 +559,10 @@ class RemosService(QueryFrontEnd):
         sim_step: float = 1.0,
         **front_end,
     ):
-        super().__init__(collector, **front_end)
-        self._collector = collector
+        cell = collector if isinstance(collector, Cell) else Cell("root", collector)
+        super().__init__(cell, **front_end)
+        self._cell = cell
+        self._collector = cell.collector
         self._env = env
         self._sweep_interval = sweep_interval
         self._sim_step = sim_step
@@ -559,9 +595,7 @@ class RemosService(QueryFrontEnd):
             self._env.run(until=ready)
         if warmup > 0:
             self._env.run(until=self._env.now + warmup)
-        if isinstance(self._collector, CollectorMaster):
-            self._collector.refresh(allow_partial=True)
-        self.remos.publish()
+        self._cell.refresh()
         self.publishes = self.remos.publisher.publishes
         self._prepared = True
         return self
@@ -606,9 +640,7 @@ class RemosService(QueryFrontEnd):
             started = time.perf_counter()
             try:
                 self._env.run(until=self._env.now + self._sim_step)
-                if isinstance(self._collector, CollectorMaster):
-                    self._collector.refresh(allow_partial=True)
-                self.remos.publish()
+                self._cell.refresh()
                 self.sweeps += 1
                 self.publishes = self.remos.publisher.publishes
                 obs.inc(

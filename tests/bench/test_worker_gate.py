@@ -1,0 +1,47 @@
+"""The multi-process scaling gate decision, as pure logic."""
+
+from benchmarks.bench_concurrent_queries import (
+    WORKER_FLOOR,
+    WORKER_GATE,
+    WORKER_GATE_MIN_CPUS,
+    worker_gate,
+)
+
+
+class TestWorkerGateEnforced:
+    def test_enforced_at_min_cpus(self):
+        enforced, floor, passed = worker_gate(WORKER_GATE, WORKER_GATE_MIN_CPUS)
+        assert enforced
+        assert floor == WORKER_GATE
+        assert passed
+
+    def test_enforced_fails_below_gate(self):
+        enforced, floor, passed = worker_gate(
+            WORKER_GATE - 0.01, WORKER_GATE_MIN_CPUS + 4
+        )
+        assert enforced
+        assert not passed
+
+
+class TestWorkerGateInformationalFloor:
+    """Below WORKER_GATE_MIN_CPUS the gate degrades to the same-league floor."""
+
+    def test_small_machine_uses_floor_not_gate(self):
+        enforced, floor, passed = worker_gate(1.0, WORKER_GATE_MIN_CPUS - 1)
+        assert not enforced
+        assert floor == WORKER_FLOOR
+        # 1.0x would fail the enforced gate but passes the floor.
+        assert passed
+
+    def test_single_cpu_passes_at_floor_exactly(self):
+        enforced, floor, passed = worker_gate(WORKER_FLOOR, 1)
+        assert not enforced
+        assert passed
+
+    def test_single_cpu_fails_below_floor(self):
+        enforced, floor, passed = worker_gate(WORKER_FLOOR - 0.01, 1)
+        assert not enforced
+        assert not passed
+
+    def test_floor_is_weaker_than_gate(self):
+        assert WORKER_FLOOR < WORKER_GATE

@@ -1,0 +1,143 @@
+"""The whole-network flat fallback is observable, not silent.
+
+An auto-mode ``get_graph`` over more than ``AUTO_COLLAPSE_THRESHOLD``
+nodes on a non-hierarchical topology used to quietly take the O(n²) flat
+path.  Now every such query bumps ``remos_graph_slow_path_total`` with
+the refusal reason, and the first one per topology structure logs a
+structured warning — including across snapshot epochs of that structure.
+"""
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.collector import MetricsStore
+from repro.collector.base import NetworkView
+from repro.core import Remos, Timeframe
+from repro.core.modeler import AUTO_COLLAPSE_THRESHOLD, Modeler
+from repro.net import TopologyBuilder
+from repro.util.errors import QueryError
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    obs.reset_observability()
+    yield
+    obs.reset_observability()
+
+
+def flat_fabric(hosts_per_router: int):
+    """4 chained ToRs with no upper tier: inference refuses (flat-multi-tor)."""
+    builder = TopologyBuilder("flat-fabric")
+    routers = [f"r{i}" for i in range(4)]
+    hosts: list[str] = []
+    for router in routers:
+        builder.router(router)
+    for a, b in zip(routers, routers[1:]):
+        builder.link(a, b, "10Gbps", "1ms")
+    for router in routers:
+        for i in range(hosts_per_router):
+            host = f"{router}-h{i}"
+            builder.host(host)
+            builder.link(host, router, "1Gbps", "0.1ms")
+            hosts.append(host)
+    return builder.build(), hosts
+
+
+def big_view():
+    topology, hosts = flat_fabric(hosts_per_router=17)  # 68 > threshold
+    assert len(hosts) > AUTO_COLLAPSE_THRESHOLD
+    metrics = MetricsStore()
+    for direction in topology.iter_directions():
+        for i in range(5):
+            metrics.record(direction.link.name, direction.src, float(i), 0.0)
+    return NetworkView(topology=topology, metrics=metrics), hosts
+
+
+def slow_path_count(reason: str = "flat-multi-tor") -> float:
+    return (
+        obs.get_registry()
+        .counter("remos_graph_slow_path_total", labels={"reason": reason})
+        .value
+    )
+
+
+class TestSlowPathCounter:
+    def test_every_fallback_query_counts(self):
+        stream = io.StringIO()
+        obs.configure_observability(metrics=True, logging=True, log_stream=stream)
+        view, hosts = big_view()
+        remos = Remos(view)
+        remos.get_graph(hosts)
+        assert slow_path_count() == 1
+        # A different node set misses the query cache and falls back again.
+        remos.get_graph(list(reversed(hosts)))
+        assert slow_path_count() == 2
+
+    def test_small_queries_never_count(self):
+        obs.configure_observability(metrics=True)
+        view, hosts = big_view()
+        remos = Remos(view)
+        remos.get_graph(hosts[: AUTO_COLLAPSE_THRESHOLD])
+        assert slow_path_count() == 0
+
+    def test_forced_flat_never_counts(self):
+        obs.configure_observability(metrics=True)
+        view, hosts = big_view()
+        remos = Remos(view)
+        remos.get_graph(hosts, collapse="flat")
+        assert slow_path_count() == 0
+
+
+class TestSlowPathWarning:
+    def test_warns_once_per_structure_across_epochs(self):
+        stream = io.StringIO()
+        obs.configure_observability(metrics=True, logging=True, log_stream=stream)
+        view, hosts = big_view()
+        remos = Remos(view, auto_publish=False)
+        remos.publish()
+        remos.get_graph(hosts)
+        warnings = [
+            line for line in stream.getvalue().splitlines() if "graph_slow_path" in line
+        ]
+        assert len(warnings) == 1
+        assert "flat-multi-tor" in warnings[0]
+        # New epoch, same structure: the fallback still counts but the
+        # warn-once marker is carried through the modeler fork.
+        remos.publish()
+        remos.get_graph(list(reversed(hosts)))
+        warnings = [
+            line for line in stream.getvalue().splitlines() if "graph_slow_path" in line
+        ]
+        assert len(warnings) == 1
+        assert slow_path_count() == 2
+
+
+class TestIncludeAnchors:
+    """The ``include=`` hook the federation layer builds its graphs with."""
+
+    def test_include_node_is_routed_into_the_graph(self):
+        view, hosts = big_view()
+        modeler = Modeler(view)
+        graph = modeler.logical_graph(
+            hosts[:2], Timeframe.current(), "flat", include=("r3",)
+        )
+        assert graph.has_node("r3")
+        assert graph.query_nodes == hosts[:2]
+
+    def test_include_requires_flat(self):
+        view, hosts = big_view()
+        modeler = Modeler(view)
+        with pytest.raises(QueryError, match="collapse='flat'"):
+            modeler.logical_graph(
+                hosts[:2], Timeframe.current(), "auto", include=("r3",)
+            )
+
+    def test_unknown_include_node(self):
+        view, hosts = big_view()
+        modeler = Modeler(view)
+        with pytest.raises(QueryError, match="unknown include node"):
+            modeler.logical_graph(
+                hosts[:2], Timeframe.current(), "flat", include=("nope",)
+            )

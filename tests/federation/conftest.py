@@ -1,0 +1,68 @@
+"""Shared federation fixtures: simulated multi-shard worlds + oracles.
+
+``make_world`` builds a federation and the single-cell oracle over the
+*same* collectors, optionally with competing traffic and deterministic
+capacity jitter — the setup every differential test compares across.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.federation import FederationWorld
+from repro.traffic import TrafficScenario, TrafficSpec
+
+
+def make_world(
+    shards: int = 3,
+    leaves: int = 2,
+    spines: int = 2,
+    hosts_per_leaf: int = 2,
+    *,
+    wan: str = "mesh",
+    wan_members: int = 1,
+    wan_capacity: str = "500Mbps",
+    seed: int | None = None,
+    traffic: tuple[TrafficSpec, ...] = (),
+    warmup: float = 6.0,
+):
+    """Build (world, federated_remos, oracle_remos), monitored and warm."""
+    world = FederationWorld.build(
+        poll_interval=1.0,
+        shards=shards,
+        leaves=leaves,
+        spines=spines,
+        hosts_per_leaf=hosts_per_leaf,
+        wan=wan,
+        wan_members=wan_members,
+        wan_capacity=wan_capacity,
+        rng=random.Random(seed) if seed is not None else None,
+    )
+    scenario = TrafficScenario("load", list(traffic)) if traffic else None
+    if scenario is not None:
+        scenario.start(world.net, rng=1)
+    remos = world.start_monitoring(warmup=warmup)
+    oracle = world.oracle_remos()
+    world.refresh_all()
+    return world, remos, oracle
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """3 mesh shards x 8 hosts, idle, uniform capacities."""
+    return make_world()
+
+
+@pytest.fixture(scope="module")
+def loaded_world():
+    """3 mesh shards with jittered capacities and cross-shard load."""
+    return make_world(
+        seed=7,
+        traffic=(
+            TrafficSpec("s0-leaf0-h0", "s1-leaf0-h0", rate="200Mbps"),
+            TrafficSpec("s1-leaf1-h1", "s2-leaf0-h1", rate="120Mbps"),
+            TrafficSpec("s0-leaf1-h0", "s0-leaf0-h1", rate="300Mbps"),
+        ),
+    )

@@ -1,0 +1,129 @@
+"""Cells, scoped discovery and the shard registry."""
+
+import pytest
+
+from repro.collector import Cell, MetricsStore, ShardRegistry
+from repro.collector.base import Collector, NetworkView
+from repro.net import TopologyBuilder
+from repro.util.errors import ConfigurationError, QueryError
+
+from tests.federation.conftest import make_world
+
+
+class StaticCollector(Collector):
+    """A collector that was born ready, for registry unit tests."""
+
+    def __init__(self, view: NetworkView):
+        super().__init__()
+        self._view = view
+
+    def start(self):  # pragma: no cover - never awaited
+        return None
+
+    def stop(self) -> None:
+        pass
+
+
+def tiny_view(host: str, router: str = "r1") -> NetworkView:
+    topology = (
+        TopologyBuilder(f"tiny-{host}")
+        .host(host)
+        .router(router)
+        .link(host, router, "100Mbps", "0.1ms")
+        .build()
+    )
+    return NetworkView(topology=topology, metrics=MetricsStore())
+
+
+class TestCell:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            Cell("", StaticCollector(tiny_view("h1")))
+
+    def test_static_cell_owns_its_hosts(self):
+        cell = Cell("a", StaticCollector(tiny_view("h1")))
+        assert cell.ready
+        assert cell.hosts() == ("h1",)
+        assert cell.epoch == 0  # nothing published yet
+        cell.refresh()
+        assert cell.epoch == 1
+        assert cell.snapshot().view.topology.has_node("h1")
+
+    def test_staleness_is_none_before_ready(self):
+        class Unready(StaticCollector):
+            def __init__(self):
+                Collector.__init__(self)
+
+        cell = Cell("a", Unready())
+        assert not cell.ready
+        assert cell.hosts() == ()
+        assert cell.staleness_seconds() is None
+
+
+class TestShardRegistry:
+    def test_partition_and_ownership(self):
+        registry = ShardRegistry(
+            [
+                Cell("a", StaticCollector(tiny_view("h1", "r1"))),
+                Cell("b", StaticCollector(tiny_view("h2", "r2"))),
+            ]
+        )
+        assert registry.shard_of("h1") == "a"
+        assert registry.shard_of("h2") == "b"
+        assert registry.shard_of("nope") is None
+        assert registry.partition(["h2", "h1", "h2"]) == {"b": ["h2", "h2"], "a": ["h1"]}
+        assert registry.cell_of("h1").name == "a"
+        with pytest.raises(QueryError):
+            registry.cell_of("nope")
+        with pytest.raises(QueryError):
+            registry.partition(["h1", "nope"])
+        assert sorted(registry.hosts()) == ["h1", "h2"]
+
+    def test_duplicate_cell_name_rejected(self):
+        registry = ShardRegistry([Cell("a", StaticCollector(tiny_view("h1")))])
+        with pytest.raises(ConfigurationError):
+            registry.add(Cell("a", StaticCollector(tiny_view("h2"))))
+
+    def test_overlapping_claims_rejected(self):
+        registry = ShardRegistry(
+            [
+                Cell("a", StaticCollector(tiny_view("h1", "r1"))),
+                Cell("b", StaticCollector(tiny_view("h1", "r2"))),
+            ]
+        )
+        with pytest.raises(ConfigurationError, match="claimed by cells"):
+            registry.shard_of("h1")
+
+
+class TestScopedDiscovery:
+    """Region collectors must see their region only; the backbone the WAN."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        world, _remos, _oracle = make_world(shards=2, warmup=2.0)
+        return world
+
+    def test_region_views_are_disjoint_and_complete(self, world):
+        for shard, cell in world.cells.items():
+            nodes = {n.name for n in cell.view().topology.nodes}
+            assert nodes == set(world.plan.regions[shard])
+
+    def test_region_view_has_no_wan_links(self, world):
+        wan = set(world.plan.wan_links)
+        for cell in world.cells.values():
+            names = {link.name for link in cell.view().topology.links}
+            assert not names & wan
+
+    def test_backbone_sees_exactly_the_wan(self, world):
+        topology = world.backbone.view().topology
+        assert {link.name for link in topology.links} == set(world.plan.wan_links)
+        assert {n.name for n in topology.nodes} == set(world.plan.gateways.values())
+
+    def test_gateways_are_network_nodes_everywhere(self, world):
+        # Scope keeps a neighbouring region's gateway from materialising
+        # as a fake unmanaged host in anyone's view.
+        for shard, cell in world.cells.items():
+            gateway = world.plan.gateways[shard]
+            assert not cell.view().topology.node(gateway).is_compute
+        for gateway in world.plan.gateways.values():
+            assert not world.backbone.view().topology.node(gateway).is_compute

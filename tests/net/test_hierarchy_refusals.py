@@ -1,0 +1,120 @@
+"""Every ``Hierarchy.infer`` refusal carries a machine-readable reason.
+
+The refusal *messages* are covered alongside the builders; these tests
+pin the ``reason`` codes — the slow-path counter labels and the modeler's
+memoised failure both key off them, so a renamed code is a breaking
+change for dashboards.
+"""
+
+import pytest
+
+from repro.collector import MetricsStore
+from repro.collector.base import NetworkView
+from repro.core.modeler import Modeler
+from repro.net import Hierarchy, HierarchyRefusal, TopologyBuilder
+
+
+def refusal_for(topology) -> HierarchyRefusal:
+    with pytest.raises(HierarchyRefusal) as excinfo:
+        Hierarchy.infer(topology)
+    return excinfo.value
+
+
+class TestReasonCodes:
+    def test_no_hosts_or_switches(self):
+        topology = (
+            TopologyBuilder()
+            .hosts(["h1", "h2"])
+            .link("h1", "h2", "1Gbps", "1ms")
+            .build()
+        )
+        assert refusal_for(topology).reason == "no-hosts-or-switches"
+
+    def test_unreachable_switch(self):
+        topology = (
+            TopologyBuilder()
+            .host("h")
+            .router("r1")
+            .router("island")
+            .link("h", "r1", "1Gbps", "1ms")
+            .build(validate=False)
+        )
+        assert refusal_for(topology).reason == "unreachable-switch"
+
+    def test_too_many_tiers(self):
+        builder = TopologyBuilder().host("h")
+        previous = "h"
+        for i in range(4):
+            builder.router(f"s{i}").link(previous, f"s{i}", "1Gbps", "1ms")
+            previous = f"s{i}"
+        assert refusal_for(builder.build()).reason == "too-many-tiers"
+
+    def test_multi_homed_host(self):
+        topology = (
+            TopologyBuilder()
+            .host("h")
+            .router("r1")
+            .router("r2")
+            .router("up")
+            .link("h", "r1", "1Gbps", "1ms")
+            .link("h", "r2", "1Gbps", "1ms")
+            .link("r1", "up", "1Gbps", "1ms")
+            .link("r2", "up", "1Gbps", "1ms")
+            .build()
+        )
+        assert refusal_for(topology).reason == "multi-homed-host"
+
+    def test_tor_reaches_core_directly(self):
+        # One proper 3-tier branch plus a detached host/ToR pair: the
+        # middle-graph component {torB} has no aggregation switch while
+        # cores exist elsewhere.
+        topology = (
+            TopologyBuilder()
+            .host("hostA")
+            .router("torA")
+            .router("aggA")
+            .router("core1")
+            .link("hostA", "torA", "1Gbps", "1ms")
+            .link("torA", "aggA", "1Gbps", "1ms")
+            .link("aggA", "core1", "1Gbps", "1ms")
+            .host("hostB")
+            .router("torB")
+            .link("hostB", "torB", "1Gbps", "1ms")
+            .build(validate=False)
+        )
+        assert refusal_for(topology).reason == "tor-reaches-core-directly"
+
+    def test_flat_multi_tor(self):
+        topology = (
+            TopologyBuilder()
+            .hosts(["h1", "h2"])
+            .router("r1")
+            .router("r2")
+            .link("h1", "r1", "1Gbps", "1ms")
+            .link("h2", "r2", "1Gbps", "1ms")
+            .link("r1", "r2", "1Gbps", "1ms")
+            .build()
+        )
+        assert refusal_for(topology).reason == "flat-multi-tor"
+
+
+class TestModelerMemo:
+    def test_memoised_refusal_keeps_its_reason(self):
+        topology = (
+            TopologyBuilder()
+            .hosts(["h1", "h2"])
+            .router("r1")
+            .router("r2")
+            .link("h1", "r1", "1Gbps", "1ms")
+            .link("h2", "r2", "1Gbps", "1ms")
+            .link("r1", "r2", "1Gbps", "1ms")
+            .build()
+        )
+        modeler = Modeler(NetworkView(topology=topology, metrics=MetricsStore()))
+        with pytest.raises(HierarchyRefusal) as first:
+            modeler.collapse_tree()
+        with pytest.raises(HierarchyRefusal) as second:
+            modeler.collapse_tree()  # memoised path this time
+        assert first.value.reason == "flat-multi-tor"
+        assert second.value.reason == first.value.reason
+        assert str(second.value) == str(first.value)
