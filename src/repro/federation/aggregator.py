@@ -112,6 +112,14 @@ class Aggregator:
         have not published yet are simply absent from the merge, so a
         federation comes up shard by shard.
         """
+        # Fold subtrees before stamping: a child aggregator's epoch only
+        # moves when its own refresh runs, so stamping first would let a
+        # leaf move under a settled subtree without the parent noticing.
+        folded: dict[str, FederationSummary] = {
+            child.name: child.refresh()
+            for child in self.children
+            if isinstance(child, Aggregator)
+        }
         stamp = self._child_stamp()
         current = self._current
         if current is not None and stamp == self._stamp:
@@ -120,9 +128,9 @@ class Aggregator:
         edges: list[SummaryEdge] = []
         for child in self.children:
             if isinstance(child, Aggregator):
-                folded = child.refresh()
-                cells.update(folded.cells)
-                edges.extend(folded.edges)
+                subtree = folded[child.name]
+                cells.update(subtree.cells)
+                edges.extend(subtree.edges)
             elif child.epoch > 0:
                 cells[child.name] = summarize_cell(child)
         edges.extend(self._backbone_edges(cells))

@@ -342,14 +342,6 @@ class FederatedRemos:
                 f"flow endpoints must be compute nodes; {endpoint!r} is not"
             )
 
-    def _gateway(self, shard: str) -> str:
-        cell = self._cell(shard)
-        if not cell.gateways:
-            raise QueryError(
-                f"shard {shard!r} has no gateway; cross-shard queries need one"
-            )
-        return cell.gateways[0]
-
     # -- graph queries -----------------------------------------------------------
 
     def get_graph(
@@ -398,30 +390,36 @@ class FederatedRemos:
         pin = _QueryPin(self, timeframe)
         graph = RemosGraph(nodes)
         graph.collapse = "federated"
-        gateway_of: dict[str, str] = {}
+        # Summary edges along every involved pair's summary path; the
+        # gateways those edges attach at anchor the per-shard detail below
+        # (gateways[0] could be a different border router entirely).
+        involved = list(groups)
+        added: set[frozenset[str]] = set()
+        path_edges: list[SummaryEdge] = []
+        anchors: dict[str, set[str]] = {shard: set() for shard in groups}
+        for i, shard_a in enumerate(involved):
+            for shard_b in involved[i + 1:]:
+                for edge in pin.summary.summary_path(shard_a, shard_b):
+                    for shard in edge.shards():
+                        if shard in anchors:
+                            anchors[shard].add(edge.gateway_of(shard))
+                    if edge.shards() in added:
+                        continue
+                    added.add(edge.shards())
+                    path_edges.append(edge)
         # Per-involved-shard detail: the cell's own flat logical graph over
-        # its queried nodes, anchored at the border gateway.
+        # its queried nodes, anchored at its summary-edge gateways; transit
+        # shards contribute just their gateway nodes.
         for shard, shard_nodes in groups.items():
-            gateway = self._gateway(shard)
-            gateway_of[shard] = gateway
             sub = pin.modeler(shard).logical_graph(
-                shard_nodes, timeframe, "flat", include=(gateway,)
+                shard_nodes, timeframe, "flat", include=tuple(sorted(anchors[shard]))
             )
             for node in sub.nodes:
                 graph.add_node(node)
             for edge in sub.edges:
                 graph.add_edge(edge)
-        # Summary edges along every involved pair's summary path; transit
-        # shards contribute just their gateway node.
-        involved = list(groups)
-        added: set[frozenset[str]] = set()
-        for i, shard_a in enumerate(involved):
-            for shard_b in involved[i + 1:]:
-                for edge in pin.summary.summary_path(shard_a, shard_b):
-                    if edge.shards() in added:
-                        continue
-                    added.add(edge.shards())
-                    self._add_summary_edge(pin, graph, edge)
+        for edge in path_edges:
+            self._add_summary_edge(pin, graph, edge)
         return graph
 
     def _add_summary_edge(
@@ -566,8 +564,12 @@ class FederatedRemos:
         path = pin.summary.summary_path(src_shard, dst_shard)
         src_modeler = pin.modeler(src_shard)
         dst_modeler = pin.modeler(dst_shard)
-        src_gateway = self._gateway(src_shard)
-        dst_gateway = self._gateway(dst_shard)
+        # Anchor the intra-shard segments at the border routers the summary
+        # path actually attaches to — with several gateways per cell,
+        # gateways[0] could disagree with the WAN edge's endpoint and leave
+        # the composed footprint missing the inter-gateway hop.
+        src_gateway = path[0].gateway_of(src_shard)
+        dst_gateway = path[-1].gateway_of(dst_shard)
         src_route = src_modeler.routing.route(flow.src, src_gateway)
         dst_route = dst_modeler.routing.route(dst_gateway, flow.dst)
         resources: list[Hashable] = list(
@@ -783,6 +785,13 @@ class FederatedRemos:
                         for key in plan.resources:
                             if key not in capacities and key in view:
                                 capacities[key] = view[key]
+                # admission_report treats unpriced keys as unconstrained,
+                # which would make the federated answer *less* strict than
+                # the oracle — refuse instead, like _evaluate_cross.
+                for request in requests:
+                    for key in request.resources:
+                        if key not in capacities:
+                            raise QueryError(f"no shard can price resource {key!r}")
                 report = admission_report(capacities, requests)
                 if sp:
                     sp.set(shard="cross", flow_count=len(fixed_flows))

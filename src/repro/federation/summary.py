@@ -74,12 +74,14 @@ def summarize_cell(cell: "Cell") -> CellSummary:
     total_speed = 0.0
     access_capacity = 0.0
     access_latency = float("inf")
+    access_links = 0
     for node in topology.nodes:
         if not node.is_compute:
             continue
         hosts.append(node.name)
         total_speed += node.compute_speed
         for link in topology.links_at(node.name):
+            access_links += 1
             access_capacity += link.capacity
             access_latency = min(access_latency, link.latency)
     return CellSummary(
@@ -93,7 +95,9 @@ def summarize_cell(cell: "Cell") -> CellSummary:
         host_count=len(hosts),
         total_compute_speed=total_speed,
         access_capacity=access_capacity,
-        access_latency=access_latency if hosts else 0.0,
+        # Guard on links seen, not host existence: linkless hosts would
+        # otherwise leak inf into JSON telemetry.
+        access_latency=access_latency if access_links else 0.0,
         staleness_seconds=cell.staleness_seconds(),
     )
 

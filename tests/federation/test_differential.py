@@ -255,6 +255,28 @@ class TestAdmission:
             if fed.admitted:
                 assert oracle.check_admission(flows).admitted
 
+    def test_cross_admission_refuses_unpriceable_resources(
+        self, small_world, monkeypatch
+    ):
+        # An unpriced key would read as infinite capacity and make the
+        # federated answer *less* strict than the oracle; refuse instead.
+        from repro.federation.api import FederatedRemos
+
+        _world, remos, _oracle = small_world
+        original = FederatedRemos._plan_flow
+
+        def tainted(self, pin, flow):
+            plan = original(self, pin, flow)
+            plan.resources = (*plan.resources, ("alien", "resource"))
+            return plan
+
+        monkeypatch.setattr(FederatedRemos, "_plan_flow", tainted)
+        flows = [Flow("s0-leaf0-h0", "s1-leaf0-h0", requested=1e6)]
+        with pytest.raises(QueryError, match="no shard can price"):
+            remos.check_admission(flows)
+        with pytest.raises(QueryError, match="no shard can price"):
+            remos.flow_info(fixed_flows=flows)
+
     def test_cross_admission_rejects_oversubscription(self, small_world):
         # WAN is 500Mbps: two 400Mbps flows over the same bundle can't fit.
         _world, remos, _oracle = small_world
@@ -265,6 +287,31 @@ class TestAdmission:
         report = remos.check_admission(flows)
         assert not report.admitted
         assert report.oversubscribed
+
+
+class TestGatewayAnchoring:
+    """Composed answers anchor at the summary edges' border routers."""
+
+    def test_decoy_first_gateway_is_ignored(self):
+        # The Cell API allows several gateways; the one a WAN edge attaches
+        # to is authoritative, whatever order the cell declares them in.
+        world, remos, oracle = make_world(shards=2, warmup=2.0)
+        try:
+            cell = world.cells["s0"]
+            cell.gateways = ("s0-spine1", *cell.gateways)  # decoy first
+            world.refresh_all()
+            flow = Flow("s0-leaf0-h0", "s1-leaf1-h1")
+            fed = remos.flow_info(variable_flows=[flow])
+            ref = oracle.flow_info(variable_flows=[flow])
+            answers_equal_values(fed.variable[0], ref.variable[0])
+            graph = remos.get_graph(["s0-leaf0-h0", "s1-leaf1-h1"])
+            (edge,) = [e for e in graph.edges if e.name.startswith("fed:")]
+            assert {edge.a, edge.b} == {"s0-gw", "s1-gw"}
+            assert graph.path_available("s0-leaf0-h0", "s1-leaf1-h1") is not None
+            report = remos.check_admission([Flow(flow.src, flow.dst, requested=1e6)])
+            assert report.admitted
+        finally:
+            world.stop()
 
 
 class TestFederatedGraph:

@@ -1,12 +1,18 @@
 """Summary snapshots and the aggregation tree."""
 
+import json
+
 import pytest
 
+from repro.collector import Cell, MetricsStore
+from repro.collector.base import NetworkView
 from repro.federation import Aggregator, FederationSummary, summarize_cell
 from repro.federation.summary import CellSummary, SummaryEdge
+from repro.net import TopologyBuilder
 from repro.util.errors import ConfigurationError, QueryError
 
 from tests.federation.conftest import make_world
+from tests.federation.test_cell_registry import StaticCollector
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +41,23 @@ class TestCellSummary:
             for link in topology.links_at(node.name)
         )
         assert summary.access_capacity == pytest.approx(expected)
+
+    def test_linkless_hosts_stay_json_safe(self):
+        # A scoped view can hold hosts whose access links it never saw;
+        # the summary must not leak inf into telemetry JSON.
+        topology = (
+            TopologyBuilder("island").host("h1").router("r1").build(validate=False)
+        )
+        cell = Cell(
+            "island",
+            StaticCollector(NetworkView(topology=topology, metrics=MetricsStore())),
+        )
+        cell.refresh()
+        summary = summarize_cell(cell)
+        assert summary.host_count == 1
+        assert summary.access_capacity == 0.0
+        assert summary.access_latency == 0.0
+        json.loads(json.dumps(summary.to_dict()))
 
 
 class TestAggregator:
@@ -69,6 +92,30 @@ class TestAggregator:
         assert edge.other("s0") == "s1"
         with pytest.raises(QueryError):
             edge.gateway_of("s9")
+
+    def test_nested_tree_tracks_leaf_movement(self):
+        # A leaf moving under a *child* aggregator must invalidate the
+        # parent's stamp: subtrees fold before the parent stamps, so the
+        # child's epoch reflects the movement the parent gates on.
+        world, _remos, _oracle = make_world(warmup=2.0)
+        try:
+            child = Aggregator([world.cells["s0"], world.cells["s1"]], name="west")
+            root = Aggregator(
+                [child, world.cells["s2"]], backbone=world.backbone, name="root"
+            )
+            first = root.refresh()
+            assert set(first.cells) == {"s0", "s1", "s2"}
+            assert len(first.edges) == 3  # full mesh survives the fold
+            assert root.refresh() is first  # settled at every level
+            world.settle(2.0)
+            world.cells["s0"].refresh()  # leaf under the subtree moves
+            second = root.refresh()
+            assert second is not first
+            assert second.epoch == first.epoch + 1
+            assert second.cells["s0"].epoch == world.cells["s0"].epoch
+            assert root.refresh() is second  # and settles again
+        finally:
+            world.stop()
 
     def test_summary_is_immutable(self, small_world):
         world, _remos, _oracle = small_world
