@@ -2,7 +2,7 @@
 
 The gated benchmarks (``bench_ablation_scale``, ``bench_refresh_cost``,
 ``bench_concurrent_queries``, ``bench_topology_scale``,
-``bench_federation``) each drop a
+``bench_federation``, ``bench_forecast``) each drop a
 ``BENCH_*.json`` artifact in the repo root.  This script turns those
 one-off artifacts into a time series and a CI gate:
 
@@ -51,6 +51,7 @@ HEADLINE_METRICS: dict[str, dict[str, str]] = {
     },
     "BENCH_topology.json": {"head_to_head_speedup": "head_to_head.speedup"},
     "BENCH_federation.json": {"cross_cost_flatness": "host_scaling.flatness"},
+    "BENCH_forecast.json": {"trend_skill": "trend_skill"},
 }
 
 

@@ -10,6 +10,14 @@ An :class:`AdaptationModule` packages that loop as an Fx adaptation hook.
 Costs are explicit: every check charges ``check_seconds`` (the Remos query
 + clustering time — the first overhead the paper identifies in §8.3), and
 every actual migration charges ``migration_seconds``.
+
+With a :class:`~repro.adapt.policies.MigrationPolicy` whose
+``predict_horizon``/``predict_collapse_bps`` are set, the loop also acts
+on the **FUTURE** timeframe: when the forecast pessimistic quartile (q1)
+of available bandwidth inside the current mapping drops below the
+configured floor, the module re-clusters on the *predicted* graph and
+migrates before the observed rate collapses — the reactive loop turned
+proactive.
 """
 
 from __future__ import annotations
@@ -36,6 +44,9 @@ class AdaptationModule:
     migration_seconds: float = 0.5
     checks: int = 0
     migrations: int = 0
+    #: Migrations forced by the predicted-collapse trigger alone (also
+    #: counted in :attr:`migrations`).
+    predicted_migrations: int = 0
 
     def hook(self, runtime: FxRuntime, program: FxProgram, index: int):
         """The adaptation hook to pass to :meth:`FxRuntime.launch`."""
@@ -52,6 +63,22 @@ class AdaptationModule:
 
     def _decide(self, runtime: FxRuntime, program: FxProgram) -> list[str] | None:
         timeframe = self.timeframe or Timeframe.current()
+        _, current, candidate, current_cost, candidate_cost = self._cluster(
+            runtime, program, timeframe
+        )
+        if set(candidate) != set(current) and self.policy.should_migrate(
+            current_cost, candidate_cost
+        ):
+            return candidate
+        return self._decide_predictive(runtime, program, current)
+
+    def _cluster(self, runtime: FxRuntime, program: FxProgram, timeframe: Timeframe):
+        """One clustering pass under *timeframe*.
+
+        Returns ``(graph, current, candidate, current_cost,
+        candidate_cost)`` — the §7.3 loop's raw material, reused by both
+        the reactive (CURRENT/HISTORY) and predictive (FUTURE) passes.
+        """
         graph = self.remos.get_graph(list(self.pool), timeframe)
         current = list(runtime.mapping.hosts)
 
@@ -65,13 +92,49 @@ class AdaptationModule:
             graph, list(self.pool), own_loads=own_loads
         )
         candidate = greedy_cluster_best_start(names, matrix, runtime.mapping.size)
-        current_cost = cluster_cost(names, matrix, current)
-        candidate_cost = cluster_cost(names, matrix, candidate)
+        return (
+            graph,
+            current,
+            candidate,
+            cluster_cost(names, matrix, current),
+            cluster_cost(names, matrix, candidate),
+        )
+
+    def _decide_predictive(
+        self, runtime: FxRuntime, program: FxProgram, current: list[str]
+    ) -> list[str] | None:
+        """Migrate on *predicted* collapse before the observed rate drops.
+
+        Armed by the policy's ``predict_horizon``/``predict_collapse_bps``:
+        queries the FUTURE logical graph and, when the forecast q1 of
+        available bandwidth inside the current mapping is below the floor,
+        re-clusters on that predicted graph — so the destination is chosen
+        by where bandwidth is *going to be*, not where it was.
+        """
+        policy = self.policy
+        if not policy.predictive:
+            return None
+        future = Timeframe.future(policy.predict_horizon, predictor=policy.predictor)
+        graph, current, candidate, _, _ = self._cluster(runtime, program, future)
         if set(candidate) == set(current):
             return None
-        if self.policy.should_migrate(current_cost, candidate_cost):
-            return candidate
-        return None
+        if self._mapping_floor(graph, current) >= policy.predict_collapse_bps:
+            return None
+        self.predicted_migrations += 1
+        return candidate
+
+    @staticmethod
+    def _mapping_floor(graph, hosts: list[str]) -> float:
+        """The worst q1 available bandwidth on any intra-mapping route."""
+        floor = float("inf")
+        for i, src in enumerate(hosts):
+            for dst in hosts[i + 1 :]:
+                if not (graph.has_node(src) and graph.has_node(dst)):
+                    continue
+                for a, b in ((src, dst), (dst, src)):
+                    for edge, from_node in graph.path_edges(a, b):
+                        floor = min(floor, edge.available_from(from_node).q1)
+        return floor
 
     @staticmethod
     def _own_pair_rate(runtime: FxRuntime, program: FxProgram) -> float:

@@ -22,17 +22,44 @@ class MigrationPolicy:
         Apply the §8.3 self-traffic correction before comparing clusters.
     check_every:
         Consider adaptation at every n-th migration point.
+    predict_horizon:
+        Seconds ahead the predictive trigger looks (0 disables it).  With
+        a horizon set, each check also asks Remos for the **FUTURE**
+        logical graph: when the forecast pessimistic quartile (q1) of
+        available bandwidth inside the current mapping falls below
+        ``predict_collapse_bps``, the application migrates *before* the
+        observed rate degrades — adaptation driven by the paper's
+        "expectations of future availability" instead of the rear-view
+        mirror.
+    predict_collapse_bps:
+        The predicted-availability floor (bits/s) that triggers the
+        predictive migration.
+    predictor:
+        Forecaster the predictive trigger queries with (``"auto"``
+        resolves per series from measured backtest skill).
     """
 
     threshold: float = 0.0
     correct_own_traffic: bool = True
     check_every: int = 1
+    predict_horizon: float = 0.0
+    predict_collapse_bps: float = 0.0
+    predictor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.threshold < 0:
             raise ConfigurationError("threshold must be non-negative")
         if self.check_every < 1:
             raise ConfigurationError("check_every must be >= 1")
+        if self.predict_horizon < 0 or self.predict_collapse_bps < 0:
+            raise ConfigurationError(
+                "predict_horizon and predict_collapse_bps must be non-negative"
+            )
+
+    @property
+    def predictive(self) -> bool:
+        """True when the predicted-collapse trigger is armed."""
+        return self.predict_horizon > 0 and self.predict_collapse_bps > 0
 
     def should_migrate(self, current_cost: float, candidate_cost: float) -> bool:
         """True when the candidate beats the incumbent by the threshold."""

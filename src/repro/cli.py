@@ -276,6 +276,10 @@ def cmd_serve(args) -> int:
         slow_query_threshold=args.slow_threshold,
         max_epoch_age=args.max_epoch_age,
         max_sweep_seconds=args.max_sweep_seconds,
+        admission_mode=args.admission_mode,
+        admission_threshold_qps=args.admission_threshold_qps,
+        admission_horizon=args.admission_horizon,
+        admission_retry_after=args.admission_retry_after,
     )
     if args.federation > 0:
         from repro.federation import FederationService, FederationWorld
@@ -644,6 +648,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="freshness SLO: /healthz turns 503 when a sweep takes longer (s)",
+    )
+    serve.add_argument(
+        "--admission-mode",
+        choices=["off", "degrade", "shed"],
+        default="off",
+        help="predictive admission control: degrade FUTURE queries to "
+        "CURRENT or shed with 503 + Retry-After under predicted overload",
+    )
+    serve.add_argument(
+        "--admission-threshold-qps",
+        type=float,
+        default=200.0,
+        help="predicted request rate (qps) above which admission kicks in",
+    )
+    serve.add_argument(
+        "--admission-horizon",
+        type=float,
+        default=5.0,
+        help="seconds ahead the admission controller forecasts its load",
+    )
+    serve.add_argument(
+        "--admission-retry-after",
+        type=float,
+        default=1.0,
+        help="Retry-After seconds suggested to shed callers",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -689,10 +689,14 @@ class Remos:
                 "sim_events": getattr(env, "events_processed", None),
             }
         current = self._publisher.current()
+        forecast = None
+        if current is not None:
+            forecast = current.modeler.evaluator.backtester.to_dict()
         return {
             "status": "ok" if view is not None else "no sweep yet",
             "queries_answered": self.queries_answered,
             "cache": self.cache_stats.to_dict(),
+            "forecast": forecast,
             "view": view_info,
             "snapshot": None if current is None else current.to_dict(),
             "collector": collector_info,

@@ -29,15 +29,18 @@ from repro.collector.base import NetworkView
 from repro.collector.metrics import CPU_PSEUDO_LINK
 from repro.core.cachestats import CacheStats
 from repro.core.collapse import CollapseTree
+from repro.core.evaluator import (
+    UNMEASURED_ACCURACY,
+    TimeframeEvaluator,
+    current_window_width,
+)
 from repro.core.graph import RemosEdge, RemosGraph, RemosNode
 from repro.core.timeframe import Timeframe, TimeframeKind
 from repro.net import Hierarchy, HierarchyRefusal, LinkDirection, NodeKind, RoutingTable
-from repro.stats import StatMeasure, make_predictor
+from repro.stats import StatMeasure
 from repro.util.errors import QueryError, TopologyError
 
-# Accuracy attached to availability claims about directions nobody has
-# measured (assumed idle): low, but not zero — the topology is known.
-UNMEASURED_ACCURACY = 0.25
+__all__ = ["Modeler", "CapacityView", "UNMEASURED_ACCURACY"]
 
 # ``logical_graph(collapse="auto")`` switches from the flat (exact) path to
 # the hierarchical one above this many queried nodes — below it the flat
@@ -100,11 +103,15 @@ class Modeler:
         routing: RoutingTable | None = None,
         stats: CacheStats | None = None,
         enable_cache: bool = True,
+        evaluator: TimeframeEvaluator | None = None,
     ):
         self.view = view
         self.routing = routing or RoutingTable(view.topology)
         self.stats = stats if stats is not None else CacheStats()
         self.enable_cache = enable_cache
+        #: The shared timeframe ladder.  Per-epoch object (predictor memo),
+        #: but its Backtester is carried across forks like ``stats``.
+        self.evaluator = evaluator if evaluator is not None else TimeframeEvaluator()
         self._bandwidth_cache: dict[tuple, _Entry] = {}
         self._cpu_cache: dict[tuple, _Entry] = {}
         self._capacities_cache: dict[tuple, dict[Hashable, float]] = {}
@@ -276,7 +283,6 @@ class Modeler:
                         direction.src,
                         timeframe,
                         now,
-                        cpu=False,
                     )
                     is not None
                 ):
@@ -328,7 +334,6 @@ class Modeler:
         from_node: str,
         timeframe: Timeframe,
         now: float,
-        cpu: bool,
     ) -> StatMeasure | None:
         """The cached measure if still exact at *now*, else None.
 
@@ -342,7 +347,7 @@ class Modeler:
             return None
         if now != entry.now_used:
             if not self._window_unmoved(
-                link_name, from_node, timeframe, entry.now_used, now, cpu
+                link_name, from_node, timeframe, entry.now_used, now
             ):
                 return None
             entry.now_used = now
@@ -355,17 +360,21 @@ class Modeler:
         timeframe: Timeframe,
         now_used: float,
         now: float,
-        cpu: bool,
     ) -> bool:
         """True when moving evaluation time ``now_used -> now`` provably
         leaves the *unchanged* series' summary for *timeframe* intact.
 
         FUTURE predictions are anchored at "now", so they never survive a
-        time shift.  CURRENT and HISTORY answers depend only on the latest
-        value (unchanged by assumption) and a trailing window's contents;
-        the window's width is fixed given the series (CPU CURRENT uses no
-        window at all), so the summary changes only if a sample ages out —
-        i.e. some retained sample falls in ``[old floor, new floor)``.
+        time shift — the evaluation clock advancing (any series swept)
+        moves the forecast interval, and the cached measure must be
+        recomputed even though this series gained no samples.  CURRENT and
+        HISTORY answers depend only on the latest value (unchanged by
+        assumption) and a trailing window's contents; the window's width
+        is fixed given the series (CURRENT's accuracy window is
+        ``current_window_width`` for every series, CPU included, since the
+        accuracy-unification), so the summary changes only if a sample
+        ages out — i.e. some retained sample falls in
+        ``[old floor, new floor)``.
         """
         kind = timeframe.kind
         if kind is TimeframeKind.STATIC:
@@ -379,9 +388,7 @@ class Modeler:
         if series.empty:
             return True
         if kind is TimeframeKind.CURRENT:
-            if cpu:
-                return True  # constant(latest).degraded: no window
-            width = 10 * max(1.0, series.span() / max(1, len(series)))
+            width = current_window_width(series)
         else:  # HISTORY
             width = timeframe.window
         return not series.has_sample_in(now_used - width, now - width)
@@ -451,6 +458,9 @@ class Modeler:
         child.view = view
         child.stats = self.stats
         child.enable_cache = self.enable_cache
+        # Fresh per-epoch evaluator sharing the parent's Backtester, so
+        # forecast accuracy keeps accruing across snapshot publications.
+        child.evaluator = self.evaluator.fork()
         if self.routing.is_valid_for(view.topology):
             child.routing = self.routing
             if self.routing.topology is not view.topology:
@@ -560,7 +570,7 @@ class Modeler:
             entry = self._bandwidth_cache.get(key)
             if entry is not None:
                 measure = self._validate_entry(
-                    entry, link_name, from_node, timeframe, now, cpu=False
+                    entry, link_name, from_node, timeframe, now
                 )
                 if measure is not None:
                     self.stats.hit("bandwidth")
@@ -576,28 +586,17 @@ class Modeler:
     def _compute_used_bandwidth(
         self, direction: LinkDirection, timeframe: Timeframe, now: float | None
     ) -> StatMeasure:
+        """Delegate to the shared evaluator (see :mod:`repro.core.evaluator`)."""
         metrics = self.view.metrics
         link_name, from_node = direction.link.name, direction.src
-        if not metrics.has_series(link_name, from_node):
-            return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
-        series = metrics.series(link_name, from_node)
-        if series.empty:
-            return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+        series = (
+            metrics.series(link_name, from_node)
+            if metrics.has_series(link_name, from_node)
+            else None
+        )
         if now is None:
             now = self.now
-        if timeframe.kind is TimeframeKind.CURRENT:
-            recent = series.window(now - 10 * max(1.0, series.span() / max(1, len(series))), now)
-            latest = series.latest_value()
-            accuracy = StatMeasure.from_samples(recent).accuracy if recent.size else 0.5
-            return StatMeasure.constant(latest).degraded(min(1.0, accuracy))
-        if timeframe.kind is TimeframeKind.HISTORY:
-            window = series.window(now - timeframe.window, now)
-            if window.size == 0:
-                return StatMeasure.constant(series.latest_value()).degraded(0.5)
-            return StatMeasure.from_samples(window)
-        # FUTURE
-        predictor = make_predictor(timeframe.predictor, history_window=timeframe.window)
-        return predictor.predict(series, now, timeframe.horizon)
+        return self.evaluator.evaluate((link_name, from_node), series, timeframe, now)
 
     def available_bandwidth(
         self, direction: LinkDirection, timeframe: Timeframe
@@ -630,7 +629,7 @@ class Modeler:
             entry = self._cpu_cache.get(key)
             if entry is not None:
                 measure = self._validate_entry(
-                    entry, CPU_PSEUDO_LINK, host, timeframe, now, cpu=True
+                    entry, CPU_PSEUDO_LINK, host, timeframe, now
                 )
                 if measure is not None:
                     self.stats.hit("cpu")
@@ -644,22 +643,14 @@ class Modeler:
         return measure
 
     def _compute_cpu_load(self, host: str, timeframe: Timeframe) -> StatMeasure:
+        """Delegate to the shared evaluator: CPU series ride the same
+        ladder as bandwidth (including the unified CURRENT accuracy rule
+        and the forecast plane) under the CPU pseudo-link key."""
         metrics = self.view.metrics
-        if not metrics.has_cpu_series(host):
-            return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
-        series = metrics.cpu_series(host)
-        if series.empty:
-            return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
-        now = self.now
-        if timeframe.kind is TimeframeKind.CURRENT:
-            return StatMeasure.constant(series.latest_value()).degraded(0.9)
-        if timeframe.kind is TimeframeKind.HISTORY:
-            window = series.window(now - timeframe.window, now)
-            if window.size == 0:
-                return StatMeasure.constant(series.latest_value()).degraded(0.5)
-            return StatMeasure.from_samples(window)
-        predictor = make_predictor(timeframe.predictor, history_window=timeframe.window)
-        return predictor.predict(series, now, timeframe.horizon)
+        series = metrics.cpu_series(host) if metrics.has_cpu_series(host) else None
+        return self.evaluator.evaluate(
+            (CPU_PSEUDO_LINK, host), series, timeframe, self.now
+        )
 
     def available_capacities(
         self, timeframe: Timeframe, quantile: str = "median"
@@ -916,7 +907,7 @@ class Modeler:
             link = topology.link(name)
             for src in (link.a, link.b):
                 if not self._window_unmoved(
-                    name, src, timeframe, entry.now_used, now, cpu=False
+                    name, src, timeframe, entry.now_used, now
                 ):
                     return False
         entry.now_used = now

@@ -15,6 +15,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.stats.predictors import known_predictors
 from repro.util.errors import QueryError
 
 
@@ -46,6 +47,14 @@ class Timeframe:
             raise QueryError("HISTORY timeframe requires a positive window")
         if self.kind is TimeframeKind.FUTURE and self.horizon <= 0:
             raise QueryError("FUTURE timeframe requires a positive horizon")
+        if self.kind is TimeframeKind.FUTURE and self.predictor not in known_predictors():
+            # Parse-time validation: an unknown predictor is the *query's*
+            # mistake and must surface as a QueryError (HTTP 400) here,
+            # not as a ConfigurationError (500) mid-allocation.
+            raise QueryError(
+                f"unknown predictor {self.predictor!r}; "
+                f"expected one of {sorted(known_predictors())}"
+            )
 
     @classmethod
     def static(cls) -> "Timeframe":

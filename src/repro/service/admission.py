@@ -1,0 +1,254 @@
+"""Predictive admission control: degrade or shed before overload hits.
+
+The service's own forecast plane, turned on itself.  The controller keeps
+a :class:`~repro.stats.series.TimeSeries` of its recent request rate and
+forecasts the near-future rate with the same pluggable predictors the
+query API exposes (Holt's level+trend by default — the one model that can
+see a ramp *coming*).  When the *predicted* rate crosses the configured
+capacity, the front door reacts before the queue does, in one of two
+modes:
+
+* ``degrade`` — FUTURE-timeframe queries are rewritten to CURRENT:
+  prediction is the expensive, shed-able luxury (per-series forecasting,
+  backtest settlement), while the cheap CURRENT answer keeps the caller
+  going.  Responses carry ``"timeframe_degraded": true`` and an
+  ``X-Remos-Degraded`` header so callers can tell.
+* ``shed`` — query endpoints answer **503** with a ``Retry-After`` header
+  (health/metrics/debug endpoints always pass: you must be able to watch
+  a shedding service).
+
+Every decision is counted (``remos_query_shed_total`` /
+``remos_query_degraded_total``, labelled by endpoint) and summarised into
+the SLO report (``GET /debug/slo``) next to the latency budgets — shed
+load is spent error budget by another name.
+
+The controller is deliberately transport-level: it is consulted by the
+HTTP application layer (:mod:`repro.service.app`), so the in-process
+Python API stays unthrottled for tests and embedded use.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core import Timeframe
+from repro.core.timeframe import TimeframeKind
+from repro.stats import make_predictor
+from repro.stats.series import TimeSeries
+from repro.util.errors import ConfigurationError
+
+_log = obs.get_logger("repro.service.admission")
+
+#: Accepted controller modes.
+MODES = ("off", "degrade", "shed")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """What the front door should do with one request."""
+
+    action: str  #: "accept" | "degrade" | "shed"
+    timeframe: Timeframe | None = None  #: rewritten timeframe on "degrade"
+    retry_after: float = 0.0  #: seconds to suggest on "shed"
+    predicted_qps: float = 0.0
+
+    @property
+    def accepted(self) -> bool:
+        return self.action != "shed"
+
+    @property
+    def retry_after_header(self) -> str:
+        """``Retry-After`` delta-seconds (integer, at least 1)."""
+        return str(max(1, math.ceil(self.retry_after)))
+
+
+_ACCEPT = AdmissionDecision(action="accept")
+
+
+class AdmissionController:
+    """Predicts the request rate and decides accept / degrade / shed.
+
+    Parameters
+    ----------
+    mode:
+        ``"off"`` (accept everything), ``"degrade"`` (rewrite FUTURE
+        queries to CURRENT under predicted overload) or ``"shed"``
+        (503 + Retry-After under predicted overload).
+    threshold_qps:
+        The capacity line: overload is *predicted* when the forecast
+        request rate exceeds this.
+    horizon:
+        Seconds ahead the rate forecast looks.
+    rate_window:
+        Trailing seconds the instantaneous rate is measured over.
+    sample_interval:
+        Seconds between rate samples appended to the internal series
+        (bounds bookkeeping cost at high qps).
+    retry_after:
+        Seconds suggested to shed callers.
+    predictor:
+        Forecaster name from the registry (default ``"holt"`` — trend
+        matters more than level for seeing overload early).
+    clock:
+        Injectable monotonic clock (tests pin it).
+    """
+
+    def __init__(
+        self,
+        mode: str = "off",
+        threshold_qps: float = 200.0,
+        horizon: float = 5.0,
+        rate_window: float = 5.0,
+        sample_interval: float = 0.25,
+        retry_after: float = 1.0,
+        predictor: str = "holt",
+        clock=time.monotonic,
+    ):
+        if mode not in MODES:
+            raise ConfigurationError(
+                f"unknown admission mode {mode!r}; expected one of {MODES}"
+            )
+        if threshold_qps < 0:
+            raise ConfigurationError("threshold_qps must be non-negative")
+        if horizon <= 0 or rate_window <= 0 or sample_interval <= 0:
+            raise ConfigurationError(
+                "horizon, rate_window and sample_interval must be positive"
+            )
+        self.mode = mode
+        self.threshold_qps = float(threshold_qps)
+        self.horizon = float(horizon)
+        self.rate_window = float(rate_window)
+        self.sample_interval = float(sample_interval)
+        self.retry_after = float(retry_after)
+        self._predictor = make_predictor(predictor, history_window=10 * rate_window)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._arrivals: deque[float] = deque()
+        self._rates = TimeSeries(capacity=512, name="admission.qps")
+        self._last_sample = -math.inf
+        # Decision counters (telemetry / SLO report).
+        self.accepted = 0
+        self.degraded = 0
+        self.shed = 0
+
+    # -- rate measurement + forecast ---------------------------------------------
+
+    def _observe_arrival(self, now: float) -> float:
+        """Record one arrival; return the instantaneous qps."""
+        arrivals = self._arrivals
+        arrivals.append(now)
+        floor = now - self.rate_window
+        while arrivals and arrivals[0] < floor:
+            arrivals.popleft()
+        rate = len(arrivals) / self.rate_window
+        if now - self._last_sample >= self.sample_interval:
+            self._last_sample = now
+            self._rates.add(now, rate)
+        return rate
+
+    def _forecast(self, now: float, instantaneous: float) -> float:
+        """The predicted request rate *horizon* seconds out."""
+        if len(self._rates) < 4:
+            return instantaneous
+        try:
+            measure = self._predictor.predict(self._rates, now, self.horizon)
+        except Exception:  # defensive: a throttling bug must not drop queries
+            return instantaneous
+        # q3, not median: admission is the one consumer that should err on
+        # the pessimistic side of its own forecast band.  (Plain float:
+        # this number lands verbatim in JSON telemetry.)
+        return float(max(instantaneous, measure.q3))
+
+    def predicted_qps(self) -> float:
+        """The current forecast without recording an arrival."""
+        with self._lock:
+            now = self._clock()
+            floor = now - self.rate_window
+            while self._arrivals and self._arrivals[0] < floor:
+                self._arrivals.popleft()
+            return self._forecast(now, len(self._arrivals) / self.rate_window)
+
+    # -- the decision -------------------------------------------------------------
+
+    def admit(
+        self, endpoint: str, timeframe: Timeframe | None = None
+    ) -> AdmissionDecision:
+        """Decide one request; records the arrival either way."""
+        with self._lock:
+            now = self._clock()
+            instantaneous = self._observe_arrival(now)
+            if self.mode == "off":
+                self.accepted += 1
+                return _ACCEPT
+            predicted = self._forecast(now, instantaneous)
+            if predicted <= self.threshold_qps:
+                self.accepted += 1
+                return _ACCEPT
+            if self.mode == "shed":
+                self.shed += 1
+                decision = AdmissionDecision(
+                    action="shed",
+                    retry_after=self.retry_after,
+                    predicted_qps=predicted,
+                )
+            elif timeframe is not None and timeframe.kind is TimeframeKind.FUTURE:
+                self.degraded += 1
+                decision = AdmissionDecision(
+                    action="degrade",
+                    timeframe=Timeframe.current(),
+                    predicted_qps=predicted,
+                )
+            else:
+                # degrade mode, nothing to degrade: the request is already
+                # as cheap as it gets.
+                self.accepted += 1
+                return _ACCEPT
+        if decision.action == "shed":
+            obs.inc(
+                "remos_query_shed_total",
+                help="Queries shed (503 + Retry-After) by predictive admission",
+                endpoint=endpoint,
+            )
+        else:
+            obs.inc(
+                "remos_query_degraded_total",
+                help="FUTURE queries degraded to CURRENT by predictive admission",
+                endpoint=endpoint,
+            )
+        if _log.enabled_for("debug"):
+            _log.debug(
+                "admission_decision",
+                endpoint=endpoint,
+                action=decision.action,
+                predicted_qps=round(decision.predicted_qps, 3),
+                threshold_qps=self.threshold_qps,
+            )
+        return decision
+
+    def config(self) -> dict:
+        """Constructor kwargs rebuilding an equivalent controller."""
+        return {
+            "mode": self.mode,
+            "threshold_qps": self.threshold_qps,
+            "horizon": self.horizon,
+            "rate_window": self.rate_window,
+            "sample_interval": self.sample_interval,
+            "retry_after": self.retry_after,
+        }
+
+    def to_dict(self) -> dict:
+        """Decision counters + live forecast, for /debug/slo and telemetry."""
+        return {
+            "mode": self.mode,
+            "threshold_qps": self.threshold_qps,
+            "horizon": self.horizon,
+            "predicted_qps": self.predicted_qps(),
+            "accepted": self.accepted,
+            "degraded": self.degraded,
+            "shed": self.shed,
+        }

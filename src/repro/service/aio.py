@@ -166,6 +166,8 @@ class AsyncHTTPServer:
         ]
         if response.traceparent is not None:
             head.append(f"traceparent: {response.traceparent}")
+        for name, value in response.headers.items():
+            head.append(f"{name}: {value}")
         writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + response.body)
         await writer.drain()
 

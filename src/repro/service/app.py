@@ -22,10 +22,21 @@ blocking calls); the asyncio front end runs them in a thread-pool
 executor, which is also what makes the thread-local context binding
 correct there — one request handled start-to-finish on one thread.
 
+The query endpoints are also the enforcement point for **predictive
+admission control** (:mod:`repro.service.admission`): when the service's
+forecast of its own request rate crosses the configured threshold, FUTURE
+queries are degraded to CURRENT (``"timeframe_degraded": true`` in the
+body, ``X-Remos-Degraded`` header) or the request is shed with **503** and
+a ``Retry-After`` header, depending on the configured mode.  Health,
+metrics and debug endpoints are never shed.
+
 Endpoints (the docstring of :mod:`repro.service.http` documents the wire
 formats): ``GET /healthz``, ``GET /metrics``, ``GET /telemetry``,
 ``GET /debug/slow``, ``GET /debug/slo``, ``GET /debug/profile``,
 ``GET /graph?nodes=…``, ``GET /node/<host>``, ``POST /flow_info``.
+``/graph`` and ``/node/<host>`` accept ``timeframe`` / ``window`` /
+``horizon`` / ``predictor`` query parameters mirroring the JSON timeframe
+spec (``?timeframe=future&horizon=30&predictor=auto``).
 """
 
 from __future__ import annotations
@@ -86,6 +97,24 @@ def _parse_timeframe(spec: dict | None) -> Timeframe:
     raise ReproError(f"unknown timeframe kind {kind!r}")
 
 
+def _timeframe_from_params(params: dict) -> Timeframe | None:
+    """The timeframe encoded in GET query parameters, or None.
+
+    Mirrors the POST JSON spec with flat parameters: ``?timeframe=future``
+    selects the kind, ``window`` / ``horizon`` / ``predictor`` fill in the
+    rest (``/node/h3?timeframe=future&horizon=30&predictor=auto``).
+    """
+    kind = params.get("timeframe", [None])[0]
+    if kind is None:
+        return None
+    spec = {"kind": kind}
+    for key in ("window", "horizon", "predictor"):
+        value = params.get(key, [None])[0]
+        if value is not None:
+            spec[key] = value
+    return _parse_timeframe(spec)
+
+
 def _endpoint_name(method: str, path: str) -> str:
     """The SLO/metric label for a request path (bounded cardinality)."""
     if path.startswith("/node/"):
@@ -125,6 +154,7 @@ class Response:
     body: bytes
     content_type: str
     traceparent: str | None = None
+    headers: dict[str, str] = field(default_factory=dict)  #: extra headers
 
     @property
     def reason(self) -> str:
@@ -232,6 +262,52 @@ def _observed_query(service, endpoint: str, args: dict, run) -> Response:
         )
 
 
+def _admit(service, endpoint: str, timeframe: Timeframe | None):
+    """Consult predictive admission for one query request.
+
+    Returns ``(shed_response, timeframe, degraded)``: a ready 503 when the
+    request is shed (the caller returns it as-is), otherwise the — possibly
+    degraded — timeframe to answer with.
+    """
+    controller = getattr(service, "admission", None)
+    if controller is None:
+        return None, timeframe, False
+    decision = controller.admit(endpoint, timeframe)
+    if decision.action == "shed":
+        response = Response.json(
+            503,
+            {
+                "error": "overloaded: query shed by predictive admission",
+                "predicted_qps": round(decision.predicted_qps, 3),
+                "retry_after": decision.retry_after,
+            },
+        )
+        response.headers["Retry-After"] = decision.retry_after_header
+        return response, timeframe, False
+    if decision.action == "degrade":
+        return None, decision.timeframe, True
+    return None, timeframe, False
+
+
+def _query_args(args: dict, timeframe: Timeframe | None, degraded: bool) -> dict:
+    """Slow-log arguments with the *effective* timeframe echoed."""
+    if timeframe is not None:
+        args["timeframe"] = str(timeframe)
+    if degraded:
+        args["degraded"] = True
+    return args
+
+
+def _query_response(payload: dict, degraded: bool) -> Response:
+    """A 200 answer, stamped when admission degraded its timeframe."""
+    if degraded:
+        payload["timeframe_degraded"] = True
+    response = Response.json(200, payload)
+    if degraded:
+        response.headers["X-Remos-Degraded"] = "future->current"
+    return response
+
+
 def _route_get(service, url, request: Request) -> Response:
     params = parse_qs(url.query)
     if url.path == "/healthz":
@@ -252,7 +328,13 @@ def _route_get(service, url, request: Request) -> Response:
             service.slowlog.to_dict(limit=None if limit is None else int(limit)),
         )
     if url.path == "/debug/slo":
-        return Response.json(200, service.slos.to_dict())
+        report = service.slos.to_dict()
+        controller = getattr(service, "admission", None)
+        if controller is not None:
+            # Shed load is spent error budget: surface the admission
+            # verdicts next to the latency/freshness SLOs they protect.
+            report["admission"] = controller.to_dict()
+        return Response.json(200, report)
     if url.path == "/debug/profile":
         return _route_profile(params)
     if url.path == "/graph":
@@ -262,19 +344,31 @@ def _route_get(service, url, request: Request) -> Response:
             for name in chunk.split(",")
             if name
         ]
+        timeframe = _timeframe_from_params(params)
+        shed, timeframe, degraded = _admit(service, "graph", timeframe)
+        if shed is not None:
+            return shed
         return _observed_query(
             service,
             "graph",
-            {"nodes": nodes},
-            lambda: Response.json(200, service.get_graph(nodes).to_dict()),
+            _query_args({"nodes": nodes}, timeframe, degraded),
+            lambda: _query_response(
+                service.get_graph(nodes, timeframe).to_dict(), degraded
+            ),
         )
     if url.path.startswith("/node/"):
         host = url.path[len("/node/") :]
+        timeframe = _timeframe_from_params(params)
+        shed, timeframe, degraded = _admit(service, "node", timeframe)
+        if shed is not None:
+            return shed
         return _observed_query(
             service,
             "node",
-            {"host": host},
-            lambda: Response.json(200, service.node_info(host).to_dict()),
+            _query_args({"host": host}, timeframe, degraded),
+            lambda: _query_response(
+                service.node_info(host, timeframe).to_dict(), degraded
+            ),
         )
     return Response.json(404, {"error": f"no such path {url.path!r}"})
 
@@ -313,11 +407,15 @@ def _route_post(service, url, request: Request) -> Response:
             specs = body.get(key, body.get(f"{key}_flows", []))
             return [_parse_flow(f) for f in specs]
 
+        timeframe = _parse_timeframe(body.get("timeframe"))
+        shed, timeframe, degraded = _admit(service, "flow_info", timeframe)
+        if shed is not None:
+            return shed
         result = service.flow_info(
             fixed_flows=flows("fixed"),
             variable_flows=flows("variable"),
             independent_flows=flows("independent"),
-            timeframe=_parse_timeframe(body.get("timeframe")),
+            timeframe=timeframe,
         )
-        return Response.json(200, result.to_dict())
+        return _query_response(result.to_dict(), degraded)
     return Response.json(404, {"error": f"no such path {url.path!r}"})

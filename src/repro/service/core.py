@@ -24,6 +24,7 @@ from repro.core import Flow, FlowInfoResult, FlowQuery, Remos, Timeframe
 from repro.core.snapshot import Snapshot
 from repro.obs.slo import SLORegistry
 from repro.obs.slowlog import SlowQueryLog
+from repro.service.admission import AdmissionController
 from repro.sim import Engine
 from repro.util.errors import ConfigurationError, QueryError
 
@@ -90,6 +91,17 @@ class QueryFrontEnd:
     max_sweep_seconds:
         Freshness SLO: the longest a single sweep (or epoch installation)
         may take before health degrades with a ``sweep_slow`` reason.
+    admission_mode:
+        Predictive admission control at the HTTP boundary: ``"off"``
+        (default), ``"degrade"`` (FUTURE queries fall back to CURRENT
+        under predicted overload) or ``"shed"`` (503 + ``Retry-After``).
+        See :class:`~repro.service.admission.AdmissionController`.
+    admission_threshold_qps:
+        Predicted request rate above which the admission mode kicks in.
+    admission_horizon:
+        Seconds ahead the admission controller forecasts its own load.
+    admission_retry_after:
+        ``Retry-After`` seconds suggested to shed callers.
     """
 
     def __init__(
@@ -101,6 +113,10 @@ class QueryFrontEnd:
         slow_log_capacity: int = 128,
         max_epoch_age: float = 10.0,
         max_sweep_seconds: float = 5.0,
+        admission_mode: str = "off",
+        admission_threshold_qps: float = 200.0,
+        admission_horizon: float = 5.0,
+        admission_retry_after: float = 1.0,
     ):
         if max_batch < 1:
             raise ConfigurationError("max_batch must be at least 1")
@@ -132,6 +148,13 @@ class QueryFrontEnd:
         self.slos = SLORegistry()
         self.max_epoch_age = max_epoch_age
         self.max_sweep_seconds = max_sweep_seconds
+        #: Predictive backpressure, consulted by the HTTP app layer.
+        self.admission = AdmissionController(
+            mode=admission_mode,
+            threshold_qps=admission_threshold_qps,
+            horizon=admission_horizon,
+            retry_after=admission_retry_after,
+        )
         self.slos.declare_latency("flow_info", threshold_seconds=0.5, target=0.99)
         self.slos.declare_latency("graph", threshold_seconds=0.5, target=0.99)
         self.slos.declare_latency("node", threshold_seconds=0.25, target=0.99)
@@ -169,6 +192,10 @@ class QueryFrontEnd:
             "slow_log_capacity": self.slowlog.capacity,
             "max_epoch_age": self.max_epoch_age,
             "max_sweep_seconds": self.max_sweep_seconds,
+            "admission_mode": self.admission.mode,
+            "admission_threshold_qps": self.admission.threshold_qps,
+            "admission_horizon": self.admission.horizon,
+            "admission_retry_after": self.admission.retry_after,
         }
 
     @property
@@ -512,6 +539,7 @@ class QueryFrontEnd:
             "last_sweep_seconds": self.last_sweep_seconds,
         }
         report["slo"] = self.slos.to_dict()
+        report["admission"] = self.admission.to_dict()
         slowlog = self.slowlog.to_dict(limit=0)
         slowlog.pop("records")
         report["slowlog"] = slowlog
@@ -548,7 +576,9 @@ class RemosService(QueryFrontEnd):
     **front_end:
         Everything :class:`QueryFrontEnd` accepts (``max_batch``,
         ``workers``, ``slow_query_threshold``, ``slow_log_capacity``,
-        ``max_epoch_age``, ``max_sweep_seconds``).
+        ``max_epoch_age``, ``max_sweep_seconds``, ``admission_mode``,
+        ``admission_threshold_qps``, ``admission_horizon``,
+        ``admission_retry_after``).
     """
 
     def __init__(

@@ -23,16 +23,23 @@ Endpoints
     The slow-query log, newest first: span tree, args, epoch stamps and
     cache profile per record.  ``?limit=N`` caps the count.
 ``GET /debug/slo``
-    Declared objectives: latency error budgets and freshness monitors.
+    Declared objectives: latency error budgets and freshness monitors,
+    plus the predictive-admission verdict counters when admission
+    control is configured.
 ``GET /debug/profile?seconds=N``
     Run the sampling wall-clock profiler for N seconds (default 2, max
     30; ``interval`` in seconds optional) and return collapsed stacks as
     ``text/plain`` — flamegraph-ready.  One profile at a time per
     process (409 otherwise).
 ``GET /graph?nodes=a,b,c``
-    ``remos_get_graph`` over the named nodes.
+    ``remos_get_graph`` over the named nodes.  Timeframe selection via
+    flat query parameters: ``timeframe=static|current|history|future``
+    with ``window``/``horizon``/``predictor`` as needed (for example
+    ``/graph?nodes=a,b&timeframe=future&horizon=30&predictor=auto``).
 ``GET /node/<host>``
-    ``node_info`` for one compute host.
+    ``node_info`` for one compute host.  Accepts the same
+    ``timeframe``/``window``/``horizon``/``predictor`` parameters as
+    ``/graph``.
 ``POST /flow_info``
     Body: ``{"fixed": [...], "variable": [...], "independent": [...],
     "timeframe": {...}}`` where each flow is ``{"src", "dst",
@@ -41,6 +48,13 @@ Endpoints
     "predictor"?}`` (defaults to current).  The Python kwarg spellings
     ``fixed_flows``/``variable_flows``/``independent_flows`` are
     accepted as aliases.
+
+When predictive admission control is enabled (``repro serve
+--admission-mode degrade|shed``), the three query endpoints may answer
+**503** with a ``Retry-After`` header under predicted overload, or —
+in degrade mode — rewrite a FUTURE timeframe to CURRENT, marking the
+response with ``"timeframe_degraded": true`` and an ``X-Remos-Degraded``
+header.  See :mod:`repro.service.admission`.
 """
 
 from __future__ import annotations
@@ -88,6 +102,8 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
             self.send_header("Content-Length", str(len(response.body)))
             if response.traceparent is not None:
                 self.send_header("traceparent", response.traceparent)
+            for name, value in response.headers.items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(response.body)
 

@@ -17,13 +17,18 @@ data distribution" (Jain 1991).
 from repro.stats.quartiles import StatMeasure
 from repro.stats.series import TimeSeries
 from repro.stats.predictors import (
+    AutoPredictor,
     EWMAPredictor,
+    HoltWintersPredictor,
     LastValuePredictor,
     Predictor,
+    QuantileRegressionPredictor,
     SlidingMeanPredictor,
+    known_predictors,
     make_predictor,
 )
 from repro.stats.accuracy import sample_accuracy
+from repro.stats.forecast import Backtester, band_coverage, pinball_loss
 
 __all__ = [
     "StatMeasure",
@@ -32,6 +37,13 @@ __all__ = [
     "LastValuePredictor",
     "SlidingMeanPredictor",
     "EWMAPredictor",
+    "HoltWintersPredictor",
+    "QuantileRegressionPredictor",
+    "AutoPredictor",
+    "known_predictors",
     "make_predictor",
     "sample_accuracy",
+    "Backtester",
+    "band_coverage",
+    "pinball_loss",
 ]

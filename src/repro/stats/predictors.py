@@ -91,15 +91,172 @@ class EWMAPredictor:
         return base.shifted(shift).degraded(PREDICTION_DISCOUNT)
 
 
+class HoltWintersPredictor:
+    """Holt's linear smoothing: level + trend, projected over the horizon.
+
+    The one model in the registry that can *extrapolate*: a steadily
+    rising (or falling) series keeps rising in its forecast instead of
+    snapping back to the recent mean.  ``alpha`` smooths the level,
+    ``beta`` the trend; both are per-sample factors, and the trend is
+    tracked per second of sample spacing so irregular polling does not
+    skew the projection.  The historical spread is carried around the
+    projected level (floored so no quartile goes negative — the predicted
+    quantities are rates and utilizations).
+    """
+
+    def __init__(
+        self, alpha: float = 0.5, beta: float = 0.3, history_window: float = 120.0
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0,1], got {alpha}")
+        if not 0.0 < beta <= 1.0:
+            raise ConfigurationError(f"beta must be in (0,1], got {beta}")
+        self.alpha = alpha
+        self.beta = beta
+        self.history_window = history_window
+
+    def predict(self, series: TimeSeries, now: float, horizon: float) -> StatMeasure:
+        since = now - self.history_window
+        values = list(series.window(since, now))
+        if not values:
+            raise ConfigurationError("no samples in prediction history window")
+        times = list(series.times(since, now))
+        if len(values) < 3:
+            last = values[-1]
+            return StatMeasure.constant(last).degraded(0.5 * PREDICTION_DISCOUNT)
+        level = values[0]
+        trend = 0.0  # per second
+        previous_t = times[0]
+        for t, value in zip(times[1:], values[1:]):
+            dt = max(t - previous_t, 1e-9)
+            previous_t = t
+            forecast = level + trend * dt
+            new_level = self.alpha * value + (1 - self.alpha) * forecast
+            new_trend = (
+                self.beta * ((new_level - level) / dt) + (1 - self.beta) * trend
+            )
+            level, trend = new_level, new_trend
+        # Centre the forecast on the middle of the predicted interval, so
+        # the measure describes [now, now + horizon] rather than its edge.
+        projected = level + trend * (now - previous_t + horizon / 2.0)
+        base = StatMeasure.from_samples(values)
+        shift = projected - base.median
+        shift = max(shift, -base.minimum)  # rates never fall below zero
+        return base.shifted(shift).degraded(PREDICTION_DISCOUNT)
+
+
+class QuantileRegressionPredictor:
+    """Robust linear quantile forecast over the quartile series.
+
+    Fits one robust slope (Theil–Sen: the median of pairwise sample
+    slopes) and projects the *residual* quantiles along it — each
+    predicted quartile is the corresponding residual quantile translated
+    to the middle of the forecast interval, a cheap stand-in for five
+    independent pinball-loss fits that keeps the quartile ordering by
+    construction.  Deliberately pure Python: at the bounded window sizes
+    collectors retain, the pairwise-slope set is small (capped by
+    ``max_fit_samples`` subsampling).
+    """
+
+    def __init__(self, history_window: float = 120.0, max_fit_samples: int = 40):
+        if history_window <= 0:
+            raise ConfigurationError("history window must be positive")
+        if max_fit_samples < 3:
+            raise ConfigurationError("max_fit_samples must be at least 3")
+        self.history_window = history_window
+        self.max_fit_samples = max_fit_samples
+
+    def predict(self, series: TimeSeries, now: float, horizon: float) -> StatMeasure:
+        since = now - self.history_window
+        values = list(series.window(since, now))
+        if not values:
+            raise ConfigurationError("no samples in prediction history window")
+        times = list(series.times(since, now))
+        if len(values) < 3:
+            last = values[-1]
+            return StatMeasure.constant(last).degraded(0.5 * PREDICTION_DISCOUNT)
+        if len(values) > self.max_fit_samples:
+            step = len(values) / self.max_fit_samples
+            picks = [int(i * step) for i in range(self.max_fit_samples)]
+            fit_t = [times[i] for i in picks]
+            fit_v = [values[i] for i in picks]
+        else:
+            fit_t, fit_v = times, values
+        slopes = [
+            (fit_v[j] - fit_v[i]) / (fit_t[j] - fit_t[i])
+            for i in range(len(fit_v))
+            for j in range(i + 1, len(fit_v))
+            if fit_t[j] > fit_t[i]
+        ]
+        if not slopes:
+            slope = 0.0
+        else:
+            slopes.sort()
+            mid = len(slopes) // 2
+            slope = (
+                slopes[mid]
+                if len(slopes) % 2
+                else 0.5 * (slopes[mid - 1] + slopes[mid])
+            )
+        target = now + horizon / 2.0  # centre of the forecast interval
+        residuals = sorted(v - slope * t for t, v in zip(times, values))
+        from repro.stats.quartiles import percentiles
+
+        quartiles = [
+            max(0.0, r + slope * target)
+            for r in percentiles(residuals, [0, 25, 50, 75, 100])
+        ]
+        mean = max(
+            0.0, sum(residuals) / len(residuals) + slope * target
+        )
+        mean = min(max(mean, quartiles[0]), quartiles[4])
+        from repro.stats.accuracy import sample_accuracy
+
+        accuracy = sample_accuracy(values) * PREDICTION_DISCOUNT
+        return StatMeasure.presorted(quartiles, mean, len(values), accuracy)
+
+
+class AutoPredictor:
+    """The ``"auto"`` registry entry: defer model choice to measured skill.
+
+    The evaluation layer resolves ``"auto"`` per series through the
+    :class:`~repro.stats.forecast.Backtester` (best measured pinball loss
+    wins) before ever constructing a predictor; standalone users without a
+    backtest record get the registry default's behaviour.
+    """
+
+    #: Models "auto" arbitrates between (each must be in the registry).
+    CANDIDATES: tuple[str, ...] = ("last", "mean", "ewma", "holt", "quantile")
+
+    #: The model used before any candidate has a measured record.
+    DEFAULT = "ewma"
+
+    def __init__(self, history_window: float = 120.0):
+        self.history_window = history_window
+
+    def predict(self, series: TimeSeries, now: float, horizon: float) -> StatMeasure:
+        fallback = make_predictor(self.DEFAULT, history_window=self.history_window)
+        return fallback.predict(series, now, horizon)
+
+
 _PREDICTORS = {
     "last": LastValuePredictor,
     "mean": SlidingMeanPredictor,
     "ewma": EWMAPredictor,
+    "holt": HoltWintersPredictor,
+    "quantile": QuantileRegressionPredictor,
+    "auto": AutoPredictor,
 }
 
 
+def known_predictors() -> frozenset:
+    """Registered predictor names, for parse-time Timeframe validation."""
+    return frozenset(_PREDICTORS)
+
+
 def make_predictor(name: str = "ewma", **kwargs) -> Predictor:
-    """Factory: ``"last"``, ``"mean"`` or ``"ewma"``."""
+    """Factory over the registry: ``"last"``, ``"mean"``, ``"ewma"``,
+    ``"holt"``, ``"quantile"`` or ``"auto"``."""
     try:
         factory = _PREDICTORS[name]
     except KeyError:

@@ -32,6 +32,24 @@ class TestMigrationPolicy:
             MigrationPolicy(check_every=0)
 
 
+class TestPredictivePolicy:
+    def test_predictive_off_by_default(self):
+        assert not MigrationPolicy().predictive
+
+    def test_predictive_needs_both_knobs(self):
+        assert not MigrationPolicy(predict_horizon=10.0).predictive
+        assert not MigrationPolicy(predict_collapse_bps=1e6).predictive
+        assert MigrationPolicy(
+            predict_horizon=10.0, predict_collapse_bps=1e6
+        ).predictive
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MigrationPolicy(predict_horizon=-1.0)
+        with pytest.raises(ConfigurationError):
+            MigrationPolicy(predict_collapse_bps=-1.0)
+
+
 class TestAdaptationModule:
     def test_migrates_away_from_traffic(self):
         world = build_cmu_testbed(poll_interval=1.0)
@@ -110,6 +128,81 @@ class TestAdaptationModule:
         )
         # Iterations 3 and 6 only.
         assert adaptation.checks == 2
+
+
+class TestPredictiveMigration:
+    def _run(self, policy: MigrationPolicy):
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        # The corridor the program starts on is under heavy competing
+        # load: the forecast q1 of available bandwidth sits far below any
+        # reasonable floor at every horizon.
+        TrafficScenario(
+            "t", [TrafficSpec("m-6", "m-8", kind="cbr", rate="90Mbps")]
+        ).start(world.net)
+        world.settle(10.0)
+        adaptation = AdaptationModule(
+            remos=remos,
+            pool=CMU_HOSTS,
+            policy=policy,
+            check_seconds=0.1,
+        )
+        runtime = world.runtime()
+        report = world.env.run(
+            until=runtime.launch(
+                make_app(), ["m-6", "m-7", "m-8"], adapt_hook=adaptation.hook
+            )
+        )
+        return adaptation, report
+
+    def test_predicted_collapse_triggers_migration(self):
+        # Reactive trigger disabled (an impossible improvement threshold):
+        # only the FUTURE-graph trigger can move the program.
+        adaptation, report = self._run(
+            MigrationPolicy(
+                threshold=10.0,
+                predict_horizon=20.0,
+                predict_collapse_bps=50e6,
+                predictor="holt",
+            )
+        )
+        assert adaptation.predicted_migrations >= 1
+        assert adaptation.migrations >= 1
+        final = set(report.final_hosts)
+        # Re-clustered on the predicted graph: escaped the loaded corridor.
+        assert not ({"m-7", "m-8"} & final) or "m-6" not in final
+
+    def test_same_threshold_without_prediction_stays_put(self):
+        # Contrast: the identical reactive-only policy never migrates, so
+        # any move in the test above is the predictive trigger's doing.
+        adaptation, report = self._run(MigrationPolicy(threshold=10.0))
+        assert adaptation.migrations == 0
+        assert adaptation.predicted_migrations == 0
+        assert report.final_hosts == ("m-6", "m-7", "m-8")
+
+    def test_no_predicted_migration_with_high_floor_on_idle_network(self):
+        # Idle network: the forecast floor stays comfortably above even an
+        # aggressive collapse threshold, so the trigger must not fire.
+        world = build_cmu_testbed(poll_interval=1.0)
+        remos = world.start_monitoring(warmup=5.0)
+        adaptation = AdaptationModule(
+            remos=remos,
+            pool=CMU_HOSTS,
+            policy=MigrationPolicy(
+                threshold=10.0,
+                predict_horizon=20.0,
+                predict_collapse_bps=1e6,
+            ),
+            check_seconds=0.1,
+        )
+        runtime = world.runtime()
+        report = world.env.run(
+            until=runtime.launch(
+                make_app(), ["m-1", "m-2", "m-3"], adapt_hook=adaptation.hook
+            )
+        )
+        assert adaptation.predicted_migrations == 0
+        assert report.final_hosts == ("m-1", "m-2", "m-3")
 
 
 class TestSelfTrafficCorrection:

@@ -1,0 +1,73 @@
+"""Frozen pre-refactor timeframe evaluation: the differential oracle.
+
+These are the two ``TimeframeKind`` branch ladders exactly as they lived in
+``Modeler._compute_used_bandwidth`` and ``Modeler._compute_cpu_load``
+before the shared :class:`~repro.core.evaluator.TimeframeEvaluator` was
+extracted (PR 10).  They are kept **verbatim** (modulo turning methods into
+functions over an explicit view) as differential oracles: the refactor's
+acceptance criterion is that STATIC/CURRENT/HISTORY answers stay
+bit-identical to these, and FUTURE answers differ only in the accuracy
+field once measured backtest accuracy replaces the fixed discount.
+
+Do not fix or optimise this module — its value is being frozen.
+"""
+
+from __future__ import annotations
+
+from repro.stats import StatMeasure, make_predictor
+from repro.core.timeframe import Timeframe, TimeframeKind
+
+# Frozen copy of repro.core.modeler.UNMEASURED_ACCURACY at freeze time.
+UNMEASURED_ACCURACY = 0.25
+
+
+def oracle_used_bandwidth(view, direction, timeframe: Timeframe, now=None) -> StatMeasure:
+    """Verbatim pre-refactor ``Modeler._compute_used_bandwidth`` (+ the
+    STATIC short-circuit its caller ``_used_bandwidth`` performed)."""
+    if timeframe.kind is TimeframeKind.STATIC:
+        return StatMeasure.constant(0.0)
+    metrics = view.metrics
+    link_name, from_node = direction.link.name, direction.src
+    if not metrics.has_series(link_name, from_node):
+        return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+    series = metrics.series(link_name, from_node)
+    if series.empty:
+        return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+    if now is None:
+        now = view.metrics.latest_timestamp()
+    if timeframe.kind is TimeframeKind.CURRENT:
+        recent = series.window(now - 10 * max(1.0, series.span() / max(1, len(series))), now)
+        latest = series.latest_value()
+        accuracy = StatMeasure.from_samples(recent).accuracy if recent.size else 0.5
+        return StatMeasure.constant(latest).degraded(min(1.0, accuracy))
+    if timeframe.kind is TimeframeKind.HISTORY:
+        window = series.window(now - timeframe.window, now)
+        if window.size == 0:
+            return StatMeasure.constant(series.latest_value()).degraded(0.5)
+        return StatMeasure.from_samples(window)
+    # FUTURE
+    predictor = make_predictor(timeframe.predictor, history_window=timeframe.window)
+    return predictor.predict(series, now, timeframe.horizon)
+
+
+def oracle_cpu_load(view, host: str, timeframe: Timeframe) -> StatMeasure:
+    """Verbatim pre-refactor ``Modeler._compute_cpu_load`` (+ the STATIC
+    short-circuit its caller ``cpu_load`` performed)."""
+    if timeframe.kind is TimeframeKind.STATIC:
+        return StatMeasure.constant(0.0)
+    metrics = view.metrics
+    if not metrics.has_cpu_series(host):
+        return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+    series = metrics.cpu_series(host)
+    if series.empty:
+        return StatMeasure.constant(0.0).degraded(UNMEASURED_ACCURACY)
+    now = view.metrics.latest_timestamp()
+    if timeframe.kind is TimeframeKind.CURRENT:
+        return StatMeasure.constant(series.latest_value()).degraded(0.9)
+    if timeframe.kind is TimeframeKind.HISTORY:
+        window = series.window(now - timeframe.window, now)
+        if window.size == 0:
+            return StatMeasure.constant(series.latest_value()).degraded(0.5)
+        return StatMeasure.from_samples(window)
+    predictor = make_predictor(timeframe.predictor, history_window=timeframe.window)
+    return predictor.predict(series, now, timeframe.horizon)

@@ -147,6 +147,72 @@ class TestGenerationInvalidation:
         assert view.generation - first == pytest.approx(3, abs=1)
 
 
+class TestFutureCacheInvalidation:
+    def test_future_entry_not_served_across_time_shift(self):
+        """A FUTURE answer never survives an advancing evaluation clock.
+
+        The metrics-only sweep touches *only* h4's access link — every
+        series on the queried h1->h3 path is untouched, so their version
+        stamps still match — yet ``Modeler.now`` (the latest timestamp
+        across the whole store) has advanced, which moves the forecast
+        origin.  The cached FUTURE entries must be recomputed, not served
+        stale.
+        """
+        topology = line_topology()
+        view = measured_view(topology, {("t23", "r2"): mbps(30)})
+        remos = Remos(view)
+        timeframe = Timeframe.future(10.0, predictor="ewma", window=60.0)
+
+        def query():
+            return remos.flow_info(
+                variable_flows=[Flow("h1", "h3")], timeframe=timeframe
+            )
+
+        query()
+        backtester = remos._modeler().evaluator.backtester
+        recorded_first = backtester.recorded
+        assert recorded_first > 0
+
+        # Partial sweep off the queried path, advancing the clock 19 -> 100.
+        view.metrics.record("h4--r3", "h4", 100.0, 0.0)
+        view.record_sweep({("h4--r3", "h4")})
+
+        misses_before = remos.cache_stats.per_cache["bandwidth"]["misses"]
+        query()
+        # Recomputed (bandwidth misses grew beyond the one touched entry),
+        # and the evaluator filed fresh predictions at the new origin
+        # (recording is deduped per made_at, so stale reuse records nothing).
+        assert remos.cache_stats.per_cache["bandwidth"]["misses"] > misses_before
+        assert backtester.recorded > recorded_first
+        assert remos.cache_stats.invalidations == 0  # partial path, not a flush
+
+    def test_history_entry_survives_the_same_time_shift(self):
+        """Contrast: a HISTORY window that provably did not move survives
+        the identical sweep — only FUTURE is time-origin-bound
+        unconditionally."""
+        topology = line_topology()
+        view = measured_view(topology, {("t23", "r2"): mbps(30)})
+        remos = Remos(view)
+
+        def query():
+            return remos.flow_info(
+                variable_flows=[Flow("h1", "h3")],
+                timeframe=Timeframe.history(1000.0),
+            )
+
+        before = query()
+        view.metrics.record("h4--r3", "h4", 100.0, 0.0)
+        view.record_sweep({("h4--r3", "h4")})
+        misses_before = remos.cache_stats.per_cache["bandwidth"]["misses"]
+        after = query()
+        assert after == before
+        # No sample ages out of the 1000 s windows: every path entry
+        # revalidates; only the swept (off-path) direction could miss.
+        assert (
+            remos.cache_stats.per_cache["bandwidth"]["misses"] == misses_before
+        )
+
+
 class TestModelerReuseAcrossRefreshes:
     def test_routing_table_survives_in_place_refresh(self):
         world = World.from_topology(line_topology(), poll_interval=1.0)

@@ -30,6 +30,19 @@ def test_future_requires_horizon():
         Timeframe(TimeframeKind.FUTURE)
 
 
+def test_future_unknown_predictor_rejected_at_parse_time():
+    # The predictor name is validated against the registry when the
+    # Timeframe is constructed — a caller's typo is a QueryError (HTTP
+    # 400), not a ConfigurationError mid-allocation.
+    with pytest.raises(QueryError, match="unknown predictor"):
+        Timeframe.future(10.0, predictor="oracle")
+
+
+def test_future_known_predictors_accepted():
+    for name in ("last", "mean", "ewma", "holt", "quantile", "auto"):
+        assert Timeframe.future(10.0, predictor=name).predictor == name
+
+
 def test_negative_values_rejected():
     with pytest.raises(QueryError):
         Timeframe(TimeframeKind.HISTORY, window=-1.0)

@@ -1,0 +1,93 @@
+"""FUTURE timeframes across shard boundaries.
+
+The forecast plane is timeframe-uniform: a FUTURE query flows through the
+federation exactly like CURRENT/HISTORY — delegated whole when it fits in
+one shard, composed conservatively when it crosses the WAN.  The same two
+disciplines as ``test_differential.py``, under prediction:
+
+* intra-shard FUTURE answers are **bit-identical** to the single-cell
+  oracle over the same collectors;
+* cross-shard FUTURE answers are **conservative** — never more bandwidth
+  than the oracle would forecast for that flow alone.
+"""
+
+import pytest
+
+from repro.core import Flow, Timeframe
+
+from tests.federation.test_differential import (
+    LEVELS,
+    answers_identical,
+    assert_conservative,
+)
+
+FUTURE = Timeframe.future(10.0, predictor="ewma", window=120.0)
+
+
+class TestIntraShardFuture:
+    def test_variable_flow_matches_oracle(self, loaded_world):
+        _world, remos, oracle = loaded_world
+        flow = Flow("s0-leaf0-h0", "s0-leaf1-h1")
+        fed = remos.flow_info(variable_flows=[flow], timeframe=FUTURE)
+        ref = oracle.flow_info(variable_flows=[flow], timeframe=FUTURE)
+        answers_identical(fed.variable[0], ref.variable[0])
+
+    def test_auto_predictor_accepted(self, small_world):
+        _world, remos, _oracle = small_world
+        result = remos.flow_info(
+            variable_flows=[Flow("s1-leaf0-h0", "s1-leaf1-h1")],
+            timeframe=Timeframe.future(10.0, predictor="auto", window=120.0),
+        )
+        assert result.variable[0].bandwidth.median > 0
+
+
+class TestCrossShardFuture:
+    def test_single_flows_conservative_under_load(self, loaded_world):
+        _world, remos, oracle = loaded_world
+        for src, dst in [
+            ("s0-leaf0-h0", "s1-leaf0-h0"),
+            ("s1-leaf1-h1", "s2-leaf0-h1"),
+        ]:
+            fed = remos.flow_info(variable_flows=[Flow(src, dst)], timeframe=FUTURE)
+            alone = oracle.flow_info(
+                variable_flows=[Flow(src, dst)], timeframe=FUTURE
+            )
+            assert_conservative(fed.variable[0], alone.variable[0])
+
+    def test_forecast_accuracy_carried_through_composition(self, small_world):
+        # The composed answer keeps a meaningful (non-unit) prediction
+        # accuracy: the discounted forecast confidence is not silently
+        # reset to 1.0 while crossing the summary plane.
+        _world, remos, _oracle = small_world
+        fed = remos.flow_info(
+            variable_flows=[Flow("s0-leaf0-h0", "s2-leaf1-h1")], timeframe=FUTURE
+        )
+        answer = fed.variable[0]
+        assert 0.0 < answer.bandwidth.accuracy < 1.0
+        for level in LEVELS:
+            assert getattr(answer.bandwidth, level) >= 0.0
+
+    def test_cross_shard_graph_with_future(self, small_world):
+        _world, remos, _oracle = small_world
+        nodes = ["s0-leaf0-h0", "s2-leaf1-h1"]
+        graph = remos.get_graph(nodes, FUTURE)
+        assert graph.collapse == "federated"
+        (edge,) = [e for e in graph.edges if e.name.startswith("fed:")]
+        assert edge.available_from("s0-gw").median > 0
+        assert graph.path_available(*nodes) is not None
+
+    def test_cross_admission_with_future(self, small_world):
+        # Admission against the forecast plane: a tiny request clears it,
+        # a WAN-sized one cannot (bundle capacity is 500Mbps).
+        _world, remos, _oracle = small_world
+        small = [Flow("s0-leaf0-h0", "s1-leaf0-h0", requested=1e6)]
+        assert remos.check_admission(small, timeframe=FUTURE).admitted
+        huge = [Flow("s0-leaf0-h0", "s1-leaf0-h0", requested=2e9)]
+        report = remos.check_admission(huge, timeframe=FUTURE)
+        assert not report.admitted
+
+    def test_horizon_zero_rejected_everywhere(self, small_world):
+        from repro.util.errors import QueryError
+
+        with pytest.raises(QueryError, match="positive horizon"):
+            Timeframe.future(0.0)

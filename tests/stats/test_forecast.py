@@ -1,0 +1,235 @@
+"""Forecast-plane tests: scores, the backtester, and the new predictors."""
+
+import pytest
+
+from repro.stats import (
+    Backtester,
+    HoltWintersPredictor,
+    LastValuePredictor,
+    QuantileRegressionPredictor,
+    StatMeasure,
+    TimeSeries,
+    band_coverage,
+    make_predictor,
+    pinball_loss,
+)
+from repro.stats.forecast import score_accuracy
+from repro.stats.predictors import PREDICTION_DISCOUNT, AutoPredictor, known_predictors
+from repro.util.errors import ConfigurationError
+
+
+def constant_series(value=50.0, n=30, start=0.0):
+    series = TimeSeries()
+    for t in range(n):
+        series.add(start + float(t), value)
+    return series
+
+
+def trending_series(n=60, base=10.0, slope=1.0):
+    series = TimeSeries()
+    for t in range(n):
+        series.add(float(t), base + slope * t)
+    return series
+
+
+class TestScores:
+    def test_pinball_zero_on_exact_constant(self):
+        measure = StatMeasure.constant(5.0)
+        assert pinball_loss(measure, [5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_pinball_grows_with_error(self):
+        near = pinball_loss(StatMeasure.constant(10.0), [11.0])
+        far = pinball_loss(StatMeasure.constant(10.0), [50.0])
+        assert far > near > 0.0
+
+    def test_pinball_asymmetry(self):
+        # At the 0.25 level, overshooting costs more than undershooting:
+        # losses are not symmetric around the median alone.
+        measure = StatMeasure.presorted([0.0, 10.0, 20.0, 30.0, 40.0], mean=20.0, n_samples=5, accuracy=1.0)
+        below = pinball_loss(measure, [5.0])
+        above = pinball_loss(measure, [35.0])
+        assert below == pytest.approx(above)  # symmetric quartiles, mirrored outcome
+
+    def test_pinball_needs_samples(self):
+        with pytest.raises(ValueError):
+            pinball_loss(StatMeasure.constant(1.0), [])
+
+    def test_coverage_counts_band_hits(self):
+        measure = StatMeasure.presorted([0.0, 10.0, 20.0, 30.0, 40.0], mean=20.0, n_samples=5, accuracy=1.0)
+        assert band_coverage(measure, [15.0, 25.0, 99.0, -5.0]) == pytest.approx(0.5)
+
+    def test_perfect_constant_scores_one(self):
+        assert score_accuracy(StatMeasure.constant(7.0), [7.0, 7.0]) == pytest.approx(
+            1.0
+        )
+
+    def test_overconfident_band_penalized(self):
+        # Same median, but a zero-width band missing most samples scores
+        # below a band that actually covers them.
+        outcomes = [8.0, 10.0, 12.0]
+        tight = StatMeasure.constant(10.0)
+        honest = StatMeasure.presorted([6.0, 8.0, 10.0, 12.0, 14.0], mean=10.0, n_samples=5, accuracy=1.0)
+        assert score_accuracy(honest, outcomes) > score_accuracy(tight, outcomes)
+
+    def test_score_bounded(self):
+        wild = StatMeasure.constant(1e9)
+        assert 0.0 <= score_accuracy(wild, [1.0, 2.0]) <= 1.0
+
+
+class TestBacktester:
+    def test_accuracy_needs_min_settled(self):
+        bt = Backtester(min_settled=3)
+        series = constant_series(value=5.0, n=40)
+        for made_at in (10.0, 11.0):
+            bt.record("k", "last", 5.0, made_at, StatMeasure.constant(5.0))
+        bt.settle("k", series, now=30.0)
+        assert bt.accuracy("k", "last", 5.0) is None  # only 2 settled
+        bt.record("k", "last", 5.0, 12.0, StatMeasure.constant(5.0))
+        bt.settle("k", series, now=30.0)
+        assert bt.accuracy("k", "last", 5.0) == pytest.approx(1.0)
+
+    def test_settle_only_matured(self):
+        bt = Backtester()
+        series = constant_series(n=40)
+        bt.record("k", "last", 100.0, 10.0, StatMeasure.constant(50.0))
+        assert bt.settle("k", series, now=30.0) == 0  # horizon not elapsed
+        assert bt.settle("k", series, now=200.0) == 1
+
+    def test_empty_interval_expires(self):
+        bt = Backtester()
+        series = constant_series(n=5)  # samples at t 0..4
+        bt.record("k", "last", 2.0, 50.0, StatMeasure.constant(1.0))
+        assert bt.settle("k", series, now=60.0) == 0
+        assert bt.expired == 1
+
+    def test_duplicate_epoch_record_deduped(self):
+        bt = Backtester()
+        measure = StatMeasure.constant(1.0)
+        bt.record("k", "last", 5.0, 10.0, measure)
+        bt.record("k", "last", 5.0, 10.0, measure)
+        assert bt.recorded == 1
+
+    def test_best_prefers_lower_loss(self):
+        bt = Backtester(min_settled=1)
+        series = trending_series(n=80)
+        # "good" predicted the realized values; "bad" was far off.
+        for made_at in (30.0, 35.0, 40.0):
+            realized = StatMeasure.from_samples(
+                series.window(made_at, made_at + 10.0)
+            )
+            bt.record("k", "good", 10.0, made_at, realized)
+            bt.record("k", "bad", 10.0, made_at, StatMeasure.constant(0.0))
+        bt.settle("k", series, now=79.0)
+        assert bt.best("k", 10.0, ("good", "bad")) == "good"
+
+    def test_best_none_without_evidence(self):
+        bt = Backtester()
+        assert bt.best("k", 10.0, ("last", "ewma")) is None
+
+    def test_to_dict_counts(self):
+        bt = Backtester(min_settled=1)
+        series = constant_series(value=3.0, n=40)
+        bt.record("k", "last", 5.0, 10.0, StatMeasure.constant(3.0))
+        bt.settle("k", series, now=30.0)
+        report = bt.to_dict()
+        assert report["recorded"] == 1
+        assert report["settled"] == 1
+        assert report["measured_cells"] == 1
+        assert report["mean_measured_accuracy"] == pytest.approx(1.0)
+
+
+class TestHoltWinters:
+    def test_extrapolates_trend(self):
+        series = trending_series(n=60)  # value = 10 + t
+        holt = HoltWintersPredictor(history_window=1000).predict(
+            series, now=59.0, horizon=10.0
+        )
+        last = LastValuePredictor().predict(series, now=59.0, horizon=10.0)
+        # The ramp keeps climbing in Holt's forecast; last-value stays put.
+        assert holt.median > last.median
+
+    def test_constant_series_stays_flat(self):
+        prediction = HoltWintersPredictor(history_window=1000).predict(
+            constant_series(value=20.0), now=29.0, horizon=10.0
+        )
+        assert prediction.median == pytest.approx(20.0, rel=1e-6)
+
+    def test_never_negative(self):
+        # A falling series must not project below zero.
+        series = TimeSeries()
+        for t in range(30):
+            series.add(float(t), max(0.0, 30.0 - t))
+        prediction = HoltWintersPredictor(history_window=1000).predict(
+            series, now=29.0, horizon=100.0
+        )
+        assert prediction.minimum >= 0.0
+
+    def test_few_samples_falls_back(self):
+        series = TimeSeries()
+        series.add(0.0, 5.0)
+        series.add(1.0, 5.0)
+        prediction = HoltWintersPredictor().predict(series, now=1.0, horizon=5.0)
+        assert prediction.median == pytest.approx(5.0)
+        assert prediction.accuracy <= 0.5 * PREDICTION_DISCOUNT + 1e-12
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            HoltWintersPredictor(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HoltWintersPredictor(beta=1.5)
+
+
+class TestQuantileRegression:
+    def test_tracks_linear_trend(self):
+        series = trending_series(n=60)
+        prediction = QuantileRegressionPredictor(history_window=1000).predict(
+            series, now=59.0, horizon=10.0
+        )
+        # Centre of [59, 69] on value = 10 + t is ~74; robust fit lands near.
+        assert prediction.median == pytest.approx(74.0, abs=3.0)
+
+    def test_quartile_ordering_preserved(self):
+        series = TimeSeries()
+        for t in range(50):
+            series.add(float(t), 10.0 + t + (3.0 if t % 7 == 0 else 0.0))
+        p = QuantileRegressionPredictor(history_window=1000).predict(
+            series, now=49.0, horizon=20.0
+        )
+        assert p.minimum <= p.q1 <= p.median <= p.q3 <= p.maximum
+
+    def test_never_negative(self):
+        series = TimeSeries()
+        for t in range(30):
+            series.add(float(t), max(0.0, 20.0 - t))
+        p = QuantileRegressionPredictor(history_window=1000).predict(
+            series, now=29.0, horizon=200.0
+        )
+        assert p.minimum >= 0.0
+
+    def test_accuracy_discounted(self):
+        series = constant_series()
+        p = QuantileRegressionPredictor(history_window=1000).predict(
+            series, now=29.0, horizon=5.0
+        )
+        assert p.accuracy <= PREDICTION_DISCOUNT + 1e-12
+
+
+class TestRegistry:
+    def test_new_names_registered(self):
+        assert {"holt", "quantile", "auto"} <= known_predictors()
+        assert isinstance(make_predictor("holt"), HoltWintersPredictor)
+        assert isinstance(make_predictor("quantile"), QuantileRegressionPredictor)
+        assert isinstance(make_predictor("auto"), AutoPredictor)
+
+    def test_auto_candidates_all_known(self):
+        assert set(AutoPredictor.CANDIDATES) <= known_predictors()
+
+    def test_auto_defaults_to_ewma(self):
+        series = trending_series()
+        auto = make_predictor("auto", history_window=1000).predict(
+            series, now=59.0, horizon=5.0
+        )
+        ewma = make_predictor("ewma", history_window=1000).predict(
+            series, now=59.0, horizon=5.0
+        )
+        assert auto.median == pytest.approx(ewma.median)
